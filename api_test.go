@@ -1,0 +1,115 @@
+package gsdram_test
+
+import (
+	"strings"
+	"testing"
+
+	"gsdram"
+)
+
+// TestFacadeQuickstart exercises the public API end to end: allocate a
+// shuffled table, write tuples, gather a field with one line read.
+func TestFacadeQuickstart(t *testing.T) {
+	m, err := gsdram.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := m.AS.PattMalloc(64*64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tup := 0; tup < 64; tup++ {
+		for f := 0; f < 8; f++ {
+			if err := m.WriteWord(base+gsdram.Addr(tup*64+f*8), uint64(tup*100+f)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	la, pos, err := m.GatherAddr(base+gsdram.Addr(3*8), 7) // field 3 of tuple 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != 0 {
+		t.Fatalf("pos = %d", pos)
+	}
+	line := make([]uint64, 8)
+	if err := m.ReadLine(la, 7, line); err != nil {
+		t.Fatal(err)
+	}
+	for i := range line {
+		if line[i] != uint64(i*100+3) {
+			t.Fatalf("line[%d] = %d, want %d", i, line[i], i*100+3)
+		}
+	}
+}
+
+func TestFacadeModule(t *testing.T) {
+	mod := gsdram.NewModule(gsdram.GS422, gsdram.Geometry{Banks: 1, Rows: 1, Cols: 4})
+	line := []uint64{10, 11, 12, 13}
+	if err := mod.WriteLine(0, 0, 0, gsdram.DefaultPattern, true, line); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]uint64, 4)
+	if _, err := mod.ReadLine(0, 0, 0, gsdram.DefaultPattern, true, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range line {
+		if dst[i] != line[i] {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+}
+
+func TestFacadeConflictAnalysis(t *testing.T) {
+	set := gsdram.StrideSet(0, 8, 8)
+	if got := gsdram.GS844.ReadsNeeded(gsdram.SimpleMapping, set); got != 8 {
+		t.Fatalf("simple mapping reads = %d", got)
+	}
+	if got := gsdram.GS844.ReadsNeeded(gsdram.ShuffledMapping, set); got != 1 {
+		t.Fatalf("shuffled mapping reads = %d", got)
+	}
+}
+
+func TestFacadeShuffleFunctions(t *testing.T) {
+	if gsdram.DefaultShuffle(3)(5) != 5 {
+		t.Error("default shuffle wrong")
+	}
+	if gsdram.MaskedShuffle(3, 0b100)(7) != 0b100 {
+		t.Error("masked shuffle wrong")
+	}
+	if gsdram.XORShuffle([]int{1})(1) != 1 {
+		t.Error("xor shuffle wrong")
+	}
+	if _, err := gsdram.NewModuleFunc(gsdram.GS844, gsdram.Geometry{Banks: 1, Rows: 1, Cols: 8}, gsdram.MaskedShuffle(3, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeECC(t *testing.T) {
+	em, err := gsdram.NewECCModule(gsdram.GS844, gsdram.Geometry{Banks: 1, Rows: 1, Cols: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := em.WriteLine(0, 0, 0, gsdram.DefaultPattern, true, line); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeTables(t *testing.T) {
+	if out := gsdram.Table1().String(); !strings.Contains(out, "GS-DRAM(8,3,3)") {
+		t.Error("Table1 malformed")
+	}
+	if out := gsdram.Fig7(gsdram.GS422, 4).String(); !strings.Contains(out, "[0 4 8 12]") {
+		t.Error("Fig7 malformed")
+	}
+	if out := gsdram.AblationMap(gsdram.GS844).String(); !strings.Contains(out, "shuffling") {
+		t.Error("ablation table malformed")
+	}
+}
+
+func TestFacadeOptions(t *testing.T) {
+	if gsdram.QuickOptions().Tuples >= gsdram.DefaultOptions().Tuples {
+		t.Error("quick options not quick")
+	}
+}

@@ -1,0 +1,232 @@
+// Command gsbench runs the paper-reproduction experiments and prints the
+// corresponding tables and figure series.
+//
+// Usage:
+//
+//	gsbench [-exp all|table1|fig7|fig9|fig10|fig11|fig12|fig13|kvstore|graph|
+//	         ablation|autogather|schedpol|channels|impulse|pattbits|storebuf]
+//	        [-tuples N] [-txns N] [-gemm n1,n2,...] [-kvpairs N]
+//	        [-vertices N] [-degree D] [-seed S] [-json]
+//
+// The defaults complete in a few minutes. To run at the paper's scale:
+//
+//	gsbench -exp fig9 -tuples 1048576 -txns 10000
+//	gsbench -exp fig13 -gemm 32,64,128,256,512,1024
+//
+// With -json, each experiment's structured result is emitted as a JSON
+// object instead of a text table.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gsdram"
+	"gsdram/internal/stats"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all, table1, fig7, fig9, fig10, fig11, fig12, fig13, kvstore, graph, ablation, autogather, schedpol, channels, impulse, pattbits, storebuf, pixels")
+		tuples  = flag.Int("tuples", gsdram.DefaultOptions().Tuples, "database table size in tuples (paper: 1048576)")
+		txns    = flag.Int("txns", gsdram.DefaultOptions().Txns, "transactions per Figure 9 run (paper: 10000)")
+		gemmStr = flag.String("gemm", "32,64,128,256", "comma-separated GEMM matrix sizes (paper: 32..1024)")
+		kvPairs = flag.Int("kvpairs", 4096, "key-value pairs for the kvstore experiment")
+		gVerts  = flag.Int("vertices", 32768, "vertices for the graph experiment")
+		gDeg    = flag.Int("degree", 8, "average out-degree for the graph experiment")
+		seed    = flag.Uint64("seed", 42, "workload random seed")
+		asJSON  = flag.Bool("json", false, "emit results as JSON instead of tables")
+	)
+	flag.Parse()
+
+	opts := gsdram.DefaultOptions()
+	opts.Tuples = *tuples
+	opts.Txns = *txns
+	opts.Seed = *seed
+	sizes, err := parseSizes(*gemmStr)
+	if err != nil {
+		fatal(err)
+	}
+	opts.GemmSizes = sizes
+
+	// emit prints the experiment either as JSON (structured result) or as
+	// its rendered tables.
+	emit := func(name string, result any, tables ...*stats.Table) {
+		if *asJSON {
+			out, err := json.MarshalIndent(map[string]any{"experiment": name, "result": result}, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(out))
+			return
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+	}
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if run("table1") {
+		ran = true
+		t := gsdram.Table1()
+		emit("table1", t, t)
+	}
+	if run("fig7") {
+		ran = true
+		t1 := gsdram.Fig7(gsdram.GS422, 4)
+		t2 := gsdram.Fig7(gsdram.GS844, 8)
+		emit("fig7", []*stats.Table{t1, t2}, t1, t2)
+	}
+	if run("fig9") {
+		ran = true
+		r, err := gsdram.RunFig9(opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig9", r, r.Table())
+	}
+	if run("fig10") {
+		ran = true
+		r, err := gsdram.RunFig10(opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig10", r, r.Table())
+	}
+	if run("fig11") {
+		ran = true
+		r, err := gsdram.RunFig11(opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig11", r, r.AnalyticsTable(), r.ThroughputTable())
+	}
+	if run("fig12") {
+		ran = true
+		r, err := gsdram.RunFig12(opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig12", r, r.PerfTable(), r.EnergyTable(), r.EnergyBreakdownTable())
+	}
+	if run("fig13") {
+		ran = true
+		r, err := gsdram.RunFig13(opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig13", r, r.Table())
+	}
+	if run("kvstore") {
+		ran = true
+		r, err := gsdram.RunKVStore(*kvPairs, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		emit("kvstore", r, r.Table())
+	}
+	if run("graph") {
+		ran = true
+		r, err := gsdram.RunGraph(*gVerts, *gDeg, opts.Txns, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		emit("graph", r, r.Table())
+	}
+	if run("channels") {
+		ran = true
+		r, err := gsdram.RunChannels(opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit("channels", r, r.Table())
+	}
+	if run("impulse") {
+		ran = true
+		r, err := gsdram.RunImpulse(opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit("impulse", r, r.Table())
+	}
+	if run("pattbits") {
+		ran = true
+		r, err := gsdram.RunPattBits(opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit("pattbits", r, r.Table())
+	}
+	if run("storebuf") {
+		ran = true
+		r, err := gsdram.RunStoreBuf(opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit("storebuf", r, r.Table())
+	}
+	if run("autogather") {
+		ran = true
+		r, err := gsdram.RunAuto(opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit("autogather", r, r.Table())
+	}
+	if run("schedpol") {
+		ran = true
+		r, err := gsdram.RunSchedule(opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit("schedpol", r, r.Table())
+	}
+	if run("pixels") {
+		ran = true
+		r, err := gsdram.RunPixels((*tuples)&^7, 2000, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		emit("pixels", r, r.Table())
+	}
+	if run("ablation") {
+		ran = true
+		t := gsdram.AblationMap(gsdram.GS844)
+		t2 := gsdram.AblationECC(gsdram.GS844)
+		emit("ablation", []*stats.Table{t, t2}, t, t2)
+	}
+
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad GEMM size %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("no GEMM sizes given")
+	}
+	return sizes, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gsbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,172 @@
+// Command gsquery runs an aggregate query against a freshly populated
+// table in each storage layout (row store, column store, GS-DRAM) and
+// reports the result together with the simulated cost of executing it on
+// the Table 1 system — the end-to-end "what would this query cost"
+// demonstration of the paper's database use case.
+//
+// Usage:
+//
+//	gsquery [-tuples N] [-agg sum:1,count,max:5] [-where "0>500"]
+//	        [-prefetch] [-layouts row,col,gs]
+//
+// Aggregates are kind:field pairs (count takes no field). The filter is
+// field<op>value with op one of = != < <= > >=.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gsdram/internal/cpu"
+	"gsdram/internal/imdb"
+	"gsdram/internal/machine"
+	"gsdram/internal/memsys"
+	"gsdram/internal/query"
+	"gsdram/internal/sim"
+	"gsdram/internal/stats"
+)
+
+func main() {
+	var (
+		tuples   = flag.Int("tuples", 65536, "table size in tuples")
+		aggStr   = flag.String("agg", "sum:1,count", "aggregates: kind:field[,kind:field...] (sum, count, min, max)")
+		whereStr = flag.String("where", "", "filter: field<op>value, e.g. \"0>500\" (empty = none)")
+		prefetch = flag.Bool("prefetch", true, "enable the stride prefetcher")
+		layouts  = flag.String("layouts", "row,col,gs", "layouts to run: row, col, gs")
+	)
+	flag.Parse()
+
+	q, err := parseQuery(*aggStr, *whereStr)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%v  (%d tuples, prefetch=%v)\n\n", q, *tuples, *prefetch)
+	t := stats.NewTable("", "layout", "cycles (M)", "DRAM line fetches", "rows", "values")
+
+	for _, ls := range strings.Split(*layouts, ",") {
+		layout, err := parseLayout(strings.TrimSpace(ls))
+		if err != nil {
+			fatal(err)
+		}
+		mach, err := machine.Default()
+		if err != nil {
+			fatal(err)
+		}
+		db, err := imdb.New(mach, layout, *tuples)
+		if err != nil {
+			fatal(err)
+		}
+		plan, err := query.NewEngine(db).Plan(q)
+		if err != nil {
+			fatal(err)
+		}
+
+		evq := &sim.EventQueue{}
+		cfg := memsys.DefaultConfig(1)
+		cfg.EnablePrefetch = *prefetch
+		mem, err := memsys.New(cfg, evq)
+		if err != nil {
+			fatal(err)
+		}
+		var res query.Result
+		core := cpu.New(0, evq, mem, plan.Stream(&res), nil)
+		core.Start(0)
+		evq.Run()
+
+		t.Add(layout.String(),
+			stats.Mcycles(uint64(core.Stats().Runtime())),
+			fmt.Sprint(mem.MemStats().ReadsServed),
+			fmt.Sprint(res.Rows),
+			fmt.Sprint(res.Values))
+	}
+	fmt.Println(t)
+}
+
+func parseQuery(aggStr, whereStr string) (query.Query, error) {
+	var q query.Query
+	for _, part := range strings.Split(aggStr, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kindStr, fieldStr, hasField := strings.Cut(part, ":")
+		var kind query.AggKind
+		switch strings.ToLower(kindStr) {
+		case "sum":
+			kind = query.Sum
+		case "count":
+			kind = query.Count
+		case "min":
+			kind = query.Min
+		case "max":
+			kind = query.Max
+		default:
+			return q, fmt.Errorf("unknown aggregate %q", kindStr)
+		}
+		field := 0
+		if hasField {
+			f, err := strconv.Atoi(fieldStr)
+			if err != nil {
+				return q, fmt.Errorf("bad field in %q", part)
+			}
+			field = f
+		} else if kind != query.Count {
+			return q, fmt.Errorf("aggregate %q needs a field (kind:field)", part)
+		}
+		q.Aggregates = append(q.Aggregates, query.Agg{Kind: kind, Field: field})
+	}
+	if len(q.Aggregates) == 0 {
+		return q, fmt.Errorf("no aggregates given")
+	}
+	if whereStr != "" {
+		f, err := parseFilter(whereStr)
+		if err != nil {
+			return q, err
+		}
+		q.Filter = f
+	}
+	return q, nil
+}
+
+func parseFilter(s string) (*query.Filter, error) {
+	ops := []struct {
+		text string
+		op   query.CmpOp
+	}{
+		{"!=", query.Ne}, {"<=", query.Le}, {">=", query.Ge},
+		{"=", query.Eq}, {"<", query.Lt}, {">", query.Gt},
+	}
+	for _, o := range ops {
+		if fieldStr, valStr, ok := strings.Cut(s, o.text); ok {
+			field, err1 := strconv.Atoi(strings.TrimSpace(fieldStr))
+			val, err2 := strconv.ParseUint(strings.TrimSpace(valStr), 10, 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("bad filter %q", s)
+			}
+			return &query.Filter{Field: field, Op: o.op, Value: val}, nil
+		}
+	}
+	return nil, fmt.Errorf("no comparison operator in filter %q", s)
+}
+
+func parseLayout(s string) (imdb.Layout, error) {
+	switch strings.ToLower(s) {
+	case "row":
+		return imdb.RowStore, nil
+	case "col", "column":
+		return imdb.ColumnStore, nil
+	case "gs", "gsdram", "gs-dram":
+		return imdb.GSStore, nil
+	default:
+		return 0, fmt.Errorf("unknown layout %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gsquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+package gsdram_test
+
+import (
+	"fmt"
+	"log"
+
+	"gsdram"
+)
+
+// Example reproduces the paper's Figure 1 scenario: a table of 8-field
+// tuples where one query wants a whole tuple and another wants one field
+// of many tuples — both served by single cache-line reads.
+func Example() {
+	m, err := gsdram.NewMachine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// pattmalloc(size, SHUFFLE, 7): alternate pattern 7 = stride 8 words.
+	base, err := m.AS.PattMalloc(8*64, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for tup := 0; tup < 8; tup++ {
+		for f := 0; f < 8; f++ {
+			if err := m.WriteWord(base+gsdram.Addr(tup*64+f*8), uint64(tup*10+f)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	line := make([]uint64, 8)
+
+	// Transaction view: one tuple, one default-pattern read.
+	if err := m.ReadLine(base+3*64, gsdram.DefaultPattern, line); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tuple 3: ", line)
+
+	// Analytics view: field 0 of all 8 tuples, ONE pattern-7 read.
+	la, _, err := m.GatherAddr(base, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.ReadLine(la, 7, line); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("field 0: ", line)
+
+	// Output:
+	// tuple 3:  [30 31 32 33 34 35 36 37]
+	// field 0:  [0 10 20 30 40 50 60 70]
+}
+
+// ExampleParams_GatherIndices reproduces the paper's Figure 7 rows for
+// GS-DRAM(4,2,2).
+func ExampleParams_GatherIndices() {
+	p := gsdram.GS422
+	fmt.Println("pattern 0, col 0:", p.GatherIndices(0, 0))
+	fmt.Println("pattern 1, col 0:", p.GatherIndices(1, 0))
+	fmt.Println("pattern 3, col 0:", p.GatherIndices(3, 0))
+	// Output:
+	// pattern 0, col 0: [0 1 2 3]
+	// pattern 1, col 0: [0 2 4 6]
+	// pattern 3, col 0: [0 4 8 12]
+}
+
+// ExampleParams_CTL shows the two-gate column translation of Figure 5:
+// chip column = (chipID AND pattern) XOR column.
+func ExampleParams_CTL() {
+	p := gsdram.GS844
+	for chip := 0; chip < 4; chip++ {
+		fmt.Printf("chip %d reads column %d\n", chip, p.CTL(chip, 7, 0))
+	}
+	// Output:
+	// chip 0 reads column 0
+	// chip 1 reads column 1
+	// chip 2 reads column 2
+	// chip 3 reads column 3
+}
+
+// ExampleParams_ReadsNeeded quantifies Challenge 1 (Figure 3): gathering
+// the first field of eight tuples takes eight READs under the simple
+// mapping and one under the column-ID shuffle.
+func ExampleParams_ReadsNeeded() {
+	p := gsdram.GS844
+	want := gsdram.StrideSet(0, 8, 8)
+	fmt.Println("simple:  ", p.ReadsNeeded(gsdram.SimpleMapping, want))
+	fmt.Println("shuffled:", p.ReadsNeeded(gsdram.ShuffledMapping, want))
+	// Output:
+	// simple:   8
+	// shuffled: 1
+}
+
+// ExampleNewECCModule shows the §6.3 ECC extension correcting a soft
+// error inside a gathered read.
+func ExampleNewECCModule() {
+	em, err := gsdram.NewECCModule(gsdram.GS844, gsdram.Geometry{Banks: 1, Rows: 1, Cols: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := em.WriteLine(0, 0, 0, gsdram.DefaultPattern, true, []uint64{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		log.Fatal(err)
+	}
+	if err := em.InjectBitFlip(0, 0, 0, 0, 5); err != nil {
+		log.Fatal(err)
+	}
+	dst := make([]uint64, 8)
+	results, err := em.ReadLine(0, 0, 0, gsdram.DefaultPattern, true, dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("data:", dst[0], "status:", results[0])
+	// Output:
+	// data: 1 status: corrected
+}

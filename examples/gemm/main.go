@@ -1,0 +1,62 @@
+// GEMM demo (paper §5.2): multiply two matrices with the non-tiled,
+// best-tiled and GS-DRAM SIMD implementations, verify all three produce
+// the same product, and print the Figure 13 comparison.
+//
+// Run with: go run ./examples/gemm [-n 128]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"gsdram"
+	"gsdram/internal/gemm"
+	"gsdram/internal/machine"
+)
+
+func main() {
+	n := flag.Int("n", 128, "matrix dimension (multiple of 8)")
+	flag.Parse()
+
+	mach, err := machine.Default()
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := gemm.NewWorkload(mach, *n, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("C = A x B, %dx%d float64 matrices\n\n", *n, *n)
+	var naive uint64
+	for _, v := range []gemm.Variant{gemm.Naive, gemm.TiledGather, gemm.TiledPacked, gemm.GSDRAM} {
+		r, err := w.Run(v, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verify(w)
+		if v == gemm.Naive {
+			naive = r.Stats.Cycles
+		}
+		fmt.Printf("%-16s  %12d cycles  (%.3f of non-tiled)  tile=%d  L1 hit rate %.1f%%\n",
+			v, r.Stats.Cycles, float64(r.Stats.Cycles)/float64(naive), r.TileSize,
+			100*float64(r.Stats.L1Hits)/float64(r.Stats.L1Hits+r.Stats.L1Misses))
+	}
+
+	fmt.Println("\nGS-DRAM reads each 8x8 block of B in column-major order with one")
+	fmt.Println("pattern-7 gather per block column, so SIMD needs no software gather.")
+	_ = gsdram.GS844
+}
+
+func verify(w *gemm.Workload) {
+	ref := w.Reference()
+	for i := 0; i < w.N(); i++ {
+		for j := 0; j < w.N(); j++ {
+			if math.Abs(w.ReadC(i, j)-ref[i][j]) > 1e-9*math.Max(1, math.Abs(ref[i][j])) {
+				log.Fatalf("verification failed at C[%d][%d]", i, j)
+			}
+		}
+	}
+}

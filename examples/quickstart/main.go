@@ -1,0 +1,66 @@
+// Quickstart: the paper's Figure 1/8 scenario on the public API.
+//
+// We allocate a table of 8-field tuples in shuffled (pattmalloc) pages,
+// then read one field of eight tuples with a SINGLE gathered cache-line
+// read (pattern 7) — the operation that costs eight reads on a
+// conventional memory system.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gsdram"
+)
+
+func main() {
+	m, err := gsdram.NewMachine()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// pattmalloc(size, SHUFFLE, 7): a table of 16 tuples x 8 fields x 8 B,
+	// shuffled, with alternate pattern 7 (stride 8 = one field).
+	const tuples = 16
+	base, err := m.AS.PattMalloc(tuples*64, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fill the table: field f of tuple t holds t*100 + f.
+	for t := 0; t < tuples; t++ {
+		for f := 0; f < 8; f++ {
+			addr := base + gsdram.Addr(t*64+f*8)
+			if err := m.WriteWord(addr, uint64(t*100+f)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// An ordinary read returns one tuple (pattern 0).
+	tuple := make([]uint64, 8)
+	if err := m.ReadLine(base+2*64, gsdram.DefaultPattern, tuple); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tuple 2 (one default-pattern read):  ", tuple)
+
+	// A pattern-7 read gathers field 5 of tuples 0..7 — still ONE read.
+	fieldAddr := base + gsdram.Addr(5*8) // field 5 of tuple 0
+	lineAddr, pos, err := m.GatherAddr(fieldAddr, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	field := make([]uint64, 8)
+	if err := m.ReadLine(lineAddr, 7, field); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("field 5 of tuples 0-7 (one gathered read):", field, "(tuple 0 at position", pos, ")")
+
+	// The same gather needs 8 reads under the conventional mapping:
+	want := gsdram.StrideSet(5, 8, 8)
+	fmt.Printf("READs needed for this gather: conventional=%d, GS-DRAM=%d\n",
+		gsdram.GS844.ReadsNeeded(gsdram.SimpleMapping, want),
+		gsdram.GS844.ReadsNeeded(gsdram.ShuffledMapping, want))
+}

@@ -1,0 +1,3 @@
+module gsdram
+
+go 1.22

@@ -1,0 +1,143 @@
+// Package addrmap translates physical addresses to DRAM coordinates
+// (channel, rank, bank, row, column) and back.
+//
+// The mapping interleaves channels at cache-line granularity and places
+// the column bits above them, with the row bits at the top:
+//
+//	MSB [ row | bank | rank | column | channel | line offset ] LSB
+//
+// so that consecutive cache lines alternate channels (bandwidth scales
+// with channel count for streams) and, within a channel, fall into the
+// same DRAM row of the same bank. This is the open-row-friendly mapping
+// assumed by the paper's FR-FCFS evaluation (Table 1): a sequential scan
+// enjoys row-buffer hits, and a GS-DRAM pattern access — which only ever
+// modifies column bits — always stays inside one row of one bank of one
+// channel. (With a single channel, as in Table 1, the channel field is
+// empty and consecutive lines are consecutive columns.)
+package addrmap
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// Loc is a fully decomposed DRAM location of one cache line.
+type Loc struct {
+	Channel int
+	Rank    int
+	Bank    int
+	Row     int
+	Col     int
+}
+
+// Spec describes the DRAM organisation being mapped. All counts must be
+// powers of two.
+type Spec struct {
+	Channels  int // independent channels
+	Ranks     int // ranks per channel
+	Banks     int // banks per rank
+	Rows      int // rows per bank
+	Cols      int // cache lines per row
+	LineBytes int // cache-line size in bytes
+}
+
+// Default is the organisation of the paper's evaluated system (Table 1):
+// one DDR3-1600 channel with one rank of 8 banks. 32768 rows × 128
+// cache-line columns gives an 8 KB row buffer per rank and 2 GiB total.
+var Default = Spec{
+	Channels:  1,
+	Ranks:     1,
+	Banks:     8,
+	Rows:      32768,
+	Cols:      128,
+	LineBytes: 64,
+}
+
+// Validate reports whether every dimension is a positive power of two.
+func (s Spec) Validate() error {
+	for _, d := range []struct {
+		name string
+		v    int
+	}{
+		{"Channels", s.Channels},
+		{"Ranks", s.Ranks},
+		{"Banks", s.Banks},
+		{"Rows", s.Rows},
+		{"Cols", s.Cols},
+		{"LineBytes", s.LineBytes},
+	} {
+		if d.v <= 0 || d.v&(d.v-1) != 0 {
+			return fmt.Errorf("addrmap: %s must be a positive power of two, got %d", d.name, d.v)
+		}
+	}
+	return nil
+}
+
+// Capacity returns the total number of addressable bytes.
+func (s Spec) Capacity() uint64 {
+	return uint64(s.Channels) * uint64(s.Ranks) * uint64(s.Banks) *
+		uint64(s.Rows) * uint64(s.Cols) * uint64(s.LineBytes)
+}
+
+// Lines returns the total number of cache lines.
+func (s Spec) Lines() uint64 { return s.Capacity() / uint64(s.LineBytes) }
+
+// LineAddr returns a with the intra-line offset bits cleared.
+func (s Spec) LineAddr(a Addr) Addr {
+	return a &^ Addr(s.LineBytes-1)
+}
+
+// LineIndex returns the global cache-line index of a.
+func (s Spec) LineIndex(a Addr) uint64 {
+	return uint64(a) / uint64(s.LineBytes)
+}
+
+func log2(v int) uint { return uint(bits.TrailingZeros(uint(v))) }
+
+// Decompose maps a physical address to its DRAM location. The intra-line
+// offset is discarded. It returns an error if the address exceeds the
+// spec's capacity.
+func (s Spec) Decompose(a Addr) (Loc, error) {
+	if uint64(a) >= s.Capacity() {
+		return Loc{}, fmt.Errorf("addrmap: address %#x exceeds capacity %#x", uint64(a), s.Capacity())
+	}
+	v := uint64(a) >> log2(s.LineBytes)
+	var l Loc
+	l.Channel = int(v & uint64(s.Channels-1))
+	v >>= log2(s.Channels)
+	l.Col = int(v & uint64(s.Cols-1))
+	v >>= log2(s.Cols)
+	l.Rank = int(v & uint64(s.Ranks-1))
+	v >>= log2(s.Ranks)
+	l.Bank = int(v & uint64(s.Banks-1))
+	v >>= log2(s.Banks)
+	l.Row = int(v)
+	return l, nil
+}
+
+// Compose maps a DRAM location back to the physical address of the first
+// byte of its cache line. It is the inverse of Decompose.
+func (s Spec) Compose(l Loc) Addr {
+	v := uint64(l.Row)
+	v = v<<log2(s.Banks) | uint64(l.Bank)
+	v = v<<log2(s.Ranks) | uint64(l.Rank)
+	v = v<<log2(s.Cols) | uint64(l.Col)
+	v = v<<log2(s.Channels) | uint64(l.Channel)
+	return Addr(v << log2(s.LineBytes))
+}
+
+// SameRow reports whether two addresses fall in the same row of the same
+// bank/rank/channel — i.e. whether an open-row access to one is a
+// row-buffer hit for the other.
+func (s Spec) SameRow(a, b Addr) bool {
+	la, errA := s.Decompose(a)
+	lb, errB := s.Decompose(b)
+	if errA != nil || errB != nil {
+		return false
+	}
+	return la.Channel == lb.Channel && la.Rank == lb.Rank &&
+		la.Bank == lb.Bank && la.Row == lb.Row
+}

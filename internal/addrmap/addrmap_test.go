@@ -1,0 +1,162 @@
+package addrmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultSpecValid(t *testing.T) {
+	if err := Default.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := Default.Capacity(); got != 2<<30 {
+		t.Errorf("default capacity = %d, want 2 GiB", got)
+	}
+	// 8 KB row buffer per rank = 128 lines x 64 B.
+	if Default.Cols*Default.LineBytes != 8192 {
+		t.Errorf("row buffer = %d bytes, want 8192", Default.Cols*Default.LineBytes)
+	}
+}
+
+func TestValidateRejectsBadDims(t *testing.T) {
+	bad := Default
+	bad.Banks = 6
+	if err := bad.Validate(); err == nil {
+		t.Error("non-power-of-two Banks accepted")
+	}
+	bad = Default
+	bad.Cols = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero Cols accepted")
+	}
+}
+
+func TestComposeDecomposeRoundTrip(t *testing.T) {
+	s := Default
+	f := func(raw uint64) bool {
+		a := Addr(raw % s.Capacity())
+		l, err := s.Decompose(a)
+		if err != nil {
+			return false
+		}
+		return s.Compose(l) == s.LineAddr(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeFieldRanges(t *testing.T) {
+	s := Default
+	f := func(raw uint64) bool {
+		a := Addr(raw % s.Capacity())
+		l, err := s.Decompose(a)
+		if err != nil {
+			return false
+		}
+		return l.Channel >= 0 && l.Channel < s.Channels &&
+			l.Rank >= 0 && l.Rank < s.Ranks &&
+			l.Bank >= 0 && l.Bank < s.Banks &&
+			l.Row >= 0 && l.Row < s.Rows &&
+			l.Col >= 0 && l.Col < s.Cols
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsecutiveLinesShareRow(t *testing.T) {
+	s := Default
+	base := Addr(0x12340000)
+	l0, err := s.Decompose(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lines of one row must be the Cols consecutive cache lines.
+	for i := 1; i < s.Cols; i++ {
+		a := s.Compose(Loc{Channel: l0.Channel, Rank: l0.Rank, Bank: l0.Bank, Row: l0.Row, Col: i})
+		if !s.SameRow(s.Compose(Loc{Channel: l0.Channel, Rank: l0.Rank, Bank: l0.Bank, Row: l0.Row, Col: 0}), a) {
+			t.Fatalf("col %d left the row", i)
+		}
+	}
+	// Sequential addresses walk columns before anything else.
+	aligned := s.Compose(Loc{Bank: l0.Bank, Row: l0.Row})
+	for i := 0; i < s.Cols; i++ {
+		l, err := s.Decompose(aligned + Addr(i*s.LineBytes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Col != i || l.Row != l0.Row || l.Bank != l0.Bank {
+			t.Fatalf("line %d decomposed to %+v", i, l)
+		}
+	}
+}
+
+func TestPatternAccessStaysInRow(t *testing.T) {
+	// A GS-DRAM pattern access XORs up to 3 low column bits; every such
+	// sibling must land in the same row and bank.
+	s := Default
+	base := s.Compose(Loc{Bank: 5, Row: 1234, Col: 40})
+	for x := 0; x < 8; x++ {
+		sib := s.Compose(Loc{Bank: 5, Row: 1234, Col: 40 ^ x})
+		if !s.SameRow(base, sib) {
+			t.Fatalf("sibling col %d left the row", 40^x)
+		}
+	}
+}
+
+func TestDecomposeOutOfRange(t *testing.T) {
+	s := Default
+	if _, err := s.Decompose(Addr(s.Capacity())); err == nil {
+		t.Error("address at capacity accepted")
+	}
+	if _, err := s.Decompose(Addr(s.Capacity() + 1)); err == nil {
+		t.Error("address beyond capacity accepted")
+	}
+}
+
+func TestLineAddrMasksOffset(t *testing.T) {
+	s := Default
+	if got := s.LineAddr(0x1234567); got != 0x1234540 {
+		t.Errorf("LineAddr = %#x, want 0x1234540", uint64(got))
+	}
+	if got := s.LineIndex(0x1234567); got != 0x1234567>>6 {
+		t.Errorf("LineIndex = %#x", got)
+	}
+}
+
+func TestSameRowDifferentBank(t *testing.T) {
+	s := Default
+	a := s.Compose(Loc{Bank: 0, Row: 10, Col: 0})
+	b := s.Compose(Loc{Bank: 1, Row: 10, Col: 0})
+	if s.SameRow(a, b) {
+		t.Error("different banks reported as same row")
+	}
+	if s.SameRow(a, Addr(s.Capacity())) {
+		t.Error("out-of-range address reported as same row")
+	}
+}
+
+func TestMultiChannelSpec(t *testing.T) {
+	s := Spec{Channels: 2, Ranks: 2, Banks: 8, Rows: 1024, Cols: 64, LineBytes: 64}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Loc]bool{}
+	for a := Addr(0); uint64(a) < s.Capacity(); a += Addr(s.LineBytes) {
+		l, err := s.Decompose(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[l] {
+			t.Fatalf("location %+v mapped twice", l)
+		}
+		seen[l] = true
+		if s.Compose(l) != a {
+			t.Fatalf("compose(%+v) = %#x, want %#x", l, uint64(s.Compose(l)), uint64(a))
+		}
+	}
+	if uint64(len(seen)) != s.Lines() {
+		t.Fatalf("mapped %d distinct locations, want %d", len(seen), s.Lines())
+	}
+}

@@ -1,0 +1,119 @@
+package autopatt
+
+import (
+	"testing"
+
+	"gsdram/internal/addrmap"
+)
+
+func TestUnconfidentStreamsNeverPromote(t *testing.T) {
+	d := New(DefaultConfig())
+	addrs := []addrmap.Addr{0x1000, 0x5000, 0x1040, 0x9000}
+	for _, a := range addrs {
+		if _, ok := d.Observe(1, a); ok {
+			t.Fatal("irregular stream promoted")
+		}
+	}
+}
+
+func TestStride64Promotes(t *testing.T) {
+	d := New(DefaultConfig())
+	var ws int
+	var ok bool
+	for i := 0; i < 6; i++ {
+		ws, ok = d.Observe(7, addrmap.Addr(0x1000+i*64))
+	}
+	if !ok || ws != 8 {
+		t.Fatalf("stride-64B stream gave (%d,%v), want (8,true)", ws, ok)
+	}
+}
+
+func TestStride16Promotes(t *testing.T) {
+	d := New(DefaultConfig())
+	var ws int
+	var ok bool
+	for i := 0; i < 6; i++ {
+		ws, ok = d.Observe(7, addrmap.Addr(0x2000+i*16))
+	}
+	if !ok || ws != 2 {
+		t.Fatalf("stride-16B stream gave (%d,%v), want (2,true)", ws, ok)
+	}
+}
+
+func TestSequentialScanNeverPromotes(t *testing.T) {
+	d := New(DefaultConfig())
+	for i := 0; i < 20; i++ {
+		if _, ok := d.Observe(3, addrmap.Addr(0x1000+i*8)); ok {
+			t.Fatal("unit-stride scan promoted")
+		}
+	}
+}
+
+func TestNonPowerOfTwoStrideNeverPromotes(t *testing.T) {
+	d := New(DefaultConfig())
+	for i := 0; i < 20; i++ {
+		if _, ok := d.Observe(4, addrmap.Addr(0x1000+i*24)); ok {
+			t.Fatal("stride-3-words scan promoted")
+		}
+	}
+}
+
+func TestNegativeStrideNeverPromotes(t *testing.T) {
+	d := New(DefaultConfig())
+	for i := 20; i >= 0; i-- {
+		if _, ok := d.Observe(5, addrmap.Addr(0x8000+i*64)); ok {
+			t.Fatal("descending scan promoted")
+		}
+	}
+}
+
+func TestStrideBreakResetsConfidence(t *testing.T) {
+	d := New(DefaultConfig())
+	for i := 0; i < 6; i++ {
+		d.Observe(9, addrmap.Addr(0x1000+i*64))
+	}
+	d.Observe(9, 0xFF000) // break
+	if _, ok := d.Observe(9, 0xFF000+64); ok {
+		t.Fatal("promoted immediately after stride break")
+	}
+}
+
+func TestMisalignedStrideNeverPromotes(t *testing.T) {
+	d := New(DefaultConfig())
+	for i := 0; i < 20; i++ {
+		if _, ok := d.Observe(6, addrmap.Addr(0x1000+i*68)); ok {
+			t.Fatal("non-word-multiple stride promoted")
+		}
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	d := New(DefaultConfig())
+	for i := 0; i < 6; i++ {
+		d.Observe(1, addrmap.Addr(0x1000+i*64))
+	}
+	d.CountPromotion()
+	s := d.Stats()
+	if s.Observed != 6 || s.StrideHits < 4 || s.Promoted != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestZeroConfigClamped(t *testing.T) {
+	d := New(Config{})
+	d.Observe(1, 0x1000)
+	d.Observe(1, 0x1040) // must not panic; MinConf clamped to 1
+}
+
+func TestPCCollisionTolerated(t *testing.T) {
+	d := New(Config{TableEntries: 1, MinConf: 2})
+	// Two PCs forced onto one entry: neither should falsely promote.
+	for i := 0; i < 10; i++ {
+		if _, ok := d.Observe(1, addrmap.Addr(0x1000+i*64)); ok {
+			t.Fatal("promoted under thrashing")
+		}
+		if _, ok := d.Observe(2, addrmap.Addr(0x90000+i*64)); ok {
+			t.Fatal("promoted under thrashing")
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package bench contains the experiment runners that regenerate every
+// table and figure of the paper's evaluation (§5): Table 1 (system
+// configuration), Figure 7 (gather map), Figure 9 (transactions),
+// Figure 10 (analytics), Figure 11 (HTAP), Figure 12 (performance/energy
+// summary), Figure 13 (GEMM), plus the §5.3 key-value workload and the
+// §3.2 shuffling ablation.
+//
+// Each runner returns structured results plus a rendered text table, so
+// both cmd/gsbench and the Go benchmarks share one implementation.
+package bench
+
+import (
+	"fmt"
+
+	"gsdram/internal/cpu"
+	"gsdram/internal/energy"
+	"gsdram/internal/imdb"
+	"gsdram/internal/machine"
+	"gsdram/internal/memctrl"
+	"gsdram/internal/memsys"
+	"gsdram/internal/sim"
+)
+
+// Options scales the experiments. The zero value is unusable; start from
+// DefaultOptions.
+type Options struct {
+	// Tuples is the database table size. The paper uses 1048576 (a 64 MB
+	// table); the default is 131072 (8 MB) so the full suite runs in
+	// minutes. Shapes are table-size independent once the table exceeds
+	// the L2.
+	Tuples int
+	// Txns is the number of transactions per Figure 9 run (paper: 10000).
+	Txns int
+	// GemmSizes are the matrix dimensions for Figure 13 (paper: 32-1024).
+	GemmSizes []int
+	// Seed drives all workload randomness.
+	Seed uint64
+}
+
+// DefaultOptions returns the default experiment scale.
+func DefaultOptions() Options {
+	return Options{
+		Tuples:    131072,
+		Txns:      10000,
+		GemmSizes: []int{32, 64, 128, 256},
+		Seed:      42,
+	}
+}
+
+// QuickOptions returns a reduced scale for unit tests and -short runs.
+func QuickOptions() Options {
+	return Options{
+		Tuples:    8192,
+		Txns:      500,
+		GemmSizes: []int{32, 64},
+		Seed:      42,
+	}
+}
+
+// RunMetrics captures one simulated run of the event-driven system.
+type RunMetrics struct {
+	Cycles    uint64 // runtime of the measured core(s)
+	CoreStats []cpu.Stats
+	Mem       memsys.Stats
+	Ctrl      memctrl.Stats
+	Energy    energy.Report
+}
+
+// runConfig describes one single-workload simulation.
+type runConfig struct {
+	layout   imdb.Layout
+	tuples   int
+	prefetch bool
+	cores    int
+}
+
+// newRig builds a fresh machine + DB + memory system for a run. Every run
+// gets its own state so experiments are independent.
+func newRig(rc runConfig) (*machine.Machine, *imdb.DB, *sim.EventQueue, *memsys.System, error) {
+	mach, err := machine.Default()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	db, err := imdb.New(mach, rc.layout, rc.tuples)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	q := &sim.EventQueue{}
+	cfg := memsys.DefaultConfig(rc.cores)
+	cfg.EnablePrefetch = rc.prefetch
+	mem, err := memsys.New(cfg, q)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return mach, db, q, mem, nil
+}
+
+// measure assembles the metrics after a run completes.
+func measure(q *sim.EventQueue, mem *memsys.System, cores []*cpu.Core) RunMetrics {
+	var m RunMetrics
+	for _, c := range cores {
+		st := c.Stats()
+		m.CoreStats = append(m.CoreStats, st)
+		if rt := uint64(st.FinishCycle); rt > m.Cycles {
+			m.Cycles = rt
+		}
+	}
+	m.Mem = mem.Stats()
+	m.Ctrl = mem.MemStats()
+	l1, l2 := mem.CacheStats()
+	var instrs uint64
+	for _, st := range m.CoreStats {
+		instrs += st.Instructions
+	}
+	m.Energy = energy.Estimate(energy.Activity{
+		Runtime:      sim.Cycle(m.Cycles),
+		FreqGHz:      4,
+		Cores:        len(cores),
+		Instructions: instrs,
+		L1:           l1,
+		L2:           l2,
+		Mem:          mem.MemStats(),
+	}, energy.DefaultDRAM(), energy.DefaultCPU())
+	return m
+}
+
+// runStreams executes one stream per core to completion and returns the
+// metrics.
+func runStreams(q *sim.EventQueue, mem *memsys.System, streams []cpu.Stream) RunMetrics {
+	return runStreamsSB(q, mem, streams, 0)
+}
+
+// runStreamsSB is runStreams with a per-core store-buffer capacity.
+func runStreamsSB(q *sim.EventQueue, mem *memsys.System, streams []cpu.Stream, sbCap int) RunMetrics {
+	cores := make([]*cpu.Core, len(streams))
+	for i, s := range streams {
+		cores[i] = cpu.NewWithStoreBuffer(i, q, mem, s, nil, sbCap)
+		cores[i].Start(0)
+	}
+	q.Run()
+	for _, c := range cores {
+		if !c.Stats().Finished {
+			panic("bench: core did not finish")
+		}
+	}
+	return measure(q, mem, cores)
+}
+
+// layouts is the fixed comparison order used by every IMDB figure.
+var layouts = []imdb.Layout{imdb.RowStore, imdb.ColumnStore, imdb.GSStore}
+
+// checkSum panics if a functional analytics result does not match the
+// closed form — every benchmark run double-checks data correctness.
+func checkSums(res *imdb.AnalyticsResult, tuples int, columns []int) {
+	for i, f := range columns {
+		want := imdb.ExpectedColumnSum(tuples, f)
+		if res.Sums[i] != want {
+			panic(fmt.Sprintf("bench: analytics sum mismatch: column %d = %d, want %d", f, res.Sums[i], want))
+		}
+	}
+}

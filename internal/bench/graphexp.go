@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+
+	"gsdram/internal/cpu"
+	"gsdram/internal/graph"
+	"gsdram/internal/machine"
+	"gsdram/internal/memsys"
+	"gsdram/internal/sim"
+	"gsdram/internal/stats"
+)
+
+// GraphResult holds the §5.3 graph-processing comparison: the same graph
+// kernel on AoS, SoA and GS-DRAM vertex layouts.
+type GraphResult struct {
+	Vertices int
+	AvgDeg   int
+	// PageRank and Update cycles, indexed by layout in the order of
+	// graphLayouts.
+	PageRank [3]uint64
+	Update   [3]uint64
+}
+
+var graphLayouts = []graph.Layout{graph.AoS, graph.SoA, graph.GS}
+
+// RunGraph runs two PageRank-style iterations (scan-heavy: favours SoA)
+// and a random multi-field vertex-update batch (favours AoS) on each
+// layout. GS-DRAM should track the better layout in both.
+func RunGraph(vertices, avgDeg, updates int, seed uint64) (*GraphResult, error) {
+	if vertices <= 0 || vertices%8 != 0 {
+		return nil, fmt.Errorf("bench: vertices must be a positive multiple of 8")
+	}
+	res := &GraphResult{Vertices: vertices, AvgDeg: avgDeg}
+	for li, layout := range graphLayouts {
+		// PageRank.
+		{
+			mach, err := machine.Default()
+			if err != nil {
+				return nil, err
+			}
+			g, err := graph.NewRandom(mach, layout, vertices, avgDeg, seed)
+			if err != nil {
+				return nil, err
+			}
+			want, err := g.ReferenceRankSum(2)
+			if err != nil {
+				return nil, err
+			}
+			var pr graph.PageRankResult
+			s, err := g.PageRankStream(2, &pr)
+			if err != nil {
+				return nil, err
+			}
+			q := &sim.EventQueue{}
+			mem, err := memsys.New(memsys.DefaultConfig(1), q)
+			if err != nil {
+				return nil, err
+			}
+			m := runStreams(q, mem, []cpu.Stream{s})
+			if pr.RankSum != want {
+				return nil, fmt.Errorf("bench: %v PageRank sum %d, want %d", layout, pr.RankSum, want)
+			}
+			res.PageRank[li] = m.Cycles
+		}
+		// Random updates.
+		{
+			mach, err := machine.Default()
+			if err != nil {
+				return nil, err
+			}
+			g, err := graph.NewRandom(mach, layout, vertices, avgDeg, seed)
+			if err != nil {
+				return nil, err
+			}
+			s, err := g.UpdateStream(updates, 3, seed+1)
+			if err != nil {
+				return nil, err
+			}
+			q := &sim.EventQueue{}
+			mem, err := memsys.New(memsys.DefaultConfig(1), q)
+			if err != nil {
+				return nil, err
+			}
+			m := runStreams(q, mem, []cpu.Stream{s})
+			res.Update[li] = m.Cycles
+		}
+	}
+	return res, nil
+}
+
+// Table renders the graph comparison.
+func (r *GraphResult) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Graph processing (Section 5.3): %d vertices, avg degree %d (Mcycles)", r.Vertices, r.AvgDeg),
+		"vertex layout", "PageRank (2 iters)", "random 3-field updates")
+	for li, layout := range graphLayouts {
+		t.Add(layout.String(), stats.Mcycles(r.PageRank[li]), stats.Mcycles(r.Update[li]))
+	}
+	return t
+}

@@ -1,0 +1,346 @@
+package bench
+
+import (
+	"fmt"
+
+	"gsdram/internal/cpu"
+	"gsdram/internal/imdb"
+	"gsdram/internal/sim"
+	"gsdram/internal/stats"
+)
+
+// Fig9Result holds Figure 9: execution time of the transaction workload
+// per mix and layout.
+type Fig9Result struct {
+	Opts  Options
+	Mixes []imdb.TxnMix
+	Runs  map[imdb.Layout][]RunMetrics // indexed like Mixes
+}
+
+// RunFig9 reproduces Figure 9: 10000 transactions per mix, for Row Store,
+// Column Store and GS-DRAM.
+func RunFig9(opts Options) (*Fig9Result, error) {
+	res := &Fig9Result{Opts: opts, Mixes: imdb.Figure9Mixes, Runs: map[imdb.Layout][]RunMetrics{}}
+	for _, layout := range layouts {
+		for _, mix := range res.Mixes {
+			_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1})
+			if err != nil {
+				return nil, err
+			}
+			var tr imdb.TxnResult
+			s, err := db.TransactionStream(mix, opts.Txns, opts.Seed, &tr)
+			if err != nil {
+				return nil, err
+			}
+			m := runStreams(q, mem, []cpu.Stream{s})
+			if tr.Completed != uint64(opts.Txns) {
+				return nil, fmt.Errorf("bench: %v/%v completed %d txns, want %d", layout, mix, tr.Completed, opts.Txns)
+			}
+			res.Runs[layout] = append(res.Runs[layout], m)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the Figure 9 series (execution time in million cycles).
+func (r *Fig9Result) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 9: transaction workload, %d txns, %d tuples (execution time, Mcycles)", r.Opts.Txns, r.Opts.Tuples),
+		"mix (RO-WO-RW)", "Row Store", "Column Store", "GS-DRAM", "Col/GS ratio")
+	for i, mix := range r.Mixes {
+		row := r.Runs[imdb.RowStore][i].Cycles
+		col := r.Runs[imdb.ColumnStore][i].Cycles
+		gs := r.Runs[imdb.GSStore][i].Cycles
+		t.Add(mix.String(), stats.Mcycles(row), stats.Mcycles(col), stats.Mcycles(gs),
+			stats.Ratio(float64(col), float64(gs)))
+	}
+	return t
+}
+
+// AvgCycles returns the mean cycles per layout across mixes.
+func (r *Fig9Result) AvgCycles(l imdb.Layout) float64 {
+	var sum float64
+	for _, m := range r.Runs[l] {
+		sum += float64(m.Cycles)
+	}
+	return sum / float64(len(r.Runs[l]))
+}
+
+// AvgEnergy returns the mean total energy (mJ) per layout across mixes.
+func (r *Fig9Result) AvgEnergy(l imdb.Layout) float64 {
+	var sum float64
+	for _, m := range r.Runs[l] {
+		sum += m.Energy.TotalMJ()
+	}
+	return sum / float64(len(r.Runs[l]))
+}
+
+// Fig10Point identifies one analytics configuration.
+type Fig10Point struct {
+	Columns  int // 1 or 2
+	Prefetch bool
+}
+
+// Fig10Result holds Figure 10: analytics execution time.
+type Fig10Result struct {
+	Opts   Options
+	Points []Fig10Point
+	Runs   map[imdb.Layout][]RunMetrics
+}
+
+// RunFig10 reproduces Figure 10: sum of 1 or 2 columns, without and with
+// prefetching, for the three layouts.
+func RunFig10(opts Options) (*Fig10Result, error) {
+	res := &Fig10Result{
+		Opts: opts,
+		Points: []Fig10Point{
+			{1, false}, {2, false}, {1, true}, {2, true},
+		},
+		Runs: map[imdb.Layout][]RunMetrics{},
+	}
+	for _, layout := range layouts {
+		for _, pt := range res.Points {
+			_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1, prefetch: pt.Prefetch})
+			if err != nil {
+				return nil, err
+			}
+			columns := []int{0}
+			if pt.Columns == 2 {
+				columns = []int{0, 1}
+			}
+			var ar imdb.AnalyticsResult
+			s, err := db.AnalyticsStream(columns, &ar)
+			if err != nil {
+				return nil, err
+			}
+			m := runStreams(q, mem, []cpu.Stream{s})
+			checkSums(&ar, opts.Tuples, columns)
+			res.Runs[layout] = append(res.Runs[layout], m)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the Figure 10 series.
+func (r *Fig10Result) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 10: analytics workload, %d tuples (execution time, Mcycles)", r.Opts.Tuples),
+		"query", "Row Store", "Column Store", "GS-DRAM", "Row/GS ratio", "lines fetched (Row/Col/GS)")
+	for i, pt := range r.Points {
+		label := fmt.Sprintf("%d column(s), prefetch=%v", pt.Columns, pt.Prefetch)
+		row := r.Runs[imdb.RowStore][i]
+		col := r.Runs[imdb.ColumnStore][i]
+		gs := r.Runs[imdb.GSStore][i]
+		t.Add(label, stats.Mcycles(row.Cycles), stats.Mcycles(col.Cycles), stats.Mcycles(gs.Cycles),
+			stats.Ratio(float64(row.Cycles), float64(gs.Cycles)),
+			fmt.Sprintf("%d / %d / %d", row.Ctrl.ReadsServed, col.Ctrl.ReadsServed, gs.Ctrl.ReadsServed))
+	}
+	return t
+}
+
+// avgOver averages cycles or energy over the points selected by keep.
+func (r *Fig10Result) avgOver(l imdb.Layout, keep func(Fig10Point) bool, energy bool) float64 {
+	var sum float64
+	n := 0
+	for i, pt := range r.Points {
+		if !keep(pt) {
+			continue
+		}
+		if energy {
+			sum += r.Runs[l][i].Energy.TotalMJ()
+		} else {
+			sum += float64(r.Runs[l][i].Cycles)
+		}
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// AvgCycles averages analytics cycles with the given prefetch setting.
+func (r *Fig10Result) AvgCycles(l imdb.Layout, prefetch bool) float64 {
+	return r.avgOver(l, func(p Fig10Point) bool { return p.Prefetch == prefetch }, false)
+}
+
+// AvgEnergy averages analytics energy with the given prefetch setting.
+func (r *Fig10Result) AvgEnergy(l imdb.Layout, prefetch bool) float64 {
+	return r.avgOver(l, func(p Fig10Point) bool { return p.Prefetch == prefetch }, true)
+}
+
+// Fig11Result holds Figure 11: HTAP analytics time and transaction
+// throughput, without and with prefetching.
+type Fig11Result struct {
+	Opts Options
+	// Indexed by prefetch (0 = off, 1 = on), then layout.
+	AnalyticsCycles map[imdb.Layout][2]uint64
+	TxnThroughput   map[imdb.Layout][2]float64 // transactions per second
+}
+
+// RunFig11 reproduces Figure 11: one analytics thread (sum of one column)
+// and one transaction thread (1 read-only + 1 write-only field) run
+// concurrently on two cores sharing the L2 and memory controller; the
+// transaction thread runs until the analytics query completes.
+func RunFig11(opts Options) (*Fig11Result, error) {
+	res := &Fig11Result{
+		Opts:            opts,
+		AnalyticsCycles: map[imdb.Layout][2]uint64{},
+		TxnThroughput:   map[imdb.Layout][2]float64{},
+	}
+	for _, layout := range layouts {
+		for pi, prefetch := range []bool{false, true} {
+			_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 2, prefetch: prefetch})
+			if err != nil {
+				return nil, err
+			}
+			var ar imdb.AnalyticsResult
+			as, err := db.AnalyticsStream([]int{0}, &ar)
+			if err != nil {
+				return nil, err
+			}
+			var tr imdb.TxnResult
+			ts, err := db.TransactionStream(imdb.TxnMix{RO: 1, WO: 1}, 0 /* unbounded */, opts.Seed, &tr)
+			if err != nil {
+				return nil, err
+			}
+
+			txnCore := cpu.New(1, q, mem, ts, nil)
+			var analyticsDone sim.Cycle
+			anaCore := cpu.New(0, q, mem, as, func(now sim.Cycle) {
+				analyticsDone = now
+				txnCore.Stop()
+			})
+			anaCore.Start(0)
+			txnCore.Start(0)
+			q.Run()
+
+			// The analytics thread mutates nothing, so the column sum must
+			// still be exact even with concurrent writers to other fields:
+			// the transaction mix writes one random field, which may be
+			// column 0, so only check when it cannot be.
+			_ = ar
+
+			ac := res.AnalyticsCycles[layout]
+			ac[pi] = uint64(analyticsDone)
+			res.AnalyticsCycles[layout] = ac
+
+			tp := res.TxnThroughput[layout]
+			seconds := float64(analyticsDone) / 4e9
+			tp[pi] = float64(tr.Completed) / seconds
+			res.TxnThroughput[layout] = tp
+		}
+	}
+	return res, nil
+}
+
+// AnalyticsTable renders Figure 11a.
+func (r *Fig11Result) AnalyticsTable() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 11a: HTAP analytics performance, %d tuples (Mcycles)", r.Opts.Tuples),
+		"layout", "w/o prefetch", "with prefetch")
+	for _, l := range layouts {
+		t.Add(l.String(), stats.Mcycles(r.AnalyticsCycles[l][0]), stats.Mcycles(r.AnalyticsCycles[l][1]))
+	}
+	return t
+}
+
+// ThroughputTable renders Figure 11b.
+func (r *Fig11Result) ThroughputTable() *stats.Table {
+	t := stats.NewTable(
+		"Figure 11b: HTAP transaction throughput (millions/sec)",
+		"layout", "w/o prefetch", "with prefetch")
+	for _, l := range layouts {
+		t.Add(l.String(),
+			fmt.Sprintf("%.2f", r.TxnThroughput[l][0]/1e6),
+			fmt.Sprintf("%.2f", r.TxnThroughput[l][1]/1e6))
+	}
+	return t
+}
+
+// Fig12Result summarises performance and energy (Figure 12) from the
+// Figure 9 and Figure 10 results.
+type Fig12Result struct {
+	Fig9  *Fig9Result
+	Fig10 *Fig10Result
+}
+
+// RunFig12 reproduces Figure 12 by averaging the transaction workload
+// (Figure 9) and the analytics workload with prefetching (Figure 10).
+func RunFig12(opts Options) (*Fig12Result, error) {
+	f9, err := RunFig9(opts)
+	if err != nil {
+		return nil, err
+	}
+	f10, err := RunFig10(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig12Result{Fig9: f9, Fig10: f10}, nil
+}
+
+// PerfTable renders Figure 12a (average execution time).
+func (r *Fig12Result) PerfTable() *stats.Table {
+	t := stats.NewTable(
+		"Figure 12a: average performance (Mcycles)",
+		"workload", "Row Store", "Column Store", "GS-DRAM")
+	t.Add("Transactions",
+		stats.Mcycles(uint64(r.Fig9.AvgCycles(imdb.RowStore))),
+		stats.Mcycles(uint64(r.Fig9.AvgCycles(imdb.ColumnStore))),
+		stats.Mcycles(uint64(r.Fig9.AvgCycles(imdb.GSStore))))
+	t.Add("Analytics (prefetch)",
+		stats.Mcycles(uint64(r.Fig10.AvgCycles(imdb.RowStore, true))),
+		stats.Mcycles(uint64(r.Fig10.AvgCycles(imdb.ColumnStore, true))),
+		stats.Mcycles(uint64(r.Fig10.AvgCycles(imdb.GSStore, true))))
+	return t
+}
+
+// EnergyTable renders Figure 12b (average energy).
+func (r *Fig12Result) EnergyTable() *stats.Table {
+	t := stats.NewTable(
+		"Figure 12b: average energy (mJ)",
+		"workload", "Row Store", "Column Store", "GS-DRAM")
+	t.Addf("Transactions",
+		r.Fig9.AvgEnergy(imdb.RowStore),
+		r.Fig9.AvgEnergy(imdb.ColumnStore),
+		r.Fig9.AvgEnergy(imdb.GSStore))
+	t.Addf("Analytics (prefetch)",
+		r.Fig10.AvgEnergy(imdb.RowStore, true),
+		r.Fig10.AvgEnergy(imdb.ColumnStore, true),
+		r.Fig10.AvgEnergy(imdb.GSStore, true))
+	t.Addf("Analytics (no prefetch)",
+		r.Fig10.AvgEnergy(imdb.RowStore, false),
+		r.Fig10.AvgEnergy(imdb.ColumnStore, false),
+		r.Fig10.AvgEnergy(imdb.GSStore, false))
+	return t
+}
+
+// EnergyBreakdownTable splits the prefetched-analytics energy into DRAM
+// and processor components per layout — the DRAMPower-vs-McPAT split the
+// paper's §5.1 energy discussion draws on.
+func (r *Fig12Result) EnergyBreakdownTable() *stats.Table {
+	t := stats.NewTable(
+		"Figure 12b detail: analytics (prefetch) energy breakdown (mJ)",
+		"layout", "DRAM commands", "DRAM background+refresh", "CPU dynamic", "CPU static", "total")
+	// Point 2 of Fig10 runs is {1 column, prefetch}; average 1 and 2
+	// column points for each layout.
+	for _, l := range layouts {
+		var cmd, bg, dyn, st, tot float64
+		n := 0
+		for i, pt := range r.Fig10.Points {
+			if !pt.Prefetch {
+				continue
+			}
+			e := r.Fig10.Runs[l][i].Energy
+			cmd += e.DRAMCommandMJ
+			bg += e.DRAMBackgroundMJ + e.DRAMRefreshMJ
+			dyn += e.CPUDynamicMJ
+			st += e.CPUStaticMJ
+			tot += e.TotalMJ()
+			n++
+		}
+		f := float64(n)
+		t.Addf(l.String(), cmd/f, bg/f, dyn/f, st/f, tot/f)
+	}
+	return t
+}

@@ -1,0 +1,243 @@
+// Package cache implements the set-associative write-back caches of the
+// simulated system, extended for GS-DRAM as described in paper §4.1: every
+// tag carries a pattern ID, so a gathered (non-contiguous) cache line and
+// the default-pattern line with the same address coexist as distinct
+// entries. The cost of this extension is p bits per tag — less than 0.6 %
+// of cache capacity for p = 3 (paper §4.4).
+//
+// The package is a timing/state model: it tracks presence, dirtiness, and
+// LRU, not data. Functional data lives in the gsdram.Module backing store.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/gsdram"
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name      string // for error messages and stats dumps
+	SizeBytes int
+	Ways      int
+	LineBytes int
+}
+
+// L1Default is the paper's L1: private, 32 KB, 8-way, LRU, 64 B lines.
+func L1Default() Config {
+	return Config{Name: "L1", SizeBytes: 32 << 10, Ways: 8, LineBytes: 64}
+}
+
+// L2Default is the paper's L2: shared, 2 MB, 8-way, LRU, 64 B lines.
+func L2Default() Config {
+	return Config{Name: "L2", SizeBytes: 2 << 20, Ways: 8, LineBytes: 64}
+}
+
+// Line identifies one resident cache line: its address and the pattern ID
+// it was fetched with.
+type Line struct {
+	Addr    addrmap.Addr
+	Pattern gsdram.Pattern
+	Dirty   bool
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	DirtyEvicts   uint64
+	Invalidations uint64
+	PatternHits   uint64 // hits on non-zero-pattern lines
+	PatternFills  uint64 // fills of non-zero-pattern lines
+}
+
+type way struct {
+	valid   bool
+	dirty   bool
+	tag     uint64
+	pattern gsdram.Pattern
+	stamp   uint64 // LRU timestamp
+}
+
+// Cache is one level of set-associative cache with LRU replacement.
+type Cache struct {
+	cfg     Config
+	sets    [][]way
+	setMask uint64
+	offBits uint
+	clock   uint64
+	stats   Stats
+}
+
+// New builds a cache. Size, ways, and line size must be consistent powers
+// of two.
+func New(cfg Config) (*Cache, error) {
+	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 || cfg.LineBytes <= 0 {
+		return nil, fmt.Errorf("cache %s: non-positive geometry %+v", cfg.Name, cfg)
+	}
+	if cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("cache %s: LineBytes must be a power of two", cfg.Name)
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	if lines*cfg.LineBytes != cfg.SizeBytes || lines%cfg.Ways != 0 {
+		return nil, fmt.Errorf("cache %s: size %d not divisible into %d-way sets of %d-byte lines", cfg.Name, cfg.SizeBytes, cfg.Ways, cfg.LineBytes)
+	}
+	numSets := lines / cfg.Ways
+	if numSets&(numSets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: set count %d must be a power of two", cfg.Name, numSets)
+	}
+	sets := make([][]way, numSets)
+	backing := make([]way, numSets*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(numSets - 1),
+		offBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+	}, nil
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// setIndex and tag derive placement from the line address; the pattern ID
+// participates only in the tag match, mirroring the hardware extension.
+func (c *Cache) setIndex(a addrmap.Addr) uint64 { return (uint64(a) >> c.offBits) & c.setMask }
+func (c *Cache) tag(a addrmap.Addr) uint64      { return uint64(a) >> c.offBits }
+
+func (c *Cache) find(a addrmap.Addr, p gsdram.Pattern) *way {
+	set := c.sets[c.setIndex(a)]
+	tag := c.tag(a)
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag && w.pattern == p {
+			return w
+		}
+	}
+	return nil
+}
+
+// Lookup checks for (addr, pattern), updating LRU and hit/miss statistics.
+// setDirty additionally marks a hit line dirty (a store hit).
+func (c *Cache) Lookup(a addrmap.Addr, p gsdram.Pattern, setDirty bool) bool {
+	c.clock++
+	if w := c.find(a, p); w != nil {
+		w.stamp = c.clock
+		if setDirty {
+			w.dirty = true
+		}
+		c.stats.Hits++
+		if p != gsdram.DefaultPattern {
+			c.stats.PatternHits++
+		}
+		return true
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Probe checks for presence without touching LRU or statistics.
+func (c *Cache) Probe(a addrmap.Addr, p gsdram.Pattern) (present, dirty bool) {
+	if w := c.find(a, p); w != nil {
+		return true, w.dirty
+	}
+	return false, false
+}
+
+// Fill inserts (addr, pattern), evicting the LRU way if the set is full.
+// It returns the evicted line, if any. Filling a line that is already
+// present just refreshes it (merging dirtiness).
+func (c *Cache) Fill(a addrmap.Addr, p gsdram.Pattern, dirty bool) (evicted Line, hasEvict bool) {
+	c.clock++
+	if w := c.find(a, p); w != nil {
+		w.stamp = c.clock
+		w.dirty = w.dirty || dirty
+		return Line{}, false
+	}
+	set := c.sets[c.setIndex(a)]
+	victim := &set[0]
+	for i := range set {
+		w := &set[i]
+		if !w.valid {
+			victim = w
+			break
+		}
+		if w.stamp < victim.stamp {
+			victim = w
+		}
+	}
+	if victim.valid {
+		c.stats.Evictions++
+		if victim.dirty {
+			c.stats.DirtyEvicts++
+		}
+		evicted = Line{Addr: c.lineAddrFromTag(victim.tag), Pattern: victim.pattern, Dirty: victim.dirty}
+		hasEvict = true
+	}
+	*victim = way{valid: true, dirty: dirty, tag: c.tag(a), pattern: p, stamp: c.clock}
+	if p != gsdram.DefaultPattern {
+		c.stats.PatternFills++
+	}
+	return evicted, hasEvict
+}
+
+func (c *Cache) lineAddrFromTag(tag uint64) addrmap.Addr {
+	return addrmap.Addr(tag << c.offBits)
+}
+
+// Invalidate removes (addr, pattern) if present, returning whether it was
+// present and whether it was dirty (the caller must write back dirty
+// victims).
+func (c *Cache) Invalidate(a addrmap.Addr, p gsdram.Pattern) (present, dirty bool) {
+	if w := c.find(a, p); w != nil {
+		c.stats.Invalidations++
+		present, dirty = true, w.dirty
+		*w = way{}
+		return present, dirty
+	}
+	return false, false
+}
+
+// CleanLine clears the dirty bit of (addr, pattern) after a writeback.
+func (c *Cache) CleanLine(a addrmap.Addr, p gsdram.Pattern) {
+	if w := c.find(a, p); w != nil {
+		w.dirty = false
+	}
+}
+
+// ResidentLines returns the number of valid lines — used by tests and the
+// cache-footprint statistics.
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Flush invalidates every line, returning all dirty lines for writeback.
+func (c *Cache) Flush() []Line {
+	var dirty []Line
+	for _, set := range c.sets {
+		for i := range set {
+			w := &set[i]
+			if w.valid && w.dirty {
+				dirty = append(dirty, Line{Addr: c.lineAddrFromTag(w.tag), Pattern: w.pattern, Dirty: true})
+			}
+			*w = way{}
+		}
+	}
+	return dirty
+}

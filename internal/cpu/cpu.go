@@ -1,0 +1,247 @@
+// Package cpu models the in-order x86 cores of the paper's evaluated
+// system (Table 1): one instruction per cycle, blocking on memory. A core
+// executes an abstract instruction stream of compute blocks and memory
+// operations; pattload/pattstore are loads/stores that carry a non-zero
+// pattern ID (paper §4.2).
+package cpu
+
+import (
+	"fmt"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/gsdram"
+	"gsdram/internal/memsys"
+	"gsdram/internal/sim"
+)
+
+// OpKind classifies instruction-stream entries.
+type OpKind int
+
+const (
+	// OpCompute is a block of non-memory instructions retiring at 1 IPC.
+	OpCompute OpKind = iota
+	// OpLoad is a (patt)load: blocks the core until the data returns.
+	OpLoad
+	// OpStore is a (patt)store: write-allocate; blocking by default,
+	// asynchronous behind a store buffer when one is configured.
+	OpStore
+)
+
+// Op is one instruction-stream entry. Compute blocks carry their length;
+// memory ops carry an address, a pattern ID, and the page metadata the
+// paper keeps in the TLB (shuffle flag, alternate pattern).
+type Op struct {
+	Kind       OpKind
+	Cycles     sim.Cycle // OpCompute: block length in cycles (= instructions)
+	Addr       addrmap.Addr
+	Pattern    gsdram.Pattern
+	Shuffled   bool
+	AltPattern gsdram.Pattern
+	PC         uint64
+}
+
+// Compute returns a compute block of n instructions.
+func Compute(n int) Op { return Op{Kind: OpCompute, Cycles: sim.Cycle(n)} }
+
+// Load returns a plain load.
+func Load(addr addrmap.Addr, pc uint64) Op {
+	return Op{Kind: OpLoad, Addr: addr, PC: pc}
+}
+
+// PattLoad returns a pattload reg, addr, patt (paper §4.2) over shuffled
+// data with the given page-alternate pattern.
+func PattLoad(addr addrmap.Addr, patt gsdram.Pattern, pc uint64) Op {
+	return Op{Kind: OpLoad, Addr: addr, Pattern: patt, Shuffled: true, AltPattern: patt, PC: pc}
+}
+
+// Store returns a plain store.
+func Store(addr addrmap.Addr, pc uint64) Op {
+	return Op{Kind: OpStore, Addr: addr, PC: pc}
+}
+
+// PattStore returns a pattstore (paper §4.2).
+func PattStore(addr addrmap.Addr, patt gsdram.Pattern, pc uint64) Op {
+	return Op{Kind: OpStore, Addr: addr, Pattern: patt, Shuffled: true, AltPattern: patt, PC: pc}
+}
+
+// Stream supplies a core's instruction stream lazily, so workloads of
+// millions of operations never materialise in memory.
+type Stream interface {
+	// Next returns the next operation, or ok=false at end of program.
+	Next() (Op, bool)
+}
+
+// FuncStream adapts a function to the Stream interface.
+type FuncStream func() (Op, bool)
+
+// Next implements Stream.
+func (f FuncStream) Next() (Op, bool) { return f() }
+
+// SliceStream returns a Stream over a fixed op sequence.
+func SliceStream(ops []Op) Stream {
+	i := 0
+	return FuncStream(func() (Op, bool) {
+		if i >= len(ops) {
+			return Op{}, false
+		}
+		op := ops[i]
+		i++
+		return op, true
+	})
+}
+
+// Stats describes a core's execution.
+type Stats struct {
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	// MemStallCycles is time the core spent blocked on memory beyond the
+	// 1-cycle issue slot of each memory op.
+	MemStallCycles sim.Cycle
+	StartCycle     sim.Cycle
+	FinishCycle    sim.Cycle
+	Finished       bool
+}
+
+// Runtime returns the core's total execution time.
+func (s Stats) Runtime() sim.Cycle { return s.FinishCycle - s.StartCycle }
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	rt := s.Runtime()
+	if rt == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(rt)
+}
+
+// Core is one in-order core.
+type Core struct {
+	id      int
+	q       *sim.EventQueue
+	mem     *memsys.System
+	stream  Stream
+	stats   Stats
+	stopped bool
+	onDone  func(now sim.Cycle)
+
+	// Store buffer: when enabled, stores retire into the buffer and drain
+	// asynchronously; the core only stalls when the buffer is full.
+	sbCap     int
+	sbPending int
+	sbWaiting bool
+}
+
+// New builds a core bound to a memory system and event queue. Stores
+// block the pipeline (no store buffer); see NewWithStoreBuffer.
+func New(id int, q *sim.EventQueue, mem *memsys.System, stream Stream, onDone func(now sim.Cycle)) *Core {
+	return NewWithStoreBuffer(id, q, mem, stream, onDone, 0)
+}
+
+// NewWithStoreBuffer builds a core with a store buffer of the given
+// capacity: stores retire in one cycle and drain to the memory system in
+// the background; the core stalls only when `capacity` stores are already
+// outstanding. Capacity 0 disables the buffer (blocking stores).
+func NewWithStoreBuffer(id int, q *sim.EventQueue, mem *memsys.System, stream Stream, onDone func(now sim.Cycle), capacity int) *Core {
+	if stream == nil {
+		panic("cpu: nil stream")
+	}
+	return &Core{id: id, q: q, mem: mem, stream: stream, onDone: onDone, sbCap: capacity}
+}
+
+// Stats returns a snapshot of the core's counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Stop makes the core halt at the next instruction boundary — used by the
+// HTAP harness to end the transaction thread when analytics completes.
+func (c *Core) Stop() { c.stopped = true }
+
+// Start schedules the core's first instruction at time `at`.
+func (c *Core) Start(at sim.Cycle) {
+	c.stats.StartCycle = at
+	c.q.Schedule(at, c.step)
+}
+
+// step executes operations until the core blocks on memory or finishes.
+func (c *Core) step(now sim.Cycle) {
+	for {
+		if c.stopped {
+			c.finish(now)
+			return
+		}
+		op, ok := c.stream.Next()
+		if !ok {
+			c.finish(now)
+			return
+		}
+		switch op.Kind {
+		case OpCompute:
+			if op.Cycles == 0 {
+				continue
+			}
+			c.stats.Instructions += uint64(op.Cycles)
+			// Re-enter after the block retires; consecutive compute blocks
+			// chain through the event queue without busy loops.
+			c.q.Schedule(now+op.Cycles, c.step)
+			return
+		case OpLoad, OpStore:
+			c.stats.Instructions++
+			isStore := op.Kind == OpStore
+			if isStore {
+				c.stats.Stores++
+			} else {
+				c.stats.Loads++
+			}
+			issue := now + 1
+			acc := memsys.Access{
+				Core:       c.id,
+				Addr:       op.Addr,
+				Pattern:    op.Pattern,
+				Write:      isStore,
+				PC:         op.PC,
+				Shuffled:   op.Shuffled,
+				AltPattern: op.AltPattern,
+			}
+			if isStore && c.sbCap > 0 {
+				// Buffered store: retire in one cycle unless the buffer
+				// is full, in which case stall until a slot frees.
+				c.sbPending++
+				c.mem.Access(now, acc, func(t sim.Cycle) {
+					c.sbPending--
+					if c.sbWaiting {
+						c.sbWaiting = false
+						c.stats.MemStallCycles += t - issue
+						c.q.Schedule(t, c.step)
+					}
+				})
+				if c.sbPending > c.sbCap {
+					c.sbWaiting = true
+					return
+				}
+				c.q.Schedule(issue, c.step)
+				return
+			}
+			c.mem.Access(now, acc, func(t sim.Cycle) {
+				if t < issue {
+					t = issue
+				}
+				c.stats.MemStallCycles += t - issue
+				c.q.Schedule(t, c.step)
+			})
+			return
+		default:
+			panic(fmt.Sprintf("cpu: unknown op kind %d", op.Kind))
+		}
+	}
+}
+
+func (c *Core) finish(now sim.Cycle) {
+	if c.stats.Finished {
+		return
+	}
+	c.stats.Finished = true
+	c.stats.FinishCycle = now
+	if c.onDone != nil {
+		c.onDone(now)
+	}
+}

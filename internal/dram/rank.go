@@ -1,0 +1,242 @@
+package dram
+
+import (
+	"fmt"
+
+	"gsdram/internal/sim"
+)
+
+// CmdKind identifies a DDR command.
+type CmdKind int
+
+const (
+	CmdACT CmdKind = iota
+	CmdPRE
+	CmdRD
+	CmdWR
+	CmdREF
+)
+
+func (k CmdKind) String() string {
+	switch k {
+	case CmdACT:
+		return "ACT"
+	case CmdPRE:
+		return "PRE"
+	case CmdRD:
+		return "RD"
+	case CmdWR:
+		return "WR"
+	case CmdREF:
+		return "REF"
+	default:
+		return "???"
+	}
+}
+
+// NoRow marks a bank with no open row.
+const NoRow = -1
+
+// bankState tracks one bank's open row and earliest-issue constraints.
+type bankState struct {
+	openRow    int
+	actAllowed sim.Cycle
+	preAllowed sim.Cycle
+	rdAllowed  sim.Cycle
+	wrAllowed  sim.Cycle
+}
+
+// Stats counts rank activity for bandwidth and energy accounting.
+type Stats struct {
+	ACTs      uint64
+	PREs      uint64
+	Reads     uint64
+	Writes    uint64
+	Refreshes uint64
+	// RowHits / RowMisses classify column commands by whether they found
+	// their row already open (a PRE+ACT was needed otherwise).
+	RowHits   uint64
+	RowMisses uint64
+	// BusBusy accumulates CPU cycles during which the data bus carried
+	// data, for bandwidth-utilisation reporting.
+	BusBusy sim.Cycle
+}
+
+// Rank models one DRAM rank: a set of banks sharing a command bus, an
+// address bus, and a data bus. All methods take and return times in CPU
+// cycles; the Timing passed to NewRank must already be scaled.
+type Rank struct {
+	timing Timing
+	banks  []bankState
+
+	// Rank-global earliest-issue constraints for column commands (data-bus
+	// occupancy, tCCD, read/write turnaround).
+	rdAllowed sim.Cycle
+	wrAllowed sim.Cycle
+
+	// ACT rate limits: tRRD between any two ACTs, and at most four ACTs in
+	// any tFAW window (actTimes is a ring of the last four ACT times).
+	lastAct  sim.Cycle
+	actTimes [4]sim.Cycle
+	actHead  int
+	actCount uint64
+
+	// cmdBusFree is the earliest time the shared command bus can carry the
+	// next command (one command per bus cycle).
+	cmdBusFree sim.Cycle
+	cmdCycle   sim.Cycle // command bus cycle length in CPU cycles
+
+	stats Stats
+}
+
+// NewRank returns a rank with the given number of banks, all precharged.
+// timing must already be scaled to CPU cycles; cmdCycle is the command-bus
+// cycle length in CPU cycles (the same scale factor).
+func NewRank(banks int, timing Timing, cmdCycle sim.Cycle) *Rank {
+	r := &Rank{
+		timing:   timing,
+		banks:    make([]bankState, banks),
+		cmdCycle: cmdCycle,
+	}
+	for i := range r.banks {
+		r.banks[i].openRow = NoRow
+	}
+	return r
+}
+
+// Banks returns the number of banks in the rank.
+func (r *Rank) Banks() int { return len(r.banks) }
+
+// OpenRow returns the row currently open in a bank, or NoRow.
+func (r *Rank) OpenRow(bank int) int { return r.banks[bank].openRow }
+
+// Stats returns a copy of the activity counters.
+func (r *Rank) Stats() Stats { return r.stats }
+
+// EarliestIssue returns the earliest cycle >= now at which the command
+// could legally issue. For RD/WR the bank's row must already be open (and
+// match is the caller's responsibility); for ACT the bank must be
+// precharged.
+func (r *Rank) EarliestIssue(kind CmdKind, bank int, now sim.Cycle) sim.Cycle {
+	t := maxCycle(now, r.cmdBusFree)
+	b := &r.banks[bank]
+	switch kind {
+	case CmdACT:
+		t = maxCycle(t, b.actAllowed)
+		if r.actCount > 0 {
+			t = maxCycle(t, r.lastAct+sim.Cycle(r.timing.TRRD))
+		}
+		// tFAW: the 4th-previous ACT must be at least tFAW earlier.
+		if r.actCount >= 4 {
+			t = maxCycle(t, r.actTimes[r.actHead]+sim.Cycle(r.timing.TFAW))
+		}
+	case CmdPRE:
+		t = maxCycle(t, b.preAllowed)
+	case CmdRD:
+		t = maxCycle(t, b.rdAllowed, r.rdAllowed)
+	case CmdWR:
+		t = maxCycle(t, b.wrAllowed, r.wrAllowed)
+	case CmdREF:
+		// All banks must be precharged and past their tRP.
+		for i := range r.banks {
+			t = maxCycle(t, r.banks[i].actAllowed)
+		}
+	}
+	return t
+}
+
+// Issue applies the command at time t (which must come from EarliestIssue)
+// and returns the time at which the command's effect completes: for RD/WR
+// the end of the data burst, for ACT/PRE/REF the time the bank becomes
+// usable for the natural next step.
+//
+// Issue panics on protocol violations (activating an open bank, reading a
+// closed one): those are controller bugs, not runtime conditions.
+func (r *Rank) Issue(kind CmdKind, bank, row int, t sim.Cycle) sim.Cycle {
+	b := &r.banks[bank]
+	r.cmdBusFree = t + r.cmdCycle
+	tm := &r.timing
+	switch kind {
+	case CmdACT:
+		if b.openRow != NoRow {
+			panic(fmt.Sprintf("dram: ACT to bank %d with row %d open", bank, b.openRow))
+		}
+		b.openRow = row
+		b.rdAllowed = maxCycle(b.rdAllowed, t+sim.Cycle(tm.TRCD))
+		b.wrAllowed = maxCycle(b.wrAllowed, t+sim.Cycle(tm.TRCD))
+		b.preAllowed = maxCycle(b.preAllowed, t+sim.Cycle(tm.TRAS))
+		b.actAllowed = maxCycle(b.actAllowed, t+sim.Cycle(tm.TRC))
+		r.lastAct = t
+		r.actTimes[r.actHead] = t
+		r.actHead = (r.actHead + 1) % len(r.actTimes)
+		r.actCount++
+		r.stats.ACTs++
+		return t + sim.Cycle(tm.TRCD)
+	case CmdPRE:
+		if b.openRow == NoRow {
+			panic(fmt.Sprintf("dram: PRE to bank %d with no open row", bank))
+		}
+		b.openRow = NoRow
+		b.actAllowed = maxCycle(b.actAllowed, t+sim.Cycle(tm.TRP))
+		r.stats.PREs++
+		return t + sim.Cycle(tm.TRP)
+	case CmdRD:
+		if b.openRow == NoRow {
+			panic(fmt.Sprintf("dram: RD to bank %d with no open row", bank))
+		}
+		dataEnd := t + sim.Cycle(tm.CL) + sim.Cycle(tm.TBL)
+		b.preAllowed = maxCycle(b.preAllowed, t+sim.Cycle(tm.TRTP))
+		r.rdAllowed = maxCycle(r.rdAllowed, t+sim.Cycle(tm.TCCD))
+		r.wrAllowed = maxCycle(r.wrAllowed, t+sim.Cycle(tm.TRTW))
+		r.stats.Reads++
+		r.stats.BusBusy += sim.Cycle(tm.TBL)
+		return dataEnd
+	case CmdWR:
+		if b.openRow == NoRow {
+			panic(fmt.Sprintf("dram: WR to bank %d with no open row", bank))
+		}
+		dataEnd := t + sim.Cycle(tm.CWL) + sim.Cycle(tm.TBL)
+		b.preAllowed = maxCycle(b.preAllowed, dataEnd+sim.Cycle(tm.TWR))
+		b.rdAllowed = maxCycle(b.rdAllowed, dataEnd+sim.Cycle(tm.TWTR))
+		r.rdAllowed = maxCycle(r.rdAllowed, dataEnd+sim.Cycle(tm.TWTR))
+		r.wrAllowed = maxCycle(r.wrAllowed, t+sim.Cycle(tm.TCCD))
+		r.stats.Writes++
+		r.stats.BusBusy += sim.Cycle(tm.TBL)
+		return dataEnd
+	case CmdREF:
+		for i := range r.banks {
+			if r.banks[i].openRow != NoRow {
+				panic(fmt.Sprintf("dram: REF with bank %d open", i))
+			}
+		}
+		end := t + sim.Cycle(tm.TRFC)
+		for i := range r.banks {
+			r.banks[i].actAllowed = maxCycle(r.banks[i].actAllowed, end)
+		}
+		r.stats.Refreshes++
+		return end
+	default:
+		panic("dram: unknown command")
+	}
+}
+
+// AnyBankOpen reports whether at least one bank has an open row — the
+// active-standby condition for background energy accounting.
+func (r *Rank) AnyBankOpen() bool {
+	for i := range r.banks {
+		if r.banks[i].openRow != NoRow {
+			return true
+		}
+	}
+	return false
+}
+
+func maxCycle(vs ...sim.Cycle) sim.Cycle {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

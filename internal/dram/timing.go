@@ -1,0 +1,110 @@
+// Package dram models the timing behaviour of a DDR3 rank: per-bank state
+// machines (precharged / activating / open row), inter-command timing
+// constraints (tRCD, tRP, CL, tRAS, tRRD, tFAW, tWTR, ...), the shared
+// data bus, and periodic refresh.
+//
+// The model is command-accurate: the memory controller asks when a command
+// could issue, issues it, and the rank updates every downstream constraint.
+// Activity counters feed the energy model (internal/energy).
+//
+// All times are expressed in CPU cycles. DDR parameters are specified in
+// memory-bus cycles and scaled by the CPU:bus clock ratio once, at
+// construction.
+package dram
+
+// Timing holds DDR timing parameters in memory-bus cycles.
+type Timing struct {
+	CL   int // CAS latency: READ to first data beat
+	CWL  int // CAS write latency: WRITE to first data beat
+	TRCD int // ACTIVATE to READ/WRITE
+	TRP  int // PRECHARGE to ACTIVATE
+	TRAS int // ACTIVATE to PRECHARGE
+	TRC  int // ACTIVATE to ACTIVATE (same bank)
+	TBL  int // burst length on the bus (8 beats = 4 cycles in DDR)
+	TCCD int // column command to column command
+	TRTP int // READ to PRECHARGE
+	TWR  int // end of write burst to PRECHARGE (write recovery)
+	TWTR int // end of write burst to READ (same rank)
+	TRTW int // READ command to WRITE command spacing
+	TRRD int // ACTIVATE to ACTIVATE (different banks)
+	TFAW int // four-activate window
+	TRFC int // refresh cycle time
+	TREF int // refresh interval (tREFI)
+}
+
+// DDR3_1600 returns JEDEC DDR3-1600K (11-11-11) timing in bus cycles
+// (tCK = 1.25 ns), with 4 Gb-device refresh timing.
+func DDR3_1600() Timing {
+	return Timing{
+		CL:   11,
+		CWL:  8,
+		TRCD: 11,
+		TRP:  11,
+		TRAS: 28,
+		TRC:  39,
+		TBL:  4,
+		TCCD: 4,
+		TRTP: 6,
+		TWR:  12,
+		TWTR: 6,
+		TRTW: 7, // CL - CWL + TBL + 2*(bus turnaround)
+		TRRD: 5,
+		TFAW: 24,
+		TRFC: 208,  // 260 ns for a 4 Gb device
+		TREF: 6240, // 7.8 us
+	}
+}
+
+// DDR3_1066 returns JEDEC DDR3-1066F (7-7-7) timing in bus cycles
+// (tCK = 1.875 ns).
+func DDR3_1066() Timing {
+	return Timing{
+		CL: 7, CWL: 6, TRCD: 7, TRP: 7, TRAS: 20, TRC: 27,
+		TBL: 4, TCCD: 4, TRTP: 4, TWR: 8, TWTR: 4, TRTW: 6,
+		TRRD: 4, TFAW: 20, TRFC: 139, TREF: 4160,
+	}
+}
+
+// DDR3_1333 returns JEDEC DDR3-1333H (9-9-9) timing in bus cycles
+// (tCK = 1.5 ns).
+func DDR3_1333() Timing {
+	return Timing{
+		CL: 9, CWL: 7, TRCD: 9, TRP: 9, TRAS: 24, TRC: 33,
+		TBL: 4, TCCD: 4, TRTP: 5, TWR: 10, TWTR: 5, TRTW: 7,
+		TRRD: 4, TFAW: 20, TRFC: 174, TREF: 5200,
+	}
+}
+
+// DDR3_1866 returns JEDEC DDR3-1866L (13-13-13) timing in bus cycles
+// (tCK = 1.071 ns).
+func DDR3_1866() Timing {
+	return Timing{
+		CL: 13, CWL: 9, TRCD: 13, TRP: 13, TRAS: 32, TRC: 45,
+		TBL: 4, TCCD: 4, TRTP: 7, TWR: 14, TWTR: 7, TRTW: 8,
+		TRRD: 5, TFAW: 26, TRFC: 243, TREF: 7283,
+	}
+}
+
+// Scaled returns the timing with every parameter multiplied by ratio —
+// used to convert bus cycles to CPU cycles (ratio 5 for a 4 GHz core with
+// an 800 MHz DDR3-1600 bus).
+func (t Timing) Scaled(ratio int) Timing {
+	return Timing{
+		CL:   t.CL * ratio,
+		CWL:  t.CWL * ratio,
+		TRCD: t.TRCD * ratio,
+		TRP:  t.TRP * ratio,
+		TRAS: t.TRAS * ratio,
+		TRC:  t.TRC * ratio,
+		TBL:  t.TBL * ratio,
+		TCCD: t.TCCD * ratio,
+		TRTP: t.TRTP * ratio,
+		TWR:  t.TWR * ratio,
+		TWTR: t.TWTR * ratio,
+		TRTW: t.TRTW * ratio,
+		TRRD: t.TRRD * ratio,
+		TFAW: t.TFAW * ratio,
+		TRFC: t.TRFC * ratio,
+		TREF: t.TREF * ratio,
+	}
+}

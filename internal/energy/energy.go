@@ -1,0 +1,134 @@
+// Package energy estimates processor and DRAM energy for a simulated run,
+// substituting for the McPAT and DRAMPower tools the paper uses (§5.1):
+//
+//   - DRAM energy follows the DRAMPower methodology: per-command energies
+//     derived from Micron DDR3-1600 IDD currents (ACT+PRE pairs, read and
+//     write bursts, refresh) plus state-dependent background power
+//     (active vs. precharged standby).
+//   - Processor energy is activity-based: energy per retired instruction
+//     and per cache access, plus static power integrated over runtime.
+//
+// Absolute values are datasheet-scale estimates; the paper's Figure 12
+// claims are about *ratios* between layouts, which an activity-based model
+// preserves.
+package energy
+
+import (
+	"gsdram/internal/cache"
+	"gsdram/internal/memctrl"
+	"gsdram/internal/sim"
+)
+
+// DRAMParams holds per-command energies (nanojoules per rank-level
+// command) and background power (watts per rank).
+type DRAMParams struct {
+	EActPreNJ  float64 // one ACT+PRE pair
+	EReadNJ    float64 // one read burst (64 B)
+	EWriteNJ   float64 // one write burst (64 B)
+	ERefreshNJ float64 // one REF (all banks)
+	PActiveW   float64 // background power, >= 1 bank open
+	PIdleW     float64 // background power, all banks precharged
+}
+
+// DefaultDRAM returns parameters computed from Micron 4 Gb x8 DDR3-1600
+// IDD values (VDD = 1.5 V, 8 chips per rank):
+//
+//	ACT+PRE: (IDD0-IDD3N) x tRC      = 50 mA x 48.75 ns x 1.5 V x 8 = 29 nJ
+//	READ:    (IDD4R-IDD3N) x tBL     = 210 mA x 5 ns x 1.5 V x 8 + I/O = 16 nJ
+//	WRITE:   (IDD4W-IDD3N) x tBL     = 140 mA x 5 ns x 1.5 V x 8 + ODT = 14 nJ
+//	REF:     (IDD5-IDD2N) x tRFC     = 180 mA x 260 ns x 1.5 V x 8 = 562 nJ
+//	active standby: IDD3N x VDD x 8  = 45 mA x 1.5 V x 8 = 540 mW
+//	precharged:     IDD2N x VDD x 8  = 35 mA x 1.5 V x 8 = 420 mW
+func DefaultDRAM() DRAMParams {
+	return DRAMParams{
+		EActPreNJ:  29,
+		EReadNJ:    16,
+		EWriteNJ:   14,
+		ERefreshNJ: 562,
+		PActiveW:   0.54,
+		PIdleW:     0.42,
+	}
+}
+
+// CPUParams holds the activity-based processor energy model.
+type CPUParams struct {
+	EPerInstrNJ float64 // dynamic energy per retired instruction
+	EPerL1NJ    float64 // per L1 access
+	EPerL2NJ    float64 // per L2 access
+	PCoreW      float64 // static power per core
+	PUncoreW    float64 // static power of the shared uncore (L2, NoC)
+}
+
+// DefaultCPU returns constants for a small in-order core at 4 GHz in a
+// 32 nm-class process (McPAT-scale values).
+func DefaultCPU() CPUParams {
+	return CPUParams{
+		EPerInstrNJ: 0.15,
+		EPerL1NJ:    0.02,
+		EPerL2NJ:    0.3,
+		PCoreW:      0.5,
+		PUncoreW:    0.8,
+	}
+}
+
+// Activity collects the counters the model consumes.
+type Activity struct {
+	Runtime      sim.Cycle // total simulated CPU cycles
+	FreqGHz      float64   // CPU clock, cycles per nanosecond
+	Cores        int
+	Instructions uint64
+	L1           []cache.Stats
+	L2           cache.Stats
+	Mem          memctrl.Stats
+}
+
+// Report breaks down the estimated energy in millijoules.
+type Report struct {
+	DRAMCommandMJ    float64
+	DRAMBackgroundMJ float64
+	DRAMRefreshMJ    float64
+	CPUDynamicMJ     float64
+	CPUStaticMJ      float64
+}
+
+// DRAMMJ returns total DRAM energy.
+func (r Report) DRAMMJ() float64 { return r.DRAMCommandMJ + r.DRAMBackgroundMJ + r.DRAMRefreshMJ }
+
+// CPUMJ returns total processor energy.
+func (r Report) CPUMJ() float64 { return r.CPUDynamicMJ + r.CPUStaticMJ }
+
+// TotalMJ returns total system energy.
+func (r Report) TotalMJ() float64 { return r.DRAMMJ() + r.CPUMJ() }
+
+// Estimate computes the energy report for a run.
+func Estimate(a Activity, dp DRAMParams, cp CPUParams) Report {
+	var r Report
+	if a.FreqGHz <= 0 {
+		a.FreqGHz = 4
+	}
+	runtimeNS := float64(a.Runtime) / a.FreqGHz
+	activeNS := float64(a.Mem.ActiveCycles) / a.FreqGHz
+	if activeNS > runtimeNS {
+		activeNS = runtimeNS
+	}
+
+	// DRAM: commands + refresh + state-dependent background.
+	r.DRAMCommandMJ = (float64(a.Mem.ACTs)*dp.EActPreNJ +
+		float64(a.Mem.ReadsServed)*dp.EReadNJ +
+		float64(a.Mem.WritesServed)*dp.EWriteNJ) * 1e-6
+	r.DRAMRefreshMJ = float64(a.Mem.Refreshes) * dp.ERefreshNJ * 1e-6
+	r.DRAMBackgroundMJ = (activeNS*dp.PActiveW + (runtimeNS-activeNS)*dp.PIdleW) * 1e-6
+
+	// Processor: activity + static.
+	l1Acc := uint64(0)
+	for _, s := range a.L1 {
+		l1Acc += s.Hits + s.Misses
+	}
+	l2Acc := a.L2.Hits + a.L2.Misses
+	r.CPUDynamicMJ = (float64(a.Instructions)*cp.EPerInstrNJ +
+		float64(l1Acc)*cp.EPerL1NJ +
+		float64(l2Acc)*cp.EPerL2NJ) * 1e-6
+	r.CPUStaticMJ = runtimeNS * (cp.PCoreW*float64(a.Cores) + cp.PUncoreW) * 1e-6
+
+	return r
+}

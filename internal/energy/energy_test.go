@@ -1,0 +1,103 @@
+package energy
+
+import (
+	"testing"
+
+	"gsdram/internal/cache"
+	"gsdram/internal/memctrl"
+)
+
+func baseActivity() Activity {
+	return Activity{
+		Runtime:      4_000_000, // 1 ms at 4 GHz
+		FreqGHz:      4,
+		Cores:        1,
+		Instructions: 1_000_000,
+		L1:           []cache.Stats{{Hits: 900_000, Misses: 100_000}},
+		L2:           cache.Stats{Hits: 80_000, Misses: 20_000},
+		Mem: memctrl.Stats{
+			ReadsServed:  20_000,
+			WritesServed: 5_000,
+			ACTs:         10_000,
+			Refreshes:    100,
+			ActiveCycles: 2_000_000,
+		},
+	}
+}
+
+func TestEstimatePositiveComponents(t *testing.T) {
+	r := Estimate(baseActivity(), DefaultDRAM(), DefaultCPU())
+	if r.DRAMCommandMJ <= 0 || r.DRAMBackgroundMJ <= 0 || r.DRAMRefreshMJ <= 0 {
+		t.Fatalf("DRAM components not positive: %+v", r)
+	}
+	if r.CPUDynamicMJ <= 0 || r.CPUStaticMJ <= 0 {
+		t.Fatalf("CPU components not positive: %+v", r)
+	}
+	if r.TotalMJ() != r.DRAMMJ()+r.CPUMJ() {
+		t.Fatal("total does not add up")
+	}
+}
+
+func TestMoreDRAMTrafficMoreEnergy(t *testing.T) {
+	a := baseActivity()
+	r1 := Estimate(a, DefaultDRAM(), DefaultCPU())
+	a.Mem.ReadsServed *= 8
+	a.Mem.ACTs *= 8
+	r2 := Estimate(a, DefaultDRAM(), DefaultCPU())
+	if r2.DRAMCommandMJ <= r1.DRAMCommandMJ {
+		t.Fatalf("8x traffic did not raise command energy: %v vs %v", r2.DRAMCommandMJ, r1.DRAMCommandMJ)
+	}
+}
+
+func TestLongerRuntimeMoreStaticEnergy(t *testing.T) {
+	a := baseActivity()
+	r1 := Estimate(a, DefaultDRAM(), DefaultCPU())
+	a.Runtime *= 4
+	r2 := Estimate(a, DefaultDRAM(), DefaultCPU())
+	if r2.CPUStaticMJ <= r1.CPUStaticMJ || r2.DRAMBackgroundMJ <= r1.DRAMBackgroundMJ {
+		t.Fatalf("longer runtime did not raise static energy: %+v vs %+v", r2, r1)
+	}
+}
+
+func TestActiveCyclesClampedToRuntime(t *testing.T) {
+	a := baseActivity()
+	a.Mem.ActiveCycles = uint64(a.Runtime) * 10 // bogus counter
+	r := Estimate(a, DefaultDRAM(), DefaultCPU())
+	// Background energy must not exceed full-active for the runtime.
+	maxBG := float64(a.Runtime) / 4 * DefaultDRAM().PActiveW * 1e-6
+	if r.DRAMBackgroundMJ > maxBG*1.0001 {
+		t.Fatalf("background %v exceeds all-active bound %v", r.DRAMBackgroundMJ, maxBG)
+	}
+}
+
+func TestZeroFreqDefaultsTo4GHz(t *testing.T) {
+	a := baseActivity()
+	a.FreqGHz = 0
+	r := Estimate(a, DefaultDRAM(), DefaultCPU())
+	a.FreqGHz = 4
+	r2 := Estimate(a, DefaultDRAM(), DefaultCPU())
+	if r != r2 {
+		t.Fatalf("zero freq not defaulted: %+v vs %+v", r, r2)
+	}
+}
+
+func TestMoreCoresMoreStatic(t *testing.T) {
+	a := baseActivity()
+	r1 := Estimate(a, DefaultDRAM(), DefaultCPU())
+	a.Cores = 2
+	r2 := Estimate(a, DefaultDRAM(), DefaultCPU())
+	if r2.CPUStaticMJ <= r1.CPUStaticMJ {
+		t.Fatal("second core did not raise static power")
+	}
+}
+
+func TestDefaultsAreSane(t *testing.T) {
+	dp := DefaultDRAM()
+	if dp.EActPreNJ <= 0 || dp.ERefreshNJ < dp.EActPreNJ {
+		t.Fatalf("DRAM defaults implausible: %+v", dp)
+	}
+	cp := DefaultCPU()
+	if cp.EPerL2NJ <= cp.EPerL1NJ {
+		t.Fatalf("L2 access should cost more than L1: %+v", cp)
+	}
+}

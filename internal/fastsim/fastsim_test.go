@@ -1,0 +1,157 @@
+package fastsim
+
+import (
+	"testing"
+
+	"gsdram/internal/addrmap"
+)
+
+func newModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func addr(bank, row, col int) addrmap.Addr {
+	return addrmap.Default.Compose(addrmap.Loc{Bank: bank, Row: row, Col: col})
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Spec.Banks = 7
+	if _, err := New(cfg); err == nil {
+		t.Error("bad spec accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.L1.Ways = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("bad L1 accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.L2.LineBytes = 48
+	if _, err := New(cfg); err == nil {
+		t.Error("bad L2 accepted")
+	}
+}
+
+func TestComputeCycles(t *testing.T) {
+	m := newModel(t)
+	m.Compute(100)
+	s := m.Stats()
+	if s.Cycles != 100 || s.Instructions != 100 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestL1HitIsPipelined(t *testing.T) {
+	m := newModel(t)
+	a := addr(0, 1, 0)
+	m.Access(a, 0, false, false) // cold miss
+	before := m.Stats().Cycles
+	m.Access(a, 0, false, false) // L1 hit
+	if got := m.Stats().Cycles - before; got != 1 {
+		t.Fatalf("L1 hit cost %d cycles, want 1 (pipelined)", got)
+	}
+}
+
+func TestMissLatencyOrdering(t *testing.T) {
+	m := newModel(t)
+	// Cold miss to a closed bank.
+	m.Access(addr(0, 1, 0), 0, false, false)
+	cold := m.Stats().Cycles
+	// Row-hit miss: same row, different line.
+	m.Access(addr(0, 1, 5), 0, false, false)
+	rowHit := m.Stats().Cycles - cold
+	// Row-conflict miss: different row, same bank.
+	m.Access(addr(0, 2, 0), 0, false, false)
+	conflict := m.Stats().Cycles - cold - rowHit
+	if !(rowHit < uint64(cold) && rowHit < conflict) {
+		t.Fatalf("latencies cold=%d rowHit=%d conflict=%d; want rowHit smallest", cold, rowHit, conflict)
+	}
+	s := m.Stats()
+	if s.RowHits != 1 || s.RowMisses != 2 {
+		t.Fatalf("row stats = %+v", s)
+	}
+}
+
+func TestL2HitLatency(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L1.SizeBytes = 512 // tiny L1 so lines fall to L2
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch 64 lines (spilling L1), then re-touch the first: L2 hit.
+	for i := 0; i < 64; i++ {
+		m.Access(addr(0, 1, i%128), 0, false, false)
+	}
+	before := m.Stats().Cycles
+	m.Access(addr(0, 1, 0), 0, false, false)
+	got := m.Stats().Cycles - before
+	if got != 1+cfg.L2Latency {
+		t.Fatalf("L2 hit cost %d, want %d", got, 1+cfg.L2Latency)
+	}
+}
+
+func TestShuffleLatencyOnlyOnDRAM(t *testing.T) {
+	m := newModel(t)
+	m.Access(addr(0, 1, 0), 7, true, false)
+	cold := m.Stats().Cycles
+
+	m2 := newModel(t)
+	m2.Access(addr(0, 1, 0), 7, false, false)
+	coldPlain := m2.Stats().Cycles
+	if cold != coldPlain+3 {
+		t.Fatalf("shuffled cold = %d, plain = %d, want +3", cold, coldPlain)
+	}
+	// A subsequent L1 hit has no shuffle cost.
+	before := m.Stats().Cycles
+	m.Access(addr(0, 1, 0), 7, true, false)
+	if m.Stats().Cycles-before != 1 {
+		t.Fatal("shuffle latency charged on L1 hit")
+	}
+}
+
+func TestPatternTagsDistinct(t *testing.T) {
+	m := newModel(t)
+	a := addr(0, 1, 0)
+	m.Access(a, 0, false, false)
+	m.Access(a, 7, true, false)
+	s := m.Stats()
+	if s.L1Misses != 2 {
+		t.Fatalf("misses = %d, want 2 (patterns are distinct lines)", s.L1Misses)
+	}
+}
+
+func TestDirtyEvictionTouchesRow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L1.SizeBytes = 512
+	cfg.L2.SizeBytes = 1024
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write many lines to force dirty L2 evictions; must not panic and
+	// cycles must grow monotonically.
+	var last uint64
+	for i := 0; i < 512; i++ {
+		m.Access(addr(i%8, i/8+1, i%128), 0, false, true)
+		s := m.Stats()
+		if s.Cycles < last {
+			t.Fatal("cycles went backwards")
+		}
+		last = s.Cycles
+	}
+}
+
+func TestCacheStatsExposed(t *testing.T) {
+	m := newModel(t)
+	m.Access(addr(0, 1, 0), 0, false, false)
+	l1, l2 := m.CacheStats()
+	if l1.Misses != 1 || l2.Misses != 1 {
+		t.Fatalf("cache stats = %+v / %+v", l1, l2)
+	}
+}

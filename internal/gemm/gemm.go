@@ -1,0 +1,421 @@
+// Package gemm implements the paper's General Matrix-Matrix multiplication
+// evaluation (§5.2, Figure 13). Square float64 matrices are multiplied
+// with four implementations:
+//
+//   - Naive: non-tiled scalar triple loop over row-major matrices — the
+//     normalisation baseline of Figure 13.
+//   - TiledGather: the tiled SIMD version the paper describes, where
+//     "the software must gather the values of a column into a SIMD
+//     register": B is stored in 8x8 blocks, and each SIMD multiply first
+//     assembles a column pair with scalar loads and a pack instruction.
+//   - TiledPacked: a BLAS-style ablation that transposes each B tile into
+//     a packed buffer once and streams SIMD from it — the other way
+//     heavily-optimised libraries amortise the software gather.
+//   - GSDRAM: B's blocks live in shuffled (pattmalloc) pages; a pattload
+//     with pattern 7 fetches an entire block column as one cache line, so
+//     SIMD needs no software gather at all (the paper's mechanism).
+//
+// Every implementation runs functionally against machine memory (results
+// are verified against a plain Go matmul) while a fastsim model accounts
+// cycles, instructions and cache/DRAM behaviour.
+package gemm
+
+import (
+	"fmt"
+	"math"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/fastsim"
+	"gsdram/internal/gsdram"
+	"gsdram/internal/machine"
+	"gsdram/internal/sim"
+)
+
+// BlockDim is the GS-DRAM block granularity: 8x8 float64 blocks, so that
+// one block column is a stride-8 gather (pattern 7) within 8 cache lines.
+const BlockDim = 8
+
+// ColPattern gathers one block column: stride 8 words.
+const ColPattern gsdram.Pattern = 7
+
+// Variant selects a GEMM implementation.
+type Variant int
+
+const (
+	// Naive is the non-tiled scalar baseline.
+	Naive Variant = iota
+	// TiledGather is tiled SIMD with per-use software gather of B columns.
+	TiledGather
+	// TiledPacked is tiled SIMD with per-tile transpose packing of B.
+	TiledPacked
+	// GSDRAM is tiled SIMD with pattload-gathered B columns.
+	GSDRAM
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Naive:
+		return "Non-tiled"
+	case TiledGather:
+		return "Tiled+SW-gather"
+	case TiledPacked:
+		return "Tiled+packing"
+	case GSDRAM:
+		return "GS-DRAM"
+	default:
+		return "unknown"
+	}
+}
+
+// Result reports one GEMM run.
+type Result struct {
+	Variant  Variant
+	N        int
+	TileSize int // 0 for Naive
+	Stats    fastsim.Stats
+}
+
+// Workload holds the operand matrices in machine memory.
+type Workload struct {
+	mach *machine.Machine
+	n    int
+
+	baseA addrmap.Addr // row-major
+	baseC addrmap.Addr // row-major
+	baseB addrmap.Addr // row-major (Naive)
+	// baseBBlocked is B in 8x8-blocked layout; allocated unshuffled for
+	// the tiled variants and pattmalloc'd (shuffled, pattern 7) for
+	// GS-DRAM.
+	baseBBlocked   addrmap.Addr
+	baseBBlockedGS addrmap.Addr
+}
+
+// NewWorkload allocates and fills A and B with deterministic values.
+// n must be a positive multiple of BlockDim.
+func NewWorkload(mach *machine.Machine, n int, seed uint64) (*Workload, error) {
+	if n <= 0 || n%BlockDim != 0 {
+		return nil, fmt.Errorf("gemm: n must be a positive multiple of %d, got %d", BlockDim, n)
+	}
+	w := &Workload{mach: mach, n: n}
+	bytes := n * n * 8
+	var err error
+	if w.baseA, err = mach.AS.Malloc(bytes); err != nil {
+		return nil, err
+	}
+	if w.baseC, err = mach.AS.Malloc(bytes); err != nil {
+		return nil, err
+	}
+	if w.baseB, err = mach.AS.Malloc(bytes); err != nil {
+		return nil, err
+	}
+	if w.baseBBlocked, err = mach.AS.Malloc(bytes); err != nil {
+		return nil, err
+	}
+	if w.baseBBlockedGS, err = mach.AS.PattMalloc(bytes, ColPattern); err != nil {
+		return nil, err
+	}
+
+	rng := sim.NewRand(seed)
+	val := func() float64 { return float64(rng.Intn(64)) / 8.0 }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a, b := val(), val()
+			if err := w.writeF(w.addrA(i, j), a); err != nil {
+				return nil, err
+			}
+			for _, addr := range []addrmap.Addr{w.addrBNaive(i, j), w.addrBBlocked(i, j, false), w.addrBBlocked(i, j, true)} {
+				if err := w.writeF(addr, b); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return w, nil
+}
+
+// N returns the matrix dimension.
+func (w *Workload) N() int { return w.n }
+
+func (w *Workload) writeF(a addrmap.Addr, v float64) error {
+	return w.mach.WriteWord(a, math.Float64bits(v))
+}
+
+func (w *Workload) readF(a addrmap.Addr) float64 {
+	bits, err := w.mach.ReadWord(a)
+	if err != nil {
+		panic(fmt.Sprintf("gemm: functional read failed: %v", err))
+	}
+	return math.Float64frombits(bits)
+}
+
+func (w *Workload) addrA(i, k int) addrmap.Addr {
+	return w.baseA + addrmap.Addr((i*w.n+k)*8)
+}
+
+func (w *Workload) addrC(i, j int) addrmap.Addr {
+	return w.baseC + addrmap.Addr((i*w.n+j)*8)
+}
+
+func (w *Workload) addrBNaive(k, j int) addrmap.Addr {
+	return w.baseB + addrmap.Addr((k*w.n+j)*8)
+}
+
+// addrBBlocked returns the address of B[k][j] in the 8x8-blocked layout.
+func (w *Workload) addrBBlocked(k, j int, gs bool) addrmap.Addr {
+	base := w.baseBBlocked
+	if gs {
+		base = w.baseBBlockedGS
+	}
+	blocks := w.n / BlockDim
+	block := (k/BlockDim)*blocks + j/BlockDim
+	word := (k%BlockDim)*BlockDim + j%BlockDim
+	return base + addrmap.Addr((block*BlockDim*BlockDim+word)*8)
+}
+
+// gatherLineB returns the pattload line address that gathers the block
+// column {B[k0..k0+7][j]} (k0 = k &^ 7) in the GS layout: the block base
+// plus (j mod 8) cache lines, per the pattern-7 closed form.
+func (w *Workload) gatherLineB(k, j int) addrmap.Addr {
+	blockBase := w.addrBBlocked(k&^7, j-j%BlockDim, true)
+	return blockBase + addrmap.Addr((j%BlockDim)*64)
+}
+
+// Reference computes C = A x B in plain Go for verification.
+func (w *Workload) Reference() [][]float64 {
+	n := w.n
+	a := make([][]float64, n)
+	b := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]float64, n)
+		b[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = w.readF(w.addrA(i, j))
+			b[i][j] = w.readF(w.addrBNaive(i, j))
+		}
+	}
+	c := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		c[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += a[i][k] * b[k][j]
+			}
+			c[i][j] = s
+		}
+	}
+	return c
+}
+
+// ReadC returns C[i][j] from machine memory after a run.
+func (w *Workload) ReadC(i, j int) float64 { return w.readF(w.addrC(i, j)) }
+
+// loadOperands reads A and B into Go slices once per run; the values are
+// identical in every B layout, so the functional inner loops can use the
+// slices while the timing model sees the layout-specific addresses.
+func (w *Workload) loadOperands() (a, b [][]float64) {
+	n := w.n
+	a = make([][]float64, n)
+	b = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]float64, n)
+		b[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = w.readF(w.addrA(i, j))
+			b[i][j] = w.readF(w.addrBNaive(i, j))
+		}
+	}
+	return a, b
+}
+
+// TileSizes are the candidate tile sizes for the "best tiled" search.
+var TileSizes = []int{16, 32, 64}
+
+// Run executes a variant and returns its result. For tiled variants,
+// tile selects the tile size (must be a multiple of BlockDim dividing n);
+// tile <= 0 selects the best (fastest) candidate from TileSizes.
+func (w *Workload) Run(v Variant, tile int) (Result, error) {
+	switch v {
+	case Naive:
+		return w.runOnce(v, 0)
+	case TiledGather, TiledPacked, GSDRAM:
+		if tile > 0 {
+			return w.runOnce(v, tile)
+		}
+		best := Result{}
+		found := false
+		for _, t := range TileSizes {
+			if t > w.n || w.n%t != 0 {
+				continue
+			}
+			r, err := w.runOnce(v, t)
+			if err != nil {
+				return Result{}, err
+			}
+			if !found || r.Stats.Cycles < best.Stats.Cycles {
+				best = r
+				found = true
+			}
+		}
+		if !found {
+			// n smaller than every candidate: one tile covering the matrix.
+			return w.runOnce(v, w.n)
+		}
+		return best, nil
+	default:
+		return Result{}, fmt.Errorf("gemm: unknown variant %d", v)
+	}
+}
+
+func (w *Workload) runOnce(v Variant, tile int) (Result, error) {
+	if v != Naive {
+		if tile%BlockDim != 0 || w.n%tile != 0 {
+			return Result{}, fmt.Errorf("gemm: tile %d must be a multiple of %d dividing n=%d", tile, BlockDim, w.n)
+		}
+	}
+	model, err := fastsim.New(fastsim.DefaultConfig())
+	if err != nil {
+		return Result{}, err
+	}
+	switch v {
+	case Naive:
+		w.runNaive(model)
+	case TiledGather:
+		w.runTiled(model, tile, false)
+	case TiledPacked:
+		w.runPacked(model, tile)
+	case GSDRAM:
+		w.runTiled(model, tile, true)
+	}
+	return Result{Variant: v, N: w.n, TileSize: tile, Stats: model.Stats()}, nil
+}
+
+// runNaive is the scalar triple loop over row-major A and B.
+func (w *Workload) runNaive(m *fastsim.Model) {
+	n := w.n
+	a, b := w.loadOperands()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for k := 0; k < n; k++ {
+				m.Access(w.addrA(i, k), 0, false, false)
+				m.Access(w.addrBNaive(k, j), 0, false, false)
+				m.Compute(2) // FMA + loop
+				sum += a[i][k] * b[k][j]
+			}
+			m.Access(w.addrC(i, j), 0, false, true)
+			m.Compute(3) // store path, loop bookkeeping
+			if err := w.writeF(w.addrC(i, j), sum); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// runTiled is the tiled SIMD loop over blocked B. With gs=false each
+// 8-wide column segment is assembled by 8 scalar loads plus pack
+// instructions (software gather); with gs=true a single gathered cache
+// line (pattern 7) supplies the segment to 4 two-wide pattloads.
+func (w *Workload) runTiled(m *fastsim.Model, tile int, gs bool) {
+	n := w.n
+	a, b := w.loadOperands()
+	// Loop order jt, kt, it (the order BLAS-class kernels use): each B
+	// tile is brought in once and reused by every row tile before moving
+	// on, identical to runPacked's traffic pattern.
+	for jt := 0; jt < n; jt += tile {
+		for kt := 0; kt < n; kt += tile {
+			for it := 0; it < n; it += tile {
+				for i := it; i < it+tile; i++ {
+					for j := jt; j < jt+tile; j++ {
+						sum := w.readF(w.addrC(i, j))
+						if kt == 0 {
+							sum = 0
+						}
+						for k := kt; k < kt+tile; k += BlockDim {
+							// A segment: 8 elements, one line, 4 xmm loads.
+							m.Access(w.addrA(i, k), 0, false, false)
+							m.Compute(3)
+							if gs {
+								// 4 pattloads from one gathered line.
+								la := w.gatherLineB(k, j)
+								m.Access(la, ColPattern, true, false)
+								m.Compute(3)
+							} else {
+								// Software gather: 8 scalar loads + 4 packs.
+								for kk := k; kk < k+BlockDim; kk++ {
+									m.Access(w.addrBBlocked(kk, j, false), 0, false, false)
+								}
+								m.Compute(4)
+							}
+							m.Compute(6) // 4 SIMD FMAs + loop
+							for kk := k; kk < k+BlockDim; kk++ {
+								sum += a[i][kk] * b[kk][j]
+							}
+						}
+						m.Access(w.addrC(i, j), 0, false, true)
+						m.Compute(3)
+						if err := w.writeF(w.addrC(i, j), sum); err != nil {
+							panic(err)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// runPacked is the BLAS-style ablation: each B tile is transposed into a
+// packed, contiguous buffer once per (jt, kt), and the inner loop streams
+// SIMD loads from the buffer with no gather.
+func (w *Workload) runPacked(m *fastsim.Model, tile int) {
+	n := w.n
+	// The packed buffer is a real allocation so its cache footprint and
+	// conflicts are modelled.
+	bufBase, err := w.mach.AS.Malloc(tile * tile * 8)
+	if err != nil {
+		panic(fmt.Sprintf("gemm: packed buffer allocation failed: %v", err))
+	}
+	bufAddr := func(k, j int) addrmap.Addr {
+		// Transposed: column j contiguous.
+		return bufBase + addrmap.Addr(((j%tile)*tile+(k%tile))*8)
+	}
+	a, b := w.loadOperands()
+	for jt := 0; jt < n; jt += tile {
+		for kt := 0; kt < n; kt += tile {
+			// Pack: transpose the tile.
+			for k := kt; k < kt+tile; k++ {
+				for j := jt; j < jt+tile; j++ {
+					m.Access(w.addrBBlocked(k, j, false), 0, false, false)
+					m.Access(bufAddr(k, j), 0, false, true)
+					m.Compute(2)
+				}
+			}
+			for it := 0; it < n; it += tile {
+				for i := it; i < it+tile; i++ {
+					for j := jt; j < jt+tile; j++ {
+						sum := w.readF(w.addrC(i, j))
+						if kt == 0 {
+							sum = 0
+						}
+						for k := kt; k < kt+tile; k += BlockDim {
+							m.Access(w.addrA(i, k), 0, false, false)
+							m.Compute(3)
+							// 4 xmm loads from the packed column.
+							m.Access(bufAddr(k, j), 0, false, false)
+							m.Compute(3)
+							m.Compute(6)
+							for kk := k; kk < k+BlockDim; kk++ {
+								sum += a[i][kk] * b[kk][j]
+							}
+						}
+						m.Access(w.addrC(i, j), 0, false, true)
+						m.Compute(3)
+						if err := w.writeF(w.addrC(i, j), sum); err != nil {
+							panic(err)
+						}
+					}
+				}
+			}
+		}
+	}
+}

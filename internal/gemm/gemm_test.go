@@ -1,0 +1,166 @@
+package gemm
+
+import (
+	"math"
+	"testing"
+
+	"gsdram/internal/machine"
+)
+
+func newWorkload(t *testing.T, n int) *Workload {
+	t.Helper()
+	m, err := machine.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorkload(m, n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewWorkloadValidation(t *testing.T) {
+	m, err := machine.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWorkload(m, 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewWorkload(m, 12, 1); err == nil {
+		t.Error("n=12 (not multiple of 8) accepted")
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	names := map[Variant]string{
+		Naive: "Non-tiled", TiledGather: "Tiled+SW-gather",
+		TiledPacked: "Tiled+packing", GSDRAM: "GS-DRAM", Variant(9): "unknown",
+	}
+	for v, s := range names {
+		if v.String() != s {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), s)
+		}
+	}
+}
+
+func TestGatherLineBMatchesMachine(t *testing.T) {
+	w := newWorkload(t, 32)
+	for _, tc := range []struct{ k, j int }{{0, 0}, {5, 3}, {8, 17}, {24, 31}, {16, 9}} {
+		want, _, err := w.mach.GatherAddr(w.addrBBlocked(tc.k, tc.j, true), ColPattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := w.gatherLineB(tc.k, tc.j); got != want {
+			t.Fatalf("gatherLineB(%d,%d) = %#x, want %#x", tc.k, tc.j, uint64(got), uint64(want))
+		}
+	}
+}
+
+// checkResult compares machine-resident C against the reference product.
+func checkResult(t *testing.T, w *Workload) {
+	t.Helper()
+	ref := w.Reference()
+	for i := 0; i < w.N(); i++ {
+		for j := 0; j < w.N(); j++ {
+			got := w.ReadC(i, j)
+			if math.Abs(got-ref[i][j]) > 1e-9*math.Max(1, math.Abs(ref[i][j])) {
+				t.Fatalf("C[%d][%d] = %v, want %v", i, j, got, ref[i][j])
+			}
+		}
+	}
+}
+
+func TestAllVariantsComputeCorrectProduct(t *testing.T) {
+	for _, v := range []Variant{Naive, TiledGather, TiledPacked, GSDRAM} {
+		w := newWorkload(t, 32)
+		if _, err := w.Run(v, 16); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		checkResult(t, w)
+	}
+}
+
+func TestRunUnknownVariant(t *testing.T) {
+	w := newWorkload(t, 16)
+	if _, err := w.Run(Variant(42), 0); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestRunBadTile(t *testing.T) {
+	w := newWorkload(t, 32)
+	if _, err := w.Run(GSDRAM, 12); err == nil {
+		t.Error("tile not multiple of 8 accepted")
+	}
+	if _, err := w.Run(GSDRAM, 24); err == nil {
+		t.Error("tile not dividing n accepted")
+	}
+}
+
+func TestBestTileSearch(t *testing.T) {
+	w := newWorkload(t, 64)
+	r, err := w.Run(GSDRAM, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TileSize != 16 && r.TileSize != 32 && r.TileSize != 64 {
+		t.Fatalf("best tile = %d, want one of the candidates", r.TileSize)
+	}
+	checkResult(t, w)
+}
+
+func TestTinyMatrixFallsBackToFullTile(t *testing.T) {
+	w := newWorkload(t, 8)
+	r, err := w.Run(TiledGather, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TileSize != 8 {
+		t.Fatalf("tile = %d, want 8 (whole matrix)", r.TileSize)
+	}
+	checkResult(t, w)
+}
+
+// TestFigure13Shape checks the paper's qualitative result at a small size:
+// tiling beats non-tiled, and GS-DRAM beats the software-gather tiled
+// version (by eliminating gather instructions) and is at least competitive
+// with the packing ablation.
+func TestFigure13Shape(t *testing.T) {
+	w := newWorkload(t, 64)
+	cycles := map[Variant]uint64{}
+	for _, v := range []Variant{Naive, TiledGather, TiledPacked, GSDRAM} {
+		r, err := w.Run(v, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[v] = r.Stats.Cycles
+	}
+	if cycles[TiledGather] >= cycles[Naive] {
+		t.Errorf("tiling did not help: tiled %d vs naive %d", cycles[TiledGather], cycles[Naive])
+	}
+	if cycles[GSDRAM] >= cycles[TiledGather] {
+		t.Errorf("GS-DRAM %d not faster than SW-gather tiled %d", cycles[GSDRAM], cycles[TiledGather])
+	}
+	if float64(cycles[GSDRAM]) > 1.05*float64(cycles[TiledPacked]) {
+		t.Errorf("GS-DRAM %d much slower than packed tiled %d", cycles[GSDRAM], cycles[TiledPacked])
+	}
+}
+
+func TestGSVariantUsesPatternedLines(t *testing.T) {
+	w := newWorkload(t, 32)
+	r, err := w.Run(GSDRAM, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gathered lines are distinct pattern-7 entries; the stats must
+	// show far fewer B-side L1 accesses than the software-gather variant.
+	rg, err := w.Run(TiledGather, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Instructions >= rg.Stats.Instructions {
+		t.Fatalf("GS instructions %d not below SW-gather %d", r.Stats.Instructions, rg.Stats.Instructions)
+	}
+}

@@ -1,0 +1,241 @@
+package graph
+
+import (
+	"testing"
+
+	"gsdram/internal/cpu"
+	"gsdram/internal/machine"
+	"gsdram/internal/memsys"
+	"gsdram/internal/sim"
+)
+
+func newGraph(t *testing.T, layout Layout, n, deg int) *Graph {
+	t.Helper()
+	m, err := machine.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewRandom(m, layout, n, deg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func runStream(t *testing.T, s cpu.Stream) (cpu.Stats, *memsys.System) {
+	t.Helper()
+	q := &sim.EventQueue{}
+	mem, err := memsys.New(memsys.DefaultConfig(1), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := cpu.New(0, q, mem, s, nil)
+	core.Start(0)
+	q.Run()
+	if !core.Stats().Finished {
+		t.Fatal("core did not finish")
+	}
+	return core.Stats(), mem
+}
+
+func TestNewRandomValidation(t *testing.T) {
+	m, err := machine.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRandom(m, AoS, 12, 4, 1); err == nil {
+		t.Error("n not multiple of 8 accepted")
+	}
+	if _, err := NewRandom(m, AoS, 0, 4, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewRandom(m, AoS, 64, 0, 1); err == nil {
+		t.Error("avgDeg=0 accepted")
+	}
+	if _, err := NewRandom(m, Layout(9), 64, 4, 1); err == nil {
+		t.Error("bad layout accepted")
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	if AoS.String() != "AoS" || SoA.String() != "SoA" || GS.String() != "GS-DRAM" || Layout(9).String() != "unknown" {
+		t.Error("layout names wrong")
+	}
+}
+
+func TestGraphStructure(t *testing.T) {
+	g := newGraph(t, AoS, 64, 4)
+	if g.N() != 64 {
+		t.Fatalf("n = %d", g.N())
+	}
+	total := 0
+	for u := 0; u < g.N(); u++ {
+		d := g.OutDegree(u)
+		if d < 1 {
+			t.Fatalf("vertex %d has degree %d", u, d)
+		}
+		total += d
+	}
+	if total != g.Edges() {
+		t.Fatalf("degree sum %d != edge count %d", total, g.Edges())
+	}
+	// Degree field matches structure.
+	for u := 0; u < g.N(); u++ {
+		d, err := g.ReadField(u, FieldDegree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(d) != g.OutDegree(u) {
+			t.Fatalf("vertex %d degree field %d != %d", u, d, g.OutDegree(u))
+		}
+	}
+}
+
+func TestSameSeedSameGraph(t *testing.T) {
+	a := newGraph(t, AoS, 64, 4)
+	b := newGraph(t, SoA, 64, 4)
+	if a.Edges() != b.Edges() {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for i := range a.edges {
+		if a.edges[i] != b.edges[i] {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+}
+
+func TestFieldRoundTripAllLayouts(t *testing.T) {
+	for _, l := range []Layout{AoS, SoA, GS} {
+		g := newGraph(t, l, 32, 3)
+		for u := 0; u < 32; u++ {
+			for f := 0; f < FieldsPerVertex; f++ {
+				if err := g.WriteField(u, f, uint64(u*100+f)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for u := 0; u < 32; u++ {
+			for f := 0; f < FieldsPerVertex; f++ {
+				v, err := g.ReadField(u, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v != uint64(u*100+f) {
+					t.Fatalf("%v: field(%d,%d) = %d", l, u, f, v)
+				}
+			}
+		}
+	}
+}
+
+func TestPageRankFunctionalAgreement(t *testing.T) {
+	for _, l := range []Layout{AoS, SoA, GS} {
+		g := newGraph(t, l, 64, 4)
+		want, err := g.ReferenceRankSum(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res PageRankResult
+		s, err := g.PageRankStream(3, &res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runStream(t, s)
+		if res.RankSum != want {
+			t.Fatalf("%v: rank sum %d, want %d", l, res.RankSum, want)
+		}
+	}
+}
+
+func TestPageRankStreamValidation(t *testing.T) {
+	g := newGraph(t, AoS, 32, 3)
+	if _, err := g.PageRankStream(0, nil); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestUpdateStreamValidation(t *testing.T) {
+	g := newGraph(t, AoS, 32, 3)
+	if _, err := g.UpdateStream(0, 2, 1); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := g.UpdateStream(5, 0, 1); err == nil {
+		t.Error("zero fields accepted")
+	}
+	if _, err := g.UpdateStream(5, 9, 1); err == nil {
+		t.Error("too many fields accepted")
+	}
+}
+
+func TestUpdateStreamMutatesFields(t *testing.T) {
+	g := newGraph(t, GS, 32, 3)
+	before, _ := g.ReadField(0, 0)
+	_ = before
+	s, err := g.UpdateStream(200, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := runStream(t, s)
+	if st.Stores == 0 || st.Loads == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// With 200 updates over 32 vertices, at least one field moved.
+	moved := false
+	for u := 0; u < 32 && !moved; u++ {
+		v, _ := g.ReadField(u, 0)
+		if v != 1000 && v != 0 { // rank field was 1000 initially
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("updates did not mutate any vertex")
+	}
+}
+
+// TestScanPhaseFetchShape: per contribution scan, AoS fetches ~1 line per
+// vertex while SoA and GS fetch ~2 lines per 8 vertices (rank + degree
+// planes).
+func TestScanPhaseFetchShape(t *testing.T) {
+	const n = 512
+	reads := map[Layout]uint64{}
+	for _, l := range []Layout{AoS, SoA, GS} {
+		g := newGraph(t, l, n, 1)
+		s, err := g.PageRankStream(1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, mem := runStream(t, s)
+		reads[l] = mem.Stats().DRAMReads
+	}
+	// AoS must fetch substantially more than SoA and GS; GS ~ SoA.
+	if float64(reads[AoS]) < 1.5*float64(reads[GS]) {
+		t.Errorf("AoS fetched %d lines, GS %d; expected AoS >> GS", reads[AoS], reads[GS])
+	}
+	ratio := float64(reads[GS]) / float64(reads[SoA])
+	if ratio > 1.4 || ratio < 0.6 {
+		t.Errorf("GS fetched %d lines vs SoA %d; want parity", reads[GS], reads[SoA])
+	}
+}
+
+// TestUpdatePhaseFetchShape: random 3-field updates — SoA fetches ~3
+// lines per update, AoS and GS ~1.
+func TestUpdatePhaseFetchShape(t *testing.T) {
+	const n = 8192
+	reads := map[Layout]uint64{}
+	for _, l := range []Layout{AoS, SoA, GS} {
+		g := newGraph(t, l, n, 1)
+		s, err := g.UpdateStream(300, 3, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, mem := runStream(t, s)
+		reads[l] = mem.Stats().DRAMReads
+	}
+	if reads[SoA] < reads[AoS]*2 {
+		t.Errorf("SoA fetched %d lines, AoS %d; expected SoA ~ 3x AoS", reads[SoA], reads[AoS])
+	}
+	ratio := float64(reads[GS]) / float64(reads[AoS])
+	if ratio > 1.4 || ratio < 0.6 {
+		t.Errorf("GS fetched %d lines vs AoS %d; want parity", reads[GS], reads[AoS])
+	}
+}

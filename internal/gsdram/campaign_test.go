@@ -1,0 +1,186 @@
+package gsdram
+
+import (
+	"testing"
+
+	"gsdram/internal/sim"
+)
+
+// TestECCFaultInjectionCampaign is a soft-error campaign over an ECC
+// module: inject single-bit flips into many distinct words, then read the
+// whole module back through every pattern. Every flip must be corrected
+// (data intact), none may surface as wrong data, and the corrected count
+// must equal the injected count.
+func TestECCFaultInjectionCampaign(t *testing.T) {
+	p := GS844
+	g := Geometry{Banks: 2, Rows: 4, Cols: 32}
+	em, err := NewECCModule(p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate every line with known data.
+	value := func(bank, row, col, w int) uint64 {
+		return uint64(bank)<<48 | uint64(row)<<32 | uint64(col)<<8 | uint64(w)
+	}
+	line := make([]uint64, 8)
+	for b := 0; b < g.Banks; b++ {
+		for r := 0; r < g.Rows; r++ {
+			for c := 0; c < g.Cols; c++ {
+				for w := range line {
+					line[w] = value(b, r, c, w)
+				}
+				if err := em.WriteLine(b, r, c, DefaultPattern, true, line); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	// Inject flips into distinct (bank,row,chipCol,chip) words.
+	rng := sim.NewRand(77)
+	type site struct{ b, r, cc, ch int }
+	flipped := map[site]bool{}
+	const flips = 200
+	for len(flipped) < flips {
+		s := site{rng.Intn(g.Banks), rng.Intn(g.Rows), rng.Intn(g.Cols), rng.Intn(p.Chips)}
+		if flipped[s] {
+			continue
+		}
+		flipped[s] = true
+		if err := em.InjectBitFlip(s.b, s.r, s.cc, s.ch, rng.Intn(64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Read everything back through every pattern; each read corrects its
+	// own view, and data must always be exact.
+	dst := make([]uint64, 8)
+	corrected := 0
+	for patt := Pattern(0); patt <= p.MaxPattern(); patt++ {
+		for b := 0; b < g.Banks; b++ {
+			for r := 0; r < g.Rows; r++ {
+				for c := 0; c < g.Cols; c++ {
+					results, err := em.ReadLine(b, r, c, patt, true, dst)
+					if err != nil {
+						t.Fatal(err)
+					}
+					idx := p.GatherIndices(patt, c)
+					for i, l := range idx {
+						col, w := l/8, l%8
+						if dst[i] != value(b, r, col, w) {
+							t.Fatalf("patt %d (b%d r%d c%d): word %d = %#x, want %#x (status %v)",
+								patt, b, r, c, i, dst[i], value(b, r, col, w), results[i])
+						}
+						if results[i] == ECCUncorrectable {
+							t.Fatalf("patt %d: uncorrectable at (b%d r%d c%d w%d)", patt, b, r, col, w)
+						}
+						if patt == DefaultPattern && results[i] == ECCCorrected {
+							corrected++
+						}
+					}
+				}
+			}
+		}
+	}
+	// ReadLine corrects the returned data but not the stored copy, so the
+	// default-pattern sweep sees every injected flip exactly once.
+	if corrected != flips {
+		t.Fatalf("default sweep corrected %d words, want %d", corrected, flips)
+	}
+}
+
+// TestECCCampaignDoubleFaults: two flips in one word must be flagged
+// uncorrectable, never silently wrong-but-OK.
+func TestECCCampaignDoubleFaults(t *testing.T) {
+	p := GS844
+	em, err := NewECCModule(p, Geometry{Banks: 1, Rows: 1, Cols: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := em.WriteLine(0, 0, 0, DefaultPattern, true, line); err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRand(5)
+	for trial := 0; trial < 50; trial++ {
+		b1 := rng.Intn(64)
+		b2 := rng.Intn(64)
+		if b1 == b2 {
+			continue
+		}
+		if err := em.InjectBitFlip(0, 0, 0, 3, b1); err != nil {
+			t.Fatal(err)
+		}
+		if err := em.InjectBitFlip(0, 0, 0, 3, b2); err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]uint64, 8)
+		results, err := em.ReadLine(0, 0, 0, DefaultPattern, true, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saw := false
+		for _, r := range results {
+			if r == ECCUncorrectable {
+				saw = true
+			}
+		}
+		if !saw {
+			t.Fatalf("trial %d: double fault (bits %d,%d) not detected", trial, b1, b2)
+		}
+		// Undo the flips for the next trial.
+		em.InjectBitFlip(0, 0, 0, 3, b1)
+		em.InjectBitFlip(0, 0, 0, 3, b2)
+	}
+}
+
+// TestWideRankConfigurations exercises GS-DRAM(16,4,4) and GS-DRAM(32,5,5):
+// the mechanism generalises beyond the paper's 8-chip rank (128- and
+// 256-byte lines).
+func TestWideRankConfigurations(t *testing.T) {
+	for _, p := range []Params{
+		{Chips: 16, ShuffleStages: 4, PatternBits: 4},
+		{Chips: 32, ShuffleStages: 5, PatternBits: 5},
+	} {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Stride patterns cover every power of two up to the chip count.
+		for stride := 1; stride <= p.Chips; stride *= 2 {
+			patt, err := p.StridePattern(stride)
+			if err != nil {
+				t.Fatalf("chips %d stride %d: %v", p.Chips, stride, err)
+			}
+			idx := p.GatherIndices(patt, 0)
+			for i, v := range idx {
+				if v != i*stride {
+					t.Fatalf("chips %d stride %d: idx[%d] = %d", p.Chips, stride, i, v)
+				}
+			}
+			set := StrideSet(0, stride, p.Chips)
+			if got := p.ReadsNeeded(ShuffledMapping, set); got != 1 {
+				t.Fatalf("chips %d stride %d: %d READs", p.Chips, stride, got)
+			}
+		}
+		// Module round trip across all patterns.
+		m := NewModule(p, Geometry{Banks: 1, Rows: 2, Cols: 64})
+		line := make([]uint64, p.Chips)
+		dst := make([]uint64, p.Chips)
+		for patt := Pattern(0); patt <= p.MaxPattern(); patt++ {
+			for i := range line {
+				line[i] = uint64(patt)<<32 | uint64(i)
+			}
+			if err := m.WriteLine(0, 1, 5, patt, true, line); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.ReadLine(0, 1, 5, patt, true, dst); err != nil {
+				t.Fatal(err)
+			}
+			for i := range line {
+				if dst[i] != line[i] {
+					t.Fatalf("chips %d patt %d: round trip failed at %d", p.Chips, patt, i)
+				}
+			}
+		}
+	}
+}

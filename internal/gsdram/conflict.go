@@ -1,0 +1,78 @@
+package gsdram
+
+// This file implements the chip-conflict analysis behind paper §3.1
+// (Challenge 1) and §3.2. A gather needs one READ per *round*: if two of
+// the values it wants live on the same chip, the chip can only supply one
+// per READ, so conflicts directly multiply the number of commands.
+
+// Mapping identifies a cache-line-to-chip mapping scheme.
+type Mapping int
+
+const (
+	// SimpleMapping stores word i of every cache line on chip i (paper §2).
+	// Any power-of-2 stride > 1 then piles all wanted values onto few
+	// chips.
+	SimpleMapping Mapping = iota
+	// ShuffledMapping is the §3.2 column-ID-based shuffle: word i of the
+	// line at column C lives on chip i XOR (C mod 2^s).
+	ShuffledMapping
+)
+
+func (m Mapping) String() string {
+	switch m {
+	case SimpleMapping:
+		return "simple"
+	case ShuffledMapping:
+		return "shuffled"
+	default:
+		return "unknown"
+	}
+}
+
+// chipOf returns the chip holding the word at logical row index l under
+// the given mapping.
+func (p Params) chipOf(m Mapping, logical int) int {
+	col := logical / p.Chips
+	word := logical % p.Chips
+	if m == ShuffledMapping {
+		return p.ChipForWord(word, col)
+	}
+	return word
+}
+
+// ReadsNeeded returns the minimum number of READ commands required to
+// gather the words at the given logical row indices under mapping m: the
+// maximum number of wanted words that collide on any single chip. A result
+// of 1 means the whole gather completes in a single column command.
+func (p Params) ReadsNeeded(m Mapping, logical []int) int {
+	counts := make([]int, p.Chips)
+	maxPer := 0
+	for _, l := range logical {
+		c := p.chipOf(m, l)
+		counts[c]++
+		if counts[c] > maxPer {
+			maxPer = counts[c]
+		}
+	}
+	return maxPer
+}
+
+// ChipConflicts returns ReadsNeeded(m, logical) - 1: the number of *extra*
+// READs forced by chip conflicts. Zero means conflict-free.
+func (p Params) ChipConflicts(m Mapping, logical []int) int {
+	r := p.ReadsNeeded(m, logical)
+	if r == 0 {
+		return 0
+	}
+	return r - 1
+}
+
+// StrideSet returns the logical row indices {start, start+stride, ...} of
+// length count — the word set a strided gather wants.
+func StrideSet(start, stride, count int) []int {
+	s := make([]int, count)
+	for i := range s {
+		s[i] = start + i*stride
+	}
+	return s
+}

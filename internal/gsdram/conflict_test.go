@@ -1,0 +1,82 @@
+package gsdram
+
+import "testing"
+
+// TestZeroChipConflictsShuffled verifies the paper's §3.2 claim: with the
+// column-ID shuffle, any power-of-2 strided access pattern incurs zero chip
+// conflicts for values within a single DRAM row.
+func TestZeroChipConflictsShuffled(t *testing.T) {
+	for _, p := range []Params{GS422, GS844} {
+		for stride := 1; stride <= p.Chips; stride *= 2 {
+			for start := 0; start < stride; start++ {
+				set := StrideSet(start, stride, p.Chips)
+				if got := p.ChipConflicts(ShuffledMapping, set); got != 0 {
+					t.Errorf("params %+v stride %d start %d: %d conflicts with shuffling, want 0", p, stride, start, got)
+				}
+			}
+		}
+	}
+}
+
+// TestSimpleMappingConflicts verifies Challenge 1 (Figure 3): under the
+// simple mapping, a stride equal to the tuple size maps every wanted value
+// to the same chip, forcing one READ per value.
+func TestSimpleMappingConflicts(t *testing.T) {
+	p := GS844
+	set := StrideSet(0, 8, 8) // first field of eight 8-field tuples
+	if got := p.ReadsNeeded(SimpleMapping, set); got != 8 {
+		t.Errorf("simple mapping needs %d READs for stride 8, want 8", got)
+	}
+	if got := p.ReadsNeeded(ShuffledMapping, set); got != 1 {
+		t.Errorf("shuffled mapping needs %d READs for stride 8, want 1", got)
+	}
+	// Stride 2: simple mapping halves the useful chips.
+	set2 := StrideSet(0, 2, 8)
+	if got := p.ReadsNeeded(SimpleMapping, set2); got != 2 {
+		t.Errorf("simple mapping needs %d READs for stride 2, want 2", got)
+	}
+	if got := p.ReadsNeeded(ShuffledMapping, set2); got != 1 {
+		t.Errorf("shuffled mapping needs %d READs for stride 2, want 1", got)
+	}
+}
+
+func TestReadsNeededEmptySet(t *testing.T) {
+	p := GS844
+	if got := p.ReadsNeeded(SimpleMapping, nil); got != 0 {
+		t.Errorf("ReadsNeeded(nil) = %d, want 0", got)
+	}
+	if got := p.ChipConflicts(SimpleMapping, nil); got != 0 {
+		t.Errorf("ChipConflicts(nil) = %d, want 0", got)
+	}
+}
+
+func TestMappingString(t *testing.T) {
+	if SimpleMapping.String() != "simple" || ShuffledMapping.String() != "shuffled" {
+		t.Error("Mapping.String mismatch")
+	}
+	if Mapping(99).String() != "unknown" {
+		t.Error("unknown mapping should stringify as unknown")
+	}
+}
+
+// TestUnitStrideUnaffected checks that the shuffle never hurts the default
+// pattern: a contiguous cache line still needs exactly one READ.
+func TestUnitStrideUnaffected(t *testing.T) {
+	p := GS844
+	for col := 0; col < 16; col++ {
+		set := StrideSet(col*8, 1, 8)
+		if got := p.ReadsNeeded(ShuffledMapping, set); got != 1 {
+			t.Errorf("col %d: unit stride needs %d READs under shuffling, want 1", col, got)
+		}
+	}
+}
+
+func TestStrideSet(t *testing.T) {
+	got := StrideSet(3, 4, 4)
+	want := []int{3, 7, 11, 15}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("StrideSet = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package gsdram
+
+// This file implements the Column Translation Logic of paper §3.3
+// (Figure 5). Each chip k receives the column address C and the pattern ID
+// P alongside every READ/WRITE command and independently computes its local
+// column address:
+//
+//	column(k) = (chipID(k) AND P) XOR C
+//
+// With pattern 0 every chip accesses column C — the default behaviour of a
+// commodity rank. With pattern 2^j-1 the chips fan out over a stride-2^j
+// gather (given the §3.2 shuffled layout).
+
+// CTL computes the per-chip column address for a column command carrying
+// column col and pattern patt, exactly as the two-gate datapath in
+// Figure 5: (ChipID & PatternID) ^ ColumnID.
+//
+// When PatternBits exceeds log2(Chips), the chip ID is widened by repeating
+// its physical bits (paper §6.2): with 8 chips and a 6-bit pattern, chip 3
+// presents 011011 to the AND gate. This lets wider patterns express
+// additional access patterns without any extra per-chip state.
+func (p Params) CTL(chip int, patt Pattern, col int) int {
+	id := p.WideChipID(chip)
+	return (id & int(patt&p.PatternMask())) ^ col
+}
+
+// WideChipID returns the chip ID as presented to the CTL's AND gate: the
+// physical log2(c)-bit chip ID repeated as many times as needed to fill
+// PatternBits (paper §6.2). With 8 chips and a 6-bit pattern, chip 3
+// presents 011011. For PatternBits <= log2(c) this is just the physical
+// chip ID (higher chip-ID bits are masked off by the pattern itself).
+func (p Params) WideChipID(chip int) int {
+	cb := p.chipBits()
+	if cb == 0 || p.PatternBits <= cb {
+		return chip
+	}
+	id := 0
+	for shift := 0; shift < p.PatternBits; shift += cb {
+		id |= chip << shift
+	}
+	return id & (1<<p.PatternBits - 1)
+}
+
+// ChipColumns returns, for each chip, the column it accesses for a command
+// carrying (col, patt). Element k is the CTL output of chip k.
+func (p Params) ChipColumns(patt Pattern, col int) []int {
+	cols := make([]int, p.Chips)
+	for k := range cols {
+		cols[k] = p.CTL(k, patt, col)
+	}
+	return cols
+}
+
+// GatherIndices returns the logical word indices (positions within the
+// row buffer, in units of 8-byte words) retrieved by a READ with the given
+// pattern and column, in ascending order. This reproduces the circles of
+// Figure 7: for GS-DRAM(4,2,2), pattern 3 column 0 returns [0 4 8 12].
+//
+// The logical index of the word on chip k is derived by inverting the
+// shuffling network: chip k at column c holds word (k XOR (c mod 2^s)) of
+// the cache line written to column c, i.e. logical index
+// c*Chips + (k XOR (c mod 2^s)).
+func (p Params) GatherIndices(patt Pattern, col int) []int {
+	idx := make([]int, p.Chips)
+	for k := 0; k < p.Chips; k++ {
+		c := p.CTL(k, patt, col)
+		idx[k] = c*p.Chips + p.WordForChip(k, c)
+	}
+	sortInts(idx)
+	return idx
+}
+
+// sortInts is an insertion sort: gather widths are tiny (== Chips), so this
+// avoids pulling in package sort on a hot path.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package gsdram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// --- §6.1 programmable shuffling ---
+
+func TestMaskedShuffleDisablesStages(t *testing.T) {
+	// Mask 0b10 disables stage 1 (adjacent-value swap); only stage 2 acts.
+	fn := MaskedShuffle(2, 0b10)
+	for col := 0; col < 8; col++ {
+		want := col & 0b10
+		if got := fn(col); got != want {
+			t.Errorf("MaskedShuffle(2,0b10)(%d) = %d, want %d", col, got, want)
+		}
+	}
+}
+
+func TestXORShuffleParity(t *testing.T) {
+	// Control bit 0 = parity of column bits {0,2}; bit 1 = parity of bit 1.
+	fn := XORShuffle([]int{0b101, 0b010})
+	cases := map[int]int{
+		0b000: 0b00,
+		0b001: 0b01,
+		0b100: 0b01,
+		0b101: 0b00,
+		0b010: 0b10,
+		0b111: 0b10,
+	}
+	for col, want := range cases {
+		if got := fn(col); got != want {
+			t.Errorf("XORShuffle(%03b) = %02b, want %02b", col, got, want)
+		}
+	}
+}
+
+// TestProgrammableShuffleRoundTrip checks that a module built with any
+// shuffling function still round-trips every pattern: the controller
+// shuffles and unshuffles with the same function, so correctness is
+// function-independent.
+func TestProgrammableShuffleRoundTrip(t *testing.T) {
+	p := GS844
+	for name, fn := range map[string]ShuffleFunc{
+		"masked": MaskedShuffle(3, 0b101),
+		"xor":    XORShuffle([]int{0b11, 0b100, 0b1000}),
+	} {
+		m, err := NewModuleFunc(p, Geometry{Banks: 1, Rows: 1, Cols: 16}, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for patt := Pattern(0); patt <= p.MaxPattern(); patt++ {
+			line := make([]uint64, 8)
+			for i := range line {
+				line[i] = uint64(patt)*100 + uint64(i)
+			}
+			if err := m.WriteLine(0, 0, 5, patt, true, line); err != nil {
+				t.Fatal(err)
+			}
+			dst := make([]uint64, 8)
+			if _, err := m.ReadLine(0, 0, 5, patt, true, dst); err != nil {
+				t.Fatal(err)
+			}
+			for i := range line {
+				if dst[i] != line[i] {
+					t.Fatalf("%s shuffle pattern %d: round trip failed at %d", name, patt, i)
+				}
+			}
+		}
+	}
+}
+
+// --- §6.2 wider pattern IDs ---
+
+func TestWideChipIDRepeats(t *testing.T) {
+	p := Params{Chips: 8, ShuffleStages: 3, PatternBits: 6}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Chip 3 presents 011011 (the paper's example).
+	if got := p.WideChipID(3); got != 0b011011 {
+		t.Errorf("WideChipID(3) = %06b, want 011011", got)
+	}
+	if got := p.WideChipID(5); got != 0b101101 {
+		t.Errorf("WideChipID(5) = %06b, want 101101", got)
+	}
+	// With narrow patterns the wide ID behaves like the physical ID.
+	for k := 0; k < 8; k++ {
+		if got := GS844.WideChipID(k); got != k {
+			t.Errorf("GS844 WideChipID(%d) = %d, want %d", k, got, k)
+		}
+	}
+}
+
+// TestWidePatternsConflictFree checks that every 6-bit pattern still
+// gathers 8 distinct words (no chip conflicts — trivially true, one word
+// per chip — and no duplicated logical index).
+func TestWidePatternsConflictFree(t *testing.T) {
+	p := Params{Chips: 8, ShuffleStages: 3, PatternBits: 6}
+	for patt := Pattern(0); patt <= p.MaxPattern(); patt++ {
+		for col := 0; col < 64; col++ {
+			idx := p.GatherIndices(patt, col)
+			for i := 1; i < len(idx); i++ {
+				if idx[i] == idx[i-1] {
+					t.Fatalf("pattern %06b col %d gathers duplicate index %d", patt, col, idx[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWidePatternLargerReach verifies the §6.2 motivation: with 6 pattern
+// bits, pattern 001111 reaches words beyond the 8-column window that 3-bit
+// patterns are confined to.
+func TestWidePatternLargerReach(t *testing.T) {
+	p := Params{Chips: 8, ShuffleStages: 3, PatternBits: 6}
+	idx := p.GatherIndices(Pattern(0b001111), 0)
+	maxIdx := 0
+	for _, v := range idx {
+		if v > maxIdx {
+			maxIdx = v
+		}
+	}
+	if maxIdx < 64 {
+		t.Errorf("wide pattern max index %d does not exceed the 3-bit window (64 words)", maxIdx)
+	}
+	// Round-trip through a module for good measure.
+	m := NewModule(p, Geometry{Banks: 1, Rows: 1, Cols: 64})
+	line := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := m.WriteLine(0, 0, 0, Pattern(0b001111), true, line); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]uint64, 8)
+	if _, err := m.ReadLine(0, 0, 0, Pattern(0b001111), true, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range line {
+		if dst[i] != line[i] {
+			t.Fatalf("wide pattern round trip failed at %d", i)
+		}
+	}
+}
+
+// --- SEC-DED ECC ---
+
+func TestECCRoundTripClean(t *testing.T) {
+	f := func(data uint64) bool {
+		c := ECCEncode(data)
+		got, res := ECCDecode(data, c)
+		return got == data && res == ECCOK
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECCCorrectsEverySingleBit(t *testing.T) {
+	data := uint64(0xDEADBEEFCAFEF00D)
+	c := ECCEncode(data)
+	for bit := 0; bit < 64; bit++ {
+		corrupted := data ^ (1 << uint(bit))
+		got, res := ECCDecode(corrupted, c)
+		if res != ECCCorrected || got != data {
+			t.Fatalf("bit %d: decode = (%#x, %v), want corrected %#x", bit, got, res, data)
+		}
+	}
+}
+
+func TestECCCorrectsCheckByteCorruption(t *testing.T) {
+	data := uint64(0x0123456789ABCDEF)
+	c := ECCEncode(data)
+	for bit := 0; bit < 8; bit++ {
+		got, res := ECCDecode(data, c^(1<<uint(bit)))
+		if res != ECCCorrected || got != data {
+			t.Fatalf("check bit %d: decode = (%#x, %v), want corrected", bit, got, res)
+		}
+	}
+}
+
+func TestECCDetectsDoubleBitErrors(t *testing.T) {
+	data := uint64(0xA5A5A5A55A5A5A5A)
+	c := ECCEncode(data)
+	for i := 0; i < 64; i += 7 {
+		for j := i + 1; j < 64; j += 11 {
+			corrupted := data ^ (1 << uint(i)) ^ (1 << uint(j))
+			_, res := ECCDecode(corrupted, c)
+			if res != ECCUncorrectable {
+				t.Fatalf("bits %d,%d: double error classified %v", i, j, res)
+			}
+		}
+	}
+}
+
+func TestECCResultString(t *testing.T) {
+	for r, s := range map[ECCResult]string{ECCOK: "ok", ECCCorrected: "corrected", ECCUncorrectable: "uncorrectable", ECCResult(9): "invalid"} {
+		if r.String() != s {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), s)
+		}
+	}
+}
+
+// --- §6.3 intra-chip translation ---
+
+func TestTiledChipDefaultRead(t *testing.T) {
+	c, err := NewTiledChip(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col := 0; col < 16; col++ {
+		if err := c.WriteColumn(col, uint64(col)*0x0101010101010101); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for col := 0; col < 16; col++ {
+		got, err := c.ReadColumn(col, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != uint64(col)*0x0101010101010101 {
+			t.Fatalf("col %d: read %#x", col, got)
+		}
+	}
+}
+
+// TestTiledChipSubWordGather checks the sub-8-byte gather: with intra
+// pattern 7, byte-tile t reads column t^col, so a single chip read returns
+// one byte from each of 8 consecutive columns.
+func TestTiledChipSubWordGather(t *testing.T) {
+	c, err := NewTiledChip(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column c holds the byte value c replicated in all 8 byte lanes.
+	for col := 0; col < 16; col++ {
+		if err := c.WriteColumn(col, uint64(col)*0x0101010101010101); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.ReadColumn(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tile t reads column t^0 = t, contributing byte value t at lane t.
+	want := uint64(0x0706050403020100)
+	if got != want {
+		t.Fatalf("intra-chip gather = %#x, want %#x", got, want)
+	}
+}
+
+func TestTiledChipErrors(t *testing.T) {
+	if _, err := NewTiledChip(3, 16); err == nil {
+		t.Error("non-power-of-two tiles accepted")
+	}
+	if _, err := NewTiledChip(16, 16); err == nil {
+		t.Error("tiles > WordBytes accepted")
+	}
+	if _, err := NewTiledChip(8, 0); err == nil {
+		t.Error("zero cols accepted")
+	}
+	c, _ := NewTiledChip(8, 16)
+	if err := c.WriteColumn(16, 0); err == nil {
+		t.Error("out-of-range write accepted")
+	}
+	if _, err := c.ReadColumn(-1, 0); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+}
+
+// --- ECC module end to end ---
+
+func TestECCModuleGatherCorrectsErrors(t *testing.T) {
+	p := GS844
+	em, err := NewECCModule(p, Geometry{Banks: 1, Rows: 1, Cols: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write 8 tuples.
+	for col := 0; col < 8; col++ {
+		line := make([]uint64, 8)
+		for i := range line {
+			line[i] = uint64(1000*col + i)
+		}
+		if err := em.WriteLine(0, 0, col, DefaultPattern, true, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flip one bit in the raw storage of some chip.
+	if err := em.InjectBitFlip(0, 0, 3, 5, 17); err != nil {
+		t.Fatal(err)
+	}
+	// Gather field 0 of all 8 tuples with pattern 7. The flipped word may
+	// or may not be part of this gather; read all 8 field gathers so every
+	// word is covered.
+	corrected := 0
+	for f := 0; f < 8; f++ {
+		dst := make([]uint64, 8)
+		results, err := em.ReadLine(0, 0, f, 7, true, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range results {
+			switch r {
+			case ECCCorrected:
+				corrected++
+			case ECCUncorrectable:
+				t.Fatalf("field %d word %d: uncorrectable", f, i)
+			}
+		}
+		// All gathered values must be correct post-ECC.
+		idx := p.GatherIndices(7, f)
+		for i, l := range idx {
+			col, w := l/8, l%8
+			want := uint64(1000*col + w)
+			if dst[i] != want {
+				t.Fatalf("field %d word %d = %d, want %d", f, i, dst[i], want)
+			}
+		}
+	}
+	if corrected != 1 {
+		t.Fatalf("ECC corrected %d words, want exactly 1", corrected)
+	}
+}
+
+func TestECCModuleInjectErrors(t *testing.T) {
+	em, err := NewECCModule(GS844, Geometry{Banks: 1, Rows: 1, Cols: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := em.InjectBitFlip(0, 0, 0, 0, 64); err == nil {
+		t.Error("bit 64 accepted")
+	}
+	if err := em.InjectBitFlip(0, 0, 99, 0, 0); err == nil {
+		t.Error("column 99 accepted")
+	}
+	if _, err := NewECCModule(Params{Chips: 5}, Geometry{Banks: 1, Rows: 1, Cols: 8}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+// TestECCReadsPerGather quantifies §6.3: without intra-chip translation
+// the ECC chip must be read once per donor column (8 for pattern 7); with
+// it, once per gather for every pattern.
+func TestECCReadsPerGather(t *testing.T) {
+	p := GS844
+	for _, tc := range []struct {
+		patt Pattern
+		want int
+	}{
+		{0, 1}, {1, 2}, {3, 4}, {7, 8},
+	} {
+		if got := p.ECCReadsPerGather(tc.patt, 0, false); got != tc.want {
+			t.Errorf("pattern %d without intra-chip: %d ECC reads, want %d", tc.patt, got, tc.want)
+		}
+		if got := p.ECCReadsPerGather(tc.patt, 0, true); got != 1 {
+			t.Errorf("pattern %d with intra-chip: %d ECC reads, want 1", tc.patt, got)
+		}
+	}
+}

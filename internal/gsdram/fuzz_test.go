@@ -1,0 +1,94 @@
+package gsdram
+
+import "testing"
+
+// FuzzECCRoundTrip fuzzes the SEC-DED code: clean words decode OK;
+// any single injected bit error (data or check byte) is corrected back to
+// the original word.
+func FuzzECCRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint8(0))
+	f.Add(uint64(0xDEADBEEF), uint8(13))
+	f.Add(^uint64(0), uint8(71))
+	f.Fuzz(func(t *testing.T, data uint64, flip uint8) {
+		check := ECCEncode(data)
+		if got, res := ECCDecode(data, check); got != data || res != ECCOK {
+			t.Fatalf("clean decode = (%#x,%v)", got, res)
+		}
+		bit := int(flip) % 72
+		var corruptedData = data
+		var corruptedCheck = check
+		if bit < 64 {
+			corruptedData ^= 1 << uint(bit)
+		} else {
+			corruptedCheck ^= 1 << uint(bit-64)
+		}
+		got, res := ECCDecode(corruptedData, corruptedCheck)
+		if res != ECCCorrected {
+			t.Fatalf("single-bit flip at %d: status %v", bit, res)
+		}
+		if got != data {
+			t.Fatalf("single-bit flip at %d: decoded %#x, want %#x", bit, got, data)
+		}
+	})
+}
+
+// FuzzShuffleRoundTrip fuzzes the shuffling network: for any control
+// input, shuffling twice is the identity, and the network agrees with the
+// closed-form XOR permutation.
+func FuzzShuffleRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint64(1))
+	f.Add(uint8(7), uint64(0x0123456789ABCDEF))
+	f.Fuzz(func(t *testing.T, col uint8, seed uint64) {
+		p := GS844
+		line := make([]uint64, 8)
+		for i := range line {
+			line[i] = seed + uint64(i)*0x9E3779B9
+		}
+		orig := make([]uint64, 8)
+		copy(orig, line)
+		ctrl := DefaultShuffle(p.ShuffleStages)(int(col))
+		shuffleWords(line, p.ShuffleStages, ctrl)
+		for chip, v := range line {
+			word := int(v-seed) / 0x9E3779B9
+			if got := p.ChipForWord(word, int(col)&p.shuffleMask()); got != chip {
+				t.Fatalf("word %d landed on chip %d, closed form says %d", word, chip, got)
+			}
+		}
+		shuffleWords(line, p.ShuffleStages, ctrl)
+		for i := range line {
+			if line[i] != orig[i] {
+				t.Fatalf("double shuffle not identity at %d", i)
+			}
+		}
+	})
+}
+
+// FuzzModuleWriteRead fuzzes the module: any (bank,row,col,pattern) write
+// followed by the same read returns the written line.
+func FuzzModuleWriteRead(f *testing.F) {
+	f.Add(uint8(0), uint16(0), uint8(0), uint8(0), uint64(1))
+	f.Add(uint8(1), uint16(3), uint8(63), uint8(7), uint64(0xABCDEF))
+	m := NewModule(GS844, Geometry{Banks: 2, Rows: 8, Cols: 64})
+	f.Fuzz(func(t *testing.T, bank uint8, row uint16, col uint8, patt uint8, seed uint64) {
+		b := int(bank) % 2
+		r := int(row) % 8
+		c := int(col) % 64
+		p := Pattern(patt) & GS844.MaxPattern()
+		line := make([]uint64, 8)
+		for i := range line {
+			line[i] = seed ^ uint64(i)<<32
+		}
+		if err := m.WriteLine(b, r, c, p, true, line); err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]uint64, 8)
+		if _, err := m.ReadLine(b, r, c, p, true, dst); err != nil {
+			t.Fatal(err)
+		}
+		for i := range line {
+			if dst[i] != line[i] {
+				t.Fatalf("round trip failed at %d: %#x != %#x", i, dst[i], line[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,492 @@
+package gsdram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		p  Params
+		ok bool
+	}{
+		{GS844, true},
+		{GS422, true},
+		{Params{Chips: 1, ShuffleStages: 0, PatternBits: 0}, true},
+		{Params{Chips: 16, ShuffleStages: 4, PatternBits: 4}, true},
+		{Params{Chips: 0, ShuffleStages: 0, PatternBits: 0}, false},
+		{Params{Chips: 3, ShuffleStages: 1, PatternBits: 1}, false},
+		{Params{Chips: 128, ShuffleStages: 3, PatternBits: 3}, false},
+		{Params{Chips: 8, ShuffleStages: 4, PatternBits: 3}, false}, // 2^4 > 8
+		{Params{Chips: 8, ShuffleStages: -1, PatternBits: 3}, false},
+		{Params{Chips: 8, ShuffleStages: 3, PatternBits: 17}, false},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.p, err, c.ok)
+		}
+	}
+}
+
+func TestLineBytes(t *testing.T) {
+	if got := GS844.LineBytes(); got != 64 {
+		t.Errorf("GS844 line size = %d, want 64", got)
+	}
+	if got := GS422.LineBytes(); got != 32 {
+		t.Errorf("GS422 line size = %d, want 32", got)
+	}
+}
+
+func TestStridePattern(t *testing.T) {
+	cases := []struct {
+		stride int
+		patt   Pattern
+		ok     bool
+	}{
+		{1, 0, true},
+		{2, 1, true},
+		{4, 3, true},
+		{8, 7, true},
+		{16, 0, false}, // needs 4 pattern bits in GS844
+		{3, 0, false},
+		{0, 0, false},
+		{-4, 0, false},
+	}
+	for _, c := range cases {
+		patt, err := GS844.StridePattern(c.stride)
+		if (err == nil) != c.ok {
+			t.Errorf("StridePattern(%d) error = %v, want ok=%v", c.stride, err, c.ok)
+			continue
+		}
+		if c.ok && patt != c.patt {
+			t.Errorf("StridePattern(%d) = %d, want %d", c.stride, patt, c.patt)
+		}
+	}
+}
+
+func TestPatternStride(t *testing.T) {
+	for _, c := range []struct {
+		patt   Pattern
+		stride int
+		ok     bool
+	}{
+		{0, 1, true}, {1, 2, true}, {3, 4, true}, {7, 8, true},
+		{2, 0, false}, {5, 0, false}, {6, 0, false},
+	} {
+		s, ok := GS844.PatternStride(c.patt)
+		if ok != c.ok || (ok && s != c.stride) {
+			t.Errorf("PatternStride(%d) = (%d,%v), want (%d,%v)", c.patt, s, ok, c.stride, c.ok)
+		}
+	}
+}
+
+// TestShuffleNetworkMatchesClosedForm proves that the literal stage-by-stage
+// network of Figure 4 is the XOR permutation used by ChipForWord.
+func TestShuffleNetworkMatchesClosedForm(t *testing.T) {
+	for _, p := range []Params{GS422, GS844, {Chips: 16, ShuffleStages: 4, PatternBits: 4}} {
+		for col := 0; col < 64; col++ {
+			line := make([]uint64, p.Chips)
+			for i := range line {
+				line[i] = uint64(i)
+			}
+			shuffleWords(line, p.ShuffleStages, DefaultShuffle(p.ShuffleStages)(col))
+			for chip, v := range line {
+				if got := p.ChipForWord(int(v), col); got != chip {
+					t.Fatalf("params %+v col %d: network put word %d on chip %d, closed form says chip %d", p, col, v, chip, got)
+				}
+			}
+		}
+	}
+}
+
+func TestShuffleNetworkIsInvolution(t *testing.T) {
+	f := func(seed uint8, ctrl uint8) bool {
+		line := make([]uint64, 8)
+		orig := make([]uint64, 8)
+		for i := range line {
+			line[i] = uint64(seed) + uint64(i)*3
+			orig[i] = line[i]
+		}
+		c := int(ctrl) & 7
+		shuffleWords(line, 3, c)
+		shuffleWords(line, 3, c)
+		for i := range line {
+			if line[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordForChipInvertsChipForWord(t *testing.T) {
+	p := GS844
+	for col := 0; col < 128; col++ {
+		for w := 0; w < p.Chips; w++ {
+			chip := p.ChipForWord(w, col)
+			if got := p.WordForChip(chip, col); got != w {
+				t.Fatalf("col %d word %d: inverse gave %d", col, w, got)
+			}
+		}
+	}
+}
+
+func TestCTLDefaultPatternIsIdentity(t *testing.T) {
+	for _, p := range []Params{GS422, GS844} {
+		for col := 0; col < 32; col++ {
+			for k := 0; k < p.Chips; k++ {
+				if got := p.CTL(k, DefaultPattern, col); got != col {
+					t.Fatalf("CTL(chip %d, patt 0, col %d) = %d, want %d", k, col, got, col)
+				}
+			}
+		}
+	}
+}
+
+func TestCTLFormula(t *testing.T) {
+	p := GS844
+	for k := 0; k < 8; k++ {
+		for patt := Pattern(0); patt <= 7; patt++ {
+			for col := 0; col < 16; col++ {
+				want := (k & int(patt)) ^ col
+				if got := p.CTL(k, patt, col); got != want {
+					t.Fatalf("CTL(%d,%d,%d) = %d, want %d", k, patt, col, got, want)
+				}
+			}
+		}
+	}
+}
+
+// figure7 is the table from the paper's Figure 7: the logical row indices
+// gathered by GS-DRAM(4,2,2) for every pattern and column 0-3, derived by
+// applying the Figure 5 CTL formula to the Figure 6 shuffled layout (both
+// of which TestCTLFormula and TestFigure6Layout verify independently).
+//
+// Note: the published Figure 7 lists pattern 2's middle rows as column 1 ->
+// {2,3,10,11} and column 2 -> {4,5,12,13}, i.e. enumerated by content
+// order. The CTL formula (chipID & 2) XOR C applied to the Figure 6 layout
+// yields the same four cache lines with those two issued columns swapped:
+// C=1 touches chip columns {1,3} (tuples 1 and 3 -> words {4,5,12,13}) and
+// C=2 touches chip columns {2,0} (-> words {2,3,10,11}). The set of
+// gathered cache lines is identical; TestFigure7SetsMatchPaper checks that.
+var figure7 = map[Pattern][4][4]int{
+	0: {{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11}, {12, 13, 14, 15}},
+	1: {{0, 2, 4, 6}, {1, 3, 5, 7}, {8, 10, 12, 14}, {9, 11, 13, 15}},
+	2: {{0, 1, 8, 9}, {4, 5, 12, 13}, {2, 3, 10, 11}, {6, 7, 14, 15}},
+	3: {{0, 4, 8, 12}, {1, 5, 9, 13}, {2, 6, 10, 14}, {3, 7, 11, 15}},
+}
+
+func TestFigure7GatherIndices(t *testing.T) {
+	p := GS422
+	for patt, byCol := range figure7 {
+		for col, want := range byCol {
+			got := p.GatherIndices(patt, col)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("pattern %d column %d: gathered %v, want %v", patt, col, got, want)
+					break
+				}
+			}
+		}
+	}
+}
+
+// figure7Published is Figure 7 exactly as printed in the paper.
+var figure7Published = map[Pattern][4][4]int{
+	0: {{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11}, {12, 13, 14, 15}},
+	1: {{0, 2, 4, 6}, {1, 3, 5, 7}, {8, 10, 12, 14}, {9, 11, 13, 15}},
+	2: {{0, 1, 8, 9}, {2, 3, 10, 11}, {4, 5, 12, 13}, {6, 7, 14, 15}},
+	3: {{0, 4, 8, 12}, {1, 5, 9, 13}, {2, 6, 10, 14}, {3, 7, 11, 15}},
+}
+
+// TestFigure7SetsMatchPaper checks that, for every pattern, the set of
+// cache lines gatherable by GS-DRAM(4,2,2) equals the published Figure 7
+// set (the issued-column labelling of pattern 2's middle rows differs; see
+// the comment on figure7).
+func TestFigure7SetsMatchPaper(t *testing.T) {
+	p := GS422
+	key := func(line [4]int) [4]int { return line }
+	for patt, byCol := range figure7Published {
+		want := map[[4]int]bool{}
+		for _, line := range byCol {
+			want[key(line)] = true
+		}
+		for col := 0; col < 4; col++ {
+			idx := p.GatherIndices(patt, col)
+			var got [4]int
+			copy(got[:], idx)
+			if !want[got] {
+				t.Errorf("pattern %d col %d: gathered %v not in published Figure 7 set", patt, col, got)
+			}
+			delete(want, got)
+		}
+		if len(want) != 0 {
+			t.Errorf("pattern %d: published lines %v never gathered", patt, want)
+		}
+	}
+}
+
+// TestFigure6Layout writes the four example tuples through the shuffling
+// controller and checks the resulting chip contents against Figure 6, then
+// gathers the first field with pattern 3 as in the paper's walkthrough.
+func TestFigure6Layout(t *testing.T) {
+	p := GS422
+	m := NewModule(p, Geometry{Banks: 1, Rows: 1, Cols: 4})
+	// Tuple i holds values i0, i1, i2, i3 encoded as 10*i+j.
+	for tup := 0; tup < 4; tup++ {
+		line := make([]uint64, 4)
+		for f := 0; f < 4; f++ {
+			line[f] = uint64(10*tup + f)
+		}
+		if err := m.WriteLine(0, 0, tup, DefaultPattern, true, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Figure 6 chip contents: chip k column c holds tuple c, field k^c.
+	want := [4][4]uint64{
+		{0, 11, 22, 33}, // chip 0
+		{1, 10, 23, 32}, // chip 1
+		{2, 13, 20, 31}, // chip 2
+		{3, 12, 21, 30}, // chip 3
+	}
+	for chip := 0; chip < 4; chip++ {
+		for col := 0; col < 4; col++ {
+			got, err := m.ChipWord(0, 0, col, chip)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want[chip][col] {
+				t.Errorf("chip %d col %d = %d, want %d", chip, col, got, want[chip][col])
+			}
+		}
+	}
+	// READ col 0 pattern 3 must return the first field of all four tuples.
+	dst := make([]uint64, 4)
+	if _, err := m.ReadLine(0, 0, 0, 3, true, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, wantV := range []uint64{0, 10, 20, 30} {
+		if dst[i] != wantV {
+			t.Errorf("gathered field 0: dst[%d] = %d, want %d", i, dst[i], wantV)
+		}
+	}
+	// READ col 2 pattern 0 must return the third tuple in order (the paper
+	// notes the chips return columns (2 2 2 2) and the controller
+	// unshuffles).
+	if _, err := m.ReadLine(0, 0, 2, DefaultPattern, true, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, wantV := range []uint64{20, 21, 22, 23} {
+		if dst[i] != wantV {
+			t.Errorf("tuple 2: dst[%d] = %d, want %d", i, dst[i], wantV)
+		}
+	}
+}
+
+// TestGatherIndicesAreStrides checks §3.5: pattern 2^k-1 gathers stride 2^k
+// for every configuration and aligned column.
+func TestGatherIndicesAreStrides(t *testing.T) {
+	for _, p := range []Params{GS422, GS844} {
+		for k := 0; 1<<k <= p.Chips && Pattern(1<<k-1) <= p.MaxPattern(); k++ {
+			stride := 1 << k
+			patt := Pattern(stride - 1)
+			// Column 0 must gather {0, stride, 2*stride, ...}.
+			got := p.GatherIndices(patt, 0)
+			for i, v := range got {
+				if v != i*stride {
+					t.Errorf("params %+v pattern %d: index[%d] = %d, want %d", p, patt, i, v, i*stride)
+				}
+			}
+		}
+	}
+}
+
+// TestGatherPartitionsRow checks that for any fixed pattern, the gathers
+// across all columns partition the row: every word is returned exactly
+// once. Without this property a pattern would lose or duplicate data.
+func TestGatherPartitionsRow(t *testing.T) {
+	for _, p := range []Params{GS422, GS844} {
+		words := p.Chips * 16
+		cols := 16
+		for patt := Pattern(0); patt <= p.MaxPattern(); patt++ {
+			seen := make([]int, words)
+			for col := 0; col < cols; col++ {
+				for _, l := range p.GatherIndices(patt, col) {
+					if l < 0 || l >= words {
+						t.Fatalf("params %+v pattern %d col %d: index %d out of row", p, patt, col, l)
+					}
+					seen[l]++
+				}
+			}
+			for l, n := range seen {
+				if n != 1 {
+					t.Fatalf("params %+v pattern %d: word %d gathered %d times", p, patt, l, n)
+				}
+			}
+		}
+	}
+}
+
+func TestModuleRoundTripAllPatterns(t *testing.T) {
+	p := GS844
+	g := Geometry{Banks: 2, Rows: 4, Cols: 32}
+	m := NewModule(p, g)
+	for patt := Pattern(0); patt <= p.MaxPattern(); patt++ {
+		line := make([]uint64, p.Chips)
+		for i := range line {
+			line[i] = uint64(patt)<<32 | uint64(i)
+		}
+		if err := m.WriteLine(1, 3, 9, patt, true, line); err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]uint64, p.Chips)
+		if _, err := m.ReadLine(1, 3, 9, patt, true, dst); err != nil {
+			t.Fatal(err)
+		}
+		for i := range line {
+			if dst[i] != line[i] {
+				t.Fatalf("pattern %d: round trip dst[%d] = %#x, want %#x", patt, i, dst[i], line[i])
+			}
+		}
+	}
+}
+
+// TestScatterVisibleToDefaultReads writes with a non-zero pattern and
+// checks the values land at the right logical positions for ordinary
+// (pattern 0) reads — the coherence property that makes pattstore usable.
+func TestScatterVisibleToDefaultReads(t *testing.T) {
+	p := GS844
+	m := NewModule(p, Geometry{Banks: 1, Rows: 1, Cols: 16})
+	// Initialise the first 8 columns with known data.
+	for col := 0; col < 8; col++ {
+		line := make([]uint64, 8)
+		for i := range line {
+			line[i] = uint64(100*col + i)
+		}
+		if err := m.WriteLine(0, 0, col, DefaultPattern, true, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Scatter new values into field 2 of tuples 0..7 (pattern 7, col 2).
+	scatter := make([]uint64, 8)
+	for i := range scatter {
+		scatter[i] = 7000 + uint64(i)
+	}
+	if err := m.WriteLine(0, 0, 2, 7, true, scatter); err != nil {
+		t.Fatal(err)
+	}
+	// Default reads of each tuple must see the new field 2 and the old
+	// other fields.
+	dst := make([]uint64, 8)
+	for col := 0; col < 8; col++ {
+		if _, err := m.ReadLine(0, 0, col, DefaultPattern, true, dst); err != nil {
+			t.Fatal(err)
+		}
+		for i := range dst {
+			want := uint64(100*col + i)
+			if i == 2 {
+				want = 7000 + uint64(col)
+			}
+			if dst[i] != want {
+				t.Errorf("tuple %d word %d = %d, want %d", col, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestModuleWordAccessors(t *testing.T) {
+	p := GS844
+	m := NewModule(p, Geometry{Banks: 1, Rows: 2, Cols: 16})
+	for l := 0; l < 16*8; l++ {
+		if err := m.WriteWord(0, 1, l, true, uint64(l)*7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for l := 0; l < 16*8; l++ {
+		v, err := m.ReadWord(0, 1, l, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != uint64(l)*7 {
+			t.Fatalf("word %d = %d, want %d", l, v, uint64(l)*7)
+		}
+	}
+	// Word writes must agree with line reads.
+	dst := make([]uint64, 8)
+	if _, err := m.ReadLine(0, 1, 3, DefaultPattern, true, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != uint64(3*8+i)*7 {
+			t.Fatalf("line read word %d = %d, want %d", i, dst[i], uint64(3*8+i)*7)
+		}
+	}
+}
+
+func TestModuleErrors(t *testing.T) {
+	p := GS844
+	m := NewModule(p, Geometry{Banks: 1, Rows: 1, Cols: 8})
+	line := make([]uint64, 8)
+	if err := m.WriteLine(1, 0, 0, 0, true, line); err == nil {
+		t.Error("bank out of range accepted")
+	}
+	if err := m.WriteLine(0, 1, 0, 0, true, line); err == nil {
+		t.Error("row out of range accepted")
+	}
+	if err := m.WriteLine(0, 0, 8, 0, true, line); err == nil {
+		t.Error("column out of range accepted")
+	}
+	if err := m.WriteLine(0, 0, 0, 8, true, line); err == nil {
+		t.Error("pattern out of range accepted")
+	}
+	if err := m.WriteLine(0, 0, 0, 0, true, line[:4]); err == nil {
+		t.Error("short line accepted")
+	}
+	if _, err := m.ReadLine(0, 0, 0, 0, true, line[:4]); err == nil {
+		t.Error("short dst accepted")
+	}
+	if _, err := m.ChipWord(0, 0, 0, 9); err == nil {
+		t.Error("chip out of range accepted")
+	}
+	if _, err := NewModuleFunc(Params{Chips: 3}, Geometry{Banks: 1, Rows: 1, Cols: 8}, nil); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := NewModuleFunc(p, Geometry{Banks: 1, Rows: 1, Cols: 7}, nil); err == nil {
+		t.Error("non-power-of-two Cols accepted")
+	}
+}
+
+func TestModuleRoundTripProperty(t *testing.T) {
+	p := GS844
+	m := NewModule(p, Geometry{Banks: 2, Rows: 8, Cols: 64})
+	f := func(bank, row, col uint8, patt uint8, seed uint64) bool {
+		b := int(bank) % 2
+		r := int(row) % 8
+		c := int(col) % 64
+		pt := Pattern(patt) & p.MaxPattern()
+		line := make([]uint64, p.Chips)
+		for i := range line {
+			line[i] = seed + uint64(i)*0x9E3779B9
+		}
+		if err := m.WriteLine(b, r, c, pt, true, line); err != nil {
+			return false
+		}
+		dst := make([]uint64, p.Chips)
+		if _, err := m.ReadLine(b, r, c, pt, true, dst); err != nil {
+			return false
+		}
+		for i := range line {
+			if dst[i] != line[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

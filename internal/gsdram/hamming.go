@@ -1,0 +1,119 @@
+package gsdram
+
+// SEC-DED Hamming(72,64) code used by the §6.3 ECC extension: 8 check bits
+// protect each 64-bit word, correcting any single-bit error and detecting
+// any double-bit error — the code class used by ECC DIMMs.
+//
+// Construction: data bits occupy the non-power-of-two positions of the
+// classic Hamming layout; check bit b (b = 0..6) is the parity of the
+// positions whose index has bit b set; check bit 7 makes the overall
+// parity of the whole 72-bit codeword even, upgrading SEC to SEC-DED.
+
+// hammingPositions maps each of the 64 data bits to its position in the
+// Hamming codeword (positions that are not powers of two), 1-based.
+var hammingPositions = func() [64]uint32 {
+	var pos [64]uint32
+	p := uint32(1)
+	for i := 0; i < 64; i++ {
+		p++
+		for p&(p-1) == 0 { // skip power-of-two positions (check bits)
+			p++
+		}
+		pos[i] = p
+	}
+	return pos
+}()
+
+// hammingCheck returns the 7 Hamming check bits for a 64-bit word.
+func hammingCheck(data uint64) uint8 {
+	var check uint8
+	for i := 0; i < 64; i++ {
+		if data&(1<<uint(i)) == 0 {
+			continue
+		}
+		check ^= uint8(hammingPositions[i] & 0x7F)
+	}
+	return check
+}
+
+// ECCEncode returns the 8-bit SEC-DED check byte for a 64-bit word: seven
+// Hamming check bits plus an overall (even) parity bit in bit 7.
+func ECCEncode(data uint64) uint8 {
+	check := hammingCheck(data)
+	par := parity64(data) ^ parity8(check)
+	return check | par<<7
+}
+
+// ECCResult classifies the outcome of an ECC check.
+type ECCResult int
+
+const (
+	// ECCOK means the word matched its check byte.
+	ECCOK ECCResult = iota
+	// ECCCorrected means a single-bit error was detected and corrected
+	// (or the error was confined to the check byte, leaving data intact).
+	ECCCorrected
+	// ECCUncorrectable means a multi-bit error was detected.
+	ECCUncorrectable
+)
+
+func (r ECCResult) String() string {
+	switch r {
+	case ECCOK:
+		return "ok"
+	case ECCCorrected:
+		return "corrected"
+	case ECCUncorrectable:
+		return "uncorrectable"
+	default:
+		return "invalid"
+	}
+}
+
+// ECCDecode verifies data against its stored check byte, returning the
+// (possibly corrected) word and the check outcome.
+func ECCDecode(data uint64, stored uint8) (uint64, ECCResult) {
+	syndrome := (hammingCheck(data) ^ stored) & 0x7F
+	// Overall parity of the received codeword (data + 7 check bits +
+	// parity bit). Even parity was stored, so a non-zero value means an
+	// odd number of bit errors.
+	par := parity64(data) ^ parity8(stored&0x7F) ^ (stored >> 7 & 1)
+
+	switch {
+	case syndrome == 0 && par == 0:
+		return data, ECCOK
+	case par == 1 && syndrome == 0:
+		// The overall parity bit itself flipped; data is intact.
+		return data, ECCCorrected
+	case par == 1:
+		// Single-bit error at Hamming position `syndrome`.
+		for i, p := range hammingPositions {
+			if p == uint32(syndrome) {
+				return data ^ (1 << uint(i)), ECCCorrected
+			}
+		}
+		// Syndrome points at a check-bit position (a power of two): the
+		// stored check byte was corrupted, data is intact.
+		return data, ECCCorrected
+	default:
+		// Non-zero syndrome with even overall parity: double-bit error.
+		return data, ECCUncorrectable
+	}
+}
+
+func parity64(v uint64) uint8 {
+	v ^= v >> 32
+	v ^= v >> 16
+	v ^= v >> 8
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return uint8(v & 1)
+}
+
+func parity8(v uint8) uint8 {
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return v & 1
+}

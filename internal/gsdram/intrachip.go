@@ -1,0 +1,186 @@
+package gsdram
+
+import "fmt"
+
+// This file implements the §6.3 extensions: intra-chip column translation
+// (each DRAM chip is a 2-D collection of tiles/MATs, and the CTL idea can
+// be applied per tile inside a chip) and the ECC application built on it.
+
+// TiledChip models a single DRAM chip as a set of tiles (MATs), each
+// contributing an equal slice of the chip's 8-byte column word. With
+// intra-chip column translation, tile t can access column
+// (tileID & intraPattern) XOR col, which permits gathers at sub-8-byte
+// granularity from a single chip.
+type TiledChip struct {
+	tiles int
+	cols  int
+	// data[t][c] is tile t's contribution (WordBytes/tiles bytes) to
+	// column c, packed little-endian into a uint64.
+	data [][]uint64
+}
+
+// NewTiledChip returns a chip with the given number of tiles and columns.
+// tiles must be a power of two dividing WordBytes (so each tile contributes
+// a whole number of bytes).
+func NewTiledChip(tiles, cols int) (*TiledChip, error) {
+	if tiles <= 0 || tiles&(tiles-1) != 0 || tiles > WordBytes {
+		return nil, fmt.Errorf("gsdram: tiles must be a power of two in [1,%d], got %d", WordBytes, tiles)
+	}
+	if cols <= 0 || cols&(cols-1) != 0 {
+		return nil, fmt.Errorf("gsdram: cols must be a positive power of two, got %d", cols)
+	}
+	d := make([][]uint64, tiles)
+	for t := range d {
+		d[t] = make([]uint64, cols)
+	}
+	return &TiledChip{tiles: tiles, cols: cols, data: d}, nil
+}
+
+// Tiles returns the number of tiles (MATs) in the chip.
+func (c *TiledChip) Tiles() int { return c.tiles }
+
+// sliceBits returns the width in bits of each tile's contribution.
+func (c *TiledChip) sliceBits() int { return WordBytes * 8 / c.tiles }
+
+// WriteColumn stores an 8-byte word at a column, splitting it across the
+// tiles: tile t holds bits [t*sliceBits, (t+1)*sliceBits).
+func (c *TiledChip) WriteColumn(col int, word uint64) error {
+	if col < 0 || col >= c.cols {
+		return fmt.Errorf("gsdram: column %d out of range [0,%d)", col, c.cols)
+	}
+	sb := c.sliceBits()
+	mask := uint64(1)<<uint(sb) - 1
+	if sb == 64 {
+		mask = ^uint64(0)
+	}
+	for t := 0; t < c.tiles; t++ {
+		c.data[t][col] = (word >> uint(t*sb)) & mask
+	}
+	return nil
+}
+
+// ReadColumn gathers an 8-byte word using intra-chip column translation:
+// tile t supplies its slice from column (t & intraPatt) XOR col. With
+// intraPatt 0 this is an ordinary column read.
+func (c *TiledChip) ReadColumn(col int, intraPatt Pattern) (uint64, error) {
+	if col < 0 || col >= c.cols {
+		return 0, fmt.Errorf("gsdram: column %d out of range [0,%d)", col, c.cols)
+	}
+	sb := c.sliceBits()
+	var word uint64
+	for t := 0; t < c.tiles; t++ {
+		tc := (t & int(intraPatt)) ^ col
+		if tc >= c.cols {
+			return 0, fmt.Errorf("gsdram: translated tile column %d out of range [0,%d)", tc, c.cols)
+		}
+		word |= c.data[t][tc] << uint(t*sb)
+	}
+	return word, nil
+}
+
+// ECCModule wraps a Module with a ninth "ECC chip" that supports intra-chip
+// column translation (paper §6.3). Tile k of the ECC chip stores the
+// SEC-DED check byte of data chip k's word at each column. For a gather
+// with pattern P, tile k translates its column exactly as data chip k's CTL
+// does, so one ECC-chip read returns the correct check bytes for all the
+// gathered words — ECC works for every pattern with no extra bandwidth.
+type ECCModule struct {
+	mod *Module
+	// ecc[bank][row] is an ECC chip image: ecc[bank][row][k][c] is the
+	// check byte for data chip k's word at column c.
+	ecc [][][][]uint8
+}
+
+// NewECCModule returns an ECC-protected GS-DRAM module.
+func NewECCModule(p Params, g Geometry) (*ECCModule, error) {
+	mod, err := NewModuleFunc(p, g, nil)
+	if err != nil {
+		return nil, err
+	}
+	ecc := make([][][][]uint8, g.Banks)
+	for b := range ecc {
+		ecc[b] = make([][][]uint8, g.Rows)
+		for r := range ecc[b] {
+			ecc[b][r] = make([][]uint8, p.Chips)
+			for k := range ecc[b][r] {
+				ecc[b][r][k] = make([]uint8, g.Cols)
+			}
+		}
+	}
+	return &ECCModule{mod: mod, ecc: ecc}, nil
+}
+
+// Module returns the underlying data module.
+func (e *ECCModule) Module() *Module { return e.mod }
+
+// WriteLine writes a cache line and updates the ECC chip image.
+func (e *ECCModule) WriteLine(bank, row, col int, patt Pattern, shuffled bool, line []uint64) error {
+	if err := e.mod.WriteLine(bank, row, col, patt, shuffled, line); err != nil {
+		return err
+	}
+	// Refresh the check bytes of every (chip, chip-column) this write
+	// touched.
+	g := e.mod.plan(patt, col, shuffled)
+	for i := 0; i < g.n; i++ {
+		chip, cc := g.chip[i], g.chipCol[i]
+		w, err := e.mod.ChipWord(bank, row, cc, chip)
+		if err != nil {
+			return err
+		}
+		e.ecc[bank][row][chip][cc] = ECCEncode(w)
+	}
+	return nil
+}
+
+// ReadLine gathers a cache line and verifies every word against the ECC
+// chip, correcting single-bit errors in the returned data. The returned
+// results slice has one entry per word of the line.
+func (e *ECCModule) ReadLine(bank, row, col int, patt Pattern, shuffled bool, dst []uint64) ([]ECCResult, error) {
+	logical, err := e.mod.ReadLine(bank, row, col, patt, shuffled, dst)
+	if err != nil {
+		return nil, err
+	}
+	_ = logical
+	g := e.mod.plan(patt, col, shuffled)
+	results := make([]ECCResult, g.n)
+	for i := 0; i < g.n; i++ {
+		chip, cc := g.chip[i], g.chipCol[i]
+		// Intra-chip translation on the ECC chip: tile `chip` selects
+		// column (chip & patt) ^ col — by construction equal to cc, data
+		// chip `chip`'s own CTL output — so a single ECC-chip read covers
+		// the whole gather.
+		stored := e.ecc[bank][row][chip][cc]
+		dst[i], results[i] = ECCDecode(dst[i], stored)
+	}
+	return results, nil
+}
+
+// InjectBitFlip flips a single bit of the raw word stored on a chip,
+// simulating a soft error for ECC tests.
+func (e *ECCModule) InjectBitFlip(bank, row, chipCol, chip, bit int) error {
+	w, err := e.mod.ChipWord(bank, row, chipCol, chip)
+	if err != nil {
+		return err
+	}
+	if bit < 0 || bit >= 64 {
+		return fmt.Errorf("gsdram: bit %d out of range [0,64)", bit)
+	}
+	e.mod.setWord(bank, row, chipCol, chip, w^(1<<uint(bit)))
+	return nil
+}
+
+// ECCReadsPerGather returns how many ECC-chip column reads a gather with
+// the given pattern needs (paper §6.3): a conventional ECC chip mirrors
+// the data chips' default layout, so it must be read once per *distinct
+// donor column* the gather touches; an ECC chip with intra-chip column
+// translation returns all check bytes in one read.
+func (p Params) ECCReadsPerGather(patt Pattern, col int, intraChip bool) int {
+	if intraChip {
+		return 1
+	}
+	cols := map[int]bool{}
+	for k := 0; k < p.Chips; k++ {
+		cols[p.CTL(k, patt, col)] = true
+	}
+	return len(cols)
+}

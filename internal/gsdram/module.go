@@ -1,0 +1,267 @@
+package gsdram
+
+import "fmt"
+
+// Geometry describes the storage organisation of a rank as seen by the
+// memory controller: banks × rows × columns, where one column holds one
+// cache line (Chips × 8 bytes) spread across the chips.
+type Geometry struct {
+	Banks int // banks per rank
+	Rows  int // rows per bank
+	Cols  int // cache lines per row (per rank); must be a power of two
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.Banks <= 0 || g.Rows <= 0 || g.Cols <= 0 {
+		return fmt.Errorf("gsdram: geometry dimensions must be positive, got %+v", g)
+	}
+	if g.Cols&(g.Cols-1) != 0 {
+		return fmt.Errorf("gsdram: Cols must be a power of two, got %d", g.Cols)
+	}
+	return nil
+}
+
+// Lines returns the total number of cache lines the geometry stores.
+func (g Geometry) Lines() int { return g.Banks * g.Rows * g.Cols }
+
+// Module is a functional model of a GS-DRAM module: it stores data exactly
+// as the shuffled chips would and serves reads/writes for any (column,
+// pattern) combination. One Module models one rank.
+//
+// The module enforces the paper's system contract (§4.3): data structures
+// opt in to shuffling per write, mirroring the per-page shuffle flag. A
+// patterned (non-zero pattern) access over unshuffled data would return
+// words from the wrong cache lines, exactly as real GS-DRAM would; the
+// Module permits it so tests can demonstrate the failure mode, but the OS
+// layer (internal/vm) only issues patterned accesses to shuffled pages.
+type Module struct {
+	params  Params
+	geom    Geometry
+	shuffle ShuffleFunc
+
+	// rows holds the rank's contents, allocated lazily one DRAM row at a
+	// time (keyed by bank*Rows+row). Within a row, words are indexed by
+	// chipColumn*Chips + chip — each chip's local column address — so the
+	// layout matches the physical chips bit for bit. Untouched rows read
+	// as zero, like freshly initialised DRAM in the model.
+	rows map[int][]uint64
+}
+
+// NewModule returns a zero-filled module with the paper's default
+// shuffling function. It panics on invalid parameters, which are
+// programmer errors.
+func NewModule(p Params, g Geometry) *Module {
+	m, err := NewModuleFunc(p, g, nil)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NewModuleFunc returns a module with a programmable shuffling function
+// (paper §6.1). A nil fn selects the default column-LSB function.
+func NewModuleFunc(p Params, g Geometry, fn ShuffleFunc) (*Module, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if fn == nil {
+		fn = DefaultShuffle(p.ShuffleStages)
+	}
+	return &Module{
+		params:  p,
+		geom:    g,
+		shuffle: fn,
+		rows:    make(map[int][]uint64),
+	}, nil
+}
+
+// Params returns the module's GS-DRAM parameters.
+func (m *Module) Params() Params { return m.params }
+
+// Geometry returns the module's storage organisation.
+func (m *Module) Geometry() Geometry { return m.geom }
+
+// rowSlice returns the storage of one DRAM row, allocating it when alloc
+// is set. It returns nil for an untouched row when alloc is false.
+func (m *Module) rowSlice(bank, row int, alloc bool) []uint64 {
+	key := bank*m.geom.Rows + row
+	s, ok := m.rows[key]
+	if !ok && alloc {
+		s = make([]uint64, m.geom.Cols*m.params.Chips)
+		m.rows[key] = s
+	}
+	return s
+}
+
+// setWord stores one word at (bank, row, chipCol, chip).
+func (m *Module) setWord(bank, row, chipCol, chip int, v uint64) {
+	m.rowSlice(bank, row, true)[chipCol*m.params.Chips+chip] = v
+}
+
+// getWord loads one word at (bank, row, chipCol, chip); untouched rows
+// read as zero.
+func (m *Module) getWord(bank, row, chipCol, chip int) uint64 {
+	s := m.rowSlice(bank, row, false)
+	if s == nil {
+		return 0
+	}
+	return s[chipCol*m.params.Chips+chip]
+}
+
+func (m *Module) checkAddr(bank, row, col int) error {
+	if bank < 0 || bank >= m.geom.Banks {
+		return fmt.Errorf("gsdram: bank %d out of range [0,%d)", bank, m.geom.Banks)
+	}
+	if row < 0 || row >= m.geom.Rows {
+		return fmt.Errorf("gsdram: row %d out of range [0,%d)", row, m.geom.Rows)
+	}
+	if col < 0 || col >= m.geom.Cols {
+		return fmt.Errorf("gsdram: column %d out of range [0,%d)", col, m.geom.Cols)
+	}
+	return nil
+}
+
+func (m *Module) checkPattern(patt Pattern) error {
+	if patt > m.params.MaxPattern() {
+		return fmt.Errorf("gsdram: pattern %#x exceeds %d pattern bits", uint32(patt), m.params.PatternBits)
+	}
+	return nil
+}
+
+// gatherPlan describes, for the cache line returned by a (col, patt) READ,
+// which chip and chip-local column supplies each position of the line.
+// Positions are ordered by ascending logical word index within the row, so
+// the assembled line matches the presentation of Figure 7.
+type gatherPlan struct {
+	chip    [64]int // chip supplying position i
+	chipCol [64]int // that chip's local column
+	logical [64]int // logical word index within the row
+	n       int
+}
+
+// plan computes the gather plan for (patt, col). shuffled selects whether
+// the target data was written with shuffling enabled.
+func (m *Module) plan(patt Pattern, col int, shuffled bool) gatherPlan {
+	var g gatherPlan
+	g.n = m.params.Chips
+	type ent struct{ logical, chip, chipCol int }
+	ents := make([]ent, g.n)
+	for k := 0; k < g.n; k++ {
+		c := m.params.CTL(k, patt, col)
+		word := k
+		if shuffled {
+			word = k ^ m.shuffle(c)
+		}
+		ents[k] = ent{logical: c*g.n + word, chip: k, chipCol: c}
+	}
+	// Order by logical index (insertion sort; n <= 64).
+	for i := 1; i < len(ents); i++ {
+		for j := i; j > 0 && ents[j-1].logical > ents[j].logical; j-- {
+			ents[j-1], ents[j] = ents[j], ents[j-1]
+		}
+	}
+	for i, e := range ents {
+		g.chip[i] = e.chip
+		g.chipCol[i] = e.chipCol
+		g.logical[i] = e.logical
+	}
+	return g
+}
+
+// WriteLine scatters a cache line to the module. For the default pattern
+// with shuffle enabled the words pass through the shuffling network before
+// landing on the chips (paper §3.2); with shuffle disabled the words are
+// stored in identity order (a non-GS data structure). For non-zero
+// patterns, each word is routed to the chip and chip-local column computed
+// by the CTL — a gathered scatter (pattstore).
+//
+// line must hold exactly Chips words.
+func (m *Module) WriteLine(bank, row, col int, patt Pattern, shuffled bool, line []uint64) error {
+	if err := m.checkAddr(bank, row, col); err != nil {
+		return err
+	}
+	if err := m.checkPattern(patt); err != nil {
+		return err
+	}
+	if len(line) != m.params.Chips {
+		return fmt.Errorf("gsdram: line has %d words, want %d", len(line), m.params.Chips)
+	}
+	g := m.plan(patt, col, shuffled)
+	for i := 0; i < g.n; i++ {
+		m.setWord(bank, row, g.chipCol[i], g.chip[i], line[i])
+	}
+	return nil
+}
+
+// ReadLine gathers a cache line from the module into dst (which must hold
+// exactly Chips words) and returns the logical word indices (within the
+// row) that each position of dst came from. With the default pattern this
+// is an ordinary cache-line read; with a non-zero pattern it is a one-READ
+// gather (paper §3.4).
+func (m *Module) ReadLine(bank, row, col int, patt Pattern, shuffled bool, dst []uint64) ([]int, error) {
+	if err := m.checkAddr(bank, row, col); err != nil {
+		return nil, err
+	}
+	if err := m.checkPattern(patt); err != nil {
+		return nil, err
+	}
+	if len(dst) != m.params.Chips {
+		return nil, fmt.Errorf("gsdram: dst has %d words, want %d", len(dst), m.params.Chips)
+	}
+	g := m.plan(patt, col, shuffled)
+	logical := make([]int, g.n)
+	for i := 0; i < g.n; i++ {
+		dst[i] = m.getWord(bank, row, g.chipCol[i], g.chip[i])
+		logical[i] = g.logical[i]
+	}
+	return logical, nil
+}
+
+// WriteWord stores a single 8-byte word at a logical position within a row
+// without going through a cache line: logical index l = col*Chips + word.
+// It is a test/setup convenience, equivalent to a read-modify-write of the
+// containing line.
+func (m *Module) WriteWord(bank, row, logical int, shuffled bool, v uint64) error {
+	col := logical / m.params.Chips
+	word := logical % m.params.Chips
+	if err := m.checkAddr(bank, row, col); err != nil {
+		return err
+	}
+	chip := word
+	if shuffled {
+		chip = word ^ m.shuffle(col)
+	}
+	m.setWord(bank, row, col, chip, v)
+	return nil
+}
+
+// ReadWord reads the single 8-byte word at logical index l = col*Chips +
+// word within a row.
+func (m *Module) ReadWord(bank, row, logical int, shuffled bool) (uint64, error) {
+	col := logical / m.params.Chips
+	word := logical % m.params.Chips
+	if err := m.checkAddr(bank, row, col); err != nil {
+		return 0, err
+	}
+	chip := word
+	if shuffled {
+		chip = word ^ m.shuffle(col)
+	}
+	return m.getWord(bank, row, col, chip), nil
+}
+
+// ChipWord returns the raw word stored on a chip at a chip-local column —
+// the physical view used to verify the layout of Figure 6.
+func (m *Module) ChipWord(bank, row, chipCol, chip int) (uint64, error) {
+	if err := m.checkAddr(bank, row, chipCol); err != nil {
+		return 0, err
+	}
+	if chip < 0 || chip >= m.params.Chips {
+		return 0, fmt.Errorf("gsdram: chip %d out of range [0,%d)", chip, m.params.Chips)
+	}
+	return m.getWord(bank, row, chipCol, chip), nil
+}

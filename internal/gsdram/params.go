@@ -1,0 +1,121 @@
+// Package gsdram implements the Gather-Scatter DRAM substrate from
+// Seshadri et al., "Gather-Scatter DRAM: In-DRAM Address Translation to
+// Improve the Spatial Locality of Non-unit Strided Accesses" (MICRO 2015).
+//
+// The package models the three hardware pieces of the proposal:
+//
+//   - the column-ID-based data shuffling network in the memory controller
+//     (paper §3.2, Figure 4),
+//   - the per-chip Column Translation Logic, CTL (paper §3.3, Figure 5),
+//   - the resulting module-level gather/scatter behaviour (paper §3.4,
+//     Figures 6 and 7),
+//
+// together with the §6 extensions: programmable shuffling functions, wider
+// pattern IDs via chip-ID repetition, and intra-chip (per-MAT) column
+// translation with ECC support.
+//
+// A GS-DRAM configuration is written GS-DRAM(c,s,p): c chips per rank,
+// s shuffling stages, and p pattern-ID bits. The paper's evaluation uses
+// GS-DRAM(8,3,3); its worked example uses GS-DRAM(4,2,2).
+package gsdram
+
+import "fmt"
+
+// WordBytes is the width of each DRAM chip's contribution to a cache line:
+// 8 bytes, matching a x8 chip bursting 8 beats (paper §2).
+const WordBytes = 8
+
+// Pattern is a pattern ID carried with each column command (paper §3.3).
+// Pattern 0 is the default pattern: an ordinary contiguous cache-line
+// access. Pattern 2^k-1 gathers a stride of 2^k 8-byte words.
+type Pattern uint32
+
+// DefaultPattern is the pattern ID of an ordinary cache-line access.
+const DefaultPattern Pattern = 0
+
+// Params describes a GS-DRAM(c,s,p) configuration.
+type Params struct {
+	// Chips is c: the number of DRAM chips in the rank. Must be a power of
+	// two. The cache-line size is Chips*WordBytes.
+	Chips int
+	// ShuffleStages is s: the number of stages in the controller's data
+	// shuffling network (paper §3.2). Stage i swaps adjacent blocks of
+	// 2^(i-1) words when bit i-1 of the column ID is set.
+	ShuffleStages int
+	// PatternBits is p: the width of the pattern ID. With p > log2(c) the
+	// chip ID is repeated to p bits inside the CTL (paper §6.2).
+	PatternBits int
+}
+
+// GS844 is the GS-DRAM(8,3,3) configuration used throughout the paper's
+// evaluation (Table 1): 8 chips, 64-byte cache lines.
+var GS844 = Params{Chips: 8, ShuffleStages: 3, PatternBits: 3}
+
+// GS422 is the GS-DRAM(4,2,2) configuration used in the paper's worked
+// example (Figures 6 and 7): 4 chips, 32-byte cache lines.
+var GS422 = Params{Chips: 4, ShuffleStages: 2, PatternBits: 2}
+
+// Validate reports whether the configuration is internally consistent.
+func (p Params) Validate() error {
+	if p.Chips <= 0 || p.Chips&(p.Chips-1) != 0 || p.Chips > 64 {
+		return fmt.Errorf("gsdram: Chips must be a power of two in [1,64], got %d", p.Chips)
+	}
+	if p.ShuffleStages < 0 || 1<<p.ShuffleStages > p.Chips {
+		return fmt.Errorf("gsdram: ShuffleStages must satisfy 0 <= 2^s <= Chips, got s=%d with %d chips", p.ShuffleStages, p.Chips)
+	}
+	if p.PatternBits < 0 || p.PatternBits > 16 {
+		return fmt.Errorf("gsdram: PatternBits must be in [0,16], got %d", p.PatternBits)
+	}
+	return nil
+}
+
+// LineBytes returns the cache-line size of the configuration.
+func (p Params) LineBytes() int { return p.Chips * WordBytes }
+
+// LineWords returns the number of 8-byte words per cache line (= Chips).
+func (p Params) LineWords() int { return p.Chips }
+
+// chipBits returns log2(Chips).
+func (p Params) chipBits() int {
+	b := 0
+	for c := p.Chips; c > 1; c >>= 1 {
+		b++
+	}
+	return b
+}
+
+// shuffleMask returns the column-ID mask used by the shuffling network:
+// the s least significant bits.
+func (p Params) shuffleMask() int { return 1<<p.ShuffleStages - 1 }
+
+// PatternMask returns the mask of representable pattern IDs.
+func (p Params) PatternMask() Pattern { return Pattern(1<<p.PatternBits - 1) }
+
+// MaxPattern returns the largest representable pattern ID.
+func (p Params) MaxPattern() Pattern { return p.PatternMask() }
+
+// StridePattern returns the pattern ID that gathers the given power-of-two
+// word stride: pattern 2^k - 1 gathers stride 2^k (paper §3.5). Stride 1 is
+// the default pattern. It returns an error for non-power-of-two strides or
+// strides not representable with p pattern bits.
+func (p Params) StridePattern(stride int) (Pattern, error) {
+	if stride <= 0 || stride&(stride-1) != 0 {
+		return 0, fmt.Errorf("gsdram: stride must be a positive power of two, got %d", stride)
+	}
+	patt := Pattern(stride - 1)
+	if patt > p.MaxPattern() {
+		return 0, fmt.Errorf("gsdram: stride %d needs pattern %#x, but only %d pattern bits are available", stride, patt, p.PatternBits)
+	}
+	return patt, nil
+}
+
+// PatternStride returns the word stride gathered by a pattern of the form
+// 2^k - 1 (including 0, stride 1). For other patterns — which gather
+// dual-stride sets such as pattern 2's (1,7) in Figure 7 — it returns
+// ok=false.
+func (p Params) PatternStride(patt Pattern) (stride int, ok bool) {
+	if patt&(patt+1) != 0 {
+		return 0, false
+	}
+	return int(patt) + 1, true
+}

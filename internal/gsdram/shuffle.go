@@ -1,0 +1,90 @@
+package gsdram
+
+// This file implements the column-ID-based data shuffling mechanism of
+// paper §3.2 (Figure 4). The memory controller passes each cache line
+// through an s-stage butterfly-style network before distributing its words
+// across the chips of the rank. Stage i (1-based) swaps adjacent blocks of
+// 2^(i-1) words when bit i-1 of the line's column ID is set.
+//
+// The net effect of the network is a XOR permutation: the word at index i
+// of the cache line with column ID C is stored on chip i XOR (C mod 2^s).
+// shuffleWords implements the network literally, stage by stage, and the
+// test suite proves it equivalent to the closed form used by ChipForWord.
+
+// ShuffleFunc maps a column ID to the control input of the shuffling
+// network: bit i-1 of the result enables stage i (paper §6.1). The default
+// function returns the s least significant bits of the column ID.
+type ShuffleFunc func(col int) int
+
+// DefaultShuffle returns the paper's default shuffling function for s
+// stages: the control input is the s LSBs of the column ID (§3.2).
+func DefaultShuffle(stages int) ShuffleFunc {
+	mask := 1<<stages - 1
+	return func(col int) int { return col & mask }
+}
+
+// MaskedShuffle returns a programmable shuffling function (§6.1) that
+// behaves like DefaultShuffle but with the given stage mask applied: stages
+// whose mask bit is zero are disabled. For example, mask 0b10 disables the
+// adjacent-value swap of stage 1.
+func MaskedShuffle(stages, mask int) ShuffleFunc {
+	lsb := 1<<stages - 1
+	return func(col int) int { return col & lsb & mask }
+}
+
+// XORShuffle returns a programmable shuffling function (§6.1) whose stage
+// controls are XORs of column-ID bit groups: control bit i is the XOR of
+// the column-ID bits selected by groups[i]. This implements the
+// XOR-scheme-style functions the paper cites [14, 48].
+func XORShuffle(groups []int) ShuffleFunc {
+	gs := make([]int, len(groups))
+	copy(gs, groups)
+	return func(col int) int {
+		ctrl := 0
+		for i, g := range gs {
+			b := col & g
+			// Parity of the selected bits.
+			b ^= b >> 16
+			b ^= b >> 8
+			b ^= b >> 4
+			b ^= b >> 2
+			b ^= b >> 1
+			ctrl |= (b & 1) << i
+		}
+		return ctrl
+	}
+}
+
+// shuffleWords runs the s-stage shuffling network over line in place,
+// using ctrl as the per-stage control input (bit i-1 enables stage i).
+// Stage i swaps adjacent blocks of 2^(i-1) elements within each block pair,
+// exactly as drawn in Figure 4. The network is an involution: applying it
+// twice with the same control restores the original order, which is why
+// the same hardware both shuffles on writes and unshuffles on reads.
+func shuffleWords(line []uint64, stages, ctrl int) {
+	for stage := 1; stage <= stages; stage++ {
+		if ctrl&(1<<(stage-1)) == 0 {
+			continue
+		}
+		block := 1 << (stage - 1) // elements per swapped block
+		for base := 0; base+2*block <= len(line); base += 2 * block {
+			for i := 0; i < block; i++ {
+				line[base+i], line[base+block+i] = line[base+block+i], line[base+i]
+			}
+		}
+	}
+}
+
+// ChipForWord returns the chip that stores word index `word` of the cache
+// line at column `col`, under the default shuffling function. This is the
+// closed form of the s-stage network: chip = word XOR (col mod 2^s).
+func (p Params) ChipForWord(word, col int) int {
+	return word ^ (col & p.shuffleMask())
+}
+
+// WordForChip returns the cache-line word index stored on chip `chip` at
+// column `col` — the inverse of ChipForWord. Because the permutation is a
+// XOR, it is its own inverse.
+func (p Params) WordForChip(chip, col int) int {
+	return chip ^ (col & p.shuffleMask())
+}

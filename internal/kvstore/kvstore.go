@@ -1,0 +1,176 @@
+// Package kvstore implements the key-value store use case of paper §3.5
+// and §5.3: 8-byte keys and 8-byte values stored as adjacent pairs.
+// Inserts benefit from key and value sharing a cache line; lookups benefit
+// from pattern 1 (stride 2), which gathers a cache line of nothing but
+// keys — twice the key-scan density of the default layout.
+package kvstore
+
+import (
+	"fmt"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/cpu"
+	"gsdram/internal/gsdram"
+	"gsdram/internal/machine"
+)
+
+// KeyPattern is the alternate pattern for key/value-plane access: pattern
+// 1 gathers stride-2 words. An even gathered column yields 8 keys; an odd
+// one yields the 8 corresponding values.
+const KeyPattern gsdram.Pattern = 1
+
+// PairsPerLine is how many key-value pairs fit in one 64-byte line.
+const PairsPerLine = 4
+
+// Store is an append-only key-value log with scan-based lookup — the
+// access-pattern skeleton of a hash-bucket or log-structured store, which
+// is where the paper's gather applies.
+type Store struct {
+	mach *machine.Machine
+	base addrmap.Addr
+	cap  int // capacity in pairs
+	n    int // pairs stored
+	gs   bool
+}
+
+// New allocates a store holding up to capacity pairs. With gs set, the
+// pages are pattmalloc'd with pattern 1 and lookups use gathered key
+// lines; otherwise lookups scan ordinary lines.
+func New(mach *machine.Machine, capacity int, gs bool) (*Store, error) {
+	if capacity <= 0 || capacity%8 != 0 {
+		return nil, fmt.Errorf("kvstore: capacity must be a positive multiple of 8, got %d", capacity)
+	}
+	s := &Store{mach: mach, cap: capacity, gs: gs}
+	var err error
+	if gs {
+		s.base, err = mach.AS.PattMalloc(capacity*16, KeyPattern)
+	} else {
+		s.base, err = mach.AS.Malloc(capacity * 16)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Len returns the number of stored pairs.
+func (s *Store) Len() int { return s.n }
+
+// GS reports whether the store uses the GS-DRAM layout.
+func (s *Store) GS() bool { return s.gs }
+
+func (s *Store) keyAddr(i int) addrmap.Addr   { return s.base + addrmap.Addr(i*16) }
+func (s *Store) valueAddr(i int) addrmap.Addr { return s.base + addrmap.Addr(i*16+8) }
+
+// keyLineAddr returns the pattern-1 gathered line holding the keys of the
+// 8-pair group containing pair i. Pair i's key is word 2i of the region;
+// the gather for stride-2 group g covers words 16g..16g+15, issued at the
+// group's even base column. Keys sit at even word indices, so the issued
+// column is the group base (column offset 2g*... ): closed form below,
+// validated against machine.GatherAddr in the tests.
+func (s *Store) keyLineAddr(i int) addrmap.Addr {
+	group := i / 8 // 8 pairs per gathered key line
+	return s.base + addrmap.Addr(group*2*64)
+}
+
+// valueLineAddr returns the pattern-1 gathered line holding the values of
+// the 8-pair group containing pair i (the odd sibling of keyLineAddr).
+func (s *Store) valueLineAddr(i int) addrmap.Addr {
+	return s.keyLineAddr(i) + 64
+}
+
+// Insert appends a pair functionally and returns the ops a core executes
+// for it: one store for the key and one for the value — same cache line,
+// the insert-side benefit the paper describes.
+func (s *Store) Insert(key, value uint64) ([]cpu.Op, error) {
+	if s.n >= s.cap {
+		return nil, fmt.Errorf("kvstore: full (%d pairs)", s.cap)
+	}
+	i := s.n
+	s.n++
+	if err := s.mach.WriteWord(s.keyAddr(i), key); err != nil {
+		return nil, err
+	}
+	if err := s.mach.WriteWord(s.valueAddr(i), value); err != nil {
+		return nil, err
+	}
+	k := cpu.Store(s.keyAddr(i), 0x30)
+	v := cpu.Store(s.valueAddr(i), 0x31)
+	if s.gs {
+		k.Shuffled, k.AltPattern = true, KeyPattern
+		v.Shuffled, v.AltPattern = true, KeyPattern
+	}
+	return []cpu.Op{cpu.Compute(8), k, v, cpu.Compute(2)}, nil
+}
+
+// Lookup scans for key, returning its value, whether it was found, and
+// the ops a core executes for the scan. The GS layout reads gathered key
+// lines (8 keys per line); the plain layout reads pair lines (4 keys per
+// line). On a hit, one more load fetches the value.
+func (s *Store) Lookup(key uint64) (value uint64, found bool, ops []cpu.Op, err error) {
+	ops = append(ops, cpu.Compute(4))
+	for i := 0; i < s.n; i++ {
+		// Model: one key-load op per line transition, compare compute per
+		// key.
+		if s.gs {
+			if i%8 == 0 {
+				op := cpu.PattLoad(s.keyLineAddr(i), KeyPattern, 0x40)
+				ops = append(ops, op)
+			}
+		} else {
+			if i%PairsPerLine == 0 {
+				ops = append(ops, cpu.Load(s.keyAddr(i), 0x41))
+			}
+		}
+		ops = append(ops, cpu.Compute(1)) // compare
+		k, rerr := s.mach.ReadWord(s.keyAddr(i))
+		if rerr != nil {
+			return 0, false, nil, rerr
+		}
+		if k == key {
+			v, rerr := s.mach.ReadWord(s.valueAddr(i))
+			if rerr != nil {
+				return 0, false, nil, rerr
+			}
+			ld := cpu.Load(s.valueAddr(i), 0x42)
+			if s.gs {
+				ld.Shuffled, ld.AltPattern = true, KeyPattern
+			}
+			ops = append(ops, ld, cpu.Compute(2))
+			return v, true, ops, nil
+		}
+	}
+	return 0, false, ops, nil
+}
+
+// GatherKeys returns the 8 keys of pair group g via one functional
+// pattern-1 line read — the data-plane demonstration of §3.5.
+func (s *Store) GatherKeys(g int) ([]uint64, error) {
+	if !s.gs {
+		return nil, fmt.Errorf("kvstore: GatherKeys requires the GS layout")
+	}
+	if g < 0 || g*8 >= s.cap {
+		return nil, fmt.Errorf("kvstore: group %d out of range", g)
+	}
+	dst := make([]uint64, 8)
+	if err := s.mach.ReadLine(s.keyLineAddr(g*8), KeyPattern, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// GatherValues returns the 8 values of pair group g via one pattern-1
+// line read.
+func (s *Store) GatherValues(g int) ([]uint64, error) {
+	if !s.gs {
+		return nil, fmt.Errorf("kvstore: GatherValues requires the GS layout")
+	}
+	if g < 0 || g*8 >= s.cap {
+		return nil, fmt.Errorf("kvstore: group %d out of range", g)
+	}
+	dst := make([]uint64, 8)
+	if err := s.mach.ReadLine(s.valueLineAddr(g*8), KeyPattern, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}

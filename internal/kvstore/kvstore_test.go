@@ -1,0 +1,195 @@
+package kvstore
+
+import (
+	"testing"
+
+	"gsdram/internal/cpu"
+	"gsdram/internal/machine"
+	"gsdram/internal/memsys"
+	"gsdram/internal/sim"
+)
+
+func newStore(t *testing.T, capacity int, gs bool) *Store {
+	t.Helper()
+	m, err := machine.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(m, capacity, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	m, err := machine.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(m, 0, true); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(m, 12, true); err == nil {
+		t.Error("non-multiple-of-8 capacity accepted")
+	}
+}
+
+func TestInsertLookupRoundTrip(t *testing.T) {
+	for _, gs := range []bool{false, true} {
+		s := newStore(t, 64, gs)
+		for i := 0; i < 40; i++ {
+			if _, err := s.Insert(uint64(1000+i), uint64(i)*7); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s.Len() != 40 {
+			t.Fatalf("len = %d", s.Len())
+		}
+		for i := 0; i < 40; i++ {
+			v, found, _, err := s.Lookup(uint64(1000 + i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !found || v != uint64(i)*7 {
+				t.Fatalf("gs=%v: lookup(%d) = (%d,%v)", gs, 1000+i, v, found)
+			}
+		}
+		if _, found, _, _ := s.Lookup(9999); found {
+			t.Fatal("absent key found")
+		}
+	}
+}
+
+func TestInsertFull(t *testing.T) {
+	s := newStore(t, 8, false)
+	for i := 0; i < 8; i++ {
+		if _, err := s.Insert(uint64(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Insert(99, 0); err == nil {
+		t.Error("insert past capacity accepted")
+	}
+}
+
+func TestGatherKeysAndValues(t *testing.T) {
+	s := newStore(t, 32, true)
+	for i := 0; i < 16; i++ {
+		if _, err := s.Insert(uint64(100+i), uint64(200+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.GatherKeys(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := s.GatherValues(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if keys[i] != uint64(100+8+i) {
+			t.Fatalf("keys[%d] = %d, want %d", i, keys[i], 100+8+i)
+		}
+		if vals[i] != uint64(200+8+i) {
+			t.Fatalf("vals[%d] = %d, want %d", i, vals[i], 200+8+i)
+		}
+	}
+}
+
+func TestGatherRequiresGSLayout(t *testing.T) {
+	s := newStore(t, 32, false)
+	if _, err := s.GatherKeys(0); err == nil {
+		t.Error("GatherKeys on plain layout accepted")
+	}
+	if _, err := s.GatherValues(0); err == nil {
+		t.Error("GatherValues on plain layout accepted")
+	}
+	gs := newStore(t, 32, true)
+	if _, err := s.GatherKeys(99); err == nil {
+		_ = gs
+		t.Error("group out of range accepted")
+	}
+}
+
+func TestKeyLineAddrMatchesMachine(t *testing.T) {
+	s := newStore(t, 64, true)
+	for g := 0; g < 8; g++ {
+		want, _, err := s.mach.GatherAddr(s.keyAddr(g*8), KeyPattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.keyLineAddr(g * 8); got != want {
+			t.Fatalf("keyLineAddr(group %d) = %#x, want %#x", g, uint64(got), uint64(want))
+		}
+		wantV, _, err := s.mach.GatherAddr(s.valueAddr(g*8), KeyPattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.valueLineAddr(g * 8); got != wantV {
+			t.Fatalf("valueLineAddr(group %d) = %#x, want %#x", g, uint64(got), uint64(wantV))
+		}
+	}
+}
+
+// runOps executes ops on a fresh 1-core system and returns DRAM reads.
+func runOps(t *testing.T, ops []cpu.Op) uint64 {
+	t.Helper()
+	q := &sim.EventQueue{}
+	mem, err := memsys.New(memsys.DefaultConfig(1), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := cpu.New(0, q, mem, cpu.SliceStream(ops), nil)
+	core.Start(0)
+	q.Run()
+	return mem.Stats().DRAMReads
+}
+
+// TestLookupScanDensity verifies §5.3's claim: a full-store key scan
+// fetches half as many lines with pattern-1 gathers (8 keys/line) as with
+// the default layout (4 keys/line).
+func TestLookupScanDensity(t *testing.T) {
+	const n = 256
+	var lines [2]uint64
+	for idx, gs := range []bool{false, true} {
+		s := newStore(t, n, gs)
+		for i := 0; i < n; i++ {
+			if _, err := s.Insert(uint64(i), uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Miss lookup: scans every key.
+		_, found, ops, err := s.Lookup(0xFFFF_FFFF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found {
+			t.Fatal("phantom hit")
+		}
+		lines[idx] = runOps(t, ops)
+	}
+	if lines[1]*2 != lines[0] {
+		t.Fatalf("GS scan fetched %d lines, plain %d; want exactly half", lines[1], lines[0])
+	}
+}
+
+func TestGSAccessor(t *testing.T) {
+	if !newStore(t, 8, true).GS() {
+		t.Error("GS() false for GS store")
+	}
+	if newStore(t, 8, false).GS() {
+		t.Error("GS() true for plain store")
+	}
+}
+
+func TestGatherGroupBounds(t *testing.T) {
+	s := newStore(t, 32, true)
+	if _, err := s.GatherKeys(-1); err == nil {
+		t.Error("negative group accepted")
+	}
+	if _, err := s.GatherValues(4); err == nil {
+		t.Error("group beyond capacity accepted")
+	}
+}

@@ -1,0 +1,155 @@
+// Package machine bundles the functional side of the simulated system:
+// the vm address space (pattmalloc + page flags), the physical address
+// mapping, and the GS-DRAM modules holding the actual data. Workloads use
+// a Machine for data correctness while the event-driven timing model
+// (internal/memsys + internal/cpu) accounts for time, bandwidth and
+// energy.
+package machine
+
+import (
+	"fmt"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/gsdram"
+	"gsdram/internal/vm"
+)
+
+// Machine is the functional memory of the simulated system.
+type Machine struct {
+	Spec addrmap.Spec
+	GS   gsdram.Params
+	AS   *vm.AddressSpace
+
+	// mods[channel][rank] is the GS-DRAM module (one per rank).
+	mods [][]*gsdram.Module
+}
+
+// New builds a machine with the given organisation. The page size is 4 KB.
+func New(spec addrmap.Spec, gs gsdram.Params) (*Machine, error) {
+	if spec.LineBytes != gs.LineBytes() {
+		return nil, fmt.Errorf("machine: spec line size %d != GS-DRAM line size %d", spec.LineBytes, gs.LineBytes())
+	}
+	as, err := vm.New(spec, gs, 4096)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{Spec: spec, GS: gs, AS: as}
+	geom := gsdram.Geometry{Banks: spec.Banks, Rows: spec.Rows, Cols: spec.Cols}
+	for c := 0; c < spec.Channels; c++ {
+		var rank []*gsdram.Module
+		for r := 0; r < spec.Ranks; r++ {
+			mod, err := gsdram.NewModuleFunc(gs, geom, nil)
+			if err != nil {
+				return nil, err
+			}
+			rank = append(rank, mod)
+		}
+		m.mods = append(m.mods, rank)
+	}
+	return m, nil
+}
+
+// Default returns a machine with the paper's Table 1 organisation.
+func Default() (*Machine, error) {
+	return New(addrmap.Default, gsdram.GS844)
+}
+
+// Module returns the module backing an address.
+func (m *Machine) Module(l addrmap.Loc) *gsdram.Module {
+	return m.mods[l.Channel][l.Rank]
+}
+
+// locate decomposes a byte address, returning its location and the 8-byte
+// word offset within the cache line.
+func (m *Machine) locate(a addrmap.Addr) (addrmap.Loc, int, error) {
+	loc, err := m.Spec.Decompose(m.Spec.LineAddr(a))
+	if err != nil {
+		return addrmap.Loc{}, 0, err
+	}
+	word := int(a&addrmap.Addr(m.Spec.LineBytes-1)) / gsdram.WordBytes
+	return loc, word, nil
+}
+
+// WriteWord stores an 8-byte word at a (word-aligned) address, honouring
+// the page's shuffle flag.
+func (m *Machine) WriteWord(a addrmap.Addr, v uint64) error {
+	loc, word, err := m.locate(a)
+	if err != nil {
+		return err
+	}
+	sh := m.AS.Flags(a).Shuffled
+	return m.Module(loc).WriteWord(loc.Bank, loc.Row, loc.Col*m.GS.Chips+word, sh, v)
+}
+
+// ReadWord loads the 8-byte word at a (word-aligned) address.
+func (m *Machine) ReadWord(a addrmap.Addr) (uint64, error) {
+	loc, word, err := m.locate(a)
+	if err != nil {
+		return 0, err
+	}
+	sh := m.AS.Flags(a).Shuffled
+	return m.Module(loc).ReadWord(loc.Bank, loc.Row, loc.Col*m.GS.Chips+word, sh)
+}
+
+// ReadLine gathers the cache line at address a with the given pattern,
+// after validating the access against the page flags (paper §4.1's
+// two-pattern restriction).
+func (m *Machine) ReadLine(a addrmap.Addr, patt gsdram.Pattern, dst []uint64) error {
+	if err := m.AS.CheckAccess(a, patt); err != nil {
+		return err
+	}
+	loc, _, err := m.locate(a)
+	if err != nil {
+		return err
+	}
+	sh := m.AS.Flags(a).Shuffled
+	_, err = m.Module(loc).ReadLine(loc.Bank, loc.Row, loc.Col, patt, sh, dst)
+	return err
+}
+
+// WriteLine scatters a cache line to address a with the given pattern.
+func (m *Machine) WriteLine(a addrmap.Addr, patt gsdram.Pattern, line []uint64) error {
+	if err := m.AS.CheckAccess(a, patt); err != nil {
+		return err
+	}
+	loc, _, err := m.locate(a)
+	if err != nil {
+		return err
+	}
+	sh := m.AS.Flags(a).Shuffled
+	return m.Module(loc).WriteLine(loc.Bank, loc.Row, loc.Col, patt, sh, line)
+}
+
+// GatherAddr returns the cache-line address that, read with pattern patt,
+// contains the word at logical byte address `target` at gather position
+// pos — i.e. the address a pattload must use. It is the software-side
+// address computation of paper §4.2's example (Figure 8): for a stride-8
+// scan of field f, the gathered line for tuple group g is at column
+// 8*g + f of the row.
+//
+// The computation inverts GatherIndices: for the row containing target,
+// find the (column, position) whose gathered logical index equals the
+// target's word index.
+func (m *Machine) GatherAddr(target addrmap.Addr, patt gsdram.Pattern) (lineAddr addrmap.Addr, pos int, err error) {
+	loc, word, err := m.locate(target)
+	if err != nil {
+		return 0, 0, err
+	}
+	logical := loc.Col*m.GS.Chips + word
+	// The gathered line's issued column replaces the pattern-masked bits:
+	// issued col C gathers chip k from column (k&patt)^C; the word with
+	// logical index l = col*Chips + w came from chip w^(col&maskS) = k, so
+	// C = (k&patt)^col. Search the at-most-Chips candidates.
+	for k := 0; k < m.GS.Chips; k++ {
+		c := (k & int(patt)) ^ loc.Col
+		idx := m.GS.GatherIndices(patt, c)
+		for p, l := range idx {
+			if l == logical {
+				lloc := loc
+				lloc.Col = c
+				return m.Spec.Compose(lloc), p, nil
+			}
+		}
+	}
+	return 0, 0, fmt.Errorf("machine: word %#x unreachable with pattern %d", uint64(target), patt)
+}

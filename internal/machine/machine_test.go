@@ -1,0 +1,209 @@
+package machine
+
+import (
+	"testing"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/gsdram"
+)
+
+func newMachine(t *testing.T) *Machine {
+	t.Helper()
+	m, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewRejectsMismatchedLineSize(t *testing.T) {
+	spec := addrmap.Default
+	spec.LineBytes = 32
+	spec.Cols = 256
+	if _, err := New(spec, gsdram.GS844); err == nil {
+		t.Fatal("32-byte lines with 8-chip GS-DRAM accepted")
+	}
+}
+
+func TestWordRoundTripPlainPage(t *testing.T) {
+	m := newMachine(t)
+	base, err := m.AS.Malloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		a := base + addrmap.Addr(i*8)
+		if err := m.WriteWord(a, uint64(i)*3+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 512; i++ {
+		a := base + addrmap.Addr(i*8)
+		v, err := m.ReadWord(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != uint64(i)*3+1 {
+			t.Fatalf("word %d = %d, want %d", i, v, uint64(i)*3+1)
+		}
+	}
+}
+
+func TestWordRoundTripShuffledPage(t *testing.T) {
+	m := newMachine(t)
+	base, err := m.AS.PattMalloc(4096, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		if err := m.WriteWord(base+addrmap.Addr(i*8), uint64(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 512; i++ {
+		v, err := m.ReadWord(base + addrmap.Addr(i*8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != uint64(1000+i) {
+			t.Fatalf("word %d = %d, want %d", i, v, 1000+i)
+		}
+	}
+}
+
+// TestGatheredFieldScan is the paper's core use case end to end: lay out
+// 8-field tuples in a shuffled page, then gather field f of 8 consecutive
+// tuples with one pattern-7 line read.
+func TestGatheredFieldScan(t *testing.T) {
+	m := newMachine(t)
+	const tuples = 64
+	base, err := m.AS.PattMalloc(tuples*64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// field value = tuple*10 + field
+	for tup := 0; tup < tuples; tup++ {
+		for f := 0; f < 8; f++ {
+			a := base + addrmap.Addr(tup*64+f*8)
+			if err := m.WriteWord(a, uint64(tup*10+f)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	line := make([]uint64, 8)
+	for f := 0; f < 8; f++ {
+		for g := 0; g < tuples/8; g++ {
+			// The gathered line for field f of tuple group g.
+			target := base + addrmap.Addr((g*8)*64+f*8)
+			la, pos, err := m.GatherAddr(target, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pos != 0 {
+				t.Fatalf("first tuple of group at position %d, want 0", pos)
+			}
+			if err := m.ReadLine(la, 7, line); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 8; i++ {
+				want := uint64((g*8+i)*10 + f)
+				if line[i] != want {
+					t.Fatalf("field %d group %d pos %d = %d, want %d", f, g, i, line[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestGatherAddrPositions(t *testing.T) {
+	m := newMachine(t)
+	base, err := m.AS.PattMalloc(64*64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The word for tuple t, field f sits at position t%8 of its gather.
+	for tup := 0; tup < 16; tup++ {
+		target := base + addrmap.Addr(tup*64+3*8)
+		_, pos, err := m.GatherAddr(target, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pos != tup%8 {
+			t.Fatalf("tuple %d at position %d, want %d", tup, pos, tup%8)
+		}
+	}
+}
+
+func TestPatternedLineReadRequiresShuffledPage(t *testing.T) {
+	m := newMachine(t)
+	base, _ := m.AS.Malloc(4096)
+	line := make([]uint64, 8)
+	if err := m.ReadLine(base, 7, line); err == nil {
+		t.Fatal("pattern read on unshuffled page accepted")
+	}
+	if err := m.WriteLine(base, 7, line); err == nil {
+		t.Fatal("pattern write on unshuffled page accepted")
+	}
+}
+
+func TestPattStoreScatter(t *testing.T) {
+	m := newMachine(t)
+	base, _ := m.AS.PattMalloc(64*64, 7)
+	// Initialise 8 tuples.
+	for tup := 0; tup < 8; tup++ {
+		for f := 0; f < 8; f++ {
+			m.WriteWord(base+addrmap.Addr(tup*64+f*8), uint64(100*tup+f))
+		}
+	}
+	// pattstore new values into field 5 of all 8 tuples.
+	target := base + addrmap.Addr(5*8)
+	la, _, err := m.GatherAddr(target, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newVals := []uint64{9990, 9991, 9992, 9993, 9994, 9995, 9996, 9997}
+	if err := m.WriteLine(la, 7, newVals); err != nil {
+		t.Fatal(err)
+	}
+	// Ordinary reads must observe the scatter.
+	for tup := 0; tup < 8; tup++ {
+		for f := 0; f < 8; f++ {
+			v, _ := m.ReadWord(base + addrmap.Addr(tup*64+f*8))
+			want := uint64(100*tup + f)
+			if f == 5 {
+				want = 9990 + uint64(tup)
+			}
+			if v != want {
+				t.Fatalf("tuple %d field %d = %d, want %d", tup, f, v, want)
+			}
+		}
+	}
+}
+
+func TestDefaultLineReadMatchesWords(t *testing.T) {
+	m := newMachine(t)
+	base, _ := m.AS.PattMalloc(4096, 7)
+	for i := 0; i < 8; i++ {
+		m.WriteWord(base+addrmap.Addr(i*8), uint64(i+40))
+	}
+	line := make([]uint64, 8)
+	if err := m.ReadLine(base, 0, line); err != nil {
+		t.Fatal(err)
+	}
+	for i := range line {
+		if line[i] != uint64(i+40) {
+			t.Fatalf("line[%d] = %d, want %d", i, line[i], i+40)
+		}
+	}
+}
+
+func TestOutOfRangeAddress(t *testing.T) {
+	m := newMachine(t)
+	bad := addrmap.Addr(m.Spec.Capacity())
+	if err := m.WriteWord(bad, 1); err == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+	if _, err := m.ReadWord(bad); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+}

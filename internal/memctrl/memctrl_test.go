@@ -1,0 +1,327 @@
+package memctrl
+
+import (
+	"testing"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/sim"
+)
+
+// harness bundles an event queue and controller for tests.
+type harness struct {
+	q *sim.EventQueue
+	c *Controller
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	q := &sim.EventQueue{}
+	c, err := New(DefaultConfig(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &harness{q: q, c: c}
+}
+
+// addr builds an address from bank/row/col in the default spec.
+func addr(bank, row, col int) addrmap.Addr {
+	return addrmap.Default.Compose(addrmap.Loc{Bank: bank, Row: row, Col: col})
+}
+
+// read enqueues a read at time `at` and returns a pointer that will hold
+// the completion time.
+func (h *harness) read(at sim.Cycle, a addrmap.Addr) *sim.Cycle {
+	done := new(sim.Cycle)
+	h.q.Schedule(at, func(now sim.Cycle) {
+		h.c.Enqueue(now, &Request{Addr: a, OnComplete: func(t sim.Cycle) { *done = t }})
+	})
+	return done
+}
+
+func (h *harness) write(at sim.Cycle, a addrmap.Addr) {
+	h.q.Schedule(at, func(now sim.Cycle) {
+		h.c.Enqueue(now, &Request{Addr: a, Write: true})
+	})
+}
+
+func TestConfigValidation(t *testing.T) {
+	q := &sim.EventQueue{}
+	bad := DefaultConfig()
+	bad.ClockRatio = 0
+	if _, err := New(bad, q); err == nil {
+		t.Error("zero ClockRatio accepted")
+	}
+	bad = DefaultConfig()
+	bad.ReadQueueCap = 0
+	if _, err := New(bad, q); err == nil {
+		t.Error("zero ReadQueueCap accepted")
+	}
+	bad = DefaultConfig()
+	bad.WriteLowMark = 48
+	bad.WriteHighMark = 16
+	if _, err := New(bad, q); err == nil {
+		t.Error("inverted watermarks accepted")
+	}
+	bad = DefaultConfig()
+	bad.Spec.Banks = 7
+	if _, err := New(bad, q); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestColdReadLatency(t *testing.T) {
+	h := newHarness(t)
+	done := h.read(0, addr(0, 100, 0))
+	h.q.Run()
+	// Closed bank: ACT + tRCD + CL + tBL, all x5 CPU cycles.
+	want := sim.Cycle((11 + 11 + 4) * 5)
+	if *done != want {
+		t.Fatalf("cold read completed at %d, want %d", *done, want)
+	}
+	s := h.c.Stats()
+	if s.ReadsServed != 1 || s.RowMissReads != 1 || s.RowHitReads != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestRowHitReadLatency(t *testing.T) {
+	h := newHarness(t)
+	d1 := h.read(0, addr(0, 100, 0))
+	d2 := h.read(1000, addr(0, 100, 5)) // row already open by then
+	h.q.Run()
+	want := sim.Cycle(1000 + (11+4)*5)
+	if *d2 != want {
+		t.Fatalf("row-hit read completed at %d, want %d (first at %d)", *d2, want, *d1)
+	}
+	s := h.c.Stats()
+	if s.RowHitReads != 1 || s.RowMissReads != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestRowConflictReadLatency(t *testing.T) {
+	h := newHarness(t)
+	h.read(0, addr(0, 100, 0))
+	d2 := h.read(1000, addr(0, 200, 0)) // conflicts with open row 100
+	h.q.Run()
+	// PRE + tRP + ACT + tRCD + CL + tBL.
+	want := sim.Cycle(1000 + (11+11+11+4)*5)
+	if *d2 != want {
+		t.Fatalf("conflict read completed at %d, want %d", *d2, want)
+	}
+}
+
+func TestFRFCFSPrioritisesRowHits(t *testing.T) {
+	h := newHarness(t)
+	// Open row 100, then queue a conflicting read and a row hit together
+	// while the bank is busy: the hit must be served first even though the
+	// conflict arrived earlier.
+	h.read(0, addr(0, 100, 0))
+	dConf := h.read(10, addr(0, 200, 0))
+	dHit := h.read(11, addr(0, 100, 7))
+	h.q.Run()
+	if !(*dHit < *dConf) {
+		t.Fatalf("row hit completed at %d, conflict at %d; FR-FCFS must serve the hit first", *dHit, *dConf)
+	}
+}
+
+func TestBankLevelParallelism(t *testing.T) {
+	h := newHarness(t)
+	var dones []*sim.Cycle
+	for b := 0; b < 8; b++ {
+		dones = append(dones, h.read(0, addr(b, 50, 0)))
+	}
+	h.q.Run()
+	last := sim.Cycle(0)
+	for _, d := range dones {
+		if *d > last {
+			last = *d
+		}
+	}
+	// Serial row misses would take 8 * 130 = 1040 cycles; bank parallelism
+	// must overlap the activations (bounded by tFAW and tCCD).
+	if last >= 1040 {
+		t.Fatalf("8-bank parallel reads finished at %d, want < 1040 (serial)", last)
+	}
+	s := h.c.Stats()
+	if s.ACTs != 8 || s.ReadsServed != 8 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestWritesDrainWithoutReads(t *testing.T) {
+	h := newHarness(t)
+	for i := 0; i < 10; i++ {
+		h.write(sim.Cycle(i), addr(0, 10, i))
+	}
+	h.q.Run()
+	s := h.c.Stats()
+	if s.WritesServed != 10 {
+		t.Fatalf("served %d writes, want 10", s.WritesServed)
+	}
+	if h.c.Pending() {
+		t.Fatal("controller still pending after run")
+	}
+}
+
+func TestWriteAckIsImmediate(t *testing.T) {
+	h := newHarness(t)
+	var acked sim.Cycle
+	h.q.Schedule(5, func(now sim.Cycle) {
+		h.c.Enqueue(now, &Request{
+			Addr: addr(0, 10, 0), Write: true,
+			OnComplete: func(t sim.Cycle) { acked = t },
+		})
+	})
+	h.q.Run()
+	if acked != 5 {
+		t.Fatalf("write acked at %d, want 5 (posted write)", acked)
+	}
+}
+
+func TestWriteToReadForwarding(t *testing.T) {
+	h := newHarness(t)
+	a := addr(3, 77, 3)
+	// Saturate the write queue so the write lingers, then read it back.
+	for i := 0; i < 5; i++ {
+		h.write(0, addr(3, 77, i))
+	}
+	done := h.read(1, a)
+	h.q.Run()
+	if *done == 0 {
+		t.Fatal("forwarded read never completed")
+	}
+	if *done > 1+sim.Cycle(2*5) {
+		t.Fatalf("forwarded read completed at %d, want fast forwarding", *done)
+	}
+	if s := h.c.Stats(); s.Forwards != 1 {
+		t.Fatalf("forwards = %d, want 1", s.Forwards)
+	}
+}
+
+func TestWriteHighWatermarkForcesDrain(t *testing.T) {
+	h := newHarness(t)
+	cfgHigh := DefaultConfig().WriteHighMark
+	// Keep a steady stream of reads while pushing writes past the high
+	// mark; the controller must still drain writes.
+	for i := 0; i < cfgHigh+10; i++ {
+		h.write(sim.Cycle(i), addr(1, 10, i%128))
+	}
+	for i := 0; i < 20; i++ {
+		h.read(sim.Cycle(i*50), addr(2, 20, i%128))
+	}
+	h.q.Run()
+	s := h.c.Stats()
+	if s.WritesServed != uint64(cfgHigh+10) {
+		t.Fatalf("served %d writes, want %d", s.WritesServed, cfgHigh+10)
+	}
+	if s.ReadsServed != 20 {
+		t.Fatalf("served %d reads, want 20", s.ReadsServed)
+	}
+}
+
+func TestPrefetchDroppedWhenQueueFull(t *testing.T) {
+	q := &sim.EventQueue{}
+	cfg := DefaultConfig()
+	cfg.ReadQueueCap = 4
+	c, err := New(cfg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enqueue everything at time 0 before the scheduler runs.
+	accepted := 0
+	q.Schedule(0, func(now sim.Cycle) {
+		for i := 0; i < 8; i++ {
+			if c.Enqueue(now, &Request{Addr: addr(0, 10, i), IsPrefetch: true}) {
+				accepted++
+			}
+		}
+	})
+	q.Run()
+	if accepted != 4 {
+		t.Fatalf("accepted %d prefetches, want 4", accepted)
+	}
+	if s := c.Stats(); s.DroppedPrefs != 4 {
+		t.Fatalf("dropped = %d, want 4", s.DroppedPrefs)
+	}
+}
+
+func TestDemandReadsNeverDropped(t *testing.T) {
+	q := &sim.EventQueue{}
+	cfg := DefaultConfig()
+	cfg.ReadQueueCap = 2
+	c, err := New(cfg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := 0
+	q.Schedule(0, func(now sim.Cycle) {
+		for i := 0; i < 6; i++ {
+			ok := c.Enqueue(now, &Request{Addr: addr(0, 10, i), OnComplete: func(sim.Cycle) { served++ }})
+			if !ok {
+				t.Error("demand read rejected")
+			}
+		}
+	})
+	q.Run()
+	if served != 6 {
+		t.Fatalf("served %d demand reads, want 6", served)
+	}
+}
+
+func TestRefreshHappensUnderLoad(t *testing.T) {
+	h := newHarness(t)
+	// Issue reads spread over several refresh intervals (tREFI = 31200 CPU
+	// cycles).
+	for i := 0; i < 100; i++ {
+		h.read(sim.Cycle(i*1000), addr(i%8, i, 0))
+	}
+	h.q.Run()
+	if s := h.c.Stats(); s.Refreshes < 2 {
+		t.Fatalf("refreshes = %d, want >= 2 over %d cycles", s.Refreshes, 100*1000)
+	}
+}
+
+func TestReadsCompleteAfterRefreshStall(t *testing.T) {
+	h := newHarness(t)
+	// A read arriving exactly around the refresh deadline must still
+	// complete.
+	done := h.read(31200, addr(0, 5, 0))
+	h.read(0, addr(0, 5, 1)) // opens the row, so refresh must close it
+	h.q.Run()
+	if *done == 0 {
+		t.Fatal("read across refresh never completed")
+	}
+}
+
+func TestActiveCycleAccounting(t *testing.T) {
+	h := newHarness(t)
+	h.read(0, addr(0, 1, 0))
+	h.read(500, addr(0, 1, 1))
+	h.q.Run()
+	if s := h.c.Stats(); s.ActiveCycles == 0 {
+		t.Fatal("no active (open-row) cycles accounted")
+	}
+}
+
+func TestBusUtilisationCounted(t *testing.T) {
+	h := newHarness(t)
+	for i := 0; i < 16; i++ {
+		h.read(0, addr(0, 1, i))
+	}
+	h.q.Run()
+	s := h.c.Stats()
+	if s.BusBusyCycles != uint64(16*4*5) {
+		t.Fatalf("bus busy = %d, want %d", s.BusBusyCycles, 16*4*5)
+	}
+}
+
+func TestEnqueueOutsideMemoryPanics(t *testing.T) {
+	h := newHarness(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range address did not panic")
+		}
+	}()
+	h.c.Enqueue(0, &Request{Addr: addrmap.Addr(addrmap.Default.Capacity() + 64)})
+}

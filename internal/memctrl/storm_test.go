@@ -1,0 +1,133 @@
+package memctrl
+
+import (
+	"testing"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/sim"
+)
+
+// TestRandomRequestStorm fires thousands of random reads and writes at
+// the controller under every policy combination and checks the global
+// invariants: no protocol panic, everything completes, counters add up,
+// and reads never complete before they are issued.
+func TestRandomRequestStorm(t *testing.T) {
+	for _, sched := range []SchedPolicy{PolicyFRFCFS, PolicyFCFS} {
+		for _, row := range []RowPolicy{OpenRow, ClosedRow} {
+			sched, row := sched, row
+			t.Run(sched.String()+"/"+row.String(), func(t *testing.T) {
+				q := &sim.EventQueue{}
+				cfg := DefaultConfig()
+				cfg.Sched = sched
+				cfg.Row = row
+				c, err := New(cfg, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := sim.NewRand(uint64(31*int(sched) + int(row) + 1))
+
+				const n = 4000
+				reads, writes := 0, 0
+				completed := 0
+				for i := 0; i < n; i++ {
+					at := sim.Cycle(rng.Intn(2_000_000))
+					a := addrmap.Default.Compose(addrmap.Loc{
+						Bank: rng.Intn(8),
+						Row:  rng.Intn(1024),
+						Col:  rng.Intn(128),
+					})
+					if rng.Intn(3) == 0 {
+						writes++
+						q.Schedule(at, func(now sim.Cycle) {
+							c.Enqueue(now, &Request{Addr: a, Write: true})
+						})
+					} else {
+						reads++
+						q.Schedule(at, func(now sim.Cycle) {
+							issued := now
+							c.Enqueue(now, &Request{Addr: a, OnComplete: func(done sim.Cycle) {
+								if done < issued {
+									t.Errorf("read completed at %d before issue at %d", done, issued)
+								}
+								completed++
+							}})
+						})
+					}
+				}
+				q.Run()
+				if c.Pending() {
+					t.Fatal("requests left pending after drain")
+				}
+				if completed != reads {
+					t.Fatalf("completed %d reads, want %d", completed, reads)
+				}
+				s := c.Stats()
+				if s.ReadsServed+s.Forwards < uint64(reads) {
+					t.Fatalf("reads served %d + forwards %d < issued %d", s.ReadsServed, s.Forwards, reads)
+				}
+				if s.WritesServed != uint64(writes) {
+					t.Fatalf("writes served %d, want %d", s.WritesServed, writes)
+				}
+				if s.RowHitReads+s.RowMissReads != s.ReadsServed {
+					t.Fatalf("row hit/miss reads (%d+%d) != served %d", s.RowHitReads, s.RowMissReads, s.ReadsServed)
+				}
+				if s.RowHitWrites+s.RowMissWrites != s.WritesServed {
+					t.Fatalf("row hit/miss writes (%d+%d) != served %d", s.RowHitWrites, s.RowMissWrites, s.WritesServed)
+				}
+			})
+		}
+	}
+}
+
+// TestBurstStorm fires all requests at once (maximum queue pressure) to
+// stress queue management and the FAW/tRRD paths.
+func TestBurstStorm(t *testing.T) {
+	q := &sim.EventQueue{}
+	c, err := New(DefaultConfig(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRand(99)
+	completed := 0
+	const n = 500
+	q.Schedule(0, func(now sim.Cycle) {
+		for i := 0; i < n; i++ {
+			a := addrmap.Default.Compose(addrmap.Loc{
+				Bank: rng.Intn(8), Row: rng.Intn(64), Col: rng.Intn(128),
+			})
+			c.Enqueue(now, &Request{Addr: a, OnComplete: func(sim.Cycle) { completed++ }})
+		}
+	})
+	q.Run()
+	if completed != n {
+		t.Fatalf("completed %d, want %d", completed, n)
+	}
+}
+
+// TestReadsServedMonotonicity: completion times of reads to one bank/row
+// under FCFS must be monotone in arrival order.
+func TestReadsServedMonotonicity(t *testing.T) {
+	q := &sim.EventQueue{}
+	cfg := DefaultConfig()
+	cfg.Sched = PolicyFCFS
+	c, err := New(cfg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dones []sim.Cycle
+	for i := 0; i < 20; i++ {
+		a := addrmap.Default.Compose(addrmap.Loc{Bank: 0, Row: 5, Col: i})
+		at := sim.Cycle(i * 3)
+		q.Schedule(at, func(now sim.Cycle) {
+			c.Enqueue(now, &Request{Addr: a, OnComplete: func(done sim.Cycle) {
+				dones = append(dones, done)
+			}})
+		})
+	}
+	q.Run()
+	for i := 1; i < len(dones); i++ {
+		if dones[i] <= dones[i-1] {
+			t.Fatalf("FCFS completions out of order: %v", dones)
+		}
+	}
+}

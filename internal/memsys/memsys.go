@@ -1,0 +1,535 @@
+// Package memsys assembles the simulated memory hierarchy: per-core L1
+// caches, a shared L2, a PC-based stride prefetcher, and the FR-FCFS
+// DDR3 memory controller, together with the GS-DRAM coherence rules of
+// paper §4.1:
+//
+//   - cache tags are extended with the pattern ID (handled by
+//     internal/cache), so gathered lines coexist with default lines;
+//   - before a patterned line is fetched from DRAM, dirty lines of the
+//     other pattern that overlap it are written back;
+//   - a store to a line additionally invalidates the (at most c)
+//     overlapping lines of the other pattern, in every cache.
+//
+// The model is timing-directed: it tracks presence, latency, bandwidth and
+// energy-relevant activity. Functional data movement is performed
+// synchronously by the workloads against a gsdram.Module.
+package memsys
+
+import (
+	"fmt"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/autopatt"
+	"gsdram/internal/cache"
+	"gsdram/internal/gsdram"
+	"gsdram/internal/memctrl"
+	"gsdram/internal/prefetch"
+	"gsdram/internal/sim"
+)
+
+// Config parameterises the memory system.
+type Config struct {
+	Cores int
+
+	L1 cache.Config
+	L2 cache.Config
+
+	// Hit latencies in CPU cycles (added on top of lower levels on a
+	// miss).
+	L1Latency sim.Cycle
+	L2Latency sim.Cycle
+
+	Mem memctrl.Config
+	GS  gsdram.Params
+
+	EnablePrefetch bool
+	Prefetch       prefetch.Config
+
+	// ShuffleLatency is the extra controller latency for accesses to
+	// shuffled data: 3 CPU cycles for GS-DRAM(8,3,3) (paper §3.6).
+	ShuffleLatency sim.Cycle
+
+	// AutoPattern enables transparent pattern promotion (the automatic
+	// mechanism the paper describes as future work in §4): plain loads
+	// with a confident power-of-2 word stride over a shuffled page are
+	// redirected to the gathered line of the page's alternate pattern.
+	AutoPattern bool
+	AutoPatt    autopatt.Config
+
+	// Gather selects where patterned cache lines are assembled; see
+	// GatherMode. The default is GatherInDRAM (the paper's mechanism).
+	Gather GatherMode
+}
+
+// GatherMode selects the gather implementation being modelled.
+type GatherMode int
+
+const (
+	// GatherInDRAM is GS-DRAM: one column command returns the gathered
+	// line; DRAM-side and channel-side traffic are both one line.
+	GatherInDRAM GatherMode = iota
+	// GatherAtController models the Impulse / DGMS class of related work
+	// (paper §7): the memory controller assembles the gathered line from
+	// c ordinary line reads. Channel-to-CPU traffic and cache behaviour
+	// match GS-DRAM, but the DRAM side still transfers every donor line —
+	// the bandwidth waste the paper's mechanism removes.
+	GatherAtController
+)
+
+func (m GatherMode) String() string {
+	switch m {
+	case GatherInDRAM:
+		return "GS-DRAM (in-DRAM gather)"
+	case GatherAtController:
+		return "controller gather (Impulse-like)"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultConfig reproduces Table 1: 1-2 in-order 4 GHz cores, 32 KB 8-way
+// private L1s, a 2 MB 8-way shared L2, and one DDR3-1600 channel behind an
+// FR-FCFS open-row controller with GS-DRAM(8,3,3).
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores:          cores,
+		L1:             cache.L1Default(),
+		L2:             cache.L2Default(),
+		L1Latency:      3,
+		L2Latency:      18,
+		Mem:            memctrl.DefaultConfig(),
+		GS:             gsdram.GS844,
+		EnablePrefetch: false,
+		Prefetch:       prefetch.DefaultConfig(),
+		ShuffleLatency: 3,
+		AutoPatt:       autopatt.DefaultConfig(),
+	}
+}
+
+// Access describes one memory operation from a core.
+type Access struct {
+	Core    int
+	Addr    addrmap.Addr
+	Pattern gsdram.Pattern
+	Write   bool
+	PC      uint64
+	// Shuffled marks accesses to pattmalloc'd (shuffled) data; it enables
+	// the shuffle latency and the cross-pattern coherence rules.
+	Shuffled bool
+	// AltPattern is the page's alternate pattern ID (paper §4.1): the only
+	// non-zero pattern this data structure is accessed with. Zero means
+	// the structure has no alternate pattern.
+	AltPattern gsdram.Pattern
+}
+
+// Stats aggregates the memory system's counters.
+type Stats struct {
+	Accesses       uint64
+	Loads          uint64
+	Stores         uint64
+	L1Hits         uint64
+	L1Misses       uint64
+	L2Hits         uint64
+	L2Misses       uint64
+	DRAMReads      uint64 // demand fetches sent to the controller
+	Writebacks     uint64
+	OverlapFlushes uint64 // dirty other-pattern lines flushed before a fetch
+	OverlapInvals  uint64 // other-pattern lines invalidated by stores
+	CrossCoreProbe uint64 // dirty lines pulled from another core's L1
+	PrefIssued     uint64
+	PrefUseful     uint64 // demand hits on prefetched L2 lines
+}
+
+type mshrKey struct {
+	addr addrmap.Addr
+	patt gsdram.Pattern
+}
+
+type waiter struct {
+	core   int
+	write  bool
+	onDone func(now sim.Cycle)
+	extra  sim.Cycle
+}
+
+type mshrEntry struct {
+	waiters    []waiter
+	prefetched bool // entry created by a prefetch
+}
+
+// System is the assembled memory hierarchy.
+type System struct {
+	cfg  Config
+	q    *sim.EventQueue
+	l1   []*cache.Cache
+	l2   *cache.Cache
+	ctrl *memctrl.Controller
+	pf   *prefetch.Prefetcher
+	auto *autopatt.Detector
+
+	mshrs map[mshrKey]*mshrEntry
+	// prefetchedLines marks L2 lines whose last fill came from a prefetch,
+	// for usefulness accounting.
+	prefetchedLines map[mshrKey]bool
+
+	stats Stats
+}
+
+// New builds the memory system on the given event queue.
+func New(cfg Config, q *sim.EventQueue) (*System, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("memsys: Cores must be positive, got %d", cfg.Cores)
+	}
+	if err := cfg.GS.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:             cfg,
+		q:               q,
+		mshrs:           make(map[mshrKey]*mshrEntry),
+		prefetchedLines: make(map[mshrKey]bool),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		l1, err := cache.New(cfg.L1)
+		if err != nil {
+			return nil, err
+		}
+		s.l1 = append(s.l1, l1)
+	}
+	l2, err := cache.New(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	s.l2 = l2
+	ctrl, err := memctrl.New(cfg.Mem, q)
+	if err != nil {
+		return nil, err
+	}
+	s.ctrl = ctrl
+	s.pf = prefetch.New(cfg.Prefetch)
+	s.auto = autopatt.New(cfg.AutoPatt)
+	return s, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// MemStats returns the memory controller's counters.
+func (s *System) MemStats() memctrl.Stats { return s.ctrl.Stats() }
+
+// CacheStats returns (per-core L1 stats, L2 stats).
+func (s *System) CacheStats() ([]cache.Stats, cache.Stats) {
+	l1 := make([]cache.Stats, len(s.l1))
+	for i, c := range s.l1 {
+		l1[i] = c.Stats()
+	}
+	return l1, s.l2.Stats()
+}
+
+// PrefetchStats returns the prefetcher's counters.
+func (s *System) PrefetchStats() prefetch.Stats { return s.pf.Stats() }
+
+// AutoPattStats returns the transparent-promotion detector's counters.
+func (s *System) AutoPattStats() autopatt.Stats { return s.auto.Stats() }
+
+// lineOf truncates an address to its cache line.
+func (s *System) lineOf(a addrmap.Addr) addrmap.Addr {
+	return a &^ addrmap.Addr(s.cfg.L1.LineBytes-1)
+}
+
+// Access performs one memory operation; onDone fires when it completes.
+func (s *System) Access(now sim.Cycle, a Access, onDone func(now sim.Cycle)) {
+	if a.Core < 0 || a.Core >= len(s.l1) {
+		panic(fmt.Sprintf("memsys: core %d out of range", a.Core))
+	}
+	s.stats.Accesses++
+	if a.Write {
+		s.stats.Stores++
+	} else {
+		s.stats.Loads++
+	}
+
+	// Transparent pattern promotion (paper §4, future work): a confident
+	// strided load over a shuffled page is served from the gathered line
+	// of the page's alternate pattern instead of its own cache line.
+	if s.cfg.AutoPattern && !a.Write && a.Pattern == gsdram.DefaultPattern &&
+		a.Shuffled && a.AltPattern != gsdram.DefaultPattern {
+		if ws, ok := s.auto.Observe(a.PC^uint64(a.Core)<<56, a.Addr); ok {
+			if patt, err := s.cfg.GS.StridePattern(ws); err == nil && patt == a.AltPattern {
+				a.Addr = s.gatherLine(a.Addr, patt)
+				a.Pattern = patt
+				s.auto.CountPromotion()
+			}
+		}
+	}
+
+	line := s.lineOf(a.Addr)
+
+	// Stores to shuffled structures invalidate overlapping lines of the
+	// other pattern everywhere (paper §4.1, read-exclusive piggyback).
+	if a.Write && a.Shuffled {
+		s.invalidateOverlaps(line, a)
+	}
+
+	t1 := now + s.cfg.L1Latency
+	if s.l1[a.Core].Lookup(line, a.Pattern, a.Write) {
+		s.stats.L1Hits++
+		s.q.Schedule(t1, onDone)
+		return
+	}
+	s.stats.L1Misses++
+
+	// A dirty copy may live in another core's L1 (shared-table HTAP):
+	// pull it into L2 first.
+	s.probeOtherL1s(now, a.Core, line, a.Pattern)
+
+	t2 := t1 + s.cfg.L2Latency
+	key := mshrKey{line, a.Pattern}
+	if s.cfg.EnablePrefetch && !a.Write {
+		s.train(now, a, line)
+	}
+	if s.l2.Lookup(line, a.Pattern, false) {
+		s.stats.L2Hits++
+		if s.prefetchedLines[key] {
+			s.stats.PrefUseful++
+			delete(s.prefetchedLines, key)
+		}
+		s.fillL1(a.Core, line, a.Pattern, a.Write)
+		s.q.Schedule(t2, onDone)
+		return
+	}
+	s.stats.L2Misses++
+
+	extra := sim.Cycle(0)
+	if a.Shuffled {
+		extra = s.cfg.ShuffleLatency
+	}
+	w := waiter{core: a.Core, write: a.Write, onDone: onDone, extra: extra}
+	if e, ok := s.mshrs[key]; ok {
+		e.waiters = append(e.waiters, w)
+		return
+	}
+	e := &mshrEntry{waiters: []waiter{w}}
+	s.mshrs[key] = e
+	// The fetch leaves for the controller after the L1 and L2 tag checks.
+	s.q.Schedule(t2, func(t sim.Cycle) { s.fetch(t, line, a, key) })
+}
+
+// train feeds the prefetcher and issues its candidates into the L2. The
+// training context includes the core ID: hardware prefetchers train
+// per hardware thread, and two cores running the same code must not
+// thrash each other's table entries.
+func (s *System) train(now sim.Cycle, a Access, line addrmap.Addr) {
+	pc := a.PC ^ uint64(a.Core)<<56
+	for _, cand := range s.pf.Observe(pc, line, a.Pattern) {
+		cl := s.lineOf(cand.Addr)
+		key := mshrKey{cl, cand.Pattern}
+		if _, pending := s.mshrs[key]; pending {
+			continue
+		}
+		if present, _ := s.l2.Probe(cl, cand.Pattern); present {
+			continue
+		}
+		if uint64(cl) >= s.cfg.Mem.Spec.Capacity() {
+			continue
+		}
+		e := &mshrEntry{prefetched: true}
+		s.mshrs[key] = e
+		if !s.enqueueFetch(now, cl, cand.Pattern, true, key) {
+			delete(s.mshrs, key)
+			continue
+		}
+		s.stats.PrefIssued++
+	}
+}
+
+// enqueueFetch sends the DRAM-side requests for one cache-line fill,
+// honouring the gather mode. It returns false if the controller dropped
+// the request (prefetches on a full queue).
+func (s *System) enqueueFetch(now sim.Cycle, line addrmap.Addr, patt gsdram.Pattern, isPrefetch bool, key mshrKey) bool {
+	// Impulse-like mode: a patterned line is assembled by the controller
+	// from the c donor lines it overlaps; the fill completes when the
+	// last donor burst arrives. Once the controller commits to a gather
+	// it fetches every donor, so donors are never dropped mid-gather.
+	if s.cfg.Gather == GatherAtController && patt != gsdram.DefaultPattern {
+		donors, _ := s.overlapLines(line, Access{Pattern: patt})
+		remaining := len(donors)
+		for _, da := range donors {
+			req := &memctrl.Request{
+				Addr: da,
+				OnComplete: func(t sim.Cycle) {
+					remaining--
+					if remaining == 0 {
+						s.finishFetch(t, key)
+					}
+				},
+			}
+			s.ctrl.Enqueue(now, req)
+		}
+		return true
+	}
+	req := &memctrl.Request{
+		Addr:       line,
+		Pattern:    patt,
+		IsPrefetch: isPrefetch,
+		OnComplete: func(t sim.Cycle) { s.finishFetch(t, key) },
+	}
+	return s.ctrl.Enqueue(now, req)
+}
+
+// fetch issues a demand read to the controller, flushing dirty overlapping
+// lines of the other pattern first (paper §4.1).
+func (s *System) fetch(now sim.Cycle, line addrmap.Addr, a Access, key mshrKey) {
+	if a.Shuffled {
+		s.flushOverlaps(now, line, a)
+	}
+	s.stats.DRAMReads++
+	s.enqueueFetch(now, line, a.Pattern, false, key)
+}
+
+// finishFetch completes an outstanding miss: fill L2 (and the waiters'
+// L1s), then wake every waiter.
+func (s *System) finishFetch(now sim.Cycle, key mshrKey) {
+	e := s.mshrs[key]
+	if e == nil {
+		return
+	}
+	delete(s.mshrs, key)
+	s.fillL2(key.addr, key.patt, false)
+	if e.prefetched && len(e.waiters) == 0 {
+		s.prefetchedLines[key] = true
+	}
+	for _, w := range e.waiters {
+		s.fillL1(w.core, key.addr, key.patt, w.write)
+		cb := w.onDone
+		s.q.Schedule(now+w.extra, cb)
+	}
+}
+
+// fillL1 inserts a line into a core's L1, handling the eviction.
+func (s *System) fillL1(core int, line addrmap.Addr, p gsdram.Pattern, dirty bool) {
+	if ev, has := s.l1[core].Fill(line, p, dirty); has && ev.Dirty {
+		// Dirty L1 victim falls into the L2.
+		s.fillL2(ev.Addr, ev.Pattern, true)
+	}
+}
+
+// fillL2 inserts a line into the L2, writing back its dirty victim.
+func (s *System) fillL2(line addrmap.Addr, p gsdram.Pattern, dirty bool) {
+	ev, has := s.l2.Fill(line, p, dirty)
+	if has {
+		delete(s.prefetchedLines, mshrKey{ev.Addr, ev.Pattern})
+	}
+	if has && ev.Dirty {
+		s.writeback(ev.Addr, ev.Pattern)
+	}
+}
+
+// writeback posts a write to the controller.
+func (s *System) writeback(line addrmap.Addr, p gsdram.Pattern) {
+	s.stats.Writebacks++
+	s.ctrl.Enqueue(s.q.Now(), &memctrl.Request{Addr: line, Pattern: p, Write: true})
+}
+
+// probeOtherL1s pulls a dirty copy of (line, p) out of any other core's L1
+// into the shared L2 (simple write-invalidate coherence between cores).
+func (s *System) probeOtherL1s(now sim.Cycle, core int, line addrmap.Addr, p gsdram.Pattern) {
+	for i, l1 := range s.l1 {
+		if i == core {
+			continue
+		}
+		if present, dirty := l1.Probe(line, p); present && dirty {
+			l1.Invalidate(line, p)
+			s.fillL2(line, p, true)
+			s.stats.CrossCoreProbe++
+		}
+	}
+}
+
+// overlapLines returns the addresses of the other-pattern lines that share
+// words with (line, pattern) — the at-most-c columns {(k AND nz) XOR C}
+// within the same DRAM row, where nz is the non-zero pattern of the pair
+// (paper §4.1).
+func (s *System) overlapLines(line addrmap.Addr, a Access) (addrs []addrmap.Addr, other gsdram.Pattern) {
+	var nz gsdram.Pattern
+	if a.Pattern == gsdram.DefaultPattern {
+		if a.AltPattern == gsdram.DefaultPattern {
+			return nil, 0
+		}
+		nz, other = a.AltPattern, a.AltPattern
+	} else {
+		nz, other = a.Pattern, gsdram.DefaultPattern
+	}
+	loc, err := s.cfg.Mem.Spec.Decompose(line)
+	if err != nil {
+		return nil, 0
+	}
+	seen := make(map[int]bool, s.cfg.GS.Chips)
+	for k := 0; k < s.cfg.GS.Chips; k++ {
+		col := s.cfg.GS.CTL(k, nz, loc.Col)
+		if seen[col] {
+			continue
+		}
+		seen[col] = true
+		l := loc
+		l.Col = col
+		addrs = append(addrs, s.cfg.Mem.Spec.Compose(l))
+	}
+	return addrs, other
+}
+
+// allCaches returns every cache in the hierarchy (L1s then L2).
+func (s *System) allCaches() []*cache.Cache {
+	caches := make([]*cache.Cache, 0, len(s.l1)+1)
+	caches = append(caches, s.l1...)
+	return append(caches, s.l2)
+}
+
+// flushOverlaps writes back dirty other-pattern lines overlapping a fetch.
+func (s *System) flushOverlaps(now sim.Cycle, line addrmap.Addr, a Access) {
+	addrs, other := s.overlapLines(line, a)
+	for _, oa := range addrs {
+		for _, c := range s.allCaches() {
+			if present, dirty := c.Probe(oa, other); present && dirty {
+				s.stats.OverlapFlushes++
+				s.writeback(oa, other)
+				c.CleanLine(oa, other)
+			}
+		}
+	}
+}
+
+// invalidateOverlaps drops other-pattern lines overlapping a store, writing
+// back dirty ones first.
+func (s *System) invalidateOverlaps(line addrmap.Addr, a Access) {
+	addrs, other := s.overlapLines(line, a)
+	for _, oa := range addrs {
+		for _, c := range s.allCaches() {
+			if present, dirty := c.Probe(oa, other); present {
+				if dirty {
+					s.writeback(oa, other)
+				}
+				c.Invalidate(oa, other)
+				s.stats.OverlapInvals++
+			}
+		}
+	}
+}
+
+// gatherLine returns the cache-line address that, read with pattern patt,
+// contains the word at byte address a: the issued column is
+// (chip & patt) ^ col for the chip holding that word under the shuffle
+// (the closed form of machine.GatherAddr, verified against it in tests).
+func (s *System) gatherLine(a addrmap.Addr, patt gsdram.Pattern) addrmap.Addr {
+	loc, err := s.cfg.Mem.Spec.Decompose(s.lineOf(a))
+	if err != nil {
+		return s.lineOf(a)
+	}
+	word := int(a&addrmap.Addr(s.cfg.L1.LineBytes-1)) / 8
+	chip := s.cfg.GS.ChipForWord(word, loc.Col)
+	loc.Col = s.cfg.GS.CTL(chip, patt, loc.Col)
+	return s.cfg.Mem.Spec.Compose(loc)
+}
+
+// Pending reports whether any fetch is still outstanding.
+func (s *System) Pending() bool { return len(s.mshrs) > 0 || s.ctrl.Pending() }

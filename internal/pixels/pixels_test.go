@@ -1,0 +1,241 @@
+package pixels
+
+import (
+	"testing"
+
+	"gsdram/internal/cpu"
+	"gsdram/internal/machine"
+	"gsdram/internal/memsys"
+	"gsdram/internal/sim"
+)
+
+func newImage(t *testing.T, n int, gs bool) *Image {
+	t.Helper()
+	m, err := machine.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := New(m, n, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// fill sets channel c of pixel p to p*100+c.
+func fill(t *testing.T, img *Image) {
+	t.Helper()
+	for p := 0; p < img.N(); p++ {
+		for c := 0; c < NumChannels; c++ {
+			if err := img.Set(p, c, uint64(p*100+c)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func runStream(t *testing.T, s cpu.Stream) (cpu.Stats, *memsys.System) {
+	t.Helper()
+	q := &sim.EventQueue{}
+	mem, err := memsys.New(memsys.DefaultConfig(1), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := cpu.New(0, q, mem, s, nil)
+	core.Start(0)
+	q.Run()
+	return core.Stats(), mem
+}
+
+func TestNewValidation(t *testing.T) {
+	m, err := machine.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(m, 0, true); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := New(m, 12, false); err == nil {
+		t.Error("n not multiple of 8 accepted")
+	}
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	for _, gs := range []bool{false, true} {
+		img := newImage(t, 32, gs)
+		fill(t, img)
+		for p := 0; p < 32; p++ {
+			for c := 0; c < NumChannels; c++ {
+				v, err := img.Get(p, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v != uint64(p*100+c) {
+					t.Fatalf("gs=%v: (%d,%d) = %d", gs, p, c, v)
+				}
+			}
+		}
+	}
+}
+
+func TestGatherChannel(t *testing.T) {
+	img := newImage(t, 64, true)
+	fill(t, img)
+	for g := 0; g < 8; g++ {
+		for c := 0; c < NumChannels; c++ {
+			vals, err := img.GatherChannel(g, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range vals {
+				want := uint64((g*8+i)*100 + c)
+				if v != want {
+					t.Fatalf("group %d chan %d pos %d = %d, want %d", g, c, i, v, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGatherChannelValidation(t *testing.T) {
+	plain := newImage(t, 32, false)
+	if _, err := plain.GatherChannel(0, 0); err == nil {
+		t.Error("plain image accepted")
+	}
+	img := newImage(t, 32, true)
+	if _, err := img.GatherChannel(0, 9); err == nil {
+		t.Error("bad channel accepted")
+	}
+	if _, err := img.GatherChannel(99, 0); err == nil {
+		t.Error("bad group accepted")
+	}
+}
+
+// TestGatherPairs verifies the §3.5 pattern-2 semantics: column 0 returns
+// channels {R,G,Depth,Stencil} of pixels 0 and 2.
+func TestGatherPairs(t *testing.T) {
+	img := newImage(t, 32, true)
+	fill(t, img)
+	pg, err := img.GatherPairs(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Pixel != [2]int{0, 2} {
+		t.Fatalf("pixels = %v, want [0 2]", pg.Pixel)
+	}
+	if pg.Channels != [4]int{ChanR, ChanG, ChanDepth, ChanStencil} {
+		t.Fatalf("channels = %v, want [R G Depth Stencil]", pg.Channels)
+	}
+	for i, pix := range pg.Pixel {
+		for j, ch := range pg.Channels {
+			want := uint64(pix*100 + ch)
+			if pg.Values[i][j] != want {
+				t.Fatalf("pixel %d channel %d = %d, want %d", pix, ch, pg.Values[i][j], want)
+			}
+		}
+	}
+	// Column 1 returns pixels 1 and 3.
+	pg1, err := img.GatherPairs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg1.Pixel != [2]int{1, 3} {
+		t.Fatalf("col 1 pixels = %v, want [1 3]", pg1.Pixel)
+	}
+	// Column 2 returns the other channel pairs (B,A,U,V) of pixels 0, 2.
+	pg2, err := img.GatherPairs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg2.Channels != [4]int{ChanB, ChanA, ChanU, ChanV} {
+		t.Fatalf("col 2 channels = %v, want [B A U V]", pg2.Channels)
+	}
+}
+
+func TestGatherPairsValidation(t *testing.T) {
+	plain := newImage(t, 32, false)
+	if _, err := plain.GatherPairs(0); err == nil {
+		t.Error("plain image accepted")
+	}
+	img := newImage(t, 32, true)
+	if _, err := img.GatherPairs(-1); err == nil {
+		t.Error("negative column accepted")
+	}
+	if _, err := img.GatherPairs(1000); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+}
+
+func TestHistogramFunctional(t *testing.T) {
+	for _, gs := range []bool{false, true} {
+		img := newImage(t, 128, gs)
+		fill(t, img)
+		var res HistogramResult
+		s, err := img.HistogramStream(ChanG, &res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runStream(t, s)
+		var want [16]uint64
+		for p := 0; p < 128; p++ {
+			want[(p*100+ChanG)%16]++
+		}
+		if res.Bins != want {
+			t.Fatalf("gs=%v: bins %v, want %v", gs, res.Bins, want)
+		}
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	img := newImage(t, 32, true)
+	if _, err := img.HistogramStream(-1, nil); err == nil {
+		t.Error("bad channel accepted")
+	}
+}
+
+// TestHistogramFetchShape: the GS image needs ~1/8 the line fetches.
+func TestHistogramFetchShape(t *testing.T) {
+	const n = 1024
+	var reads [2]uint64
+	for i, gs := range []bool{false, true} {
+		img := newImage(t, n, gs)
+		fill(t, img)
+		s, err := img.HistogramStream(ChanR, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, mem := runStream(t, s)
+		reads[i] = mem.Stats().DRAMReads
+	}
+	if reads[1]*6 > reads[0] {
+		t.Fatalf("GS histogram fetched %d lines vs plain %d; want ~8x fewer", reads[1], reads[0])
+	}
+}
+
+func TestShadeStream(t *testing.T) {
+	img := newImage(t, 32, true)
+	fill(t, img)
+	s, err := img.ShadeStream([]int{3, 17, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := runStream(t, s)
+	if st.Loads != 9 || st.Stores != 9 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Pixel 3 shaded twice: R = 300*205/256, then again.
+	want := uint64(300) * 205 / 256
+	want = want * 205 / 256
+	v, _ := img.Get(3, ChanR)
+	if v != want {
+		t.Fatalf("shaded R = %d, want %d", v, want)
+	}
+	// Untouched channel survives.
+	a, _ := img.Get(3, ChanA)
+	if a != 303 {
+		t.Fatalf("alpha = %d, want 303", a)
+	}
+	if _, err := img.ShadeStream([]int{99}); err == nil {
+		t.Error("out-of-range pixel accepted")
+	}
+}

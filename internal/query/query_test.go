@@ -1,0 +1,279 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"gsdram/internal/cpu"
+	"gsdram/internal/imdb"
+	"gsdram/internal/machine"
+	"gsdram/internal/memsys"
+	"gsdram/internal/sim"
+)
+
+func newDB(t *testing.T, layout imdb.Layout, tuples int) *imdb.DB {
+	t.Helper()
+	m, err := machine.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := imdb.New(m, layout, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func runStream(t *testing.T, s cpu.Stream) (cpu.Stats, *memsys.System) {
+	t.Helper()
+	q := &sim.EventQueue{}
+	mem, err := memsys.New(memsys.DefaultConfig(1), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := cpu.New(0, q, mem, s, nil)
+	core.Start(0)
+	q.Run()
+	if !core.Stats().Finished {
+		t.Fatal("core did not finish")
+	}
+	return core.Stats(), mem
+}
+
+func TestPlanValidation(t *testing.T) {
+	e := NewEngine(newDB(t, imdb.RowStore, 64))
+	if _, err := e.Plan(Query{}); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := e.Plan(Query{Aggregates: []Agg{{Sum, 9}}}); err == nil {
+		t.Error("field out of range accepted")
+	}
+	if _, err := e.Plan(Query{Aggregates: []Agg{{Sum, 1}}, Filter: &Filter{Field: -1}}); err == nil {
+		t.Error("filter field out of range accepted")
+	}
+	p, err := e.Plan(Query{Aggregates: []Agg{{Count, 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Fields()) != 1 {
+		t.Fatalf("COUNT(*) plan reads %v fields", p.Fields())
+	}
+}
+
+func TestPlanFieldsDeduplicated(t *testing.T) {
+	e := NewEngine(newDB(t, imdb.RowStore, 64))
+	p, err := e.Plan(Query{
+		Aggregates: []Agg{{Sum, 3}, {Max, 3}, {Min, 5}},
+		Filter:     &Filter{Field: 3, Op: Gt, Value: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := p.Fields()
+	if len(fields) != 2 || fields[0] != 3 || fields[1] != 5 {
+		t.Fatalf("fields = %v, want [3 5]", fields)
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := Query{
+		Aggregates: []Agg{{Sum, 1}, {Count, 0}},
+		Filter:     &Filter{Field: 2, Op: Ge, Value: 40},
+	}
+	want := "SELECT SUM(f1), COUNT(*) FROM t WHERE f2 >= 40"
+	if got := q.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	names := map[CmpOp]string{Eq: "=", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=", CmpOp(9): "?"}
+	for op, s := range names {
+		if op.String() != s {
+			t.Errorf("%d.String() = %q", op, op.String())
+		}
+	}
+	if Sum.String() != "SUM" || Count.String() != "COUNT" || Min.String() != "MIN" || Max.String() != "MAX" || AggKind(9).String() != "AGG?" {
+		t.Error("agg names wrong")
+	}
+}
+
+// reference computes the expected result directly from InitialValue.
+func reference(tuples int, q Query) Result {
+	var res Result
+	res.Values = make([]uint64, len(q.Aggregates))
+	mins := make([]bool, len(q.Aggregates))
+	for t := 0; t < tuples; t++ {
+		if q.Filter != nil {
+			v := imdb.InitialValue(t, q.Filter.Field)
+			if !q.Filter.Op.eval(v, q.Filter.Value) {
+				continue
+			}
+		}
+		res.Rows++
+		for i, a := range q.Aggregates {
+			v := imdb.InitialValue(t, a.Field)
+			switch a.Kind {
+			case Count:
+				res.Values[i]++
+			case Sum:
+				res.Values[i] += v
+			case Min:
+				if !mins[i] || v < res.Values[i] {
+					res.Values[i] = v
+					mins[i] = true
+				}
+			case Max:
+				if v > res.Values[i] {
+					res.Values[i] = v
+				}
+			}
+		}
+	}
+	return res
+}
+
+func sameResult(a, b Result) bool {
+	if a.Rows != b.Rows || len(a.Values) != len(b.Values) {
+		return false
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAggregatesCorrectAllLayouts(t *testing.T) {
+	queries := []Query{
+		{Aggregates: []Agg{{Sum, 0}}},
+		{Aggregates: []Agg{{Sum, 2}, {Count, 0}, {Min, 2}, {Max, 5}}},
+		{Aggregates: []Agg{{Sum, 1}}, Filter: &Filter{Field: 0, Op: Gt, Value: 300}},
+		{Aggregates: []Agg{{Count, 0}}, Filter: &Filter{Field: 3, Op: Le, Value: 123}},
+		{Aggregates: []Agg{{Max, 7}}, Filter: &Filter{Field: 7, Op: Ne, Value: 7}},
+		{Aggregates: []Agg{{Sum, 4}, {Min, 4}}, Filter: &Filter{Field: 4, Op: Eq, Value: 44}},
+	}
+	const tuples = 128
+	for _, layout := range []imdb.Layout{imdb.RowStore, imdb.ColumnStore, imdb.GSStore} {
+		e := NewEngine(newDB(t, layout, tuples))
+		for _, q := range queries {
+			p, err := e.Plan(q)
+			if err != nil {
+				t.Fatalf("%v: %v", q, err)
+			}
+			got, err := p.Execute()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := reference(tuples, q)
+			if !sameResult(*got, want) {
+				t.Fatalf("%v on %v: got %+v, want %+v", q, layout, got, want)
+			}
+		}
+	}
+}
+
+// TestTimedQueryFetchShape: a filtered 1-field scan fetches ~1 line per
+// tuple on a row store and ~1 per 8 tuples on GS-DRAM.
+func TestTimedQueryFetchShape(t *testing.T) {
+	const tuples = 512
+	q := Query{Aggregates: []Agg{{Sum, 2}}, Filter: &Filter{Field: 2, Op: Gt, Value: 0}}
+	reads := map[imdb.Layout]uint64{}
+	for _, layout := range []imdb.Layout{imdb.RowStore, imdb.GSStore} {
+		e := NewEngine(newDB(t, layout, tuples))
+		p, err := e.Plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res Result
+		_, mem := runStream(t, p.Stream(&res))
+		if !sameResult(res, reference(tuples, q)) {
+			t.Fatalf("%v: wrong result %+v", layout, res)
+		}
+		reads[layout] = mem.Stats().DRAMReads
+	}
+	if reads[imdb.RowStore] < 7*reads[imdb.GSStore] {
+		t.Fatalf("row store fetched %d lines vs GS %d; want ~8x", reads[imdb.RowStore], reads[imdb.GSStore])
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, layout := range []imdb.Layout{imdb.RowStore, imdb.ColumnStore, imdb.GSStore} {
+		e := NewEngine(newDB(t, layout, 64))
+		vals, ops, err := e.Lookup(7, []int{0, 3, 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []uint64{imdb.InitialValue(7, 0), imdb.InitialValue(7, 3), imdb.InitialValue(7, 5)}
+		for i := range want {
+			if vals[i] != want[i] {
+				t.Fatalf("%v: vals = %v, want %v", layout, vals, want)
+			}
+		}
+		if len(ops) == 0 {
+			t.Fatal("no ops emitted")
+		}
+	}
+	e := NewEngine(newDB(t, imdb.RowStore, 64))
+	if _, _, err := e.Lookup(99, []int{0}); err == nil {
+		t.Error("tuple out of range accepted")
+	}
+	if _, _, err := e.Lookup(0, []int{9}); err == nil {
+		t.Error("field out of range accepted")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	e := NewEngine(newDB(t, imdb.GSStore, 64))
+	ops, err := e.Update(5, []int{1, 2}, []uint64{111, 222})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) == 0 {
+		t.Fatal("no ops emitted")
+	}
+	vals, _, err := e.Lookup(5, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 111 || vals[1] != 222 {
+		t.Fatalf("after update: %v", vals)
+	}
+	if _, err := e.Update(5, []int{1}, []uint64{1, 2}); err == nil {
+		t.Error("mismatched fields/values accepted")
+	}
+	if _, err := e.Update(-1, []int{1}, []uint64{1}); err == nil {
+		t.Error("tuple out of range accepted")
+	}
+	if _, err := e.Update(0, []int{8}, []uint64{1}); err == nil {
+		t.Error("field out of range accepted")
+	}
+}
+
+// TestUpdateVisibleToGatheredScan: an Update through the engine must be
+// observed by a subsequent aggregate scan on the GS layout (the
+// pattern-coherence path end to end).
+func TestUpdateVisibleToGatheredScan(t *testing.T) {
+	e := NewEngine(newDB(t, imdb.GSStore, 64))
+	if _, err := e.Update(10, []int{2}, []uint64{1_000_000}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.Plan(Query{Aggregates: []Agg{{Max, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[0] != 1_000_000 {
+		t.Fatalf("MAX after update = %d, want 1000000", res.Values[0])
+	}
+}
+
+func TestStringContainsFrom(t *testing.T) {
+	if !strings.Contains(Query{Aggregates: []Agg{{Sum, 0}}}.String(), "FROM t") {
+		t.Error("query string malformed")
+	}
+}

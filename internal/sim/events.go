@@ -1,0 +1,130 @@
+// Package sim provides the discrete-event simulation substrate used by the
+// GS-DRAM system model: an event queue ordered by simulated time, and a
+// deterministic random number generator for reproducible workloads.
+//
+// All simulated time is expressed in CPU cycles (the finest clock in the
+// modelled system). Components that run on slower clocks (e.g. the DDR3
+// command bus) convert to CPU cycles at their boundary.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, measured in CPU cycles since the
+// start of the simulation.
+type Cycle uint64
+
+// Event is a callback scheduled to run at a fixed simulated time.
+type Event struct {
+	When Cycle
+	Fn   func(now Cycle)
+
+	// seq breaks ties so that events scheduled earlier at the same cycle
+	// run first, keeping the simulation deterministic.
+	seq   uint64
+	index int
+}
+
+// EventQueue is a priority queue of events ordered by (When, insertion
+// order). The zero value is ready to use.
+type EventQueue struct {
+	h      eventHeap
+	nextID uint64
+	now    Cycle
+}
+
+// Now returns the time of the most recently dispatched event.
+func (q *EventQueue) Now() Cycle { return q.now }
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// Schedule enqueues fn to run at cycle when. Scheduling in the past (before
+// the last dispatched event) is clamped to "now"; discrete-event components
+// occasionally compute a ready-time that has already elapsed, and clamping
+// preserves causality without burdening every caller.
+func (q *EventQueue) Schedule(when Cycle, fn func(now Cycle)) *Event {
+	if when < q.now {
+		when = q.now
+	}
+	ev := &Event{When: when, Fn: fn, seq: q.nextID}
+	q.nextID++
+	heap.Push(&q.h, ev)
+	return ev
+}
+
+// ScheduleAfter enqueues fn to run delta cycles after the current time.
+func (q *EventQueue) ScheduleAfter(delta Cycle, fn func(now Cycle)) *Event {
+	return q.Schedule(q.now+delta, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-dispatched or
+// already-cancelled event is a no-op.
+func (q *EventQueue) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 || ev.index >= len(q.h) || q.h[ev.index] != ev {
+		return
+	}
+	heap.Remove(&q.h, ev.index)
+	ev.index = -1
+}
+
+// Step dispatches the earliest pending event. It reports false if the queue
+// is empty.
+func (q *EventQueue) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	ev := heap.Pop(&q.h).(*Event)
+	q.now = ev.When
+	ev.Fn(q.now)
+	return true
+}
+
+// Run dispatches events until the queue is empty and returns the time of
+// the last event.
+func (q *EventQueue) Run() Cycle {
+	for q.Step() {
+	}
+	return q.now
+}
+
+// RunUntil dispatches events with When <= deadline. It returns true if the
+// queue still has pending events beyond the deadline.
+func (q *EventQueue) RunUntil(deadline Cycle) bool {
+	for len(q.h) > 0 && q.h[0].When <= deadline {
+		q.Step()
+	}
+	return len(q.h) > 0
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].When != h[j].When {
+		return h[i].When < h[j].When
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

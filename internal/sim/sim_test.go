@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventQueueOrdersByTime(t *testing.T) {
+	var q EventQueue
+	var got []Cycle
+	for _, c := range []Cycle{50, 10, 30, 20, 40} {
+		c := c
+		q.Schedule(c, func(now Cycle) { got = append(got, now) })
+	}
+	q.Run()
+	want := []Cycle{10, 20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d ran at %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEventQueueTieBreakIsFIFO(t *testing.T) {
+	var q EventQueue
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(100, func(Cycle) { order = append(order, i) })
+	}
+	q.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-cycle events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestEventQueuePastSchedulingClamps(t *testing.T) {
+	var q EventQueue
+	var fired Cycle
+	q.Schedule(100, func(now Cycle) {
+		// Scheduling before "now" must clamp to now, not run in the past.
+		q.Schedule(5, func(n Cycle) { fired = n })
+	})
+	q.Run()
+	if fired != 100 {
+		t.Fatalf("past event fired at %d, want clamp to 100", fired)
+	}
+}
+
+func TestEventQueueScheduleAfter(t *testing.T) {
+	var q EventQueue
+	var at Cycle
+	q.Schedule(10, func(now Cycle) {
+		q.ScheduleAfter(7, func(n Cycle) { at = n })
+	})
+	q.Run()
+	if at != 17 {
+		t.Fatalf("ScheduleAfter fired at %d, want 17", at)
+	}
+}
+
+func TestEventQueueCancel(t *testing.T) {
+	var q EventQueue
+	ran := false
+	ev := q.Schedule(10, func(Cycle) { ran = true })
+	q.Cancel(ev)
+	q.Cancel(ev) // double-cancel must be harmless
+	q.Run()
+	if ran {
+		t.Fatal("cancelled event still ran")
+	}
+	if q.Now() != 0 {
+		t.Fatalf("clock advanced to %d with no events", q.Now())
+	}
+}
+
+func TestEventQueueCancelMiddle(t *testing.T) {
+	var q EventQueue
+	var got []Cycle
+	record := func(now Cycle) { got = append(got, now) }
+	q.Schedule(1, record)
+	mid := q.Schedule(2, record)
+	q.Schedule(3, record)
+	q.Cancel(mid)
+	q.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v, want [1 3]", got)
+	}
+}
+
+func TestEventQueueRunUntil(t *testing.T) {
+	var q EventQueue
+	var got []Cycle
+	for _, c := range []Cycle{5, 15, 25} {
+		q.Schedule(c, func(now Cycle) { got = append(got, now) })
+	}
+	more := q.RunUntil(15)
+	if !more {
+		t.Fatal("RunUntil reported no pending events; one remains")
+	}
+	if len(got) != 2 {
+		t.Fatalf("RunUntil(15) dispatched %d events, want 2", len(got))
+	}
+	more = q.RunUntil(100)
+	if more {
+		t.Fatal("RunUntil reported pending events after draining")
+	}
+}
+
+func TestEventQueuePropertySortedDispatch(t *testing.T) {
+	f := func(times []uint32) bool {
+		var q EventQueue
+		var got []Cycle
+		for _, tm := range times {
+			q.Schedule(Cycle(tm), func(now Cycle) { got = append(got, now) })
+		}
+		q.Run()
+		if len(got) != len(times) {
+			return false
+		}
+		want := make([]Cycle, len(times))
+		for i, tm := range times {
+			want[i] = Cycle(tm)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRandZeroSeed(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced stuck generator")
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestRandIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(99)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRandPermIsPermutation(t *testing.T) {
+	r := NewRand(3)
+	p := r.Perm(64)
+	seen := make([]bool, 64)
+	for _, v := range p {
+		if v < 0 || v >= 64 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandRoughUniformity(t *testing.T) {
+	r := NewRand(1234)
+	const buckets, n = 16, 160000
+	var counts [buckets]int
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := n / buckets
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d has %d samples, want about %d", i, c, want)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "A", "BBBB")
+	tb.Add("x", "1")
+	tb.Addf("longer", 3.14159)
+	out := tb.String()
+	if !strings.Contains(out, "Title") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "BBBB") {
+		t.Error("header missing")
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Error("float not formatted to 2 decimals")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableColumnsAligned(t *testing.T) {
+	tb := NewTable("", "col", "x")
+	tb.Add("a", "b")
+	tb.Add("wiiiide", "c")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// "b" and "c" must start at the same offset.
+	bIdx := strings.Index(lines[2], "b")
+	cIdx := strings.Index(lines[3], "c")
+	if bIdx != cIdx {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestShortRowPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.Add("only")
+	if out := tb.String(); !strings.Contains(out, "only") {
+		t.Fatalf("short row lost: %s", out)
+	}
+}
+
+func TestMcycles(t *testing.T) {
+	if got := Mcycles(2_500_000); got != "2.50" {
+		t.Errorf("Mcycles = %q", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(3, 2); got != "1.50" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "inf" {
+		t.Errorf("Ratio/0 = %q", got)
+	}
+}
+
+func TestAddfHandlesInts(t *testing.T) {
+	tb := NewTable("", "n")
+	tb.Addf(42)
+	if !strings.Contains(tb.String(), "42") {
+		t.Error("int cell lost")
+	}
+}

@@ -1,0 +1,191 @@
+// Package trace records and analyses DRAM command streams captured from
+// the memory controller's observer hook: per-bank activity, row-hit
+// rates, command mix, and a terminal timeline renderer for short windows.
+// It is the debugging companion to the timing model — the same view a
+// logic analyser on the command bus would give.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gsdram/internal/dram"
+	"gsdram/internal/memctrl"
+	"gsdram/internal/sim"
+	"gsdram/internal/stats"
+)
+
+// Recorder collects command events up to a capacity (0 = unbounded).
+// Plug Recorder.Observe into memctrl.Config.Observer.
+type Recorder struct {
+	cap    int
+	events []memctrl.CommandEvent
+	seen   uint64
+}
+
+// NewRecorder returns a recorder keeping at most capacity events
+// (capacity <= 0 keeps everything).
+func NewRecorder(capacity int) *Recorder {
+	return &Recorder{cap: capacity}
+}
+
+// Observe implements the memctrl observer contract.
+func (r *Recorder) Observe(ev memctrl.CommandEvent) {
+	r.seen++
+	if r.cap > 0 && len(r.events) >= r.cap {
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Events returns the recorded events in issue order.
+func (r *Recorder) Events() []memctrl.CommandEvent { return r.events }
+
+// Seen returns the total number of commands observed (including ones
+// dropped once the capacity was reached).
+func (r *Recorder) Seen() uint64 { return r.seen }
+
+// BankKey identifies one bank across channels and ranks.
+type BankKey struct {
+	Channel, Rank, Bank int
+}
+
+func (k BankKey) String() string {
+	return fmt.Sprintf("ch%d/rk%d/ba%d", k.Channel, k.Rank, k.Bank)
+}
+
+// BankSummary aggregates one bank's activity.
+type BankSummary struct {
+	ACTs, PREs, Reads, Writes uint64
+}
+
+// Summary aggregates a command stream.
+type Summary struct {
+	Commands   uint64
+	Span       sim.Cycle // first..last command time
+	CmdCounts  map[dram.CmdKind]uint64
+	PerBank    map[BankKey]BankSummary
+	RowHitRate float64 // column commands not preceded by an ACT for them
+	Patterned  uint64  // RD/WR with non-zero pattern ID
+}
+
+// Summarize analyses a recorded stream.
+func Summarize(events []memctrl.CommandEvent) Summary {
+	s := Summary{
+		CmdCounts: map[dram.CmdKind]uint64{},
+		PerBank:   map[BankKey]BankSummary{},
+	}
+	if len(events) == 0 {
+		return s
+	}
+	s.Commands = uint64(len(events))
+	s.Span = events[len(events)-1].At - events[0].At
+
+	var colCmds, hits uint64
+	// A column command is a row hit if the bank's last command was not the
+	// ACT that opened its row for this request; track per bank whether the
+	// previous command was an ACT.
+	lastWasACT := map[BankKey]bool{}
+	for _, ev := range events {
+		s.CmdCounts[ev.Kind]++
+		key := BankKey{ev.Channel, ev.Rank, ev.Bank}
+		b := s.PerBank[key]
+		switch ev.Kind {
+		case dram.CmdACT:
+			b.ACTs++
+			lastWasACT[key] = true
+		case dram.CmdPRE:
+			b.PREs++
+			lastWasACT[key] = false
+		case dram.CmdRD, dram.CmdWR:
+			if ev.Kind == dram.CmdRD {
+				b.Reads++
+			} else {
+				b.Writes++
+			}
+			colCmds++
+			if !lastWasACT[key] {
+				hits++
+			}
+			lastWasACT[key] = false
+			if ev.Pattern != 0 {
+				s.Patterned++
+			}
+		}
+		s.PerBank[key] = b
+	}
+	if colCmds > 0 {
+		s.RowHitRate = float64(hits) / float64(colCmds)
+	}
+	return s
+}
+
+// Table renders the summary.
+func (s Summary) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("DRAM command trace: %d commands over %d cycles (row-hit rate %.1f%%, %d patterned)",
+			s.Commands, s.Span, 100*s.RowHitRate, s.Patterned),
+		"bank", "ACT", "PRE", "RD", "WR")
+	keys := make([]BankKey, 0, len(s.PerBank))
+	for k := range s.PerBank {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Channel != b.Channel {
+			return a.Channel < b.Channel
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		return a.Bank < b.Bank
+	})
+	for _, k := range keys {
+		b := s.PerBank[k]
+		t.Addf(k.String(), b.ACTs, b.PREs, b.Reads, b.Writes)
+	}
+	return t
+}
+
+// Timeline renders a per-bank ASCII lane chart of the commands in
+// [from, to): one column per `step` cycles, 'A' = ACT, 'P' = PRE,
+// 'R' = read, 'W' = write, 'F' = refresh, '.' = idle. Later commands in
+// the same cell win; banks with no activity in the window are omitted.
+func Timeline(events []memctrl.CommandEvent, from, to sim.Cycle, step sim.Cycle) string {
+	if step == 0 || to <= from {
+		return ""
+	}
+	cols := int((to - from + step - 1) / step)
+	if cols > 200 {
+		cols = 200
+		to = from + sim.Cycle(cols)*step
+	}
+	lanes := map[BankKey][]byte{}
+	glyph := map[dram.CmdKind]byte{
+		dram.CmdACT: 'A', dram.CmdPRE: 'P', dram.CmdRD: 'R', dram.CmdWR: 'W', dram.CmdREF: 'F',
+	}
+	for _, ev := range events {
+		if ev.At < from || ev.At >= to {
+			continue
+		}
+		key := BankKey{ev.Channel, ev.Rank, ev.Bank}
+		lane, ok := lanes[key]
+		if !ok {
+			lane = []byte(strings.Repeat(".", cols))
+			lanes[key] = lane
+		}
+		lane[int((ev.At-from)/step)] = glyph[ev.Kind]
+	}
+	keys := make([]BankKey, 0, len(lanes))
+	for k := range lanes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles %d..%d, %d cycles/column\n", from, to, step)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-12s %s\n", k.String(), lanes[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/dram"
+	"gsdram/internal/memctrl"
+	"gsdram/internal/sim"
+)
+
+// record runs a workload against a controller with the recorder attached.
+func record(t *testing.T, capacity int, work func(c *memctrl.Controller, q *sim.EventQueue)) *Recorder {
+	t.Helper()
+	rec := NewRecorder(capacity)
+	q := &sim.EventQueue{}
+	cfg := memctrl.DefaultConfig()
+	cfg.Observer = rec.Observe
+	c, err := memctrl.New(cfg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work(c, q)
+	q.Run()
+	return rec
+}
+
+func addr(bank, row, col int) addrmap.Addr {
+	return addrmap.Default.Compose(addrmap.Loc{Bank: bank, Row: row, Col: col})
+}
+
+func streamReads(n int) func(c *memctrl.Controller, q *sim.EventQueue) {
+	return func(c *memctrl.Controller, q *sim.EventQueue) {
+		for i := 0; i < n; i++ {
+			a := addr(i%2, 10, i%128)
+			q.Schedule(sim.Cycle(i*50), func(now sim.Cycle) {
+				c.Enqueue(now, &memctrl.Request{Addr: a})
+			})
+		}
+	}
+}
+
+func TestRecorderCapturesCommands(t *testing.T) {
+	rec := record(t, 0, streamReads(20))
+	if len(rec.Events()) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if rec.Seen() != uint64(len(rec.Events())) {
+		t.Fatal("seen != recorded without a cap")
+	}
+	// Events are in time order.
+	for i := 1; i < len(rec.Events()); i++ {
+		if rec.Events()[i].At < rec.Events()[i-1].At {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	rec := record(t, 5, streamReads(20))
+	if len(rec.Events()) != 5 {
+		t.Fatalf("recorded %d events, want cap 5", len(rec.Events()))
+	}
+	if rec.Seen() <= 5 {
+		t.Fatal("seen counter did not keep counting past the cap")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	rec := record(t, 0, streamReads(40))
+	s := Summarize(rec.Events())
+	if s.Commands == 0 || s.Span == 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.CmdCounts[dram.CmdRD] != 40 {
+		t.Fatalf("RD count = %d, want 40", s.CmdCounts[dram.CmdRD])
+	}
+	// Two banks used, one row each: exactly 2 ACTs, high row-hit rate.
+	if s.CmdCounts[dram.CmdACT] != 2 {
+		t.Fatalf("ACT count = %d, want 2", s.CmdCounts[dram.CmdACT])
+	}
+	if s.RowHitRate < 0.9 {
+		t.Fatalf("row-hit rate %.2f, want ~0.95", s.RowHitRate)
+	}
+	if len(s.PerBank) != 2 {
+		t.Fatalf("banks = %d, want 2", len(s.PerBank))
+	}
+	if s.Patterned != 0 {
+		t.Fatal("no patterned reads were issued")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Commands != 0 || s.RowHitRate != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummaryCountsPatterned(t *testing.T) {
+	rec := record(t, 0, func(c *memctrl.Controller, q *sim.EventQueue) {
+		q.Schedule(0, func(now sim.Cycle) {
+			c.Enqueue(now, &memctrl.Request{Addr: addr(0, 1, 0), Pattern: 7})
+			c.Enqueue(now, &memctrl.Request{Addr: addr(0, 1, 8)})
+		})
+	})
+	s := Summarize(rec.Events())
+	if s.Patterned != 1 {
+		t.Fatalf("patterned = %d, want 1", s.Patterned)
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	rec := record(t, 0, streamReads(10))
+	out := Summarize(rec.Events()).Table().String()
+	if !strings.Contains(out, "row-hit rate") || !strings.Contains(out, "ch0/rk0/ba0") {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	rec := record(t, 0, streamReads(10))
+	evs := rec.Events()
+	out := Timeline(evs, 0, evs[len(evs)-1].At+1, 20)
+	if !strings.Contains(out, "A") || !strings.Contains(out, "R") {
+		t.Fatalf("timeline missing commands:\n%s", out)
+	}
+	if !strings.Contains(out, "cycles/column") {
+		t.Fatal("timeline header missing")
+	}
+	// Degenerate windows are safe.
+	if Timeline(evs, 10, 10, 5) != "" {
+		t.Fatal("empty window not empty")
+	}
+	if Timeline(evs, 0, 100, 0) != "" {
+		t.Fatal("zero step not empty")
+	}
+}
+
+func TestTimelineCapsColumns(t *testing.T) {
+	rec := record(t, 0, streamReads(10))
+	out := Timeline(rec.Events(), 0, 1_000_000, 1)
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 220 {
+			t.Fatalf("timeline line too wide: %d chars", len(line))
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package vm models the system-software support GS-DRAM needs (paper
+// §4.3): a pattmalloc allocator that tags virtual pages with a shuffle
+// flag and an alternate pattern ID, and the per-access check that a data
+// structure is only touched with the default pattern or its page's
+// alternate pattern (the coherence-simplifying restriction of §4.1).
+//
+// The model uses a direct-mapped address space (virtual == physical): the
+// paper's mechanism needs page metadata, not virtual-memory indirection,
+// and a direct map keeps the simulated addresses meaningful to addrmap.
+package vm
+
+import (
+	"fmt"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/gsdram"
+)
+
+// PageFlags is the per-page metadata pattmalloc records in the page table
+// and the processor caches in the TLB (paper §4.4).
+type PageFlags struct {
+	// Shuffled enables the controller's data shuffling for lines in this
+	// page.
+	Shuffled bool
+	// AltPattern is the one non-zero pattern ID this page may be accessed
+	// with.
+	AltPattern gsdram.Pattern
+}
+
+// AddressSpace is a bump allocator over simulated physical memory with
+// per-page flags.
+type AddressSpace struct {
+	spec     addrmap.Spec
+	gs       gsdram.Params
+	pageSize int
+	next     addrmap.Addr
+	flags    map[uint64]PageFlags // page index -> flags
+}
+
+// New returns an empty address space. pageSize must be a power of two and
+// a multiple of the cache-line size.
+func New(spec addrmap.Spec, gs gsdram.Params, pageSize int) (*AddressSpace, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := gs.Validate(); err != nil {
+		return nil, err
+	}
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 || pageSize%spec.LineBytes != 0 {
+		return nil, fmt.Errorf("vm: bad page size %d", pageSize)
+	}
+	return &AddressSpace{
+		spec:     spec,
+		gs:       gs,
+		pageSize: pageSize,
+		flags:    make(map[uint64]PageFlags),
+	}, nil
+}
+
+// PageSize returns the page size.
+func (as *AddressSpace) PageSize() int { return as.pageSize }
+
+func (as *AddressSpace) pageIndex(a addrmap.Addr) uint64 {
+	return uint64(a) / uint64(as.pageSize)
+}
+
+func (as *AddressSpace) alloc(size int, fl PageFlags) (addrmap.Addr, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("vm: allocation size must be positive, got %d", size)
+	}
+	// Page-align the start so the flags cover exactly this structure.
+	start := (as.next + addrmap.Addr(as.pageSize-1)) &^ addrmap.Addr(as.pageSize-1)
+	pages := (size + as.pageSize - 1) / as.pageSize
+	end := start + addrmap.Addr(pages*as.pageSize)
+	if uint64(end) > as.spec.Capacity() {
+		return 0, fmt.Errorf("vm: out of memory: need %d bytes at %#x, capacity %#x", size, uint64(start), as.spec.Capacity())
+	}
+	for p := uint64(start) / uint64(as.pageSize); p < uint64(end)/uint64(as.pageSize); p++ {
+		as.flags[p] = fl
+	}
+	as.next = end
+	return start, nil
+}
+
+// Malloc allocates ordinary (unshuffled) memory.
+func (as *AddressSpace) Malloc(size int) (addrmap.Addr, error) {
+	return as.alloc(size, PageFlags{})
+}
+
+// PattMalloc allocates memory with the shuffle flag set and the given
+// alternate pattern ID (paper §4.3). The pattern must be representable
+// in the configured GS-DRAM's pattern bits.
+func (as *AddressSpace) PattMalloc(size int, patt gsdram.Pattern) (addrmap.Addr, error) {
+	if patt > as.gs.MaxPattern() {
+		return 0, fmt.Errorf("vm: pattern %#x exceeds %d pattern bits", uint32(patt), as.gs.PatternBits)
+	}
+	if patt == gsdram.DefaultPattern {
+		return 0, fmt.Errorf("vm: pattmalloc needs a non-zero alternate pattern")
+	}
+	return as.alloc(size, PageFlags{Shuffled: true, AltPattern: patt})
+}
+
+// Flags returns the page flags covering an address.
+func (as *AddressSpace) Flags(a addrmap.Addr) PageFlags {
+	return as.flags[as.pageIndex(a)]
+}
+
+// CheckAccess validates an access pattern against the page's flags: the
+// default pattern is always allowed; a non-zero pattern requires a
+// shuffled page whose alternate pattern matches (the two-pattern
+// restriction of paper §4.1). The OS enforces the same rule for shared
+// mappings.
+func (as *AddressSpace) CheckAccess(a addrmap.Addr, patt gsdram.Pattern) error {
+	if patt == gsdram.DefaultPattern {
+		return nil
+	}
+	fl := as.Flags(a)
+	if !fl.Shuffled {
+		return fmt.Errorf("vm: patterned access (pattern %d) to unshuffled page at %#x", patt, uint64(a))
+	}
+	if fl.AltPattern != patt {
+		return fmt.Errorf("vm: pattern %d differs from page's alternate pattern %d at %#x", patt, fl.AltPattern, uint64(a))
+	}
+	return nil
+}

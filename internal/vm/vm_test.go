@@ -1,0 +1,129 @@
+package vm
+
+import (
+	"testing"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/gsdram"
+)
+
+func newAS(t *testing.T) *AddressSpace {
+	t.Helper()
+	as, err := New(addrmap.Default, gsdram.GS844, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(addrmap.Default, gsdram.GS844, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(addrmap.Default, gsdram.GS844, 100); err == nil {
+		t.Error("non-power-of-two page size accepted")
+	}
+	if _, err := New(addrmap.Default, gsdram.GS844, 32); err == nil {
+		t.Error("page smaller than a cache line accepted")
+	}
+	if _, err := New(addrmap.Default, gsdram.Params{Chips: 3}, 4096); err == nil {
+		t.Error("bad GS params accepted")
+	}
+	bad := addrmap.Default
+	bad.Banks = 5
+	if _, err := New(bad, gsdram.GS844, 4096); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+func TestMallocBumpsAndAligns(t *testing.T) {
+	as := newAS(t)
+	a1, err := as.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := as.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1%4096 != 0 || a2%4096 != 0 {
+		t.Fatalf("allocations not page aligned: %#x %#x", uint64(a1), uint64(a2))
+	}
+	if a2 <= a1 {
+		t.Fatalf("allocations overlap: %#x %#x", uint64(a1), uint64(a2))
+	}
+}
+
+func TestPattMallocFlags(t *testing.T) {
+	as := newAS(t)
+	a, err := as.PattMalloc(3*4096+1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every page of the allocation carries the flags.
+	for off := 0; off < 4*4096; off += 4096 {
+		fl := as.Flags(a + addrmap.Addr(off))
+		if !fl.Shuffled || fl.AltPattern != 7 {
+			t.Fatalf("page at +%d has flags %+v", off, fl)
+		}
+	}
+	// The page after the allocation does not.
+	if fl := as.Flags(a + 4*4096); fl.Shuffled {
+		t.Fatal("flags leaked past allocation")
+	}
+}
+
+func TestPattMallocValidation(t *testing.T) {
+	as := newAS(t)
+	if _, err := as.PattMalloc(64, 0); err == nil {
+		t.Error("zero alternate pattern accepted")
+	}
+	if _, err := as.PattMalloc(64, 9); err == nil {
+		t.Error("pattern exceeding pattern bits accepted")
+	}
+	if _, err := as.Malloc(0); err == nil {
+		t.Error("zero-size malloc accepted")
+	}
+	if _, err := as.Malloc(-5); err == nil {
+		t.Error("negative malloc accepted")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	as := newAS(t)
+	if _, err := as.Malloc(int(addrmap.Default.Capacity()) - 4096); err != nil {
+		t.Fatalf("near-capacity allocation failed: %v", err)
+	}
+	if _, err := as.Malloc(2 * 4096); err == nil {
+		t.Error("over-capacity allocation accepted")
+	}
+}
+
+func TestCheckAccess(t *testing.T) {
+	as := newAS(t)
+	plain, _ := as.Malloc(4096)
+	gs, _ := as.PattMalloc(4096, 7)
+
+	if err := as.CheckAccess(plain, 0); err != nil {
+		t.Errorf("default access to plain page rejected: %v", err)
+	}
+	if err := as.CheckAccess(gs, 0); err != nil {
+		t.Errorf("default access to shuffled page rejected: %v", err)
+	}
+	if err := as.CheckAccess(gs, 7); err != nil {
+		t.Errorf("alternate-pattern access rejected: %v", err)
+	}
+	if err := as.CheckAccess(plain, 7); err == nil {
+		t.Error("patterned access to unshuffled page accepted")
+	}
+	if err := as.CheckAccess(gs, 3); err == nil {
+		t.Error("non-alternate pattern accepted (two-pattern restriction)")
+	}
+}
+
+func TestPageSizeAccessor(t *testing.T) {
+	as := newAS(t)
+	if as.PageSize() != 4096 {
+		t.Fatalf("page size = %d", as.PageSize())
+	}
+}

@@ -6,7 +6,8 @@
 //	gsbench [-exp all|table1|fig7|fig9|fig10|fig11|fig12|fig13|kvstore|graph|
 //	         ablation|autogather|schedpol|channels|impulse|pattbits|storebuf]
 //	        [-tuples N] [-txns N] [-gemm n1,n2,...] [-kvpairs N]
-//	        [-vertices N] [-degree D] [-seed S] [-json]
+//	        [-vertices N] [-degree D] [-seed S] [-workers N] [-json]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // The defaults complete in a few minutes. To run at the paper's scale:
 //
@@ -15,6 +16,12 @@
 //
 // With -json, each experiment's structured result is emitted as a JSON
 // object instead of a text table.
+//
+// -workers bounds how many independent simulation runs execute
+// concurrently within each experiment (0 = one per CPU). Every worker
+// count produces identical results; -workers 1 forces the historical
+// serial order. -cpuprofile / -memprofile write pprof profiles of the
+// whole invocation for performance work on the simulator itself.
 package main
 
 import (
@@ -22,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -39,14 +48,43 @@ func main() {
 		gVerts  = flag.Int("vertices", 32768, "vertices for the graph experiment")
 		gDeg    = flag.Int("degree", 8, "average out-degree for the graph experiment")
 		seed    = flag.Uint64("seed", 42, "workload random seed")
+		workers = flag.Int("workers", 0, "concurrent simulation runs per experiment (0 = GOMAXPROCS, 1 = serial)")
 		asJSON  = flag.Bool("json", false, "emit results as JSON instead of tables")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // materialise the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	opts := gsdram.DefaultOptions()
 	opts.Tuples = *tuples
 	opts.Txns = *txns
 	opts.Seed = *seed
+	opts.Workers = *workers
 	sizes, err := parseSizes(*gemmStr)
 	if err != nil {
 		fatal(err)

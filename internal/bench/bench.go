@@ -18,6 +18,7 @@ import (
 	"gsdram/internal/machine"
 	"gsdram/internal/memctrl"
 	"gsdram/internal/memsys"
+	"gsdram/internal/runner"
 	"gsdram/internal/sim"
 )
 
@@ -35,7 +36,16 @@ type Options struct {
 	GemmSizes []int
 	// Seed drives all workload randomness.
 	Seed uint64
+	// Workers is the number of concurrent simulation runs per experiment.
+	// Zero selects runtime.GOMAXPROCS(0); 1 reproduces the historical
+	// serial execution order bit-for-bit. Every worker count produces
+	// identical results: runs are independent rigs whose seeds depend only
+	// on the run index (see internal/runner).
+	Workers int
 }
+
+// pool returns the worker pool the experiment's runs are submitted to.
+func (o Options) pool() runner.Pool { return runner.Pool{Workers: o.Workers} }
 
 // DefaultOptions returns the default experiment scale.
 func DefaultOptions() Options {

@@ -37,19 +37,21 @@ func specForChannels(n int) addrmap.Spec {
 // (one per core, over disjoint tables) on 1 and 2 channels.
 func RunChannels(opts Options) (*ChannelsResult, error) {
 	res := &ChannelsResult{Tuples: opts.Tuples}
-	for i, channels := range []int{1, 2} {
+	channelCounts := []int{1, 2}
+	err := opts.pool().Run(len(channelCounts), func(i int) error {
+		channels := channelCounts[i]
 		spec := specForChannels(channels)
 		mach, err := machine.New(spec, gsdram.GS844)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dbA, err := imdb.New(mach, imdb.RowStore, opts.Tuples)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dbB, err := imdb.New(mach, imdb.RowStore, opts.Tuples)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		q := &sim.EventQueue{}
 		cfg := memsys.DefaultConfig(2)
@@ -57,16 +59,16 @@ func RunChannels(opts Options) (*ChannelsResult, error) {
 		cfg.Mem.Spec = spec
 		mem, err := memsys.New(cfg, q)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var arA, arB imdb.AnalyticsResult
 		sA, err := dbA.AnalyticsStream([]int{0}, &arA)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sB, err := dbB.AnalyticsStream([]int{0}, &arB)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m := runStreams(q, mem, []cpu.Stream{sA, sB})
 		checkSums(&arA, opts.Tuples, []int{0})
@@ -75,6 +77,10 @@ func RunChannels(opts Options) (*ChannelsResult, error) {
 		bytes := float64(m.Ctrl.ReadsServed) * 64
 		seconds := float64(m.Cycles) / 4e9
 		res.GBs[i] = bytes / seconds / 1e9
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

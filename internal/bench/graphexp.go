@@ -7,6 +7,7 @@ import (
 	"gsdram/internal/graph"
 	"gsdram/internal/machine"
 	"gsdram/internal/memsys"
+	"gsdram/internal/runner"
 	"gsdram/internal/sim"
 	"gsdram/internal/stats"
 )
@@ -32,59 +33,52 @@ func RunGraph(vertices, avgDeg, updates int, seed uint64) (*GraphResult, error) 
 		return nil, fmt.Errorf("bench: vertices must be a positive multiple of 8")
 	}
 	res := &GraphResult{Vertices: vertices, AvgDeg: avgDeg}
-	for li, layout := range graphLayouts {
-		// PageRank.
-		{
-			mach, err := machine.Default()
+	// One job per (layout, kernel): kernel 0 is PageRank, kernel 1 the
+	// random update batch. Every job rebuilds the same seeded graph.
+	err := (runner.Pool{}).Run(len(graphLayouts)*2, func(j int) error {
+		li, kernel := j/2, j%2
+		layout := graphLayouts[li]
+		mach, err := machine.Default()
+		if err != nil {
+			return err
+		}
+		g, err := graph.NewRandom(mach, layout, vertices, avgDeg, seed)
+		if err != nil {
+			return err
+		}
+		var s cpu.Stream
+		var pr graph.PageRankResult
+		var want uint64
+		if kernel == 0 {
+			want, err = g.ReferenceRankSum(2)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			g, err := graph.NewRandom(mach, layout, vertices, avgDeg, seed)
-			if err != nil {
-				return nil, err
-			}
-			want, err := g.ReferenceRankSum(2)
-			if err != nil {
-				return nil, err
-			}
-			var pr graph.PageRankResult
-			s, err := g.PageRankStream(2, &pr)
-			if err != nil {
-				return nil, err
-			}
-			q := &sim.EventQueue{}
-			mem, err := memsys.New(memsys.DefaultConfig(1), q)
-			if err != nil {
-				return nil, err
-			}
-			m := runStreams(q, mem, []cpu.Stream{s})
+			s, err = g.PageRankStream(2, &pr)
+		} else {
+			s, err = g.UpdateStream(updates, 3, seed+1)
+		}
+		if err != nil {
+			return err
+		}
+		q := &sim.EventQueue{}
+		mem, err := memsys.New(memsys.DefaultConfig(1), q)
+		if err != nil {
+			return err
+		}
+		m := runStreams(q, mem, []cpu.Stream{s})
+		if kernel == 0 {
 			if pr.RankSum != want {
-				return nil, fmt.Errorf("bench: %v PageRank sum %d, want %d", layout, pr.RankSum, want)
+				return fmt.Errorf("bench: %v PageRank sum %d, want %d", layout, pr.RankSum, want)
 			}
 			res.PageRank[li] = m.Cycles
-		}
-		// Random updates.
-		{
-			mach, err := machine.Default()
-			if err != nil {
-				return nil, err
-			}
-			g, err := graph.NewRandom(mach, layout, vertices, avgDeg, seed)
-			if err != nil {
-				return nil, err
-			}
-			s, err := g.UpdateStream(updates, 3, seed+1)
-			if err != nil {
-				return nil, err
-			}
-			q := &sim.EventQueue{}
-			mem, err := memsys.New(memsys.DefaultConfig(1), q)
-			if err != nil {
-				return nil, err
-			}
-			m := runStreams(q, mem, []cpu.Stream{s})
+		} else {
 			res.Update[li] = m.Cycles
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -21,23 +21,34 @@ type Fig9Result struct {
 // Column Store and GS-DRAM.
 func RunFig9(opts Options) (*Fig9Result, error) {
 	res := &Fig9Result{Opts: opts, Mixes: imdb.Figure9Mixes, Runs: map[imdb.Layout][]RunMetrics{}}
-	for _, layout := range layouts {
-		for _, mix := range res.Mixes {
-			_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1})
-			if err != nil {
-				return nil, err
-			}
-			var tr imdb.TxnResult
-			s, err := db.TransactionStream(mix, opts.Txns, opts.Seed, &tr)
-			if err != nil {
-				return nil, err
-			}
-			m := runStreams(q, mem, []cpu.Stream{s})
-			if tr.Completed != uint64(opts.Txns) {
-				return nil, fmt.Errorf("bench: %v/%v completed %d txns, want %d", layout, mix, tr.Completed, opts.Txns)
-			}
-			res.Runs[layout] = append(res.Runs[layout], m)
+	nm := len(res.Mixes)
+	runs := make([]RunMetrics, len(layouts)*nm)
+	// One job per (layout, mix), in the historical layout-major order. Each
+	// job builds its own rig and owns result slot j; the workload seed is
+	// opts.Seed for every run so all layouts replay the same transactions.
+	err := opts.pool().Run(len(runs), func(j int) error {
+		layout, mix := layouts[j/nm], res.Mixes[j%nm]
+		_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1})
+		if err != nil {
+			return err
 		}
+		var tr imdb.TxnResult
+		s, err := db.TransactionStream(mix, opts.Txns, opts.Seed, &tr)
+		if err != nil {
+			return err
+		}
+		m := runStreams(q, mem, []cpu.Stream{s})
+		if tr.Completed != uint64(opts.Txns) {
+			return fmt.Errorf("bench: %v/%v completed %d txns, want %d", layout, mix, tr.Completed, opts.Txns)
+		}
+		runs[j] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, layout := range layouts {
+		res.Runs[layout] = runs[li*nm : (li+1)*nm : (li+1)*nm]
 	}
 	return res, nil
 }
@@ -98,25 +109,33 @@ func RunFig10(opts Options) (*Fig10Result, error) {
 		},
 		Runs: map[imdb.Layout][]RunMetrics{},
 	}
-	for _, layout := range layouts {
-		for _, pt := range res.Points {
-			_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1, prefetch: pt.Prefetch})
-			if err != nil {
-				return nil, err
-			}
-			columns := []int{0}
-			if pt.Columns == 2 {
-				columns = []int{0, 1}
-			}
-			var ar imdb.AnalyticsResult
-			s, err := db.AnalyticsStream(columns, &ar)
-			if err != nil {
-				return nil, err
-			}
-			m := runStreams(q, mem, []cpu.Stream{s})
-			checkSums(&ar, opts.Tuples, columns)
-			res.Runs[layout] = append(res.Runs[layout], m)
+	np := len(res.Points)
+	runs := make([]RunMetrics, len(layouts)*np)
+	err := opts.pool().Run(len(runs), func(j int) error {
+		layout, pt := layouts[j/np], res.Points[j%np]
+		_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1, prefetch: pt.Prefetch})
+		if err != nil {
+			return err
 		}
+		columns := []int{0}
+		if pt.Columns == 2 {
+			columns = []int{0, 1}
+		}
+		var ar imdb.AnalyticsResult
+		s, err := db.AnalyticsStream(columns, &ar)
+		if err != nil {
+			return err
+		}
+		m := runStreams(q, mem, []cpu.Stream{s})
+		checkSums(&ar, opts.Tuples, columns)
+		runs[j] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, layout := range layouts {
+		res.Runs[layout] = runs[li*np : (li+1)*np : (li+1)*np]
 	}
 	return res, nil
 }
@@ -188,48 +207,63 @@ func RunFig11(opts Options) (*Fig11Result, error) {
 		AnalyticsCycles: map[imdb.Layout][2]uint64{},
 		TxnThroughput:   map[imdb.Layout][2]float64{},
 	}
-	for _, layout := range layouts {
-		for pi, prefetch := range []bool{false, true} {
-			_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 2, prefetch: prefetch})
-			if err != nil {
-				return nil, err
-			}
-			var ar imdb.AnalyticsResult
-			as, err := db.AnalyticsStream([]int{0}, &ar)
-			if err != nil {
-				return nil, err
-			}
-			var tr imdb.TxnResult
-			ts, err := db.TransactionStream(imdb.TxnMix{RO: 1, WO: 1}, 0 /* unbounded */, opts.Seed, &tr)
-			if err != nil {
-				return nil, err
-			}
-
-			txnCore := cpu.New(1, q, mem, ts, nil)
-			var analyticsDone sim.Cycle
-			anaCore := cpu.New(0, q, mem, as, func(now sim.Cycle) {
-				analyticsDone = now
-				txnCore.Stop()
-			})
-			anaCore.Start(0)
-			txnCore.Start(0)
-			q.Run()
-
-			// The analytics thread mutates nothing, so the column sum must
-			// still be exact even with concurrent writers to other fields:
-			// the transaction mix writes one random field, which may be
-			// column 0, so only check when it cannot be.
-			_ = ar
-
-			ac := res.AnalyticsCycles[layout]
-			ac[pi] = uint64(analyticsDone)
-			res.AnalyticsCycles[layout] = ac
-
-			tp := res.TxnThroughput[layout]
-			seconds := float64(analyticsDone) / 4e9
-			tp[pi] = float64(tr.Completed) / seconds
-			res.TxnThroughput[layout] = tp
+	type htapRun struct {
+		cycles     uint64
+		throughput float64
+	}
+	runs := make([]htapRun, len(layouts)*2)
+	err := opts.pool().Run(len(runs), func(j int) error {
+		layout, prefetch := layouts[j/2], j%2 == 1
+		_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 2, prefetch: prefetch})
+		if err != nil {
+			return err
 		}
+		var ar imdb.AnalyticsResult
+		as, err := db.AnalyticsStream([]int{0}, &ar)
+		if err != nil {
+			return err
+		}
+		var tr imdb.TxnResult
+		ts, err := db.TransactionStream(imdb.TxnMix{RO: 1, WO: 1}, 0 /* unbounded */, opts.Seed, &tr)
+		if err != nil {
+			return err
+		}
+
+		txnCore := cpu.New(1, q, mem, ts, nil)
+		var analyticsDone sim.Cycle
+		anaCore := cpu.New(0, q, mem, as, func(now sim.Cycle) {
+			analyticsDone = now
+			txnCore.Stop()
+		})
+		anaCore.Start(0)
+		txnCore.Start(0)
+		q.Run()
+
+		// The analytics thread mutates nothing, so the column sum must
+		// still be exact even with concurrent writers to other fields:
+		// the transaction mix writes one random field, which may be
+		// column 0, so only check when it cannot be.
+		_ = ar
+
+		seconds := float64(analyticsDone) / 4e9
+		runs[j] = htapRun{
+			cycles:     uint64(analyticsDone),
+			throughput: float64(tr.Completed) / seconds,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, layout := range layouts {
+		var ac [2]uint64
+		var tp [2]float64
+		for pi := 0; pi < 2; pi++ {
+			ac[pi] = runs[li*2+pi].cycles
+			tp[pi] = runs[li*2+pi].throughput
+		}
+		res.AnalyticsCycles[layout] = ac
+		res.TxnThroughput[layout] = tp
 	}
 	return res, nil
 }

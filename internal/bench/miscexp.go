@@ -12,6 +12,7 @@ import (
 	"gsdram/internal/machine"
 	"gsdram/internal/memctrl"
 	"gsdram/internal/memsys"
+	"gsdram/internal/runner"
 	"gsdram/internal/sim"
 	"gsdram/internal/stats"
 )
@@ -60,22 +61,34 @@ var Fig13Variants = []gemm.Variant{gemm.Naive, gemm.TiledGather, gemm.TiledPacke
 // GS-DRAM, normalised to the non-tiled baseline.
 func RunFig13(opts Options) (*Fig13Result, error) {
 	res := &Fig13Result{Sizes: opts.GemmSizes, Results: map[int][]gemm.Result{}}
-	for _, n := range opts.GemmSizes {
+	// One job per matrix size; the variants within a size share one
+	// workload (as the serial runner did), so they stay sequential inside
+	// the job.
+	runs := make([][]gemm.Result, len(opts.GemmSizes))
+	err := opts.pool().Run(len(runs), func(j int) error {
+		n := opts.GemmSizes[j]
 		mach, err := machine.Default()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		w, err := gemm.NewWorkload(mach, n, opts.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, v := range Fig13Variants {
 			r, err := w.Run(v, 0)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			res.Results[n] = append(res.Results[n], r)
+			runs[j] = append(runs[j], r)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for j, n := range opts.GemmSizes {
+		res.Results[n] = runs[j]
 	}
 	return res, nil
 }
@@ -112,19 +125,21 @@ func RunKVStore(pairs int, seed uint64) (*KVResult, error) {
 		return nil, fmt.Errorf("bench: pairs must be a positive multiple of 8")
 	}
 	res := &KVResult{Pairs: pairs}
-	for idx, gs := range []bool{false, true} {
+	// Both layouts insert the same pairs (the rng is re-seeded per job).
+	err := (runner.Pool{}).Run(2, func(idx int) error {
+		gs := idx == 1
 		mach, err := machine.Default()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		st, err := kvstore.New(mach, pairs, gs)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rng := sim.NewRand(seed)
 		for i := 0; i < pairs; i++ {
 			if _, err := st.Insert(rng.Uint64()|1, rng.Uint64()); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		// A miss lookup scans every key. Time it against cold caches (a
@@ -132,19 +147,23 @@ func RunKVStore(pairs int, seed uint64) (*KVResult, error) {
 		// access pattern, not a warm-cache replay.
 		_, found, scan, err := st.Lookup(0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if found {
-			return nil, fmt.Errorf("bench: phantom kv hit")
+			return fmt.Errorf("bench: phantom kv hit")
 		}
 		q := &sim.EventQueue{}
 		mem, err := memsys.New(memsys.DefaultConfig(1), q)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m := runStreams(q, mem, []cpu.Stream{cpu.SliceStream(scan)})
 		res.ScanLines[idx] = m.Mem.DRAMReads
 		res.LookupCycle[idx] = m.Cycles
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -180,21 +199,23 @@ func RunAutoGather(opts Options) (*AutoGatherResult, error) {
 		plain bool
 		auto  bool
 	}
-	for i, md := range []mode{{false, false}, {true, false}, {true, true}} {
+	modes := []mode{{false, false}, {true, false}, {true, true}}
+	err := opts.pool().Run(len(modes), func(i int) error {
+		md := modes[i]
 		mach, err := machine.Default()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		db, err := imdb.New(mach, imdb.GSStore, opts.Tuples)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		q := &sim.EventQueue{}
 		cfg := memsys.DefaultConfig(1)
 		cfg.AutoPattern = md.auto
 		mem, err := memsys.New(cfg, q)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var ar imdb.AnalyticsResult
 		var s cpu.Stream
@@ -204,7 +225,7 @@ func RunAutoGather(opts Options) (*AutoGatherResult, error) {
 			s, err = db.AnalyticsStream([]int{0}, &ar)
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m := runStreams(q, mem, []cpu.Stream{s})
 		checkSums(&ar, opts.Tuples, []int{0})
@@ -213,6 +234,10 @@ func RunAutoGather(opts Options) (*AutoGatherResult, error) {
 		if md.auto {
 			res.Promoted = mem.AutoPattStats().Promoted
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -256,15 +281,20 @@ func RunSchedulerAblation(opts Options) (*SchedulerAblationResult, error) {
 		{memctrl.PolicyFCFS, memctrl.OpenRow},
 		{memctrl.PolicyFRFCFS, memctrl.ClosedRow},
 	}
-	for pi, pol := range pols {
-		for wi := 0; wi < 2; wi++ {
+	// One job per (policy, sub-run): sub-runs 0 and 1 are the single-core
+	// workloads, sub-run 2 is the two-core HTAP mix.
+	err := opts.pool().Run(len(pols)*3, func(j int) error {
+		pi, sub := j/3, j%3
+		pol := pols[pi]
+		if sub < 2 {
+			wi := sub
 			mach, err := machine.Default()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			db, err := imdb.New(mach, imdb.GSStore, opts.Tuples)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			q := &sim.EventQueue{}
 			cfg := memsys.DefaultConfig(1)
@@ -272,7 +302,7 @@ func RunSchedulerAblation(opts Options) (*SchedulerAblationResult, error) {
 			cfg.Mem.Row = pol.row
 			mem, err := memsys.New(cfg, q)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			var s cpu.Stream
 			if wi == 0 {
@@ -281,20 +311,21 @@ func RunSchedulerAblation(opts Options) (*SchedulerAblationResult, error) {
 				s, err = db.TransactionStream(imdb.TxnMix{RO: 2, WO: 1, RW: 1}, opts.Txns, opts.Seed, nil)
 			}
 			if err != nil {
-				return nil, err
+				return err
 			}
 			m := runStreams(q, mem, []cpu.Stream{s})
 			res.Cycles[pi][wi] = m.Cycles
+			return nil
 		}
 
 		// HTAP: analytics + transactions on two cores, prefetching on.
 		mach, err := machine.Default()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		db, err := imdb.New(mach, imdb.GSStore, opts.Tuples)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		q := &sim.EventQueue{}
 		cfg := memsys.DefaultConfig(2)
@@ -303,16 +334,16 @@ func RunSchedulerAblation(opts Options) (*SchedulerAblationResult, error) {
 		cfg.Mem.Row = pol.row
 		mem, err := memsys.New(cfg, q)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		as, err := db.AnalyticsStream([]int{0}, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var tr imdb.TxnResult
 		ts, err := db.TransactionStream(imdb.TxnMix{RO: 1, WO: 1}, 0, opts.Seed, &tr)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		txnCore := cpu.New(1, q, mem, ts, nil)
 		var done sim.Cycle
@@ -324,6 +355,10 @@ func RunSchedulerAblation(opts Options) (*SchedulerAblationResult, error) {
 		txnCore.Start(0)
 		q.Run()
 		res.HTAPThroughput[pi] = float64(tr.Completed) / (float64(done) / 4e9)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 	"gsdram/internal/machine"
 	"gsdram/internal/memsys"
 	"gsdram/internal/pixels"
+	"gsdram/internal/runner"
 	"gsdram/internal/sim"
 	"gsdram/internal/stats"
 )
@@ -27,21 +28,26 @@ type ImpulseResult struct {
 // gather implementations.
 func RunImpulse(opts Options) (*ImpulseResult, error) {
 	res := &ImpulseResult{Opts: opts}
-	for i, mode := range []memsys.GatherMode{memsys.GatherInDRAM, memsys.GatherAtController} {
-		db, q, mem, err := impulseRig(opts, mode)
+	modes := []memsys.GatherMode{memsys.GatherInDRAM, memsys.GatherAtController}
+	err := opts.pool().Run(len(modes), func(i int) error {
+		db, q, mem, err := impulseRig(opts, modes[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var ar imdb.AnalyticsResult
 		s, err := db.AnalyticsStream([]int{0}, &ar)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m := runStreams(q, mem, []cpu.Stream{s})
 		checkSums(&ar, opts.Tuples, []int{0})
 		res.Cycles[i] = m.Cycles
 		res.LineReads[i] = m.Ctrl.ReadsServed
 		res.EnergyMJ[i] = m.Energy.TotalMJ()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -91,20 +97,24 @@ type PatternSweepResult struct {
 // each extra pattern bit halves the fetch count.
 func RunPatternSweep(opts Options) (*PatternSweepResult, error) {
 	res := &PatternSweepResult{Opts: opts}
-	for p := 0; p <= 3; p++ {
+	err := opts.pool().Run(4, func(p int) error {
 		_, db, q, mem, err := newRig(runConfig{layout: imdb.GSStore, tuples: opts.Tuples, cores: 1, prefetch: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var ar imdb.AnalyticsResult
 		s, err := db.AnalyticsStreamPatternBits([]int{0}, p, &ar)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m := runStreams(q, mem, []cpu.Stream{s})
 		checkSums(&ar, opts.Tuples, []int{0})
 		res.Cycles[p] = m.Cycles
 		res.LineReads[p] = m.Ctrl.ReadsServed
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -136,21 +146,27 @@ type StoreBufferResult struct {
 func RunStoreBuffer(opts Options) (*StoreBufferResult, error) {
 	res := &StoreBufferResult{Opts: opts, Cycles: map[imdb.Layout][2]uint64{}}
 	mix := imdb.TxnMix{RO: 1, WO: 3}
-	for _, layout := range layouts {
-		var pair [2]uint64
-		for i, sbCap := range []int{0, 8} {
-			_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1})
-			if err != nil {
-				return nil, err
-			}
-			s, err := db.TransactionStream(mix, opts.Txns, opts.Seed, nil)
-			if err != nil {
-				return nil, err
-			}
-			m := runStreamsSB(q, mem, []cpu.Stream{s}, sbCap)
-			pair[i] = m.Cycles
+	sbCaps := []int{0, 8}
+	runs := make([]uint64, len(layouts)*2)
+	err := opts.pool().Run(len(runs), func(j int) error {
+		layout, sbCap := layouts[j/2], sbCaps[j%2]
+		_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1})
+		if err != nil {
+			return err
 		}
-		res.Cycles[layout] = pair
+		s, err := db.TransactionStream(mix, opts.Txns, opts.Seed, nil)
+		if err != nil {
+			return err
+		}
+		m := runStreamsSB(q, mem, []cpu.Stream{s}, sbCap)
+		runs[j] = m.Cycles
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, layout := range layouts {
+		res.Cycles[layout] = [2]uint64{runs[li*2], runs[li*2+1]}
 	}
 	return res, nil
 }
@@ -186,20 +202,23 @@ func RunPixels(n, shades int, seed uint64) (*PixelsResult, error) {
 		return nil, fmt.Errorf("bench: pixel count must be a positive multiple of 8")
 	}
 	res := &PixelsResult{N: n}
-	for i, gs := range []bool{false, true} {
+	// Both layouts fill the image from the same re-seeded rng, so they see
+	// identical pixel data and shade lists.
+	err := (runner.Pool{}).Run(2, func(i int) error {
+		gs := i == 1
 		mach, err := machine.Default()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		img, err := pixels.New(mach, n, gs)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rng := sim.NewRand(seed)
 		for p := 0; p < n; p++ {
 			for c := 0; c < pixels.NumChannels; c++ {
 				if err := img.Set(p, c, rng.Uint64()%4096); err != nil {
-					return nil, err
+					return err
 				}
 			}
 		}
@@ -209,11 +228,11 @@ func RunPixels(n, shades int, seed uint64) (*PixelsResult, error) {
 			q := &sim.EventQueue{}
 			mem, err := memsys.New(memsys.DefaultConfig(1), q)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			s, err := img.HistogramStream(pixels.ChanR, nil)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			m := runStreams(q, mem, []cpu.Stream{s})
 			res.HistCycles[i] = m.Cycles
@@ -224,7 +243,7 @@ func RunPixels(n, shades int, seed uint64) (*PixelsResult, error) {
 			q := &sim.EventQueue{}
 			mem, err := memsys.New(memsys.DefaultConfig(1), q)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			list := make([]int, shades)
 			for j := range list {
@@ -232,11 +251,15 @@ func RunPixels(n, shades int, seed uint64) (*PixelsResult, error) {
 			}
 			s, err := img.ShadeStream(list)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			m := runStreams(q, mem, []cpu.Stream{s})
 			res.ShadeCycles[i] = m.Cycles
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -44,11 +44,17 @@ func (p Params) WideChipID(chip int) int {
 // ChipColumns returns, for each chip, the column it accesses for a command
 // carrying (col, patt). Element k is the CTL output of chip k.
 func (p Params) ChipColumns(patt Pattern, col int) []int {
-	cols := make([]int, p.Chips)
-	for k := range cols {
-		cols[k] = p.CTL(k, patt, col)
+	return p.ChipColumnsInto(patt, col, make([]int, 0, p.Chips))
+}
+
+// ChipColumnsInto appends the per-chip CTL outputs for (col, patt) to dst
+// and returns the extended slice. Passing a reused buffer with sufficient
+// capacity makes the call allocation-free.
+func (p Params) ChipColumnsInto(patt Pattern, col int, dst []int) []int {
+	for k := 0; k < p.Chips; k++ {
+		dst = append(dst, p.CTL(k, patt, col))
 	}
-	return cols
+	return dst
 }
 
 // GatherIndices returns the logical word indices (positions within the
@@ -61,13 +67,21 @@ func (p Params) ChipColumns(patt Pattern, col int) []int {
 // the cache line written to column c, i.e. logical index
 // c*Chips + (k XOR (c mod 2^s)).
 func (p Params) GatherIndices(patt Pattern, col int) []int {
-	idx := make([]int, p.Chips)
+	return p.GatherIndicesInto(patt, col, make([]int, 0, p.Chips))
+}
+
+// GatherIndicesInto appends the Chips gathered logical word indices for
+// (patt, col) to dst, in ascending order, and returns the extended slice.
+// Passing a reused buffer with sufficient capacity makes the call
+// allocation-free — this is the form the simulation hot paths use.
+func (p Params) GatherIndicesInto(patt Pattern, col int, dst []int) []int {
+	start := len(dst)
 	for k := 0; k < p.Chips; k++ {
 		c := p.CTL(k, patt, col)
-		idx[k] = c*p.Chips + p.WordForChip(k, c)
+		dst = append(dst, c*p.Chips+p.WordForChip(k, c))
 	}
-	sortInts(idx)
-	return idx
+	sortInts(dst[start:])
+	return dst
 }
 
 // sortInts is an insertion sort: gather widths are tiny (== Chips), so this

@@ -121,7 +121,7 @@ func (e *ECCModule) WriteLine(bank, row, col int, patt Pattern, shuffled bool, l
 	// Refresh the check bytes of every (chip, chip-column) this write
 	// touched.
 	g := e.mod.plan(patt, col, shuffled)
-	for i := 0; i < g.n; i++ {
+	for i := 0; i < e.mod.params.Chips; i++ {
 		chip, cc := g.chip[i], g.chipCol[i]
 		w, err := e.mod.ChipWord(bank, row, cc, chip)
 		if err != nil {
@@ -142,8 +142,8 @@ func (e *ECCModule) ReadLine(bank, row, col int, patt Pattern, shuffled bool, ds
 	}
 	_ = logical
 	g := e.mod.plan(patt, col, shuffled)
-	results := make([]ECCResult, g.n)
-	for i := 0; i < g.n; i++ {
+	results := make([]ECCResult, e.mod.params.Chips)
+	for i := range results {
 		chip, cc := g.chip[i], g.chipCol[i]
 		// Intra-chip translation on the ECC chip: tile `chip` selects
 		// column (chip & patt) ^ col — by construction equal to cc, data

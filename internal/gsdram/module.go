@@ -46,7 +46,29 @@ type Module struct {
 	// layout matches the physical chips bit for bit. Untouched rows read
 	// as zero, like freshly initialised DRAM in the model.
 	rows map[int][]uint64
+
+	// plans is the precomputed gather-plan table, indexed by
+	// ((shuffledBit*patterns)+pattern)*Cols + column. It is built once at
+	// construction (the software analogue of the CTL being pure
+	// combinational logic), so the per-command path never allocates. For
+	// configurations whose (pattern x column) space is too large to
+	// enumerate, plans is nil and planCache memoises plans on demand.
+	plans     []gatherPlan
+	planCache map[planKey]*gatherPlan
 }
+
+// planKey identifies a cached gather plan in the lazy fallback.
+type planKey struct {
+	patt     Pattern
+	col      int
+	shuffled bool
+}
+
+// maxDensePlans bounds the precomputed plan table: 2 x patterns x columns
+// entries. Every configuration used by the paper (and the experiment
+// suite) is far below this; only exotic wide-pattern setups fall back to
+// the lazy cache.
+const maxDensePlans = 1 << 16
 
 // NewModule returns a zero-filled module with the paper's default
 // shuffling function. It panics on invalid parameters, which are
@@ -71,12 +93,31 @@ func NewModuleFunc(p Params, g Geometry, fn ShuffleFunc) (*Module, error) {
 	if fn == nil {
 		fn = DefaultShuffle(p.ShuffleStages)
 	}
-	return &Module{
+	m := &Module{
 		params:  p,
 		geom:    g,
 		shuffle: fn,
 		rows:    make(map[int][]uint64),
-	}, nil
+	}
+	patterns := int(p.MaxPattern()) + 1
+	if entries := 2 * patterns * g.Cols; entries <= maxDensePlans {
+		// Precompute every (shuffled, pattern, column) gather plan into one
+		// contiguous backing array: three ints per line position.
+		m.plans = make([]gatherPlan, entries)
+		backing := make([]int, entries*3*p.Chips)
+		for i := range m.plans {
+			pl := &m.plans[i]
+			pl.chip, backing = backing[:p.Chips:p.Chips], backing[p.Chips:]
+			pl.chipCol, backing = backing[:p.Chips:p.Chips], backing[p.Chips:]
+			pl.logical, backing = backing[:p.Chips:p.Chips], backing[p.Chips:]
+			shuffled := i >= patterns*g.Cols
+			rest := i % (patterns * g.Cols)
+			m.buildPlan(pl, Pattern(rest/g.Cols), rest%g.Cols, shuffled)
+		}
+	} else {
+		m.planCache = make(map[planKey]*gatherPlan)
+	}
+	return m, nil
 }
 
 // Params returns the module's GS-DRAM parameters.
@@ -135,41 +176,56 @@ func (m *Module) checkPattern(patt Pattern) error {
 // gatherPlan describes, for the cache line returned by a (col, patt) READ,
 // which chip and chip-local column supplies each position of the line.
 // Positions are ordered by ascending logical word index within the row, so
-// the assembled line matches the presentation of Figure 7.
+// the assembled line matches the presentation of Figure 7. Each slice has
+// exactly Chips elements.
 type gatherPlan struct {
-	chip    [64]int // chip supplying position i
-	chipCol [64]int // that chip's local column
-	logical [64]int // logical word index within the row
-	n       int
+	chip    []int // chip supplying position i
+	chipCol []int // that chip's local column
+	logical []int // logical word index within the row
 }
 
-// plan computes the gather plan for (patt, col). shuffled selects whether
-// the target data was written with shuffling enabled.
-func (m *Module) plan(patt Pattern, col int, shuffled bool) gatherPlan {
-	var g gatherPlan
-	g.n = m.params.Chips
-	type ent struct{ logical, chip, chipCol int }
-	ents := make([]ent, g.n)
-	for k := 0; k < g.n; k++ {
+// buildPlan fills pl with the gather plan for (patt, col). shuffled
+// selects whether the target data was written with shuffling enabled.
+func (m *Module) buildPlan(pl *gatherPlan, patt Pattern, col int, shuffled bool) {
+	n := m.params.Chips
+	for k := 0; k < n; k++ {
 		c := m.params.CTL(k, patt, col)
 		word := k
 		if shuffled {
 			word = k ^ m.shuffle(c)
 		}
-		ents[k] = ent{logical: c*g.n + word, chip: k, chipCol: c}
+		pl.chip[k], pl.chipCol[k], pl.logical[k] = k, c, c*n+word
 	}
 	// Order by logical index (insertion sort; n <= 64).
-	for i := 1; i < len(ents); i++ {
-		for j := i; j > 0 && ents[j-1].logical > ents[j].logical; j-- {
-			ents[j-1], ents[j] = ents[j], ents[j-1]
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && pl.logical[j-1] > pl.logical[j]; j-- {
+			pl.logical[j-1], pl.logical[j] = pl.logical[j], pl.logical[j-1]
+			pl.chip[j-1], pl.chip[j] = pl.chip[j], pl.chip[j-1]
+			pl.chipCol[j-1], pl.chipCol[j] = pl.chipCol[j], pl.chipCol[j-1]
 		}
 	}
-	for i, e := range ents {
-		g.chip[i] = e.chip
-		g.chipCol[i] = e.chipCol
-		g.logical[i] = e.logical
+}
+
+// plan returns the (precomputed or memoised) gather plan for (patt, col).
+// The returned plan is shared and must not be modified.
+func (m *Module) plan(patt Pattern, col int, shuffled bool) *gatherPlan {
+	if m.plans != nil {
+		idx := int(patt)*m.geom.Cols + col
+		if shuffled {
+			idx += len(m.plans) / 2
+		}
+		return &m.plans[idx]
 	}
-	return g
+	key := planKey{patt: patt, col: col, shuffled: shuffled}
+	if pl, ok := m.planCache[key]; ok {
+		return pl
+	}
+	n := m.params.Chips
+	backing := make([]int, 3*n)
+	pl := &gatherPlan{chip: backing[:n:n], chipCol: backing[n : 2*n : 2*n], logical: backing[2*n:]}
+	m.buildPlan(pl, patt, col, shuffled)
+	m.planCache[key] = pl
+	return pl
 }
 
 // WriteLine scatters a cache line to the module. For the default pattern
@@ -191,7 +247,7 @@ func (m *Module) WriteLine(bank, row, col int, patt Pattern, shuffled bool, line
 		return fmt.Errorf("gsdram: line has %d words, want %d", len(line), m.params.Chips)
 	}
 	g := m.plan(patt, col, shuffled)
-	for i := 0; i < g.n; i++ {
+	for i := 0; i < m.params.Chips; i++ {
 		m.setWord(bank, row, g.chipCol[i], g.chip[i], line[i])
 	}
 	return nil
@@ -202,6 +258,10 @@ func (m *Module) WriteLine(bank, row, col int, patt Pattern, shuffled bool, line
 // row) that each position of dst came from. With the default pattern this
 // is an ordinary cache-line read; with a non-zero pattern it is a one-READ
 // gather (paper §3.4).
+//
+// The returned index slice aliases the module's precomputed plan table:
+// it is valid until the module is garbage collected, but callers must not
+// modify it. The steady-state path performs no allocations.
 func (m *Module) ReadLine(bank, row, col int, patt Pattern, shuffled bool, dst []uint64) ([]int, error) {
 	if err := m.checkAddr(bank, row, col); err != nil {
 		return nil, err
@@ -213,12 +273,10 @@ func (m *Module) ReadLine(bank, row, col int, patt Pattern, shuffled bool, dst [
 		return nil, fmt.Errorf("gsdram: dst has %d words, want %d", len(dst), m.params.Chips)
 	}
 	g := m.plan(patt, col, shuffled)
-	logical := make([]int, g.n)
-	for i := 0; i < g.n; i++ {
+	for i := 0; i < m.params.Chips; i++ {
 		dst[i] = m.getWord(bank, row, g.chipCol[i], g.chip[i])
-		logical[i] = g.logical[i]
 	}
-	return logical, nil
+	return g.logical, nil
 }
 
 // WriteWord stores a single 8-byte word at a logical position within a row

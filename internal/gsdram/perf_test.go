@@ -1,0 +1,116 @@
+package gsdram
+
+import "testing"
+
+// Micro-benchmarks for the column-command hot path. Names are stable so
+// before/after runs can be compared with benchstat.
+
+func benchModule(b *testing.B) (*Module, []uint64) {
+	b.Helper()
+	m := NewModule(GS844, Geometry{Banks: 8, Rows: 16, Cols: 128})
+	line := make([]uint64, GS844.Chips)
+	for i := range line {
+		line[i] = uint64(i) * 0x9E3779B97F4A7C15
+	}
+	// Touch every row once so the steady-state path never allocates row
+	// storage inside the measured loop.
+	for bank := 0; bank < 8; bank++ {
+		for row := 0; row < 16; row++ {
+			if err := m.WriteLine(bank, row, 0, DefaultPattern, true, line); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return m, line
+}
+
+func BenchmarkModuleReadLine(b *testing.B) {
+	m, line := benchModule(b)
+	patt := m.Params().MaxPattern() // stride-8 gather: the paper's headline op
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col := i & 127
+		if _, err := m.ReadLine(i&7, i&15, col, patt, true, line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModuleWriteLine(b *testing.B) {
+	m, line := benchModule(b)
+	patt := m.Params().MaxPattern()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col := i & 127
+		if err := m.WriteLine(i&7, i&15, col, patt, true, line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGatherIndices(b *testing.B) {
+	p := GS844
+	patt := p.MaxPattern()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.GatherIndices(patt, i&127)
+	}
+}
+
+// The steady-state column-command path must not allocate: runtime of the
+// full-system experiments is dominated by these calls.
+
+func TestReadLineZeroAllocs(t *testing.T) {
+	m := NewModule(GS844, Geometry{Banks: 1, Rows: 1, Cols: 128})
+	line := make([]uint64, GS844.Chips)
+	if err := m.WriteLine(0, 0, 0, DefaultPattern, true, line); err != nil {
+		t.Fatal(err)
+	}
+	patt := m.Params().MaxPattern()
+	col := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := m.ReadLine(0, 0, col, patt, true, line); err != nil {
+			t.Fatal(err)
+		}
+		col = (col + 1) & 127
+	})
+	if allocs != 0 {
+		t.Errorf("Module.ReadLine allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestWriteLineZeroAllocs(t *testing.T) {
+	m := NewModule(GS844, Geometry{Banks: 1, Rows: 1, Cols: 128})
+	line := make([]uint64, GS844.Chips)
+	if err := m.WriteLine(0, 0, 0, DefaultPattern, true, line); err != nil {
+		t.Fatal(err)
+	}
+	patt := m.Params().MaxPattern()
+	col := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := m.WriteLine(0, 0, col, patt, true, line); err != nil {
+			t.Fatal(err)
+		}
+		col = (col + 1) & 127
+	})
+	if allocs != 0 {
+		t.Errorf("Module.WriteLine allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestGatherIndicesIntoZeroAllocs(t *testing.T) {
+	p := GS844
+	patt := p.MaxPattern()
+	buf := make([]int, 0, p.Chips)
+	col := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = p.GatherIndicesInto(patt, col, buf[:0])
+		col = (col + 1) & 127
+	})
+	if allocs != 0 {
+		t.Errorf("Params.GatherIndicesInto allocates %v times per call, want 0", allocs)
+	}
+}

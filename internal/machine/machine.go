@@ -22,6 +22,11 @@ type Machine struct {
 
 	// mods[channel][rank] is the GS-DRAM module (one per rank).
 	mods [][]*gsdram.Module
+
+	// idxBuf is GatherAddr's scratch buffer for GatherIndicesInto, so the
+	// per-candidate index computation does not allocate. Machines are not
+	// safe for concurrent use; each simulation run builds its own.
+	idxBuf []int
 }
 
 // New builds a machine with the given organisation. The page size is 4 KB.
@@ -142,7 +147,8 @@ func (m *Machine) GatherAddr(target addrmap.Addr, patt gsdram.Pattern) (lineAddr
 	// C = (k&patt)^col. Search the at-most-Chips candidates.
 	for k := 0; k < m.GS.Chips; k++ {
 		c := (k & int(patt)) ^ loc.Col
-		idx := m.GS.GatherIndices(patt, c)
+		idx := m.GS.GatherIndicesInto(patt, c, m.idxBuf[:0])
+		m.idxBuf = idx
 		for p, l := range idx {
 			if l == logical {
 				lloc := loc

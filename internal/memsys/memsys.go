@@ -172,6 +172,12 @@ type System struct {
 	// for usefulness accounting.
 	prefetchedLines map[mshrKey]bool
 
+	// overlapBuf is the reusable result buffer of overlapLines. The slice
+	// it returns aliases this buffer and is only valid until the next
+	// overlapLines call; all callers consume it before issuing another
+	// access (the simulation is single-threaded per System).
+	overlapBuf []addrmap.Addr
+
 	stats Stats
 }
 
@@ -464,17 +470,26 @@ func (s *System) overlapLines(line addrmap.Addr, a Access) (addrs []addrmap.Addr
 	if err != nil {
 		return nil, 0
 	}
-	seen := make(map[int]bool, s.cfg.GS.Chips)
+	// Dedup donor columns with a linear scan over the (at most Chips)
+	// results gathered so far — cheaper than a map at these sizes and
+	// allocation-free once overlapBuf has grown to capacity.
+	addrs = s.overlapBuf[:0]
 	for k := 0; k < s.cfg.GS.Chips; k++ {
-		col := s.cfg.GS.CTL(k, nz, loc.Col)
-		if seen[col] {
-			continue
-		}
-		seen[col] = true
 		l := loc
-		l.Col = col
-		addrs = append(addrs, s.cfg.Mem.Spec.Compose(l))
+		l.Col = s.cfg.GS.CTL(k, nz, loc.Col)
+		oa := s.cfg.Mem.Spec.Compose(l)
+		dup := false
+		for _, prev := range addrs {
+			if prev == oa {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			addrs = append(addrs, oa)
+		}
 	}
+	s.overlapBuf = addrs
 	return addrs, other
 }
 

@@ -1,0 +1,140 @@
+// Package runner fans independent simulation runs across worker
+// goroutines. The experiment runners in internal/bench are embarrassingly
+// parallel — every run builds its own rig (machine, DB, event queue,
+// memory system) — so the only coordination a pool needs is job dispatch,
+// ordered result collection, and error/panic propagation.
+//
+// Concurrency contract (see DESIGN.md "Parallel experiment harness"):
+//
+//   - A job must not touch state shared with other jobs except the result
+//     slot it owns (callers index result slices by job number, so slots
+//     are disjoint).
+//   - Job index determines everything a job computes. Seeds must be
+//     derived from the job index (see Seeds), never from execution order,
+//     so workers=1 and workers=N produce bit-identical results.
+//   - With Workers <= 1 jobs run in the calling goroutine in index order,
+//     reproducing the historical serial runners exactly.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gsdram/internal/sim"
+)
+
+// Pool describes how to execute a batch of independent jobs.
+type Pool struct {
+	// Workers is the number of concurrent jobs. Zero (or negative) selects
+	// runtime.GOMAXPROCS(0); 1 runs jobs serially in index order in the
+	// calling goroutine.
+	Workers int
+}
+
+// effective returns the worker count to use for n jobs.
+func (p Pool) effective(n int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// panicError carries a captured worker panic back to the caller.
+type panicError struct {
+	job   int
+	value any
+}
+
+func (e panicError) Error() string {
+	return fmt.Sprintf("runner: job %d panicked: %v", e.job, e.value)
+}
+
+// Run executes jobs 0..n-1 via job(i) and returns the error of the
+// lowest-indexed failing job (so the reported error does not depend on
+// scheduling). After the first observed failure, not-yet-started jobs are
+// skipped; in-flight jobs finish.
+//
+// A panic inside a job is captured by its worker and re-panicked in the
+// caller's goroutine once all workers have drained, preserving the
+// fail-fast behaviour of the serial runners (e.g. bench.checkSums).
+func (p Pool) Run(n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if p.effective(n) == 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64 // next job index to claim
+		failed   atomic.Bool  // set on first error/panic: stop claiming
+		mu       sync.Mutex
+		firstJob = n // lowest failing job index seen
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		failed.Store(true)
+		mu.Lock()
+		if i < firstJob {
+			firstJob, firstErr = i, err
+		}
+		mu.Unlock()
+	}
+	work := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n || failed.Load() {
+				return
+			}
+			err := func() (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						err = panicError{job: i, value: r}
+					}
+				}()
+				return job(i)
+			}()
+			if err != nil {
+				record(i, err)
+				return
+			}
+		}
+	}
+	workers := p.effective(n)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go work()
+	}
+	wg.Wait()
+	if pe, ok := firstErr.(panicError); ok {
+		panic(pe.value)
+	}
+	return firstErr
+}
+
+// Seeds returns n deterministic per-job seeds derived from base with the
+// simulator's own xorshift generator (sim.Rand). Seeds depend only on
+// (base, index), never on worker scheduling, so they are safe to use from
+// parallel jobs. Seed 0 is remapped by sim.NewRand, so every returned
+// seed drives a distinct, well-mixed stream.
+func Seeds(base uint64, n int) []uint64 {
+	r := sim.NewRand(base)
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = r.Uint64()
+	}
+	return s
+}

@@ -1,0 +1,135 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunAllJobsOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		n := 37
+		counts := make([]atomic.Int32, n)
+		err := Pool{Workers: workers}.Run(n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	if err := (Pool{Workers: 4}).Run(0, func(int) error { t.Fatal("job ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOrderedResults(t *testing.T) {
+	n := 64
+	results := make([]int, n)
+	err := Pool{Workers: 7}.Run(n, func(i int) error {
+		results[i] = i * i // each job owns slot i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, r, i*i)
+		}
+	}
+}
+
+func TestRunSerialOrder(t *testing.T) {
+	var order []int
+	err := Pool{Workers: 1}.Run(5, func(i int) error {
+		order = append(order, i) // safe: serial mode runs in the caller
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestRunError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := Pool{Workers: workers}.Run(10, func(i int) error {
+			if i == 3 {
+				return fmt.Errorf("job3: %w", boom)
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want wrapped boom", workers, err)
+		}
+	}
+}
+
+func TestRunErrorSkipsRemaining(t *testing.T) {
+	// Serial mode must stop at the first error, like the old runners.
+	var ran []int
+	err := Pool{Workers: 1}.Run(10, func(i int) error {
+		ran = append(ran, i)
+		if i == 2 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || len(ran) != 3 {
+		t.Fatalf("ran %v, err %v", ran, err)
+	}
+}
+
+func TestRunPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "kaboom" {
+					t.Fatalf("workers=%d: recovered %v, want kaboom", workers, r)
+				}
+			}()
+			Pool{Workers: workers}.Run(8, func(i int) error {
+				if i == 5 {
+					panic("kaboom")
+				}
+				return nil
+			})
+			t.Fatalf("workers=%d: no panic", workers)
+		}()
+	}
+}
+
+func TestSeedsDeterministic(t *testing.T) {
+	a := Seeds(42, 16)
+	b := Seeds(42, 16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("seeds not deterministic")
+		}
+	}
+	seen := map[uint64]bool{}
+	for _, s := range a {
+		if s == 0 || seen[s] {
+			t.Fatalf("degenerate seed set %v", a)
+		}
+		seen[s] = true
+	}
+	if c := Seeds(43, 16); c[0] == a[0] {
+		t.Fatal("different bases produced the same first seed")
+	}
+}

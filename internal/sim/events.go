@@ -26,10 +26,21 @@ type Event struct {
 
 // EventQueue is a priority queue of events ordered by (When, insertion
 // order). The zero value is ready to use.
+//
+// Dispatched and cancelled Event structs are recycled through a free list,
+// so a steady-state simulation schedules without allocating. The *Event
+// returned by Schedule is therefore only valid as a Cancel handle while
+// the event is pending: holders must drop (or nil) their reference once
+// the callback has run, as a recycled struct may already describe an
+// unrelated later event. Every current caller (e.g. memctrl's scheduler
+// wake-up) clears its handle at dispatch.
 type EventQueue struct {
 	h      eventHeap
 	nextID uint64
 	now    Cycle
+
+	// free holds recycled Event structs for reuse by Schedule.
+	free []*Event
 }
 
 // Now returns the time of the most recently dispatched event.
@@ -46,7 +57,16 @@ func (q *EventQueue) Schedule(when Cycle, fn func(now Cycle)) *Event {
 	if when < q.now {
 		when = q.now
 	}
-	ev := &Event{When: when, Fn: fn, seq: q.nextID}
+	var ev *Event
+	if n := len(q.free); n > 0 {
+		ev = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		ev.When, ev.Fn = when, fn
+	} else {
+		ev = &Event{When: when, Fn: fn}
+	}
+	ev.seq = q.nextID
 	q.nextID++
 	heap.Push(&q.h, ev)
 	return ev
@@ -57,14 +77,23 @@ func (q *EventQueue) ScheduleAfter(delta Cycle, fn func(now Cycle)) *Event {
 	return q.Schedule(q.now+delta, fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-dispatched or
-// already-cancelled event is a no-op.
+// Cancel removes a pending event and recycles it. Cancelling an
+// already-cancelled event is a no-op; cancelling via a handle whose event
+// has already been dispatched is a caller bug (see EventQueue) and is
+// detected only when the struct has not yet been reused.
 func (q *EventQueue) Cancel(ev *Event) {
 	if ev == nil || ev.index < 0 || ev.index >= len(q.h) || q.h[ev.index] != ev {
 		return
 	}
 	heap.Remove(&q.h, ev.index)
+	q.recycle(ev)
+}
+
+// recycle returns a no-longer-pending event to the free list.
+func (q *EventQueue) recycle(ev *Event) {
 	ev.index = -1
+	ev.Fn = nil // drop the closure so it can be collected
+	q.free = append(q.free, ev)
 }
 
 // Step dispatches the earliest pending event. It reports false if the queue
@@ -75,7 +104,11 @@ func (q *EventQueue) Step() bool {
 	}
 	ev := heap.Pop(&q.h).(*Event)
 	q.now = ev.When
-	ev.Fn(q.now)
+	fn := ev.Fn
+	// Recycle before dispatch so fn's own Schedule calls can reuse the
+	// struct immediately; fn was captured above.
+	q.recycle(ev)
+	fn(q.now)
 	return true
 }
 

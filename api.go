@@ -120,6 +120,20 @@ type Options = bench.Options
 func DefaultOptions() Options { return bench.DefaultOptions() }
 func QuickOptions() Options   { return bench.QuickOptions() }
 
+// SetNoInline disables (true) the cores' event-horizon fast path for every
+// subsequently started experiment, forcing the pure event-driven execution.
+// Results are bit-identical either way; the switch exists as an escape
+// hatch and for equivalence testing (gsbench -noinline).
+func SetNoInline(v bool) { bench.SetNoInline(v) }
+
+// Fig9Result and Fig10Result are the structured results of the headline
+// analytics experiments, exported so tools (gsbench -json) can summarise
+// them without reaching into internal packages.
+type (
+	Fig9Result  = bench.Fig9Result
+	Fig10Result = bench.Fig10Result
+)
+
 // The experiment runners regenerate the paper's tables and figures. Each
 // returns structured results with a Table() (or similar) renderer.
 var (

@@ -4,18 +4,26 @@
 // Usage:
 //
 //	gsbench [-exp all|table1|fig7|fig9|fig10|fig11|fig12|fig13|kvstore|graph|
-//	         ablation|autogather|schedpol|channels|impulse|pattbits|storebuf]
+//	         ablation|autogather|schedpol|channels|impulse|pattbits|storebuf|
+//	         pixels]
 //	        [-tuples N] [-txns N] [-gemm n1,n2,...] [-kvpairs N]
-//	        [-vertices N] [-degree D] [-seed S] [-workers N] [-json]
-//	        [-cpuprofile FILE] [-memprofile FILE]
+//	        [-vertices N] [-degree D] [-seed S] [-workers N] [-noinline]
+//	        [-json FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // The defaults complete in a few minutes. To run at the paper's scale:
 //
 //	gsbench -exp fig9 -tuples 1048576 -txns 10000
 //	gsbench -exp fig13 -gemm 32,64,128,256,512,1024
 //
-// With -json, each experiment's structured result is emitted as a JSON
-// object instead of a text table.
+// With -json FILE, a machine-readable record per experiment — name,
+// wall-clock nanoseconds, a cycles/speedups summary where the experiment
+// has one, and the full structured result — is written to FILE as a JSON
+// array ("-" writes it to stdout instead of the text tables), so perf
+// trajectories can be tracked as BENCH_*.json artifacts.
+//
+// -noinline disables the cores' event-horizon fast path and takes the pure
+// event-driven execution path; results are bit-identical, only slower — the
+// flag exists as an escape hatch and for equivalence checking.
 //
 // -workers bounds how many independent simulation runs execute
 // concurrently within each experiment (0 = one per CPU). Every worker
@@ -33,25 +41,45 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"gsdram"
+	"gsdram/internal/imdb"
 	"gsdram/internal/stats"
 )
 
+// experiment couples a runnable experiment with its name, so the dispatch
+// loop and the unknown-experiment error share one registry.
+type experiment struct {
+	name string
+	// run returns the structured result, an optional cycles/speedups
+	// summary, and the rendered tables.
+	run func() (result any, summary any, tables []*stats.Table, err error)
+}
+
+// record is one experiment's entry in the -json output.
+type record struct {
+	Experiment string `json:"experiment"`
+	WallNS     int64  `json:"wall_ns"`
+	Summary    any    `json:"summary,omitempty"`
+	Result     any    `json:"result"`
+}
+
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, fig7, fig9, fig10, fig11, fig12, fig13, kvstore, graph, ablation, autogather, schedpol, channels, impulse, pattbits, storebuf, pixels")
-		tuples  = flag.Int("tuples", gsdram.DefaultOptions().Tuples, "database table size in tuples (paper: 1048576)")
-		txns    = flag.Int("txns", gsdram.DefaultOptions().Txns, "transactions per Figure 9 run (paper: 10000)")
-		gemmStr = flag.String("gemm", "32,64,128,256", "comma-separated GEMM matrix sizes (paper: 32..1024)")
-		kvPairs = flag.Int("kvpairs", 4096, "key-value pairs for the kvstore experiment")
-		gVerts  = flag.Int("vertices", 32768, "vertices for the graph experiment")
-		gDeg    = flag.Int("degree", 8, "average out-degree for the graph experiment")
-		seed    = flag.Uint64("seed", 42, "workload random seed")
-		workers = flag.Int("workers", 0, "concurrent simulation runs per experiment (0 = GOMAXPROCS, 1 = serial)")
-		asJSON  = flag.Bool("json", false, "emit results as JSON instead of tables")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		exp      = flag.String("exp", "all", "experiment to run (or \"all\"); see the registry in -h")
+		tuples   = flag.Int("tuples", gsdram.DefaultOptions().Tuples, "database table size in tuples (paper: 1048576)")
+		txns     = flag.Int("txns", gsdram.DefaultOptions().Txns, "transactions per Figure 9 run (paper: 10000)")
+		gemmStr  = flag.String("gemm", "32,64,128,256", "comma-separated GEMM matrix sizes (paper: 32..1024)")
+		kvPairs  = flag.Int("kvpairs", 4096, "key-value pairs for the kvstore experiment")
+		gVerts   = flag.Int("vertices", 32768, "vertices for the graph experiment")
+		gDeg     = flag.Int("degree", 8, "average out-degree for the graph experiment")
+		seed     = flag.Uint64("seed", 42, "workload random seed")
+		workers  = flag.Int("workers", 0, "concurrent simulation runs per experiment (0 = GOMAXPROCS, 1 = serial)")
+		noInline = flag.Bool("noinline", false, "disable the event-horizon fast path (pure event-driven execution; identical results)")
+		jsonOut  = flag.String("json", "", "write per-experiment JSON records (wall_ns, summary, result) to FILE; \"-\" replaces the text tables on stdout")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -80,6 +108,8 @@ func main() {
 		}()
 	}
 
+	gsdram.SetNoInline(*noInline)
+
 	opts := gsdram.DefaultOptions()
 	opts.Tuples = *tuples
 	opts.Txns = *txns
@@ -91,158 +121,207 @@ func main() {
 	}
 	opts.GemmSizes = sizes
 
-	// emit prints the experiment either as JSON (structured result) or as
-	// its rendered tables.
-	emit := func(name string, result any, tables ...*stats.Table) {
-		if *asJSON {
-			out, err := json.MarshalIndent(map[string]any{"experiment": name, "result": result}, "", "  ")
+	experiments := []experiment{
+		{"table1", func() (any, any, []*stats.Table, error) {
+			t := gsdram.Table1()
+			return t, nil, []*stats.Table{t}, nil
+		}},
+		{"fig7", func() (any, any, []*stats.Table, error) {
+			t1 := gsdram.Fig7(gsdram.GS422, 4)
+			t2 := gsdram.Fig7(gsdram.GS844, 8)
+			ts := []*stats.Table{t1, t2}
+			return ts, nil, ts, nil
+		}},
+		{"fig9", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunFig9(opts)
 			if err != nil {
-				fatal(err)
+				return nil, nil, nil, err
 			}
-			fmt.Println(string(out))
-			return
-		}
-		for _, t := range tables {
-			fmt.Println(t)
-		}
+			return r, fig9Summary(r), []*stats.Table{r.Table()}, nil
+		}},
+		{"fig10", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunFig10(opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, fig10Summary(r), []*stats.Table{r.Table()}, nil
+		}},
+		{"fig11", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunFig11(opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.AnalyticsTable(), r.ThroughputTable()}, nil
+		}},
+		{"fig12", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunFig12(opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.PerfTable(), r.EnergyTable(), r.EnergyBreakdownTable()}, nil
+		}},
+		{"fig13", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunFig13(opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.Table()}, nil
+		}},
+		{"kvstore", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunKVStore(*kvPairs, *seed)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.Table()}, nil
+		}},
+		{"graph", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunGraph(*gVerts, *gDeg, opts.Txns, *seed)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.Table()}, nil
+		}},
+		{"channels", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunChannels(opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.Table()}, nil
+		}},
+		{"impulse", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunImpulse(opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.Table()}, nil
+		}},
+		{"pattbits", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunPattBits(opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.Table()}, nil
+		}},
+		{"storebuf", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunStoreBuf(opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.Table()}, nil
+		}},
+		{"autogather", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunAuto(opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.Table()}, nil
+		}},
+		{"schedpol", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunSchedule(opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.Table()}, nil
+		}},
+		{"pixels", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunPixels((*tuples)&^7, 2000, *seed)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.Table()}, nil
+		}},
+		{"ablation", func() (any, any, []*stats.Table, error) {
+			t := gsdram.AblationMap(gsdram.GS844)
+			t2 := gsdram.AblationECC(gsdram.GS844)
+			ts := []*stats.Table{t, t2}
+			return ts, nil, ts, nil
+		}},
 	}
 
-	run := func(name string) bool { return *exp == "all" || *exp == name }
+	jsonToStdout := *jsonOut == "-"
+	var records []record
 	ran := false
-
-	if run("table1") {
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
 		ran = true
-		t := gsdram.Table1()
-		emit("table1", t, t)
-	}
-	if run("fig7") {
-		ran = true
-		t1 := gsdram.Fig7(gsdram.GS422, 4)
-		t2 := gsdram.Fig7(gsdram.GS844, 8)
-		emit("fig7", []*stats.Table{t1, t2}, t1, t2)
-	}
-	if run("fig9") {
-		ran = true
-		r, err := gsdram.RunFig9(opts)
+		start := time.Now()
+		result, summary, tables, err := e.run()
+		wall := time.Since(start)
 		if err != nil {
 			fatal(err)
 		}
-		emit("fig9", r, r.Table())
-	}
-	if run("fig10") {
-		ran = true
-		r, err := gsdram.RunFig10(opts)
-		if err != nil {
-			fatal(err)
+		if *jsonOut != "" {
+			records = append(records, record{
+				Experiment: e.name,
+				WallNS:     wall.Nanoseconds(),
+				Summary:    summary,
+				Result:     result,
+			})
 		}
-		emit("fig10", r, r.Table())
-	}
-	if run("fig11") {
-		ran = true
-		r, err := gsdram.RunFig11(opts)
-		if err != nil {
-			fatal(err)
+		if !jsonToStdout {
+			for _, t := range tables {
+				fmt.Println(t)
+			}
 		}
-		emit("fig11", r, r.AnalyticsTable(), r.ThroughputTable())
-	}
-	if run("fig12") {
-		ran = true
-		r, err := gsdram.RunFig12(opts)
-		if err != nil {
-			fatal(err)
-		}
-		emit("fig12", r, r.PerfTable(), r.EnergyTable(), r.EnergyBreakdownTable())
-	}
-	if run("fig13") {
-		ran = true
-		r, err := gsdram.RunFig13(opts)
-		if err != nil {
-			fatal(err)
-		}
-		emit("fig13", r, r.Table())
-	}
-	if run("kvstore") {
-		ran = true
-		r, err := gsdram.RunKVStore(*kvPairs, *seed)
-		if err != nil {
-			fatal(err)
-		}
-		emit("kvstore", r, r.Table())
-	}
-	if run("graph") {
-		ran = true
-		r, err := gsdram.RunGraph(*gVerts, *gDeg, opts.Txns, *seed)
-		if err != nil {
-			fatal(err)
-		}
-		emit("graph", r, r.Table())
-	}
-	if run("channels") {
-		ran = true
-		r, err := gsdram.RunChannels(opts)
-		if err != nil {
-			fatal(err)
-		}
-		emit("channels", r, r.Table())
-	}
-	if run("impulse") {
-		ran = true
-		r, err := gsdram.RunImpulse(opts)
-		if err != nil {
-			fatal(err)
-		}
-		emit("impulse", r, r.Table())
-	}
-	if run("pattbits") {
-		ran = true
-		r, err := gsdram.RunPattBits(opts)
-		if err != nil {
-			fatal(err)
-		}
-		emit("pattbits", r, r.Table())
-	}
-	if run("storebuf") {
-		ran = true
-		r, err := gsdram.RunStoreBuf(opts)
-		if err != nil {
-			fatal(err)
-		}
-		emit("storebuf", r, r.Table())
-	}
-	if run("autogather") {
-		ran = true
-		r, err := gsdram.RunAuto(opts)
-		if err != nil {
-			fatal(err)
-		}
-		emit("autogather", r, r.Table())
-	}
-	if run("schedpol") {
-		ran = true
-		r, err := gsdram.RunSchedule(opts)
-		if err != nil {
-			fatal(err)
-		}
-		emit("schedpol", r, r.Table())
-	}
-	if run("pixels") {
-		ran = true
-		r, err := gsdram.RunPixels((*tuples)&^7, 2000, *seed)
-		if err != nil {
-			fatal(err)
-		}
-		emit("pixels", r, r.Table())
-	}
-	if run("ablation") {
-		ran = true
-		t := gsdram.AblationMap(gsdram.GS844)
-		t2 := gsdram.AblationECC(gsdram.GS844)
-		emit("ablation", []*stats.Table{t, t2}, t, t2)
 	}
 
 	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q", *exp))
+		names := make([]string, len(experiments))
+		for i, e := range experiments {
+			names[i] = e.name
+		}
+		fatal(fmt.Errorf("unknown experiment %q (valid: all, %s)", *exp, strings.Join(names, ", ")))
 	}
+
+	if *jsonOut != "" {
+		out, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if jsonToStdout {
+			fmt.Println(string(out))
+		} else if err := os.WriteFile(*jsonOut, append(out, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// fig9Summary condenses Figure 9 into per-layout average cycles and the
+// headline speedups.
+func fig9Summary(r *gsdram.Fig9Result) any {
+	row, col, gs := r.AvgCycles(imdb.RowStore), r.AvgCycles(imdb.ColumnStore), r.AvgCycles(imdb.GSStore)
+	return map[string]any{
+		"avg_cycles": map[string]float64{
+			"row_store":    row,
+			"column_store": col,
+			"gs_dram":      gs,
+		},
+		"speedup_vs_row":    ratio(row, gs),
+		"speedup_vs_column": ratio(col, gs),
+	}
+}
+
+// fig10Summary condenses Figure 10 (prefetched analytics) the same way.
+func fig10Summary(r *gsdram.Fig10Result) any {
+	row, col, gs := r.AvgCycles(imdb.RowStore, true), r.AvgCycles(imdb.ColumnStore, true), r.AvgCycles(imdb.GSStore, true)
+	return map[string]any{
+		"avg_cycles_prefetch": map[string]float64{
+			"row_store":    row,
+			"column_store": col,
+			"gs_dram":      gs,
+		},
+		"speedup_vs_row":    ratio(row, gs),
+		"speedup_vs_column": ratio(col, gs),
+	}
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
 }
 
 func parseSizes(s string) ([]int, error) {

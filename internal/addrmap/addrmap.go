@@ -101,7 +101,12 @@ func log2(v int) uint { return uint(bits.TrailingZeros(uint(v))) }
 // offset is discarded. It returns an error if the address exceeds the
 // spec's capacity.
 func (s Spec) Decompose(a Addr) (Loc, error) {
-	if uint64(a) >= s.Capacity() {
+	// Every dimension is a power of two, so the capacity check reduces to
+	// "no bits above the address width" — cheaper than the multiply chain
+	// of Capacity() on this very hot path.
+	width := log2(s.LineBytes) + log2(s.Channels) + log2(s.Cols) +
+		log2(s.Ranks) + log2(s.Banks) + log2(s.Rows)
+	if uint64(a)>>width != 0 {
 		return Loc{}, fmt.Errorf("addrmap: address %#x exceeds capacity %#x", uint64(a), s.Capacity())
 	}
 	v := uint64(a) >> log2(s.LineBytes)

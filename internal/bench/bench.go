@@ -11,6 +11,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 
 	"gsdram/internal/cpu"
 	"gsdram/internal/energy"
@@ -84,17 +85,54 @@ type runConfig struct {
 	cores    int
 }
 
+// rigTemplates caches one populated machine+DB per (layout, tuples):
+// population is deterministic, so every run with the same key starts from
+// bit-identical state whether it clones the template or rebuilds from
+// scratch, and cloning row data is far cheaper than re-running the
+// per-line functional writes. The cache is shared across experiments and
+// guarded for the concurrent worker pool.
+var rigTemplates struct {
+	sync.Mutex
+	m map[rigKey]*imdb.DB
+}
+
+type rigKey struct {
+	layout imdb.Layout
+	tuples int
+}
+
+// templateDB returns a clone of the populated template for (layout,
+// tuples), building the template on first use.
+func templateDB(layout imdb.Layout, tuples int) (*imdb.DB, error) {
+	rigTemplates.Lock()
+	defer rigTemplates.Unlock()
+	key := rigKey{layout: layout, tuples: tuples}
+	tpl := rigTemplates.m[key]
+	if tpl == nil {
+		mach, err := machine.Default()
+		if err != nil {
+			return nil, err
+		}
+		tpl, err = imdb.New(mach, layout, tuples)
+		if err != nil {
+			return nil, err
+		}
+		if rigTemplates.m == nil {
+			rigTemplates.m = make(map[rigKey]*imdb.DB)
+		}
+		rigTemplates.m[key] = tpl
+	}
+	return tpl.Clone(), nil
+}
+
 // newRig builds a fresh machine + DB + memory system for a run. Every run
 // gets its own state so experiments are independent.
 func newRig(rc runConfig) (*machine.Machine, *imdb.DB, *sim.EventQueue, *memsys.System, error) {
-	mach, err := machine.Default()
+	db, err := templateDB(rc.layout, rc.tuples)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	db, err := imdb.New(mach, rc.layout, rc.tuples)
-	if err != nil {
-		return nil, nil, nil, nil, err
-	}
+	mach := db.Machine()
 	q := &sim.EventQueue{}
 	cfg := memsys.DefaultConfig(rc.cores)
 	cfg.EnablePrefetch = rc.prefetch
@@ -134,6 +172,18 @@ func measure(q *sim.EventQueue, mem *memsys.System, cores []*cpu.Core) RunMetric
 	return m
 }
 
+// noInline disables every core's event-horizon fast path (see
+// internal/cpu): each op then schedules through the event queue, exactly
+// reproducing the pure event-driven execution. It backs the gsbench
+// -noinline escape hatch and the equivalence tests; results must be
+// bit-identical either way.
+var noInline bool
+
+// SetNoInline toggles the inline fast path for every core built by
+// subsequent experiment runs. Call it before starting experiments; it is
+// read (never written) by concurrent runs.
+func SetNoInline(v bool) { noInline = v }
+
 // runStreams executes one stream per core to completion and returns the
 // metrics.
 func runStreams(q *sim.EventQueue, mem *memsys.System, streams []cpu.Stream) RunMetrics {
@@ -145,6 +195,7 @@ func runStreamsSB(q *sim.EventQueue, mem *memsys.System, streams []cpu.Stream, s
 	cores := make([]*cpu.Core, len(streams))
 	for i, s := range streams {
 		cores[i] = cpu.NewWithStoreBuffer(i, q, mem, s, nil, sbCap)
+		cores[i].SetNoInline(noInline)
 		cores[i].Start(0)
 	}
 	q.Run()

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestInlineEquivalence pins the invariant of the event-horizon fast path
+// (internal/cpu): a full Figure 9 run — cycles, core stats, cache and
+// controller counters, energy — is bit-identical between inline execution
+// and the pure event-driven reference (-noinline), at both the serial and
+// a concurrent worker count.
+func TestInlineEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Figure 9 comparison in -short mode")
+	}
+	defer SetNoInline(false)
+	opts := QuickOptions()
+	for _, workers := range []int{1, 8} {
+		opts.Workers = workers
+
+		SetNoInline(false)
+		inline, err := RunFig9(opts)
+		if err != nil {
+			t.Fatalf("workers=%d inline: %v", workers, err)
+		}
+		SetNoInline(true)
+		eventDriven, err := RunFig9(opts)
+		if err != nil {
+			t.Fatalf("workers=%d noinline: %v", workers, err)
+		}
+
+		if !reflect.DeepEqual(inline.Runs, eventDriven.Runs) {
+			t.Errorf("workers=%d: inline and -noinline Figure 9 stats differ", workers)
+			for _, l := range layouts {
+				for i := range inline.Runs[l] {
+					if !reflect.DeepEqual(inline.Runs[l][i], eventDriven.Runs[l][i]) {
+						t.Logf("%v mix %v:\n inline   %+v\n noinline %+v",
+							l, inline.Mixes[i], inline.Runs[l][i], eventDriven.Runs[l][i])
+					}
+				}
+			}
+		}
+	}
+}

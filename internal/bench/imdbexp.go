@@ -230,11 +230,13 @@ func RunFig11(opts Options) (*Fig11Result, error) {
 		}
 
 		txnCore := cpu.New(1, q, mem, ts, nil)
+		txnCore.SetNoInline(noInline)
 		var analyticsDone sim.Cycle
 		anaCore := cpu.New(0, q, mem, as, func(now sim.Cycle) {
 			analyticsDone = now
 			txnCore.Stop()
 		})
+		anaCore.SetNoInline(noInline)
 		anaCore.Start(0)
 		txnCore.Start(0)
 		q.Run()

@@ -346,11 +346,13 @@ func RunSchedulerAblation(opts Options) (*SchedulerAblationResult, error) {
 			return err
 		}
 		txnCore := cpu.New(1, q, mem, ts, nil)
+		txnCore.SetNoInline(noInline)
 		var done sim.Cycle
 		anaCore := cpu.New(0, q, mem, as, func(now sim.Cycle) {
 			done = now
 			txnCore.Stop()
 		})
+		anaCore.SetNoInline(noInline)
 		anaCore.Start(0)
 		txnCore.Start(0)
 		q.Run()

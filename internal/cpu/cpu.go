@@ -125,6 +125,22 @@ type Core struct {
 	stopped bool
 	onDone  func(now sim.Cycle)
 
+	// noInline disables the event-horizon fast path: every op re-enters
+	// the event queue, reproducing the pure event-driven execution. The
+	// two modes are bit-identical (see the equivalence tests); the flag
+	// exists as an escape hatch and as the reference for that invariant.
+	noInline bool
+
+	// resume is the persistent continuation for blocking memory ops: it
+	// accounts the stall against pendIssue and re-enters step. One closure
+	// serves every op (allocated once in the constructor) because a
+	// blocking core has at most one outstanding access. stepFn is the
+	// method value of step, likewise bound once so scheduling it never
+	// allocates.
+	resume    func(now sim.Cycle)
+	stepFn    func(now sim.Cycle)
+	pendIssue sim.Cycle
+
 	// Store buffer: when enabled, stores retire into the buffer and drain
 	// asynchronously; the core only stalls when the buffer is full.
 	sbCap     int
@@ -146,8 +162,24 @@ func NewWithStoreBuffer(id int, q *sim.EventQueue, mem *memsys.System, stream St
 	if stream == nil {
 		panic("cpu: nil stream")
 	}
-	return &Core{id: id, q: q, mem: mem, stream: stream, onDone: onDone, sbCap: capacity}
+	c := &Core{id: id, q: q, mem: mem, stream: stream, onDone: onDone, sbCap: capacity}
+	c.stepFn = c.step
+	c.resume = func(now sim.Cycle) {
+		if now < c.pendIssue {
+			now = c.pendIssue
+		}
+		c.stats.MemStallCycles += now - c.pendIssue
+		// Schedule rather than call: completions of different cores at the
+		// same cycle interleave their next quanta through the queue, exactly
+		// as the per-op closures of the pure event-driven model did.
+		c.q.Schedule(now, c.stepFn)
+	}
+	return c
 }
+
+// SetNoInline disables (true) or re-enables (false) the event-horizon
+// fast path. Must be called before Start.
+func (c *Core) SetNoInline(v bool) { c.noInline = v }
 
 // Stats returns a snapshot of the core's counters.
 func (c *Core) Stats() Stats { return c.stats }
@@ -159,19 +191,44 @@ func (c *Core) Stop() { c.stopped = true }
 // Start schedules the core's first instruction at time `at`.
 func (c *Core) Start(at sim.Cycle) {
 	c.stats.StartCycle = at
-	c.q.Schedule(at, c.step)
+	c.q.Schedule(at, c.stepFn)
 }
 
-// step executes operations until the core blocks on memory or finishes.
+// step executes operations until the core blocks on a cache miss, fills
+// its store buffer, finishes — or reaches the event horizon.
+//
+// The fast path: compute blocks and cache hits resolve with no other
+// actor involved, so as long as the core's local time t stays strictly
+// before the earliest pending event (PeekWhen), it keeps executing
+// inline — no Schedule/dispatch per op — advancing the queue's clock
+// with Advance so inline side effects (writebacks, controller enqueues)
+// observe the same Now they would under pure event-driven execution.
+// The horizon is re-checked after every op because an op can itself
+// schedule events (controller wake-ups, store-buffer drains). Crossing
+// the horizon re-enters the queue exactly as the event-driven model
+// would have: one hop (step) for compute blocks and store-buffer issue
+// slots, two hops (the completion callback, then step) for memory-op
+// continuations — preserving tie-break order for same-cycle events.
 func (c *Core) step(now sim.Cycle) {
+	t := now
 	for {
+		if t != now {
+			// Inline continuation: legal only strictly before the event
+			// horizon. The first op of a quantum always executes — it is
+			// this dispatch.
+			if h, ok := c.q.PeekWhen(); ok && t >= h {
+				c.q.Schedule(t, c.stepFn)
+				return
+			}
+			c.q.Advance(t)
+		}
 		if c.stopped {
-			c.finish(now)
+			c.finish(t)
 			return
 		}
 		op, ok := c.stream.Next()
 		if !ok {
-			c.finish(now)
+			c.finish(t)
 			return
 		}
 		switch op.Kind {
@@ -180,10 +237,13 @@ func (c *Core) step(now sim.Cycle) {
 				continue
 			}
 			c.stats.Instructions += uint64(op.Cycles)
-			// Re-enter after the block retires; consecutive compute blocks
-			// chain through the event queue without busy loops.
-			c.q.Schedule(now+op.Cycles, c.step)
-			return
+			if c.noInline {
+				// Re-enter after the block retires; consecutive compute
+				// blocks chain through the event queue without busy loops.
+				c.q.Schedule(t+op.Cycles, c.stepFn)
+				return
+			}
+			t += op.Cycles
 		case OpLoad, OpStore:
 			c.stats.Instructions++
 			isStore := op.Kind == OpStore
@@ -192,7 +252,7 @@ func (c *Core) step(now sim.Cycle) {
 			} else {
 				c.stats.Loads++
 			}
-			issue := now + 1
+			issue := t + 1
 			acc := memsys.Access{
 				Core:       c.id,
 				Addr:       op.Addr,
@@ -206,29 +266,52 @@ func (c *Core) step(now sim.Cycle) {
 				// Buffered store: retire in one cycle unless the buffer
 				// is full, in which case stall until a slot frees.
 				c.sbPending++
-				c.mem.Access(now, acc, func(t sim.Cycle) {
+				drain := func(dt sim.Cycle) {
 					c.sbPending--
 					if c.sbWaiting {
 						c.sbWaiting = false
-						c.stats.MemStallCycles += t - issue
-						c.q.Schedule(t, c.step)
+						c.stats.MemStallCycles += dt - issue
+						c.q.Schedule(dt, c.stepFn)
 					}
-				})
+				}
+				if done, hit := c.mem.Access(t, acc, drain); hit {
+					c.q.Schedule(done, drain)
+				}
 				if c.sbPending > c.sbCap {
 					c.sbWaiting = true
 					return
 				}
-				c.q.Schedule(issue, c.step)
+				if c.noInline {
+					c.q.Schedule(issue, c.stepFn)
+					return
+				}
+				t = issue
+				continue
+			}
+			c.pendIssue = issue
+			done, hit := c.mem.Access(t, acc, c.resume)
+			if !hit {
+				// Miss: c.resume fires (as an event) when the fill lands.
 				return
 			}
-			c.mem.Access(now, acc, func(t sim.Cycle) {
-				if t < issue {
-					t = issue
-				}
-				c.stats.MemStallCycles += t - issue
-				c.q.Schedule(t, c.step)
-			})
-			return
+			tn := done
+			if tn < issue {
+				tn = issue
+			}
+			if c.noInline {
+				c.q.Schedule(done, c.resume)
+				return
+			}
+			if h, ok := c.q.PeekWhen(); ok && tn >= h {
+				// The continuation would land on or past the horizon:
+				// take the same two-hop route the event-driven model
+				// takes (completion callback at `done`, which schedules
+				// step), so same-cycle tie-breaks are identical.
+				c.q.Schedule(done, c.resume)
+				return
+			}
+			c.stats.MemStallCycles += tn - issue
+			t = tn
 		default:
 			panic(fmt.Sprintf("cpu: unknown op kind %d", op.Kind))
 		}

@@ -1,0 +1,82 @@
+package cpu
+
+import (
+	"testing"
+
+	"gsdram/internal/memsys"
+	"gsdram/internal/sim"
+)
+
+// hitStream replays loads of one cache line `remaining` times; refilling
+// the counter and restarting the core replays another batch against the
+// now-warm L1.
+type hitStream struct {
+	remaining int
+	op        Op
+}
+
+func (s *hitStream) Next() (Op, bool) {
+	if s.remaining == 0 {
+		return Op{}, false
+	}
+	s.remaining--
+	return s.op, true
+}
+
+// newHitRig returns a core whose L1 already holds the stream's line, so
+// every subsequent batch of loads runs entirely on the fast path.
+func newHitRig(tb testing.TB) (*sim.EventQueue, *Core, *hitStream) {
+	tb.Helper()
+	q := &sim.EventQueue{}
+	mem, err := memsys.New(memsys.DefaultConfig(1), q)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s := &hitStream{op: Load(0x40, 0x1)}
+	c := New(0, q, mem, s, nil)
+	// Warm: the first batch takes the miss and fills the L1, and grows the
+	// event queue's free list to steady state.
+	s.remaining = 64
+	c.Start(0)
+	q.Run()
+	return q, c, s
+}
+
+// BenchmarkCoreStepL1Hit measures the per-op cost of the event-horizon
+// fast path: consecutive L1-hit loads executed inline, without a heap
+// event per op.
+func BenchmarkCoreStepL1Hit(b *testing.B) {
+	q, c, s := newHitRig(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.remaining = b.N
+	c.Start(q.Now())
+	q.Run()
+}
+
+// BenchmarkCoreStepL1HitNoInline is the pure event-driven reference: the
+// same L1-hit loads, each taking the Schedule/dispatch route. The gap to
+// BenchmarkCoreStepL1Hit is the tentpole speedup at the per-op level.
+func BenchmarkCoreStepL1HitNoInline(b *testing.B) {
+	q, c, s := newHitRig(b)
+	c.SetNoInline(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.remaining = b.N
+	c.Start(q.Now())
+	q.Run()
+}
+
+// TestCoreStepL1HitZeroAllocs pins the fast path's allocation behaviour:
+// a batch of L1-hit loads performs zero heap allocations.
+func TestCoreStepL1HitZeroAllocs(t *testing.T) {
+	q, c, s := newHitRig(t)
+	allocs := testing.AllocsPerRun(10, func() {
+		s.remaining = 1000
+		c.Start(q.Now())
+		q.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("L1-hit fast path allocates %v times per 1000-op batch, want 0", allocs)
+	}
+}

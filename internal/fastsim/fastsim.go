@@ -60,7 +60,14 @@ type Model struct {
 	l1  *cache.Cache
 	l2  *cache.Cache
 
-	openRow map[int]int // bank key -> open row
+	// openRow[bank key] is the open row, -1 when the bank is closed. A
+	// dense slice (channels × ranks × banks entries) keeps the open-row
+	// check off the map hash path in the per-access loop.
+	openRow []int
+
+	// lineMask strips the intra-line offset (precomputed from L1
+	// LineBytes for the hot Access path).
+	lineMask addrmap.Addr
 
 	// Precomputed DRAM latencies in CPU cycles.
 	latRowHit      uint64
@@ -89,10 +96,14 @@ func New(cfg Config) (*Model, error) {
 		cfg:            cfg,
 		l1:             l1,
 		l2:             l2,
-		openRow:        make(map[int]int),
+		openRow:        make([]int, cfg.Spec.Channels*cfg.Spec.Ranks*cfg.Spec.Banks),
+		lineMask:       ^addrmap.Addr(cfg.L1.LineBytes - 1),
 		latRowHit:      r * uint64(t.CL+t.TBL),
 		latRowClosed:   r * uint64(t.TRCD+t.CL+t.TBL),
 		latRowConflict: r * uint64(t.TRP+t.TRCD+t.CL+t.TBL),
+	}
+	for i := range m.openRow {
+		m.openRow[i] = -1
 	}
 	return m, nil
 }
@@ -112,7 +123,7 @@ func (m *Model) Compute(n int) {
 func (m *Model) Access(addr addrmap.Addr, patt gsdram.Pattern, shuffled, write bool) {
 	m.stats.Instructions++
 	m.stats.Cycles++
-	line := addr &^ addrmap.Addr(m.cfg.L1.LineBytes-1)
+	line := addr & m.lineMask
 	if m.l1.Lookup(line, patt, write) {
 		m.stats.L1Hits++
 		return
@@ -149,12 +160,12 @@ func (m *Model) dramLatency(line addrmap.Addr) uint64 {
 		return m.latRowConflict
 	}
 	key := (loc.Channel*m.cfg.Spec.Ranks+loc.Rank)*m.cfg.Spec.Banks + loc.Bank
-	open, ok := m.openRow[key]
+	open := m.openRow[key]
 	switch {
-	case ok && open == loc.Row:
+	case open == loc.Row:
 		m.stats.RowHits++
 		return m.latRowHit
-	case !ok:
+	case open < 0:
 		m.stats.RowMisses++
 		m.openRow[key] = loc.Row
 		return m.latRowClosed

@@ -41,11 +41,13 @@ type Module struct {
 	shuffle ShuffleFunc
 
 	// rows holds the rank's contents, allocated lazily one DRAM row at a
-	// time (keyed by bank*Rows+row). Within a row, words are indexed by
-	// chipColumn*Chips + chip — each chip's local column address — so the
-	// layout matches the physical chips bit for bit. Untouched rows read
-	// as zero, like freshly initialised DRAM in the model.
-	rows map[int][]uint64
+	// time (indexed by bank*Rows+row; nil = untouched). Within a row,
+	// words are indexed by chipColumn*Chips + chip — each chip's local
+	// column address — so the layout matches the physical chips bit for
+	// bit. Untouched rows read as zero, like freshly initialised DRAM in
+	// the model. A dense slice (Banks×Rows pointers) keeps the per-word
+	// row lookup off the map hash path.
+	rows [][]uint64
 
 	// plans is the precomputed gather-plan table, indexed by
 	// ((shuffledBit*patterns)+pattern)*Cols + column. It is built once at
@@ -55,6 +57,11 @@ type Module struct {
 	// enumerate, plans is nil and planCache memoises plans on demand.
 	plans     []gatherPlan
 	planCache map[planKey]*gatherPlan
+
+	// chipShift/chipMask precompute the word-index split for the power-of-
+	// two chip count, avoiding a division per functional word access.
+	chipShift uint
+	chipMask  int
 }
 
 // planKey identifies a cached gather plan in the lazy fallback.
@@ -94,10 +101,12 @@ func NewModuleFunc(p Params, g Geometry, fn ShuffleFunc) (*Module, error) {
 		fn = DefaultShuffle(p.ShuffleStages)
 	}
 	m := &Module{
-		params:  p,
-		geom:    g,
-		shuffle: fn,
-		rows:    make(map[int][]uint64),
+		params:    p,
+		geom:      g,
+		shuffle:   fn,
+		rows:      make([][]uint64, g.Banks*g.Rows),
+		chipShift: uint(p.chipBits()),
+		chipMask:  p.Chips - 1,
 	}
 	patterns := int(p.MaxPattern()) + 1
 	if entries := 2 * patterns * g.Cols; entries <= maxDensePlans {
@@ -120,6 +129,31 @@ func NewModuleFunc(p Params, g Geometry, fn ShuffleFunc) (*Module, error) {
 	return m, nil
 }
 
+// Clone returns an independent copy of the module's contents. The
+// immutable state — parameters, shuffle function and precomputed gather
+// plans — is shared with the original; the row storage is deep-copied, so
+// writes to either module never appear in the other. Cloning a populated
+// module is much cheaper than re-running the writes that populated it,
+// which is how the experiment harness stamps out per-run machines.
+func (m *Module) Clone() *Module {
+	n := *m
+	n.rows = make([][]uint64, len(m.rows))
+	for i, r := range m.rows {
+		if r != nil {
+			n.rows[i] = append([]uint64(nil), r...)
+		}
+	}
+	if m.planCache != nil {
+		// Lazy-plan configurations get their own memo map (entries are
+		// immutable and safely shared; the map itself is not).
+		n.planCache = make(map[planKey]*gatherPlan, len(m.planCache))
+		for k, v := range m.planCache {
+			n.planCache[k] = v
+		}
+	}
+	return &n
+}
+
 // Params returns the module's GS-DRAM parameters.
 func (m *Module) Params() Params { return m.params }
 
@@ -130,8 +164,8 @@ func (m *Module) Geometry() Geometry { return m.geom }
 // is set. It returns nil for an untouched row when alloc is false.
 func (m *Module) rowSlice(bank, row int, alloc bool) []uint64 {
 	key := bank*m.geom.Rows + row
-	s, ok := m.rows[key]
-	if !ok && alloc {
+	s := m.rows[key]
+	if s == nil && alloc {
 		s = make([]uint64, m.geom.Cols*m.params.Chips)
 		m.rows[key] = s
 	}
@@ -284,8 +318,8 @@ func (m *Module) ReadLine(bank, row, col int, patt Pattern, shuffled bool, dst [
 // It is a test/setup convenience, equivalent to a read-modify-write of the
 // containing line.
 func (m *Module) WriteWord(bank, row, logical int, shuffled bool, v uint64) error {
-	col := logical / m.params.Chips
-	word := logical % m.params.Chips
+	col := logical >> m.chipShift
+	word := logical & m.chipMask
 	if err := m.checkAddr(bank, row, col); err != nil {
 		return err
 	}
@@ -300,8 +334,8 @@ func (m *Module) WriteWord(bank, row, logical int, shuffled bool, v uint64) erro
 // ReadWord reads the single 8-byte word at logical index l = col*Chips +
 // word within a row.
 func (m *Module) ReadWord(bank, row, logical int, shuffled bool) (uint64, error) {
-	col := logical / m.params.Chips
-	word := logical % m.params.Chips
+	col := logical >> m.chipShift
+	word := logical & m.chipMask
 	if err := m.checkAddr(bank, row, col); err != nil {
 		return 0, err
 	}

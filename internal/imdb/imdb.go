@@ -87,9 +87,28 @@ func New(mach *machine.Machine, layout Layout, tuples int) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	for t := 0; t < tuples; t++ {
+	// Populate at cache-line granularity: one WriteLine stores the same
+	// words to the same chips as eight WriteFields (the default-pattern
+	// plan routes word i of column c to chip i^shuffle(c), exactly the
+	// per-word rule), but pays the address decomposition once per line.
+	var line [FieldsPerTuple]uint64
+	if layout == ColumnStore {
 		for f := 0; f < FieldsPerTuple; f++ {
-			if err := db.WriteField(t, f, InitialValue(t, f)); err != nil {
+			for t0 := 0; t0 < tuples; t0 += FieldsPerTuple {
+				for i := range line {
+					line[i] = InitialValue(t0+i, f)
+				}
+				if err := mach.WriteLine(db.FieldAddr(t0, f), gsdram.DefaultPattern, line[:]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	} else {
+		for t := 0; t < tuples; t++ {
+			for f := range line {
+				line[f] = InitialValue(t, f)
+			}
+			if err := mach.WriteLine(db.FieldAddr(t, 0), gsdram.DefaultPattern, line[:]); err != nil {
 				return nil, err
 			}
 		}
@@ -99,6 +118,19 @@ func New(mach *machine.Machine, layout Layout, tuples int) (*DB, error) {
 
 // InitialValue is the value New stores in field f of tuple t.
 func InitialValue(t, f int) uint64 { return uint64(t)*10 + uint64(f) }
+
+// Clone returns an independent copy of the database backed by a clone of
+// its machine: same addresses and contents, but writes through either copy
+// stay private to it. Cloning a populated DB is bit-identical to (and much
+// cheaper than) building a fresh machine and repopulating the table.
+func (db *DB) Clone() *DB {
+	n := *db
+	n.mach = db.mach.Clone()
+	return &n
+}
+
+// Machine returns the machine backing the database.
+func (db *DB) Machine() *machine.Machine { return db.mach }
 
 // Layout returns the table's layout.
 func (db *DB) Layout() Layout { return db.layout }
@@ -200,11 +232,17 @@ func (db *DB) TransactionStream(mix TxnMix, count int, seed uint64, res *TxnResu
 		res = &TxnResult{}
 	}
 
+	// pending is drained by index and reset (not re-sliced) so the backing
+	// array is reused txn after txn — the stream allocates nothing in
+	// steady state.
 	var pending []cpu.Op
+	head := 0
 	done := 0
+	permBuf := make([]int, 0, FieldsPerTuple)
 	makeTxn := func() {
 		t := rng.Intn(db.tuples)
-		fields := rng.Perm(FieldsPerTuple)[:mix.Fields()]
+		permBuf = rng.PermInto(permBuf, FieldsPerTuple)
+		fields := permBuf[:mix.Fields()]
 		pending = append(pending, cpu.Compute(txnOverheadInstrs))
 		idx := 0
 		read := func(f int) {
@@ -238,15 +276,16 @@ func (db *DB) TransactionStream(mix TxnMix, count int, seed uint64, res *TxnResu
 	}
 
 	return cpu.FuncStream(func() (cpu.Op, bool) {
-		for len(pending) == 0 {
+		for head >= len(pending) {
+			pending, head = pending[:0], 0
 			if count > 0 && done >= count {
 				return cpu.Op{}, false
 			}
 			makeTxn()
 			done++
 		}
-		op := pending[0]
-		pending = pending[1:]
+		op := pending[head]
+		head++
 		return op, true
 	}), nil
 }

@@ -8,6 +8,7 @@ package machine
 
 import (
 	"fmt"
+	"math/bits"
 
 	"gsdram/internal/addrmap"
 	"gsdram/internal/gsdram"
@@ -27,6 +28,58 @@ type Machine struct {
 	// per-candidate index computation does not allocate. Machines are not
 	// safe for concurrent use; each simulation run builds its own.
 	idxBuf []int
+
+	// Precomputed decomposition of Spec (shift amounts, masks, address
+	// width), so the per-word locate on the functional data path is pure
+	// bit arithmetic. Derived once in New; Spec must not be mutated after.
+	dec decomposer
+}
+
+// decomposer holds the field shifts and masks of one addrmap.Spec.
+type decomposer struct {
+	lineShift, chShift, colShift, rankShift, bankShift uint
+	chMask, colMask, rankMask, bankMask                uint64
+	width                                              uint
+	lineMask                                           uint64
+	wordShift                                          uint
+}
+
+func newDecomposer(s addrmap.Spec) decomposer {
+	l2 := func(v int) uint { return uint(bits.TrailingZeros(uint(v))) }
+	d := decomposer{
+		lineShift: l2(s.LineBytes),
+		chShift:   l2(s.Channels),
+		colShift:  l2(s.Cols),
+		rankShift: l2(s.Ranks),
+		bankShift: l2(s.Banks),
+		chMask:    uint64(s.Channels - 1),
+		colMask:   uint64(s.Cols - 1),
+		rankMask:  uint64(s.Ranks - 1),
+		bankMask:  uint64(s.Banks - 1),
+		lineMask:  uint64(s.LineBytes - 1),
+		wordShift: l2(gsdram.WordBytes),
+	}
+	d.width = d.lineShift + d.chShift + d.colShift + d.rankShift + d.bankShift + l2(s.Rows)
+	return d
+}
+
+// decompose is the precomputed equivalent of Spec.Decompose(Spec.LineAddr(a)).
+func (d *decomposer) decompose(a addrmap.Addr) (addrmap.Loc, error) {
+	if uint64(a)>>d.width != 0 {
+		return addrmap.Loc{}, fmt.Errorf("addrmap: address %#x out of range", uint64(a))
+	}
+	v := uint64(a) >> d.lineShift
+	var l addrmap.Loc
+	l.Channel = int(v & d.chMask)
+	v >>= d.chShift
+	l.Col = int(v & d.colMask)
+	v >>= d.colShift
+	l.Rank = int(v & d.rankMask)
+	v >>= d.rankShift
+	l.Bank = int(v & d.bankMask)
+	v >>= d.bankShift
+	l.Row = int(v)
+	return l, nil
 }
 
 // New builds a machine with the given organisation. The page size is 4 KB.
@@ -38,7 +91,7 @@ func New(spec addrmap.Spec, gs gsdram.Params) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{Spec: spec, GS: gs, AS: as}
+	m := &Machine{Spec: spec, GS: gs, AS: as, dec: newDecomposer(spec)}
 	geom := gsdram.Geometry{Banks: spec.Banks, Rows: spec.Rows, Cols: spec.Cols}
 	for c := 0; c < spec.Channels; c++ {
 		var rank []*gsdram.Module
@@ -59,6 +112,23 @@ func Default() (*Machine, error) {
 	return New(addrmap.Default, gsdram.GS844)
 }
 
+// Clone returns an independent copy of the machine: address-space flags
+// and module contents are deep-copied (immutable module plan tables are
+// shared), so two clones never observe each other's writes. A clone of a
+// populated machine is bit-identical to rebuilding and repopulating one.
+func (m *Machine) Clone() *Machine {
+	n := &Machine{Spec: m.Spec, GS: m.GS, AS: m.AS.Clone(), dec: m.dec}
+	n.mods = make([][]*gsdram.Module, len(m.mods))
+	for c, rank := range m.mods {
+		nr := make([]*gsdram.Module, len(rank))
+		for r, mod := range rank {
+			nr[r] = mod.Clone()
+		}
+		n.mods[c] = nr
+	}
+	return n
+}
+
 // Module returns the module backing an address.
 func (m *Machine) Module(l addrmap.Loc) *gsdram.Module {
 	return m.mods[l.Channel][l.Rank]
@@ -67,33 +137,56 @@ func (m *Machine) Module(l addrmap.Loc) *gsdram.Module {
 // locate decomposes a byte address, returning its location and the 8-byte
 // word offset within the cache line.
 func (m *Machine) locate(a addrmap.Addr) (addrmap.Loc, int, error) {
-	loc, err := m.Spec.Decompose(m.Spec.LineAddr(a))
+	loc, err := m.dec.decompose(a)
 	if err != nil {
 		return addrmap.Loc{}, 0, err
 	}
-	word := int(a&addrmap.Addr(m.Spec.LineBytes-1)) / gsdram.WordBytes
+	word := int((uint64(a) & m.dec.lineMask) >> m.dec.wordShift)
 	return loc, word, nil
 }
 
 // WriteWord stores an 8-byte word at a (word-aligned) address, honouring
-// the page's shuffle flag.
+// the page's shuffle flag. The decomposition is open-coded (rather than
+// calling locate) because this is the single hottest function of the
+// functional data path — every workload setup and every transaction goes
+// through it word by word.
 func (m *Machine) WriteWord(a addrmap.Addr, v uint64) error {
-	loc, word, err := m.locate(a)
-	if err != nil {
-		return err
+	d := &m.dec
+	if uint64(a)>>d.width != 0 {
+		return fmt.Errorf("machine: address %#x out of range", uint64(a))
 	}
+	x := uint64(a) >> d.lineShift
+	ch := int(x & d.chMask)
+	x >>= d.chShift
+	col := int(x & d.colMask)
+	x >>= d.colShift
+	rank := int(x & d.rankMask)
+	x >>= d.rankShift
+	bank := int(x & d.bankMask)
+	row := int(x >> d.bankShift)
+	word := int((uint64(a) & d.lineMask) >> d.wordShift)
 	sh := m.AS.Flags(a).Shuffled
-	return m.Module(loc).WriteWord(loc.Bank, loc.Row, loc.Col*m.GS.Chips+word, sh, v)
+	return m.mods[ch][rank].WriteWord(bank, row, col*m.GS.Chips+word, sh, v)
 }
 
 // ReadWord loads the 8-byte word at a (word-aligned) address.
 func (m *Machine) ReadWord(a addrmap.Addr) (uint64, error) {
-	loc, word, err := m.locate(a)
-	if err != nil {
-		return 0, err
+	d := &m.dec
+	if uint64(a)>>d.width != 0 {
+		return 0, fmt.Errorf("machine: address %#x out of range", uint64(a))
 	}
+	x := uint64(a) >> d.lineShift
+	ch := int(x & d.chMask)
+	x >>= d.chShift
+	col := int(x & d.colMask)
+	x >>= d.colShift
+	rank := int(x & d.rankMask)
+	x >>= d.rankShift
+	bank := int(x & d.bankMask)
+	row := int(x >> d.bankShift)
+	word := int((uint64(a) & d.lineMask) >> d.wordShift)
 	sh := m.AS.Flags(a).Shuffled
-	return m.Module(loc).ReadWord(loc.Bank, loc.Row, loc.Col*m.GS.Chips+word, sh)
+	return m.mods[ch][rank].ReadWord(bank, row, col*m.GS.Chips+word, sh)
 }
 
 // ReadLine gathers the cache line at address a with the given pattern,

@@ -156,7 +156,32 @@ type Controller struct {
 	q   *sim.EventQueue
 	ch  []*channel
 
+	// freeReqs recycles Request structs: Enqueue takes ownership of every
+	// request, and the controller returns it to the free list once it no
+	// longer holds a reference (forwarded, issued, or dropped).
+	freeReqs []*Request
+
 	stats Stats
+}
+
+// NewRequest returns a zeroed Request, reusing one the controller has
+// finished with. Requests obtained here (or allocated directly) belong to
+// the controller after Enqueue and must not be reused by the caller.
+func (c *Controller) NewRequest() *Request {
+	if n := len(c.freeReqs); n > 0 {
+		r := c.freeReqs[n-1]
+		c.freeReqs = c.freeReqs[:n-1]
+		*r = Request{}
+		return r
+	}
+	return &Request{}
+}
+
+// recycle returns a request the controller no longer references to the
+// free list.
+func (c *Controller) recycle(r *Request) {
+	r.OnComplete = nil
+	c.freeReqs = append(c.freeReqs, r)
 }
 
 // New builds a controller attached to the event queue.
@@ -222,6 +247,9 @@ func (c *Controller) Pending() bool {
 // data drains to DRAM in the background. Read requests complete when their
 // data burst finishes. Prefetch reads are dropped (returning false) if the
 // read queue is full; demand requests are always accepted.
+//
+// Enqueue takes ownership of req: the controller recycles it once served,
+// so the caller must not touch it after Enqueue returns.
 func (c *Controller) Enqueue(now sim.Cycle, req *Request) bool {
 	loc, err := c.cfg.Spec.Decompose(c.cfg.Spec.LineAddr(req.Addr))
 	if err != nil {
@@ -251,6 +279,7 @@ func (c *Controller) Enqueue(now sim.Cycle, req *Request) bool {
 				cb := req.OnComplete
 				c.q.Schedule(now+sim.Cycle(2*c.cfg.ClockRatio), cb)
 			}
+			c.recycle(req)
 			return true
 		}
 	}
@@ -258,6 +287,7 @@ func (c *Controller) Enqueue(now sim.Cycle, req *Request) bool {
 	if len(ch.readQ) >= c.cfg.ReadQueueCap {
 		if req.IsPrefetch {
 			c.stats.DroppedPrefs++
+			c.recycle(req)
 			return false
 		}
 		// Demand reads are accepted beyond the cap: the cores are blocking
@@ -527,6 +557,7 @@ func (ch *channel) issue(rank *dram.Rank, req *Request, cmd dram.CmdKind, now si
 			cb := req.OnComplete
 			c.q.Schedule(done, cb)
 		}
+		c.recycle(req)
 	case dram.CmdWR:
 		c.stats.WritesServed++
 		if req.missed {
@@ -535,6 +566,7 @@ func (ch *channel) issue(rank *dram.Rank, req *Request, cmd dram.CmdKind, now si
 			c.stats.RowHitWrites++
 		}
 		ch.remove(req)
+		c.recycle(req)
 	case dram.CmdACT, dram.CmdPRE:
 		req.missed = true
 	}

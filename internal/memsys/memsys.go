@@ -155,6 +155,18 @@ type waiter struct {
 type mshrEntry struct {
 	waiters    []waiter
 	prefetched bool // entry created by a prefetch
+
+	// key/line/acc parameterise the entry's two persistent closures below,
+	// so the miss path schedules and enqueues without allocating. They are
+	// overwritten each time the (pooled) entry is reused.
+	key  mshrKey
+	line addrmap.Addr
+	acc  Access
+	// onFetch completes the fill (the controller's OnComplete); fetchFn is
+	// the scheduled L2-miss continuation that issues the DRAM fetch. Both
+	// capture the entry itself and are built once per entry.
+	onFetch func(now sim.Cycle)
+	fetchFn func(now sim.Cycle)
 }
 
 // System is the assembled memory hierarchy.
@@ -167,7 +179,14 @@ type System struct {
 	pf   *prefetch.Prefetcher
 	auto *autopatt.Detector
 
+	// caches is the precomputed hierarchy walk order (L1s then L2) used by
+	// the overlap flush/invalidate paths.
+	caches []*cache.Cache
+
 	mshrs map[mshrKey]*mshrEntry
+	// mshrFree recycles mshrEntry structs (and their waiter slices) so the
+	// steady-state miss path does not allocate.
+	mshrFree []*mshrEntry
 	// prefetchedLines marks L2 lines whose last fill came from a prefetch,
 	// for usefulness accounting.
 	prefetchedLines map[mshrKey]bool
@@ -214,7 +233,31 @@ func New(cfg Config, q *sim.EventQueue) (*System, error) {
 	s.ctrl = ctrl
 	s.pf = prefetch.New(cfg.Prefetch)
 	s.auto = autopatt.New(cfg.AutoPatt)
+	s.caches = append(append(s.caches, s.l1...), s.l2)
 	return s, nil
+}
+
+// newMSHR returns a recycled (or fresh) entry with no waiters.
+func (s *System) newMSHR() *mshrEntry {
+	if n := len(s.mshrFree); n > 0 {
+		e := s.mshrFree[n-1]
+		s.mshrFree = s.mshrFree[:n-1]
+		return e
+	}
+	e := &mshrEntry{}
+	e.onFetch = func(t sim.Cycle) { s.finishFetch(t, e.key) }
+	e.fetchFn = func(t sim.Cycle) { s.fetch(t, e) }
+	return e
+}
+
+// recycleMSHR returns a completed entry to the free list.
+func (s *System) recycleMSHR(e *mshrEntry) {
+	for i := range e.waiters {
+		e.waiters[i] = waiter{} // drop the onDone closures
+	}
+	e.waiters = e.waiters[:0]
+	e.prefetched = false
+	s.mshrFree = append(s.mshrFree, e)
 }
 
 // Stats returns a snapshot of the counters.
@@ -243,8 +286,18 @@ func (s *System) lineOf(a addrmap.Addr) addrmap.Addr {
 	return a &^ addrmap.Addr(s.cfg.L1.LineBytes-1)
 }
 
-// Access performs one memory operation; onDone fires when it completes.
-func (s *System) Access(now sim.Cycle, a Access, onDone func(now sim.Cycle)) {
+// Access performs one memory operation. Cache hits resolve synchronously:
+// Access returns hit=true and the completion time `done` WITHOUT invoking
+// or scheduling onDone — the caller decides whether to continue inline
+// (the event-horizon fast path) or schedule its continuation at `done`.
+// On a miss it returns hit=false and onDone fires (as a scheduled event)
+// when the fill completes.
+//
+// All state mutations — cache tag updates, overlap invalidations,
+// prefetcher training, controller enqueues — happen at call time `now` in
+// both cases, so a hit behaves identically whether the caller resumes
+// inline or through the queue.
+func (s *System) Access(now sim.Cycle, a Access, onDone func(now sim.Cycle)) (done sim.Cycle, hit bool) {
 	if a.Core < 0 || a.Core >= len(s.l1) {
 		panic(fmt.Sprintf("memsys: core %d out of range", a.Core))
 	}
@@ -280,8 +333,7 @@ func (s *System) Access(now sim.Cycle, a Access, onDone func(now sim.Cycle)) {
 	t1 := now + s.cfg.L1Latency
 	if s.l1[a.Core].Lookup(line, a.Pattern, a.Write) {
 		s.stats.L1Hits++
-		s.q.Schedule(t1, onDone)
-		return
+		return t1, true
 	}
 	s.stats.L1Misses++
 
@@ -301,8 +353,7 @@ func (s *System) Access(now sim.Cycle, a Access, onDone func(now sim.Cycle)) {
 			delete(s.prefetchedLines, key)
 		}
 		s.fillL1(a.Core, line, a.Pattern, a.Write)
-		s.q.Schedule(t2, onDone)
-		return
+		return t2, true
 	}
 	s.stats.L2Misses++
 
@@ -313,12 +364,15 @@ func (s *System) Access(now sim.Cycle, a Access, onDone func(now sim.Cycle)) {
 	w := waiter{core: a.Core, write: a.Write, onDone: onDone, extra: extra}
 	if e, ok := s.mshrs[key]; ok {
 		e.waiters = append(e.waiters, w)
-		return
+		return 0, false
 	}
-	e := &mshrEntry{waiters: []waiter{w}}
+	e := s.newMSHR()
+	e.key, e.line, e.acc = key, line, a
+	e.waiters = append(e.waiters, w)
 	s.mshrs[key] = e
 	// The fetch leaves for the controller after the L1 and L2 tag checks.
-	s.q.Schedule(t2, func(t sim.Cycle) { s.fetch(t, line, a, key) })
+	s.q.Schedule(t2, e.fetchFn)
+	return 0, false
 }
 
 // train feeds the prefetcher and issues its candidates into the L2. The
@@ -339,10 +393,13 @@ func (s *System) train(now sim.Cycle, a Access, line addrmap.Addr) {
 		if uint64(cl) >= s.cfg.Mem.Spec.Capacity() {
 			continue
 		}
-		e := &mshrEntry{prefetched: true}
+		e := s.newMSHR()
+		e.prefetched = true
+		e.key = key
 		s.mshrs[key] = e
-		if !s.enqueueFetch(now, cl, cand.Pattern, true, key) {
+		if !s.enqueueFetch(now, cl, cand.Pattern, true, e) {
 			delete(s.mshrs, key)
+			s.recycleMSHR(e)
 			continue
 		}
 		s.stats.PrefIssued++
@@ -352,7 +409,7 @@ func (s *System) train(now sim.Cycle, a Access, line addrmap.Addr) {
 // enqueueFetch sends the DRAM-side requests for one cache-line fill,
 // honouring the gather mode. It returns false if the controller dropped
 // the request (prefetches on a full queue).
-func (s *System) enqueueFetch(now sim.Cycle, line addrmap.Addr, patt gsdram.Pattern, isPrefetch bool, key mshrKey) bool {
+func (s *System) enqueueFetch(now sim.Cycle, line addrmap.Addr, patt gsdram.Pattern, isPrefetch bool, e *mshrEntry) bool {
 	// Impulse-like mode: a patterned line is assembled by the controller
 	// from the c donor lines it overlaps; the fill completes when the
 	// last donor burst arrives. Once the controller commits to a gather
@@ -360,37 +417,36 @@ func (s *System) enqueueFetch(now sim.Cycle, line addrmap.Addr, patt gsdram.Patt
 	if s.cfg.Gather == GatherAtController && patt != gsdram.DefaultPattern {
 		donors, _ := s.overlapLines(line, Access{Pattern: patt})
 		remaining := len(donors)
+		key := e.key
 		for _, da := range donors {
-			req := &memctrl.Request{
-				Addr: da,
-				OnComplete: func(t sim.Cycle) {
-					remaining--
-					if remaining == 0 {
-						s.finishFetch(t, key)
-					}
-				},
+			req := s.ctrl.NewRequest()
+			req.Addr = da
+			req.OnComplete = func(t sim.Cycle) {
+				remaining--
+				if remaining == 0 {
+					s.finishFetch(t, key)
+				}
 			}
 			s.ctrl.Enqueue(now, req)
 		}
 		return true
 	}
-	req := &memctrl.Request{
-		Addr:       line,
-		Pattern:    patt,
-		IsPrefetch: isPrefetch,
-		OnComplete: func(t sim.Cycle) { s.finishFetch(t, key) },
-	}
+	req := s.ctrl.NewRequest()
+	req.Addr = line
+	req.Pattern = patt
+	req.IsPrefetch = isPrefetch
+	req.OnComplete = e.onFetch
 	return s.ctrl.Enqueue(now, req)
 }
 
 // fetch issues a demand read to the controller, flushing dirty overlapping
 // lines of the other pattern first (paper §4.1).
-func (s *System) fetch(now sim.Cycle, line addrmap.Addr, a Access, key mshrKey) {
-	if a.Shuffled {
-		s.flushOverlaps(now, line, a)
+func (s *System) fetch(now sim.Cycle, e *mshrEntry) {
+	if e.acc.Shuffled {
+		s.flushOverlaps(now, e.line, e.acc)
 	}
 	s.stats.DRAMReads++
-	s.enqueueFetch(now, line, a.Pattern, false, key)
+	s.enqueueFetch(now, e.line, e.acc.Pattern, false, e)
 }
 
 // finishFetch completes an outstanding miss: fill L2 (and the waiters'
@@ -410,6 +466,7 @@ func (s *System) finishFetch(now sim.Cycle, key mshrKey) {
 		cb := w.onDone
 		s.q.Schedule(now+w.extra, cb)
 	}
+	s.recycleMSHR(e)
 }
 
 // fillL1 inserts a line into a core's L1, handling the eviction.
@@ -434,7 +491,11 @@ func (s *System) fillL2(line addrmap.Addr, p gsdram.Pattern, dirty bool) {
 // writeback posts a write to the controller.
 func (s *System) writeback(line addrmap.Addr, p gsdram.Pattern) {
 	s.stats.Writebacks++
-	s.ctrl.Enqueue(s.q.Now(), &memctrl.Request{Addr: line, Pattern: p, Write: true})
+	req := s.ctrl.NewRequest()
+	req.Addr = line
+	req.Pattern = p
+	req.Write = true
+	s.ctrl.Enqueue(s.q.Now(), req)
 }
 
 // probeOtherL1s pulls a dirty copy of (line, p) out of any other core's L1
@@ -494,11 +555,7 @@ func (s *System) overlapLines(line addrmap.Addr, a Access) (addrs []addrmap.Addr
 }
 
 // allCaches returns every cache in the hierarchy (L1s then L2).
-func (s *System) allCaches() []*cache.Cache {
-	caches := make([]*cache.Cache, 0, len(s.l1)+1)
-	caches = append(caches, s.l1...)
-	return append(caches, s.l2)
-}
+func (s *System) allCaches() []*cache.Cache { return s.caches }
 
 // flushOverlaps writes back dirty other-pattern lines overlapping a fetch.
 func (s *System) flushOverlaps(now sim.Cycle, line addrmap.Addr, a Access) {

@@ -31,7 +31,10 @@ func newHarness(t *testing.T, cores int, mutate func(*Config)) *harness {
 func (h *harness) access(at sim.Cycle, a Access) *sim.Cycle {
 	done := new(sim.Cycle)
 	h.q.Schedule(at, func(now sim.Cycle) {
-		h.s.Access(now, a, func(t sim.Cycle) { *done = t })
+		onDone := func(t sim.Cycle) { *done = t }
+		if t, hit := h.s.Access(now, a, onDone); hit {
+			h.q.Schedule(t, onDone)
+		}
 	})
 	return done
 }

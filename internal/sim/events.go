@@ -46,6 +46,33 @@ type EventQueue struct {
 // Now returns the time of the most recently dispatched event.
 func (q *EventQueue) Now() Cycle { return q.now }
 
+// PeekWhen returns the timestamp of the earliest pending event — the
+// event horizon. A component may simulate forward inline (without
+// dispatching events) strictly before this time, because no other actor
+// can observe or mutate shared state until the horizon event fires.
+// ok is false when the queue is empty (the horizon is infinite).
+func (q *EventQueue) PeekWhen() (when Cycle, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].When, true
+}
+
+// Advance moves the queue's clock forward to t without dispatching
+// anything, so that inline execution's side effects (schedules, clamped
+// ready-times) observe the same Now as event-driven execution would.
+// Advancing past the event horizon would reorder history and panics.
+// Advancing backwards is a no-op.
+func (q *EventQueue) Advance(t Cycle) {
+	if t <= q.now {
+		return
+	}
+	if len(q.h) > 0 && t > q.h[0].When {
+		panic("sim: Advance past the event horizon")
+	}
+	q.now = t
+}
+
 // Len returns the number of pending events.
 func (q *EventQueue) Len() int { return len(q.h) }
 

@@ -49,9 +49,16 @@ func (r *Rand) Float64() float64 {
 
 // Perm returns a pseudo-random permutation of [0, n).
 func (r *Rand) Perm(n int) []int {
-	p := make([]int, n)
-	for i := range p {
-		p[i] = i
+	return r.PermInto(nil, n)
+}
+
+// PermInto fills p (truncated, then grown as needed — pass a reusable
+// buffer to avoid the allocation) with a pseudo-random permutation of
+// [0, n) and returns it. It consumes the generator identically to Perm.
+func (r *Rand) PermInto(p []int, n int) []int {
+	p = p[:0]
+	for i := 0; i < n; i++ {
+		p = append(p, i)
 	}
 	for i := n - 1; i > 0; i-- {
 		j := r.Intn(i + 1)

@@ -34,7 +34,11 @@ type AddressSpace struct {
 	gs       gsdram.Params
 	pageSize int
 	next     addrmap.Addr
-	flags    map[uint64]PageFlags // page index -> flags
+	// flags is indexed by page number and grows with the bump allocator's
+	// high-water mark; pages beyond it read as the zero flags. A dense
+	// slice keeps the per-word Flags lookup off the map hash path, which
+	// dominates functional data movement.
+	flags []PageFlags
 }
 
 // New returns an empty address space. pageSize must be a power of two and
@@ -53,12 +57,20 @@ func New(spec addrmap.Spec, gs gsdram.Params, pageSize int) (*AddressSpace, erro
 		spec:     spec,
 		gs:       gs,
 		pageSize: pageSize,
-		flags:    make(map[uint64]PageFlags),
 	}, nil
 }
 
 // PageSize returns the page size.
 func (as *AddressSpace) PageSize() int { return as.pageSize }
+
+// Clone returns an independent copy of the address space: same
+// allocations and page flags, but further allocations and flag updates on
+// either copy do not affect the other.
+func (as *AddressSpace) Clone() *AddressSpace {
+	n := *as
+	n.flags = append([]PageFlags(nil), as.flags...)
+	return &n
+}
 
 func (as *AddressSpace) pageIndex(a addrmap.Addr) uint64 {
 	return uint64(a) / uint64(as.pageSize)
@@ -75,7 +87,11 @@ func (as *AddressSpace) alloc(size int, fl PageFlags) (addrmap.Addr, error) {
 	if uint64(end) > as.spec.Capacity() {
 		return 0, fmt.Errorf("vm: out of memory: need %d bytes at %#x, capacity %#x", size, uint64(start), as.spec.Capacity())
 	}
-	for p := uint64(start) / uint64(as.pageSize); p < uint64(end)/uint64(as.pageSize); p++ {
+	last := uint64(end) / uint64(as.pageSize)
+	for uint64(len(as.flags)) < last {
+		as.flags = append(as.flags, PageFlags{})
+	}
+	for p := uint64(start) / uint64(as.pageSize); p < last; p++ {
 		as.flags[p] = fl
 	}
 	as.next = end
@@ -100,9 +116,14 @@ func (as *AddressSpace) PattMalloc(size int, patt gsdram.Pattern) (addrmap.Addr,
 	return as.alloc(size, PageFlags{Shuffled: true, AltPattern: patt})
 }
 
-// Flags returns the page flags covering an address.
+// Flags returns the page flags covering an address. Unallocated pages
+// have the zero flags.
 func (as *AddressSpace) Flags(a addrmap.Addr) PageFlags {
-	return as.flags[as.pageIndex(a)]
+	p := as.pageIndex(a)
+	if p >= uint64(len(as.flags)) {
+		return PageFlags{}
+	}
+	return as.flags[p]
 }
 
 // CheckAccess validates an access pattern against the page's flags: the

@@ -23,6 +23,7 @@ import (
 	"gsdram/internal/bench"
 	core "gsdram/internal/gsdram"
 	"gsdram/internal/machine"
+	"gsdram/internal/telemetry"
 )
 
 // ---- The GS-DRAM substrate (paper §3) ----
@@ -125,6 +126,21 @@ func QuickOptions() Options   { return bench.QuickOptions() }
 // Results are bit-identical either way; the switch exists as an escape
 // hatch and for equivalence testing (gsbench -noinline).
 func SetNoInline(v bool) { bench.SetNoInline(v) }
+
+// SetTelemetry enables (or disables) telemetry capture — per-run metrics
+// registries, the epoch time-series, DRAM command and core stall-phase
+// traces — for every subsequently started experiment. epochCycles is the
+// sampling interval (0 = the default 100k cycles). Telemetry observes
+// without mutating, so results are bit-identical either way; it is off
+// by default because the capture buffers cost memory.
+func SetTelemetry(enabled bool, epochCycles uint64) { bench.SetTelemetry(enabled, epochCycles) }
+
+// TelemetryRun is one run's captured telemetry (see internal/telemetry).
+type TelemetryRun = telemetry.Run
+
+// DrainTelemetryRuns returns the telemetry captured since the last call,
+// sorted by run label, and clears the collection.
+func DrainTelemetryRuns() []*TelemetryRun { return bench.DrainTelemetryRuns() }
 
 // Fig9Result and Fig10Result are the structured results of the headline
 // analytics experiments, exported so tools (gsbench -json) can summarise

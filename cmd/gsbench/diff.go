@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"gsdram/internal/stats"
+)
+
+// diffFile is the subset of the gsbench -json document metrics-diff
+// consumes.
+type diffFile struct {
+	Manifest struct {
+		GoVersion string `json:"go_version"`
+		Seed      uint64 `json:"seed"`
+		Workers   int    `json:"workers"`
+	} `json:"manifest"`
+	Experiments []struct {
+		Experiment string `json:"experiment"`
+		WallNS     int64  `json:"wall_ns"`
+		Telemetry  []struct {
+			Label   string                     `json:"label"`
+			Metrics map[string]json.RawMessage `json:"metrics"`
+		} `json:"telemetry"`
+	} `json:"experiments"`
+}
+
+// metricsDiff implements `gsbench metrics-diff [-all] OLD.json NEW.json`:
+// it compares the telemetry metrics of two -json documents run by run
+// and prints the metrics whose values differ (or all of them with -all).
+func metricsDiff(args []string) error {
+	fs := flag.NewFlagSet("metrics-diff", flag.ContinueOnError)
+	all := fs.Bool("all", false, "print unchanged metrics too")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: gsbench metrics-diff [-all] OLD.json NEW.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return fmt.Errorf("metrics-diff: want exactly 2 files, got %d", fs.NArg())
+	}
+	a, err := loadDiffFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := loadDiffFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	// Index runs by (experiment, label) → flattened metrics.
+	type runKey struct{ exp, label string }
+	index := func(f *diffFile) (map[runKey]map[string]float64, []runKey) {
+		m := map[runKey]map[string]float64{}
+		var order []runKey
+		for _, e := range f.Experiments {
+			for _, t := range e.Telemetry {
+				k := runKey{e.Experiment, t.Label}
+				m[k] = flattenMetrics(t.Metrics)
+				order = append(order, k)
+			}
+		}
+		return m, order
+	}
+	am, aOrder := index(a)
+	bm, _ := index(b)
+
+	if len(am) == 0 {
+		return fmt.Errorf("metrics-diff: %s has no telemetry (was it produced with -json by this version?)", fs.Arg(0))
+	}
+
+	diffed := 0
+	for _, k := range aOrder {
+		bmet, ok := bm[k]
+		if !ok {
+			fmt.Printf("%s · %s: only in %s\n\n", k.exp, k.label, fs.Arg(0))
+			continue
+		}
+		amet := am[k]
+		names := make([]string, 0, len(amet))
+		for n := range amet {
+			if _, ok := bmet[n]; ok {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		t := stats.NewTable(fmt.Sprintf("%s · %s", k.exp, k.label),
+			"metric", "old", "new", "delta", "ratio")
+		rows := 0
+		for _, n := range names {
+			av, bv := amet[n], bmet[n]
+			if av == bv && !*all {
+				continue
+			}
+			ratio := "-"
+			if av != 0 {
+				ratio = fmt.Sprintf("%.4f", bv/av)
+			}
+			t.Add(n, trimFloat(av), trimFloat(bv), trimFloat(bv-av), ratio)
+			rows++
+		}
+		if rows > 0 {
+			fmt.Println(t)
+			fmt.Println()
+			diffed += rows
+		}
+	}
+	for k := range bm {
+		if _, ok := am[k]; !ok {
+			fmt.Printf("%s · %s: only in %s\n\n", k.exp, k.label, fs.Arg(1))
+		}
+	}
+	if diffed == 0 {
+		fmt.Println("metrics-diff: no differing metrics")
+	}
+	return nil
+}
+
+func loadDiffFile(path string) (*diffFile, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f diffFile
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// flattenMetrics turns the exported metrics map into name → float64:
+// scalar metrics pass through; histograms expand to .count/.sum/.mean.
+func flattenMetrics(raw map[string]json.RawMessage) map[string]float64 {
+	out := make(map[string]float64, len(raw))
+	for name, blob := range raw {
+		var v float64
+		if err := json.Unmarshal(blob, &v); err == nil {
+			out[name] = v
+			continue
+		}
+		var h struct {
+			Count float64 `json:"count"`
+			Sum   float64 `json:"sum"`
+			Mean  float64 `json:"mean"`
+		}
+		if err := json.Unmarshal(blob, &h); err == nil {
+			out[name+".count"] = h.Count
+			out[name+".sum"] = h.Sum
+			out[name+".mean"] = h.Mean
+		}
+	}
+	return out
+}
+
+// trimFloat renders v without a trailing ".000000" for integral values.
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4f", v)
+}

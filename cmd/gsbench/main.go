@@ -8,18 +8,32 @@
 //	         pixels]
 //	        [-tuples N] [-txns N] [-gemm n1,n2,...] [-kvpairs N]
 //	        [-vertices N] [-degree D] [-seed S] [-workers N] [-noinline]
-//	        [-json FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	        [-json FILE] [-trace-out FILE] [-epoch N]
+//	        [-cpuprofile FILE] [-memprofile FILE]
+//	gsbench metrics-diff [-all] OLD.json NEW.json
 //
 // The defaults complete in a few minutes. To run at the paper's scale:
 //
 //	gsbench -exp fig9 -tuples 1048576 -txns 10000
 //	gsbench -exp fig13 -gemm 32,64,128,256,512,1024
 //
-// With -json FILE, a machine-readable record per experiment — name,
+// With -json FILE, a machine-readable document — a run manifest (params,
+// seed, workers, go version) plus a record per experiment with name,
 // wall-clock nanoseconds, a cycles/speedups summary where the experiment
-// has one, and the full structured result — is written to FILE as a JSON
-// array ("-" writes it to stdout instead of the text tables), so perf
-// trajectories can be tracked as BENCH_*.json artifacts.
+// has one, the full structured result, and per-run telemetry (final
+// metrics and the epoch time-series) — is written to FILE ("-" replaces
+// the text tables on stdout), so perf trajectories can be tracked as
+// BENCH_*.json artifacts and compared with `gsbench metrics-diff`.
+//
+// With -trace-out FILE, a Chrome trace_event JSON covering every
+// telemetered run — DRAM commands per bank lane, core busy/stall
+// phases, epoch counter tracks — is written to FILE; open it at
+// https://ui.perfetto.dev (timestamps are simulated CPU cycles, not
+// microseconds). -epoch N sets the sampling interval in cycles.
+//
+// Telemetry capture is enabled automatically when -json or -trace-out is
+// given; it observes without mutating, so results are bit-identical with
+// and without it.
 //
 // -noinline disables the cores' event-horizon fast path and takes the pure
 // event-driven execution path; results are bit-identical, only slower — the
@@ -46,6 +60,7 @@ import (
 	"gsdram"
 	"gsdram/internal/imdb"
 	"gsdram/internal/stats"
+	"gsdram/internal/telemetry"
 )
 
 // experiment couples a runnable experiment with its name, so the dispatch
@@ -59,13 +74,36 @@ type experiment struct {
 
 // record is one experiment's entry in the -json output.
 type record struct {
-	Experiment string `json:"experiment"`
-	WallNS     int64  `json:"wall_ns"`
-	Summary    any    `json:"summary,omitempty"`
-	Result     any    `json:"result"`
+	Experiment string           `json:"experiment"`
+	WallNS     int64            `json:"wall_ns"`
+	Summary    any              `json:"summary,omitempty"`
+	Result     any              `json:"result"`
+	Telemetry  []telemetryEntry `json:"telemetry,omitempty"`
+}
+
+// telemetryEntry is one simulated run's telemetry in the -json output.
+type telemetryEntry struct {
+	Label        string            `json:"label"`
+	EndCycle     uint64            `json:"end_cycle"`
+	CommandsSeen uint64            `json:"dram_commands_seen"`
+	PhasesSeen   uint64            `json:"stall_phases_seen"`
+	Metrics      map[string]any    `json:"metrics"`
+	Series       *telemetry.Series `json:"series,omitempty"`
+}
+
+// output is the top-level -json document.
+type output struct {
+	Manifest    telemetry.Manifest `json:"manifest"`
+	Experiments []record           `json:"experiments"`
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "metrics-diff" {
+		if err := metricsDiff(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	var (
 		exp      = flag.String("exp", "all", "experiment to run (or \"all\"); see the registry in -h")
 		tuples   = flag.Int("tuples", gsdram.DefaultOptions().Tuples, "database table size in tuples (paper: 1048576)")
@@ -77,7 +115,9 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "workload random seed")
 		workers  = flag.Int("workers", 0, "concurrent simulation runs per experiment (0 = GOMAXPROCS, 1 = serial)")
 		noInline = flag.Bool("noinline", false, "disable the event-horizon fast path (pure event-driven execution; identical results)")
-		jsonOut  = flag.String("json", "", "write per-experiment JSON records (wall_ns, summary, result) to FILE; \"-\" replaces the text tables on stdout")
+		jsonOut  = flag.String("json", "", "write the JSON document (manifest, per-experiment records, telemetry) to FILE; \"-\" replaces the text tables on stdout")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace_event / Perfetto JSON of all telemetered runs to FILE")
+		epoch    = flag.Uint64("epoch", uint64(telemetry.DefaultEpoch), "telemetry sampling interval in CPU cycles")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -109,6 +149,8 @@ func main() {
 	}
 
 	gsdram.SetNoInline(*noInline)
+	telemetryOn := *jsonOut != "" || *traceOut != ""
+	gsdram.SetTelemetry(telemetryOn, *epoch)
 
 	opts := gsdram.DefaultOptions()
 	opts.Tuples = *tuples
@@ -240,6 +282,7 @@ func main() {
 
 	jsonToStdout := *jsonOut == "-"
 	var records []record
+	var traceRuns []*gsdram.TelemetryRun
 	ran := false
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.name {
@@ -252,12 +295,28 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		var entries []telemetryEntry
+		if telemetryOn {
+			runs := gsdram.DrainTelemetryRuns()
+			traceRuns = append(traceRuns, runs...)
+			for _, r := range runs {
+				entries = append(entries, telemetryEntry{
+					Label:        r.Label,
+					EndCycle:     uint64(r.End),
+					CommandsSeen: r.CommandsSeen,
+					PhasesSeen:   r.Phases.Seen(),
+					Metrics:      r.Registry.Export(),
+					Series:       r.Series,
+				})
+			}
+		}
 		if *jsonOut != "" {
 			records = append(records, record{
 				Experiment: e.name,
 				WallNS:     wall.Nanoseconds(),
 				Summary:    summary,
 				Result:     result,
+				Telemetry:  entries,
 			})
 		}
 		if !jsonToStdout {
@@ -275,8 +334,40 @@ func main() {
 		fatal(fmt.Errorf("unknown experiment %q (valid: all, %s)", *exp, strings.Join(names, ", ")))
 	}
 
+	manifest := telemetry.Manifest{
+		Tool:      "gsbench",
+		GoVersion: runtime.Version(),
+		Seed:      *seed,
+		Workers:   *workers,
+		Epoch:     *epoch,
+		Params: map[string]string{
+			"exp":      *exp,
+			"tuples":   strconv.Itoa(*tuples),
+			"txns":     strconv.Itoa(*txns),
+			"gemm":     *gemmStr,
+			"kvpairs":  strconv.Itoa(*kvPairs),
+			"vertices": strconv.Itoa(*gVerts),
+			"degree":   strconv.Itoa(*gDeg),
+			"noinline": strconv.FormatBool(*noInline),
+		},
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := telemetry.WriteTrace(f, manifest, traceRuns); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *jsonOut != "" {
-		out, err := json.MarshalIndent(records, "", "  ")
+		out, err := json.MarshalIndent(output{Manifest: manifest, Experiments: records}, "", "  ")
 		if err != nil {
 			fatal(err)
 		}

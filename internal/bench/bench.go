@@ -83,6 +83,10 @@ type runConfig struct {
 	tuples   int
 	prefetch bool
 	cores    int
+	// label names the run for telemetry capture (e.g. "fig9/GS-DRAM/
+	// 50-25-25"). Empty disables capture for this rig even when
+	// telemetry is enabled; labels must be unique within a batch.
+	label string
 }
 
 // rigTemplates caches one populated machine+DB per (layout, tuples):
@@ -136,6 +140,7 @@ func newRig(rc runConfig) (*machine.Machine, *imdb.DB, *sim.EventQueue, *memsys.
 	q := &sim.EventQueue{}
 	cfg := memsys.DefaultConfig(rc.cores)
 	cfg.EnablePrefetch = rc.prefetch
+	cfg.Metrics, cfg.Mem.Observer = telemetryForRig(rc.label, q)
 	mem, err := memsys.New(cfg, q)
 	if err != nil {
 		return nil, nil, nil, nil, err
@@ -198,12 +203,15 @@ func runStreamsSB(q *sim.EventQueue, mem *memsys.System, streams []cpu.Stream, s
 		cores[i].SetNoInline(noInline)
 		cores[i].Start(0)
 	}
+	rt := takeTelemetry(q)
+	rt.start(q, mem, cores)
 	q.Run()
 	for _, c := range cores {
 		if !c.Stats().Finished {
 			panic("bench: core did not finish")
 		}
 	}
+	rt.finish(q, cores)
 	return measure(q, mem, cores)
 }
 

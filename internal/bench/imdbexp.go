@@ -28,7 +28,8 @@ func RunFig9(opts Options) (*Fig9Result, error) {
 	// opts.Seed for every run so all layouts replay the same transactions.
 	err := opts.pool().Run(len(runs), func(j int) error {
 		layout, mix := layouts[j/nm], res.Mixes[j%nm]
-		_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1})
+		_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1,
+			label: fmt.Sprintf("fig9/%v/%v", layout, mix)})
 		if err != nil {
 			return err
 		}
@@ -113,7 +114,8 @@ func RunFig10(opts Options) (*Fig10Result, error) {
 	runs := make([]RunMetrics, len(layouts)*np)
 	err := opts.pool().Run(len(runs), func(j int) error {
 		layout, pt := layouts[j/np], res.Points[j%np]
-		_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1, prefetch: pt.Prefetch})
+		_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1, prefetch: pt.Prefetch,
+			label: fmt.Sprintf("fig10/%v/%dcol/prefetch=%v", layout, pt.Columns, pt.Prefetch)})
 		if err != nil {
 			return err
 		}
@@ -214,7 +216,8 @@ func RunFig11(opts Options) (*Fig11Result, error) {
 	runs := make([]htapRun, len(layouts)*2)
 	err := opts.pool().Run(len(runs), func(j int) error {
 		layout, prefetch := layouts[j/2], j%2 == 1
-		_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 2, prefetch: prefetch})
+		_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 2, prefetch: prefetch,
+			label: fmt.Sprintf("fig11/%v/prefetch=%v", layout, prefetch)})
 		if err != nil {
 			return err
 		}
@@ -239,7 +242,11 @@ func RunFig11(opts Options) (*Fig11Result, error) {
 		anaCore.SetNoInline(noInline)
 		anaCore.Start(0)
 		txnCore.Start(0)
+		cores := []*cpu.Core{anaCore, txnCore} // index == core ID
+		rt := takeTelemetry(q)
+		rt.start(q, mem, cores)
 		q.Run()
+		rt.finish(q, cores)
 
 		// The analytics thread mutates nothing, so the column sum must
 		// still be exact even with concurrent writers to other fields:

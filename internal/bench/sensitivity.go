@@ -98,7 +98,8 @@ type PatternSweepResult struct {
 func RunPatternSweep(opts Options) (*PatternSweepResult, error) {
 	res := &PatternSweepResult{Opts: opts}
 	err := opts.pool().Run(4, func(p int) error {
-		_, db, q, mem, err := newRig(runConfig{layout: imdb.GSStore, tuples: opts.Tuples, cores: 1, prefetch: true})
+		_, db, q, mem, err := newRig(runConfig{layout: imdb.GSStore, tuples: opts.Tuples, cores: 1, prefetch: true,
+			label: fmt.Sprintf("pattbits/p%d", p)})
 		if err != nil {
 			return err
 		}
@@ -150,7 +151,8 @@ func RunStoreBuffer(opts Options) (*StoreBufferResult, error) {
 	runs := make([]uint64, len(layouts)*2)
 	err := opts.pool().Run(len(runs), func(j int) error {
 		layout, sbCap := layouts[j/2], sbCaps[j%2]
-		_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1})
+		_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1,
+			label: fmt.Sprintf("storebuf/%v/sb%d", layout, sbCap)})
 		if err != nil {
 			return err
 		}

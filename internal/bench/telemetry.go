@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gsdram/internal/cpu"
+	"gsdram/internal/energy"
+	"gsdram/internal/memctrl"
+	"gsdram/internal/memsys"
+	"gsdram/internal/metrics"
+	"gsdram/internal/sim"
+	"gsdram/internal/telemetry"
+	"gsdram/internal/trace"
+)
+
+// Capacity caps for the per-run capture buffers: enough for the quick
+// experiment scales to be captured whole, bounded so paper-scale runs
+// cannot exhaust memory. Seen() counters record any truncation.
+const (
+	maxTraceCommands = 200_000
+	maxTracePhases   = 100_000
+)
+
+// telem is the session-level telemetry switch, mirroring noInline: off
+// by default, toggled between experiment batches, read by concurrent
+// runs. When off, rigs are built with a nil registry and no observer, so
+// the simulation pays nothing beyond the counter increments it always
+// performed.
+var telem struct {
+	sync.Mutex
+	enabled bool
+	epoch   sim.Cycle
+	// pending holds per-rig capture state between newRig (which wires
+	// the memory system) and runStreams (which wires cores and runs),
+	// keyed by the rig's event queue.
+	pending map[*sim.EventQueue]*rigTelemetry
+	runs    []*telemetry.Run
+}
+
+// rigTelemetry is one rig's capture state.
+type rigTelemetry struct {
+	label   string
+	epoch   sim.Cycle
+	reg     *metrics.Registry
+	rec     *trace.Recorder
+	phases  *telemetry.PhaseRecorder
+	sampler *telemetry.Sampler
+}
+
+// SetTelemetry enables or disables telemetry capture for subsequently
+// built experiment rigs and resets any collected runs. epochCycles is
+// the sampling interval (0 selects telemetry.DefaultEpoch). Like
+// SetNoInline, call it between experiment batches, not mid-run.
+func SetTelemetry(enabled bool, epochCycles uint64) {
+	telem.Lock()
+	defer telem.Unlock()
+	telem.enabled = enabled
+	telem.epoch = sim.Cycle(epochCycles)
+	telem.pending = nil
+	telem.runs = nil
+}
+
+// DrainTelemetryRuns returns the runs captured since the last call (or
+// since SetTelemetry), sorted by label so the result is deterministic
+// regardless of worker scheduling, and clears the collection.
+func DrainTelemetryRuns() []*telemetry.Run {
+	telem.Lock()
+	defer telem.Unlock()
+	runs := telem.runs
+	telem.runs = nil
+	sort.Slice(runs, func(i, j int) bool { return runs[i].Label < runs[j].Label })
+	return runs
+}
+
+// telemetryForRig creates capture state for a labelled rig and returns
+// the registry and command observer to build the memory system with.
+// Returns nils (build an untelemetered rig) when telemetry is off or
+// the run has no label.
+func telemetryForRig(label string, q *sim.EventQueue) (*metrics.Registry, func(memctrl.CommandEvent)) {
+	if label == "" {
+		return nil, nil
+	}
+	telem.Lock()
+	defer telem.Unlock()
+	if !telem.enabled {
+		return nil, nil
+	}
+	rt := &rigTelemetry{
+		label:  label,
+		epoch:  telem.epoch,
+		reg:    metrics.New(),
+		rec:    trace.NewRecorder(maxTraceCommands),
+		phases: telemetry.NewPhaseRecorder(maxTracePhases),
+	}
+	if telem.pending == nil {
+		telem.pending = map[*sim.EventQueue]*rigTelemetry{}
+	}
+	telem.pending[q] = rt
+	return rt.reg, rt.rec.Observe
+}
+
+// takeTelemetry claims (and removes) the pending capture state for q.
+// Returns nil for untelemetered rigs; every method of a nil
+// *rigTelemetry is a no-op, so run loops call them unconditionally.
+func takeTelemetry(q *sim.EventQueue) *rigTelemetry {
+	telem.Lock()
+	defer telem.Unlock()
+	rt := telem.pending[q]
+	if rt != nil {
+		delete(telem.pending, q)
+	}
+	return rt
+}
+
+// start completes registration — per-core counters and stall hooks
+// (cores[i] must have core ID i), the live energy gauges — and starts
+// the epoch sampler. Call after the cores are built, before q.Run().
+func (rt *rigTelemetry) start(q *sim.EventQueue, mem *memsys.System, cores []*cpu.Core) {
+	if rt == nil {
+		return
+	}
+	for i, c := range cores {
+		c.RegisterMetrics(rt.reg, fmt.Sprintf("core.%d", i))
+		c.SetPhaseHook(rt.phases.HookFor(i))
+	}
+	energy.RegisterLive(rt.reg, func() energy.Activity {
+		var instrs uint64
+		for _, c := range cores {
+			instrs += c.Stats().Instructions
+		}
+		l1, l2 := mem.CacheStats()
+		return energy.Activity{
+			Runtime:      q.Now(),
+			FreqGHz:      4,
+			Cores:        len(cores),
+			Instructions: instrs,
+			L1:           l1,
+			L2:           l2,
+			Mem:          mem.MemStats(),
+		}
+	}, energy.DefaultDRAM(), energy.DefaultCPU())
+	rt.sampler = telemetry.NewSampler(q, rt.reg, rt.epoch)
+	rt.sampler.Start()
+}
+
+// finish records the final epoch row, assembles the telemetry.Run, and
+// adds it to the session collection. Call after q.Run() returns.
+func (rt *rigTelemetry) finish(q *sim.EventQueue, cores []*cpu.Core) {
+	if rt == nil {
+		return
+	}
+	rt.sampler.Finish(q.Now())
+	run := &telemetry.Run{
+		Label:        rt.label,
+		Registry:     rt.reg,
+		Series:       rt.sampler.Series(),
+		Phases:       rt.phases,
+		Commands:     rt.rec.Events(),
+		CommandsSeen: rt.rec.Seen(),
+		End:          q.Now(),
+	}
+	for i, c := range cores {
+		st := c.Stats()
+		run.Cores = append(run.Cores, telemetry.CoreSpan{Core: i, Start: st.StartCycle, Finish: st.FinishCycle})
+	}
+	telem.Lock()
+	telem.runs = append(telem.runs, run)
+	telem.Unlock()
+}

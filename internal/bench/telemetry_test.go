@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"gsdram/internal/telemetry"
+)
+
+// telemetryTestOpts is a small, fast Fig9 configuration.
+func telemetryTestOpts(workers int) Options {
+	opts := QuickOptions()
+	opts.Tuples = 4096
+	opts.Txns = 200
+	opts.Workers = workers
+	return opts
+}
+
+// TestTelemetryDoesNotPerturbResults: enabling telemetry must leave the
+// simulation results deeply equal to a telemetry-free run — the capture
+// layer observes, never mutates.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	opts := telemetryTestOpts(1)
+	SetTelemetry(false, 0)
+	base, err := RunFig9(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetTelemetry(true, 0)
+	defer SetTelemetry(false, 0)
+	got, err := RunFig9(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := DrainTelemetryRuns()
+	if !reflect.DeepEqual(base.Runs, got.Runs) {
+		t.Fatal("telemetry-enabled Fig9 results differ from telemetry-free results")
+	}
+
+	// And the capture itself must be substantive: one run per (layout,
+	// mix) with a well-populated registry and a non-empty time-series.
+	if want := 3 * len(base.Mixes); len(runs) != want {
+		t.Fatalf("captured %d runs, want %d", len(runs), want)
+	}
+	for _, r := range runs {
+		if r.Registry.Len() < 20 {
+			t.Errorf("%s: %d metrics, want >= 20", r.Label, r.Registry.Len())
+		}
+		if len(r.Series.Epochs) == 0 {
+			t.Errorf("%s: empty epoch series", r.Label)
+		}
+		if r.CommandsSeen == 0 || len(r.Commands) == 0 {
+			t.Errorf("%s: no DRAM commands captured", r.Label)
+		}
+		if len(r.Cores) != 1 || r.Cores[0].Finish == 0 {
+			t.Errorf("%s: bad core spans %+v", r.Label, r.Cores)
+		}
+	}
+}
+
+// TestTelemetrySeriesIdenticalAcrossWorkers: the epoch time-series (and
+// everything else captured) must not depend on the worker count.
+func TestTelemetrySeriesIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker replay in -short mode")
+	}
+	capture := func(workers int) []*telemetry.Run {
+		SetTelemetry(true, 0)
+		if _, err := RunFig9(telemetryTestOpts(workers)); err != nil {
+			t.Fatal(err)
+		}
+		return DrainTelemetryRuns()
+	}
+	defer SetTelemetry(false, 0)
+	serial, parallel := capture(1), capture(4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("run counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if a.Label != b.Label {
+			t.Fatalf("label order differs: %q vs %q", a.Label, b.Label)
+		}
+		if !reflect.DeepEqual(a.Series, b.Series) {
+			t.Errorf("%s: epoch series differs across worker counts", a.Label)
+		}
+		if !reflect.DeepEqual(a.Commands, b.Commands) || a.CommandsSeen != b.CommandsSeen {
+			t.Errorf("%s: DRAM command capture differs across worker counts", a.Label)
+		}
+		if !reflect.DeepEqual(a.Phases.Phases(), b.Phases.Phases()) {
+			t.Errorf("%s: stall phases differ across worker counts", a.Label)
+		}
+		if !reflect.DeepEqual(a.Registry.Export(), b.Registry.Export()) {
+			t.Errorf("%s: final metrics differ across worker counts", a.Label)
+		}
+	}
+}
+
+// TestTelemetryDisabledCapturesNothing: the default state stays silent.
+func TestTelemetryDisabledCapturesNothing(t *testing.T) {
+	SetTelemetry(false, 0)
+	if _, err := RunFig9(telemetryTestOpts(1)); err != nil {
+		t.Fatal(err)
+	}
+	if runs := DrainTelemetryRuns(); len(runs) != 0 {
+		t.Fatalf("captured %d runs with telemetry disabled", len(runs))
+	}
+}

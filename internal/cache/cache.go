@@ -15,6 +15,7 @@ import (
 
 	"gsdram/internal/addrmap"
 	"gsdram/internal/gsdram"
+	"gsdram/internal/metrics"
 )
 
 // Config describes one cache level.
@@ -43,7 +44,9 @@ type Line struct {
 	Dirty   bool
 }
 
-// Stats counts cache events.
+// Stats counts cache events. It is the compatibility snapshot type
+// returned by Cache.Stats; the live storage is the counters struct
+// below, whose fields register into a metrics.Registry.
 type Stats struct {
 	Hits          uint64
 	Misses        uint64
@@ -52,6 +55,19 @@ type Stats struct {
 	Invalidations uint64
 	PatternHits   uint64 // hits on non-zero-pattern lines
 	PatternFills  uint64 // fills of non-zero-pattern lines
+}
+
+// counters is the live counter storage: metrics.Counter fields increment
+// exactly like the uint64s they replaced, and RegisterMetrics exposes
+// them by name.
+type counters struct {
+	Hits          metrics.Counter
+	Misses        metrics.Counter
+	Evictions     metrics.Counter
+	DirtyEvicts   metrics.Counter
+	Invalidations metrics.Counter
+	PatternHits   metrics.Counter
+	PatternFills  metrics.Counter
 }
 
 type way struct {
@@ -69,7 +85,7 @@ type Cache struct {
 	setMask uint64
 	offBits uint
 	clock   uint64
-	stats   Stats
+	ctr     counters
 
 	// mru[set] is the way index of the set's most recent hit or fill.
 	// find probes it before the linear scan: temporally local access
@@ -113,7 +129,29 @@ func New(cfg Config) (*Cache, error) {
 func (c *Cache) Config() Config { return c.cfg }
 
 // Stats returns a snapshot of the counters.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:          c.ctr.Hits.Value(),
+		Misses:        c.ctr.Misses.Value(),
+		Evictions:     c.ctr.Evictions.Value(),
+		DirtyEvicts:   c.ctr.DirtyEvicts.Value(),
+		Invalidations: c.ctr.Invalidations.Value(),
+		PatternHits:   c.ctr.PatternHits.Value(),
+		PatternFills:  c.ctr.PatternFills.Value(),
+	}
+}
+
+// RegisterMetrics registers the cache's counters under prefix (e.g.
+// "cache.l1.0"). No-op on a nil registry.
+func (c *Cache) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.RegisterCounter(prefix+".hits", &c.ctr.Hits)
+	r.RegisterCounter(prefix+".misses", &c.ctr.Misses)
+	r.RegisterCounter(prefix+".evictions", &c.ctr.Evictions)
+	r.RegisterCounter(prefix+".dirty_evicts", &c.ctr.DirtyEvicts)
+	r.RegisterCounter(prefix+".invalidations", &c.ctr.Invalidations)
+	r.RegisterCounter(prefix+".pattern_hits", &c.ctr.PatternHits)
+	r.RegisterCounter(prefix+".pattern_fills", &c.ctr.PatternFills)
+}
 
 // setIndex and tag derive placement from the line address; the pattern ID
 // participates only in the tag match, mirroring the hardware extension.
@@ -146,13 +184,13 @@ func (c *Cache) Lookup(a addrmap.Addr, p gsdram.Pattern, setDirty bool) bool {
 		if setDirty {
 			w.dirty = true
 		}
-		c.stats.Hits++
+		c.ctr.Hits++
 		if p != gsdram.DefaultPattern {
-			c.stats.PatternHits++
+			c.ctr.PatternHits++
 		}
 		return true
 	}
-	c.stats.Misses++
+	c.ctr.Misses++
 	return false
 }
 
@@ -190,16 +228,16 @@ func (c *Cache) Fill(a addrmap.Addr, p gsdram.Pattern, dirty bool) (evicted Line
 	}
 	c.mru[si] = uint16(vi)
 	if victim.valid {
-		c.stats.Evictions++
+		c.ctr.Evictions++
 		if victim.dirty {
-			c.stats.DirtyEvicts++
+			c.ctr.DirtyEvicts++
 		}
 		evicted = Line{Addr: c.lineAddrFromTag(victim.tag), Pattern: victim.pattern, Dirty: victim.dirty}
 		hasEvict = true
 	}
 	*victim = way{valid: true, dirty: dirty, tag: c.tag(a), pattern: p, stamp: c.clock}
 	if p != gsdram.DefaultPattern {
-		c.stats.PatternFills++
+		c.ctr.PatternFills++
 	}
 	return evicted, hasEvict
 }
@@ -213,7 +251,7 @@ func (c *Cache) lineAddrFromTag(tag uint64) addrmap.Addr {
 // victims).
 func (c *Cache) Invalidate(a addrmap.Addr, p gsdram.Pattern) (present, dirty bool) {
 	if w := c.find(a, p); w != nil {
-		c.stats.Invalidations++
+		c.ctr.Invalidations++
 		present, dirty = true, w.dirty
 		*w = way{}
 		return present, dirty

@@ -11,6 +11,7 @@ import (
 	"gsdram/internal/addrmap"
 	"gsdram/internal/gsdram"
 	"gsdram/internal/memsys"
+	"gsdram/internal/metrics"
 	"gsdram/internal/sim"
 )
 
@@ -90,7 +91,9 @@ func SliceStream(ops []Op) Stream {
 	})
 }
 
-// Stats describes a core's execution.
+// Stats describes a core's execution. It is the compatibility snapshot
+// returned by Core.Stats; the counter fields live in the coreCounters
+// struct below so they can register into a metrics.Registry.
 type Stats struct {
 	Instructions uint64
 	Loads        uint64
@@ -101,6 +104,14 @@ type Stats struct {
 	StartCycle     sim.Cycle
 	FinishCycle    sim.Cycle
 	Finished       bool
+}
+
+// coreCounters is the live counter storage (see internal/metrics).
+type coreCounters struct {
+	Instructions   metrics.Counter
+	Loads          metrics.Counter
+	Stores         metrics.Counter
+	MemStallCycles metrics.Counter
 }
 
 // Runtime returns the core's total execution time.
@@ -122,6 +133,7 @@ type Core struct {
 	mem     *memsys.System
 	stream  Stream
 	stats   Stats
+	ctr     coreCounters
 	stopped bool
 	onDone  func(now sim.Cycle)
 
@@ -140,6 +152,14 @@ type Core struct {
 	resume    func(now sim.Cycle)
 	stepFn    func(now sim.Cycle)
 	pendIssue sim.Cycle
+
+	// pendMiss marks the outstanding access as a DRAM-bound miss, so the
+	// resume path can report the stall interval to phaseHook. phaseHook
+	// (telemetry) receives the [from, to) interval of each miss stall; it
+	// is nil when telemetry is disabled, costing one predictable branch
+	// per miss.
+	pendMiss  bool
+	phaseHook func(from, to sim.Cycle)
 
 	// Store buffer: when enabled, stores retire into the buffer and drain
 	// asynchronously; the core only stalls when the buffer is full.
@@ -168,7 +188,13 @@ func NewWithStoreBuffer(id int, q *sim.EventQueue, mem *memsys.System, stream St
 		if now < c.pendIssue {
 			now = c.pendIssue
 		}
-		c.stats.MemStallCycles += now - c.pendIssue
+		if c.pendMiss {
+			c.pendMiss = false
+			if c.phaseHook != nil && now > c.pendIssue {
+				c.phaseHook(c.pendIssue, now)
+			}
+		}
+		c.ctr.MemStallCycles += metrics.Counter(now - c.pendIssue)
 		// Schedule rather than call: completions of different cores at the
 		// same cycle interleave their next quanta through the queue, exactly
 		// as the per-op closures of the pure event-driven model did.
@@ -182,7 +208,30 @@ func NewWithStoreBuffer(id int, q *sim.EventQueue, mem *memsys.System, stream St
 func (c *Core) SetNoInline(v bool) { c.noInline = v }
 
 // Stats returns a snapshot of the core's counters.
-func (c *Core) Stats() Stats { return c.stats }
+func (c *Core) Stats() Stats {
+	s := c.stats
+	s.Instructions = c.ctr.Instructions.Value()
+	s.Loads = c.ctr.Loads.Value()
+	s.Stores = c.ctr.Stores.Value()
+	s.MemStallCycles = sim.Cycle(c.ctr.MemStallCycles.Value())
+	return s
+}
+
+// RegisterMetrics registers the core's counters under prefix (e.g.
+// "core.0"). No-op on a nil registry.
+func (c *Core) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.RegisterCounter(prefix+".instructions", &c.ctr.Instructions)
+	r.RegisterCounter(prefix+".loads", &c.ctr.Loads)
+	r.RegisterCounter(prefix+".stores", &c.ctr.Stores)
+	r.RegisterCounter(prefix+".mem_stall_cycles", &c.ctr.MemStallCycles)
+}
+
+// SetPhaseHook installs a telemetry callback receiving the [from, to)
+// interval of every DRAM-bound stall (miss fills and store-buffer full
+// waits). The hook observes identical intervals whether the core runs
+// inline or purely event-driven: cache-hit latencies are accounted as
+// stall cycles but never reported as phases. Must be set before Start.
+func (c *Core) SetPhaseHook(fn func(from, to sim.Cycle)) { c.phaseHook = fn }
 
 // Stop makes the core halt at the next instruction boundary — used by the
 // HTAP harness to end the transaction thread when analytics completes.
@@ -236,7 +285,7 @@ func (c *Core) step(now sim.Cycle) {
 			if op.Cycles == 0 {
 				continue
 			}
-			c.stats.Instructions += uint64(op.Cycles)
+			c.ctr.Instructions += metrics.Counter(op.Cycles)
 			if c.noInline {
 				// Re-enter after the block retires; consecutive compute
 				// blocks chain through the event queue without busy loops.
@@ -245,12 +294,12 @@ func (c *Core) step(now sim.Cycle) {
 			}
 			t += op.Cycles
 		case OpLoad, OpStore:
-			c.stats.Instructions++
+			c.ctr.Instructions++
 			isStore := op.Kind == OpStore
 			if isStore {
-				c.stats.Stores++
+				c.ctr.Stores++
 			} else {
-				c.stats.Loads++
+				c.ctr.Loads++
 			}
 			issue := t + 1
 			acc := memsys.Access{
@@ -270,7 +319,10 @@ func (c *Core) step(now sim.Cycle) {
 					c.sbPending--
 					if c.sbWaiting {
 						c.sbWaiting = false
-						c.stats.MemStallCycles += dt - issue
+						c.ctr.MemStallCycles += metrics.Counter(dt - issue)
+						if c.phaseHook != nil && dt > issue {
+							c.phaseHook(issue, dt)
+						}
 						c.q.Schedule(dt, c.stepFn)
 					}
 				}
@@ -292,6 +344,7 @@ func (c *Core) step(now sim.Cycle) {
 			done, hit := c.mem.Access(t, acc, c.resume)
 			if !hit {
 				// Miss: c.resume fires (as an event) when the fill lands.
+				c.pendMiss = true
 				return
 			}
 			tn := done
@@ -310,7 +363,7 @@ func (c *Core) step(now sim.Cycle) {
 				c.q.Schedule(done, c.resume)
 				return
 			}
-			c.stats.MemStallCycles += tn - issue
+			c.ctr.MemStallCycles += metrics.Counter(tn - issue)
 			t = tn
 		default:
 			panic(fmt.Sprintf("cpu: unknown op kind %d", op.Kind))

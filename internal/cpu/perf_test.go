@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"gsdram/internal/memsys"
+	"gsdram/internal/metrics"
 	"gsdram/internal/sim"
 )
 
@@ -78,5 +79,41 @@ func TestCoreStepL1HitZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("L1-hit fast path allocates %v times per 1000-op batch, want 0", allocs)
+	}
+}
+
+// TestCoreStepL1HitZeroAllocsWithMetrics pins the telemetry design
+// point: with a metrics registry wired through the whole hierarchy and
+// a stall-phase hook installed, the hot path still performs zero heap
+// allocations — counters are plain struct fields the registry merely
+// points at, and the hook only fires on DRAM-bound stalls. (The epoch
+// sampler is deliberately absent: it allocates one row per epoch, off
+// the hot path, and is exercised by the telemetry package's own tests.)
+func TestCoreStepL1HitZeroAllocsWithMetrics(t *testing.T) {
+	q := &sim.EventQueue{}
+	reg := metrics.New()
+	cfg := memsys.DefaultConfig(1)
+	cfg.Metrics = reg
+	mem, err := memsys.New(cfg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &hitStream{op: Load(0x40, 0x1)}
+	c := New(0, q, mem, s, nil)
+	c.RegisterMetrics(reg, "core.0")
+	c.SetPhaseHook(func(from, to sim.Cycle) {})
+	s.remaining = 64
+	c.Start(0)
+	q.Run()
+	if reg.Len() < 20 {
+		t.Fatalf("registry has %d metrics, want >= 20", reg.Len())
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		s.remaining = 1000
+		c.Start(q.Now())
+		q.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("L1-hit fast path with metrics registered allocates %v times per 1000-op batch, want 0", allocs)
 	}
 }

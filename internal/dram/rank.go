@@ -3,6 +3,7 @@ package dram
 import (
 	"fmt"
 
+	"gsdram/internal/metrics"
 	"gsdram/internal/sim"
 )
 
@@ -46,7 +47,9 @@ type bankState struct {
 	wrAllowed  sim.Cycle
 }
 
-// Stats counts rank activity for bandwidth and energy accounting.
+// Stats counts rank activity for bandwidth and energy accounting. It is
+// the compatibility snapshot returned by Rank.Stats; live storage is the
+// counters struct below.
 type Stats struct {
 	ACTs      uint64
 	PREs      uint64
@@ -60,6 +63,16 @@ type Stats struct {
 	// BusBusy accumulates CPU cycles during which the data bus carried
 	// data, for bandwidth-utilisation reporting.
 	BusBusy sim.Cycle
+}
+
+// counters is the live counter storage (see internal/metrics).
+type counters struct {
+	ACTs      metrics.Counter
+	PREs      metrics.Counter
+	Reads     metrics.Counter
+	Writes    metrics.Counter
+	Refreshes metrics.Counter
+	BusBusy   metrics.Counter
 }
 
 // Rank models one DRAM rank: a set of banks sharing a command bus, an
@@ -86,7 +99,7 @@ type Rank struct {
 	cmdBusFree sim.Cycle
 	cmdCycle   sim.Cycle // command bus cycle length in CPU cycles
 
-	stats Stats
+	ctr counters
 }
 
 // NewRank returns a rank with the given number of banks, all precharged.
@@ -111,7 +124,27 @@ func (r *Rank) Banks() int { return len(r.banks) }
 func (r *Rank) OpenRow(bank int) int { return r.banks[bank].openRow }
 
 // Stats returns a copy of the activity counters.
-func (r *Rank) Stats() Stats { return r.stats }
+func (r *Rank) Stats() Stats {
+	return Stats{
+		ACTs:      r.ctr.ACTs.Value(),
+		PREs:      r.ctr.PREs.Value(),
+		Reads:     r.ctr.Reads.Value(),
+		Writes:    r.ctr.Writes.Value(),
+		Refreshes: r.ctr.Refreshes.Value(),
+		BusBusy:   sim.Cycle(r.ctr.BusBusy.Value()),
+	}
+}
+
+// RegisterMetrics registers the rank's command counters under prefix
+// (e.g. "dram.ch0.rk0"). No-op on a nil registry.
+func (r *Rank) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.RegisterCounter(prefix+".acts", &r.ctr.ACTs)
+	reg.RegisterCounter(prefix+".pres", &r.ctr.PREs)
+	reg.RegisterCounter(prefix+".reads", &r.ctr.Reads)
+	reg.RegisterCounter(prefix+".writes", &r.ctr.Writes)
+	reg.RegisterCounter(prefix+".refreshes", &r.ctr.Refreshes)
+	reg.RegisterCounter(prefix+".bus_busy_cycles", &r.ctr.BusBusy)
+}
 
 // EarliestIssue returns the earliest cycle >= now at which the command
 // could legally issue. For RD/WR the bank's row must already be open (and
@@ -170,7 +203,7 @@ func (r *Rank) Issue(kind CmdKind, bank, row int, t sim.Cycle) sim.Cycle {
 		r.actTimes[r.actHead] = t
 		r.actHead = (r.actHead + 1) % len(r.actTimes)
 		r.actCount++
-		r.stats.ACTs++
+		r.ctr.ACTs++
 		return t + sim.Cycle(tm.TRCD)
 	case CmdPRE:
 		if b.openRow == NoRow {
@@ -178,7 +211,7 @@ func (r *Rank) Issue(kind CmdKind, bank, row int, t sim.Cycle) sim.Cycle {
 		}
 		b.openRow = NoRow
 		b.actAllowed = maxCycle(b.actAllowed, t+sim.Cycle(tm.TRP))
-		r.stats.PREs++
+		r.ctr.PREs++
 		return t + sim.Cycle(tm.TRP)
 	case CmdRD:
 		if b.openRow == NoRow {
@@ -188,8 +221,8 @@ func (r *Rank) Issue(kind CmdKind, bank, row int, t sim.Cycle) sim.Cycle {
 		b.preAllowed = maxCycle(b.preAllowed, t+sim.Cycle(tm.TRTP))
 		r.rdAllowed = maxCycle(r.rdAllowed, t+sim.Cycle(tm.TCCD))
 		r.wrAllowed = maxCycle(r.wrAllowed, t+sim.Cycle(tm.TRTW))
-		r.stats.Reads++
-		r.stats.BusBusy += sim.Cycle(tm.TBL)
+		r.ctr.Reads++
+		r.ctr.BusBusy += metrics.Counter(tm.TBL)
 		return dataEnd
 	case CmdWR:
 		if b.openRow == NoRow {
@@ -200,8 +233,8 @@ func (r *Rank) Issue(kind CmdKind, bank, row int, t sim.Cycle) sim.Cycle {
 		b.rdAllowed = maxCycle(b.rdAllowed, dataEnd+sim.Cycle(tm.TWTR))
 		r.rdAllowed = maxCycle(r.rdAllowed, dataEnd+sim.Cycle(tm.TWTR))
 		r.wrAllowed = maxCycle(r.wrAllowed, t+sim.Cycle(tm.TCCD))
-		r.stats.Writes++
-		r.stats.BusBusy += sim.Cycle(tm.TBL)
+		r.ctr.Writes++
+		r.ctr.BusBusy += metrics.Counter(tm.TBL)
 		return dataEnd
 	case CmdREF:
 		for i := range r.banks {
@@ -213,7 +246,7 @@ func (r *Rank) Issue(kind CmdKind, bank, row int, t sim.Cycle) sim.Cycle {
 		for i := range r.banks {
 			r.banks[i].actAllowed = maxCycle(r.banks[i].actAllowed, end)
 		}
-		r.stats.Refreshes++
+		r.ctr.Refreshes++
 		return end
 	default:
 		panic("dram: unknown command")

@@ -16,6 +16,7 @@ package energy
 import (
 	"gsdram/internal/cache"
 	"gsdram/internal/memctrl"
+	"gsdram/internal/metrics"
 	"gsdram/internal/sim"
 )
 
@@ -99,6 +100,22 @@ func (r Report) CPUMJ() float64 { return r.CPUDynamicMJ + r.CPUStaticMJ }
 
 // TotalMJ returns total system energy.
 func (r Report) TotalMJ() float64 { return r.DRAMMJ() + r.CPUMJ() }
+
+// RegisterLive registers gauges that re-estimate the run's energy from
+// its current activity each time they are read — the epoch sampler
+// turns them into energy-over-time tracks. activity must return the
+// live counters (it is called at sample time, on the rig's own
+// goroutine). Values are reported in microjoules so they fit the
+// integer gauge contract. No-op on a nil registry.
+func RegisterLive(r *metrics.Registry, activity func() Activity, dp DRAMParams, cp CPUParams) {
+	if r == nil {
+		return
+	}
+	uj := func(mj float64) int64 { return int64(mj * 1000) }
+	r.RegisterGaugeFunc("energy.dram_uj", func() int64 { return uj(Estimate(activity(), dp, cp).DRAMMJ()) })
+	r.RegisterGaugeFunc("energy.cpu_uj", func() int64 { return uj(Estimate(activity(), dp, cp).CPUMJ()) })
+	r.RegisterGaugeFunc("energy.total_uj", func() int64 { return uj(Estimate(activity(), dp, cp).TotalMJ()) })
+}
 
 // Estimate computes the energy report for a run.
 func Estimate(a Activity, dp DRAMParams, cp CPUParams) Report {

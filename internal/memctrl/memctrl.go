@@ -16,6 +16,7 @@ import (
 	"gsdram/internal/addrmap"
 	"gsdram/internal/dram"
 	"gsdram/internal/gsdram"
+	"gsdram/internal/metrics"
 	"gsdram/internal/sim"
 )
 
@@ -103,6 +104,12 @@ type Config struct {
 	// issues — for command traces, protocol checkers, and debugging. It
 	// must not retain the event past the call.
 	Observer func(CommandEvent)
+
+	// Metrics, when non-nil, receives the controller's counters, the
+	// per-channel queue-depth gauges, the queue-wait histograms, and the
+	// per-rank DRAM command counters at construction. Nil disables
+	// registration; the counters are maintained either way.
+	Metrics *metrics.Registry
 }
 
 // CommandEvent describes one issued DDR command.
@@ -131,7 +138,9 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats aggregates controller activity across channels.
+// Stats aggregates controller activity across channels. It is the
+// compatibility snapshot returned by Controller.Stats; live storage is
+// the counters struct below plus the per-rank counters.
 type Stats struct {
 	ReadsServed    uint64
 	WritesServed   uint64
@@ -150,6 +159,29 @@ type Stats struct {
 	PatternedReads uint64 // reads issued with a non-zero pattern ID
 }
 
+// counters is the controller's live counter storage (see
+// internal/metrics). ACT/PRE/refresh/bus counts live in the per-rank
+// counters; Refreshes here only tracks idle-time catch-up refreshes.
+type counters struct {
+	ReadsServed    metrics.Counter
+	WritesServed   metrics.Counter
+	RowHitReads    metrics.Counter
+	RowMissReads   metrics.Counter
+	RowHitWrites   metrics.Counter
+	RowMissWrites  metrics.Counter
+	Forwards       metrics.Counter
+	DroppedPrefs   metrics.Counter
+	Refreshes      metrics.Counter
+	ReadQueueWait  metrics.Counter
+	PatternedReads metrics.Counter
+
+	// ReadWait is the distribution of CPU cycles demand reads spent
+	// queued, observed at RD issue. Maintained unconditionally: one
+	// power-of-2 bucketing per DRAM read is noise next to the scheduling
+	// work that produced it.
+	ReadWait metrics.Histogram
+}
+
 // Controller is the top-level memory controller.
 type Controller struct {
 	cfg Config
@@ -161,7 +193,7 @@ type Controller struct {
 	// longer holds a reference (forwarded, issued, or dropped).
 	freeReqs []*Request
 
-	stats Stats
+	ctr counters
 }
 
 // NewRequest returns a zeroed Request, reusing one the controller has
@@ -212,13 +244,58 @@ func New(cfg Config, q *sim.EventQueue) (*Controller, error) {
 		ch.nextRefresh = sim.Cycle(scaled.TREF)
 		c.ch = append(c.ch, ch)
 	}
+	c.registerMetrics(cfg.Metrics)
 	return c, nil
+}
+
+// registerMetrics exposes the controller's telemetry: its own counters,
+// the queue-wait histogram, one queue-depth gauge pair and an
+// active-cycles gauge per channel, and the per-rank command counters.
+// No-op on a nil registry.
+func (c *Controller) registerMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter("memctrl.reads_served", &c.ctr.ReadsServed)
+	reg.RegisterCounter("memctrl.writes_served", &c.ctr.WritesServed)
+	reg.RegisterCounter("memctrl.row_hit_reads", &c.ctr.RowHitReads)
+	reg.RegisterCounter("memctrl.row_miss_reads", &c.ctr.RowMissReads)
+	reg.RegisterCounter("memctrl.row_hit_writes", &c.ctr.RowHitWrites)
+	reg.RegisterCounter("memctrl.row_miss_writes", &c.ctr.RowMissWrites)
+	reg.RegisterCounter("memctrl.forwards", &c.ctr.Forwards)
+	reg.RegisterCounter("memctrl.dropped_prefetches", &c.ctr.DroppedPrefs)
+	reg.RegisterCounter("memctrl.idle_refreshes", &c.ctr.Refreshes)
+	reg.RegisterCounter("memctrl.read_queue_wait_cycles", &c.ctr.ReadQueueWait)
+	reg.RegisterCounter("memctrl.patterned_reads", &c.ctr.PatternedReads)
+	reg.RegisterHistogram("memctrl.read_queue_wait", &c.ctr.ReadWait)
+	for _, ch := range c.ch {
+		ch := ch
+		p := fmt.Sprintf("memctrl.ch%d", ch.id)
+		reg.RegisterGaugeFunc(p+".read_queue_depth", func() int64 { return int64(len(ch.readQ)) })
+		reg.RegisterGaugeFunc(p+".write_queue_depth", func() int64 { return int64(len(ch.writeQ)) })
+		reg.RegisterGaugeFunc(p+".active_cycles", func() int64 { return int64(ch.activeCycles) })
+		for ri, rank := range ch.ranks {
+			rank.RegisterMetrics(reg, fmt.Sprintf("dram.ch%d.rk%d", ch.id, ri))
+		}
+	}
 }
 
 // Stats returns a snapshot of the controller's counters, folding in the
 // per-rank command counts.
 func (c *Controller) Stats() Stats {
-	s := c.stats
+	s := Stats{
+		ReadsServed:    c.ctr.ReadsServed.Value(),
+		WritesServed:   c.ctr.WritesServed.Value(),
+		RowHitReads:    c.ctr.RowHitReads.Value(),
+		RowMissReads:   c.ctr.RowMissReads.Value(),
+		RowHitWrites:   c.ctr.RowHitWrites.Value(),
+		RowMissWrites:  c.ctr.RowMissWrites.Value(),
+		Forwards:       c.ctr.Forwards.Value(),
+		DroppedPrefs:   c.ctr.DroppedPrefs.Value(),
+		Refreshes:      c.ctr.Refreshes.Value(),
+		ReadQueueWait:  c.ctr.ReadQueueWait.Value(),
+		PatternedReads: c.ctr.PatternedReads.Value(),
+	}
 	for _, ch := range c.ch {
 		for _, r := range ch.ranks {
 			rs := r.Stats()
@@ -273,8 +350,8 @@ func (c *Controller) Enqueue(now sim.Cycle, req *Request) bool {
 	// from the write queue after a fixed controller pass-through.
 	for _, w := range ch.writeQ {
 		if w.Addr == req.Addr && w.Pattern == req.Pattern {
-			c.stats.Forwards++
-			c.stats.ReadsServed++
+			c.ctr.Forwards++
+			c.ctr.ReadsServed++
 			if req.OnComplete != nil {
 				cb := req.OnComplete
 				c.q.Schedule(now+sim.Cycle(2*c.cfg.ClockRatio), cb)
@@ -286,7 +363,7 @@ func (c *Controller) Enqueue(now sim.Cycle, req *Request) bool {
 
 	if len(ch.readQ) >= c.cfg.ReadQueueCap {
 		if req.IsPrefetch {
-			c.stats.DroppedPrefs++
+			c.ctr.DroppedPrefs++
 			c.recycle(req)
 			return false
 		}
@@ -362,7 +439,7 @@ func (ch *channel) run(now sim.Cycle) {
 	}
 	for ch.nextRefresh+window*sim.Cycle(ch.timing.TREF) < now {
 		ch.nextRefresh += sim.Cycle(ch.timing.TREF)
-		ch.ctrl.stats.Refreshes++
+		ch.ctrl.ctr.Refreshes++
 	}
 
 	issued := true
@@ -542,15 +619,17 @@ func (ch *channel) issue(rank *dram.Rank, req *Request, cmd dram.CmdKind, now si
 	c := ch.ctrl
 	switch cmd {
 	case dram.CmdRD:
-		c.stats.ReadsServed++
-		c.stats.ReadQueueWait += uint64(now - req.arrival)
+		c.ctr.ReadsServed++
+		wait := uint64(now - req.arrival)
+		c.ctr.ReadQueueWait += metrics.Counter(wait)
+		c.ctr.ReadWait.Observe(wait)
 		if req.Pattern != gsdram.DefaultPattern {
-			c.stats.PatternedReads++
+			c.ctr.PatternedReads++
 		}
 		if req.missed {
-			c.stats.RowMissReads++
+			c.ctr.RowMissReads++
 		} else {
-			c.stats.RowHitReads++
+			c.ctr.RowHitReads++
 		}
 		ch.remove(req)
 		if req.OnComplete != nil {
@@ -559,11 +638,11 @@ func (ch *channel) issue(rank *dram.Rank, req *Request, cmd dram.CmdKind, now si
 		}
 		c.recycle(req)
 	case dram.CmdWR:
-		c.stats.WritesServed++
+		c.ctr.WritesServed++
 		if req.missed {
-			c.stats.RowMissWrites++
+			c.ctr.RowMissWrites++
 		} else {
-			c.stats.RowHitWrites++
+			c.ctr.RowHitWrites++
 		}
 		ch.remove(req)
 		c.recycle(req)

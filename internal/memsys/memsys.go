@@ -23,6 +23,7 @@ import (
 	"gsdram/internal/cache"
 	"gsdram/internal/gsdram"
 	"gsdram/internal/memctrl"
+	"gsdram/internal/metrics"
 	"gsdram/internal/prefetch"
 	"gsdram/internal/sim"
 )
@@ -59,6 +60,12 @@ type Config struct {
 	// Gather selects where patterned cache lines are assembled; see
 	// GatherMode. The default is GatherInDRAM (the paper's mechanism).
 	Gather GatherMode
+
+	// Metrics, when non-nil, receives every component's counters at
+	// construction: the hierarchy's own counters, the per-cache counters,
+	// the MSHR occupancy telemetry, and (threaded through Mem.Metrics)
+	// the controller and DRAM rank counters. Nil disables registration.
+	Metrics *metrics.Registry
 }
 
 // GatherMode selects the gather implementation being modelled.
@@ -122,7 +129,9 @@ type Access struct {
 	AltPattern gsdram.Pattern
 }
 
-// Stats aggregates the memory system's counters.
+// Stats aggregates the memory system's counters. It is the
+// compatibility snapshot returned by System.Stats; live storage is the
+// counters struct below.
 type Stats struct {
 	Accesses       uint64
 	Loads          uint64
@@ -138,6 +147,28 @@ type Stats struct {
 	CrossCoreProbe uint64 // dirty lines pulled from another core's L1
 	PrefIssued     uint64
 	PrefUseful     uint64 // demand hits on prefetched L2 lines
+}
+
+// counters is the live counter storage (see internal/metrics).
+type counters struct {
+	Accesses       metrics.Counter
+	Loads          metrics.Counter
+	Stores         metrics.Counter
+	L1Hits         metrics.Counter
+	L1Misses       metrics.Counter
+	L2Hits         metrics.Counter
+	L2Misses       metrics.Counter
+	DRAMReads      metrics.Counter
+	Writebacks     metrics.Counter
+	OverlapFlushes metrics.Counter
+	OverlapInvals  metrics.Counter
+	CrossCoreProbe metrics.Counter
+	PrefIssued     metrics.Counter
+	PrefUseful     metrics.Counter
+
+	// MSHROccupancy is the distribution of outstanding-miss counts,
+	// observed each time a new MSHR entry is allocated.
+	MSHROccupancy metrics.Histogram
 }
 
 type mshrKey struct {
@@ -197,7 +228,7 @@ type System struct {
 	// access (the simulation is single-threaded per System).
 	overlapBuf []addrmap.Addr
 
-	stats Stats
+	ctr counters
 }
 
 // New builds the memory system on the given event queue.
@@ -226,7 +257,9 @@ func New(cfg Config, q *sim.EventQueue) (*System, error) {
 		return nil, err
 	}
 	s.l2 = l2
-	ctrl, err := memctrl.New(cfg.Mem, q)
+	memCfg := cfg.Mem
+	memCfg.Metrics = cfg.Metrics
+	ctrl, err := memctrl.New(memCfg, q)
 	if err != nil {
 		return nil, err
 	}
@@ -234,6 +267,7 @@ func New(cfg Config, q *sim.EventQueue) (*System, error) {
 	s.pf = prefetch.New(cfg.Prefetch)
 	s.auto = autopatt.New(cfg.AutoPatt)
 	s.caches = append(append(s.caches, s.l1...), s.l2)
+	s.registerMetrics(cfg.Metrics)
 	return s, nil
 }
 
@@ -261,7 +295,52 @@ func (s *System) recycleMSHR(e *mshrEntry) {
 }
 
 // Stats returns a snapshot of the counters.
-func (s *System) Stats() Stats { return s.stats }
+func (s *System) Stats() Stats {
+	return Stats{
+		Accesses:       s.ctr.Accesses.Value(),
+		Loads:          s.ctr.Loads.Value(),
+		Stores:         s.ctr.Stores.Value(),
+		L1Hits:         s.ctr.L1Hits.Value(),
+		L1Misses:       s.ctr.L1Misses.Value(),
+		L2Hits:         s.ctr.L2Hits.Value(),
+		L2Misses:       s.ctr.L2Misses.Value(),
+		DRAMReads:      s.ctr.DRAMReads.Value(),
+		Writebacks:     s.ctr.Writebacks.Value(),
+		OverlapFlushes: s.ctr.OverlapFlushes.Value(),
+		OverlapInvals:  s.ctr.OverlapInvals.Value(),
+		CrossCoreProbe: s.ctr.CrossCoreProbe.Value(),
+		PrefIssued:     s.ctr.PrefIssued.Value(),
+		PrefUseful:     s.ctr.PrefUseful.Value(),
+	}
+}
+
+// registerMetrics exposes the hierarchy's telemetry. No-op on a nil
+// registry.
+func (s *System) registerMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter("memsys.accesses", &s.ctr.Accesses)
+	reg.RegisterCounter("memsys.loads", &s.ctr.Loads)
+	reg.RegisterCounter("memsys.stores", &s.ctr.Stores)
+	reg.RegisterCounter("memsys.l1_hits", &s.ctr.L1Hits)
+	reg.RegisterCounter("memsys.l1_misses", &s.ctr.L1Misses)
+	reg.RegisterCounter("memsys.l2_hits", &s.ctr.L2Hits)
+	reg.RegisterCounter("memsys.l2_misses", &s.ctr.L2Misses)
+	reg.RegisterCounter("memsys.dram_reads", &s.ctr.DRAMReads)
+	reg.RegisterCounter("memsys.writebacks", &s.ctr.Writebacks)
+	reg.RegisterCounter("memsys.overlap_flushes", &s.ctr.OverlapFlushes)
+	reg.RegisterCounter("memsys.overlap_invals", &s.ctr.OverlapInvals)
+	reg.RegisterCounter("memsys.cross_core_probes", &s.ctr.CrossCoreProbe)
+	reg.RegisterCounter("memsys.prefetches_issued", &s.ctr.PrefIssued)
+	reg.RegisterCounter("memsys.prefetches_useful", &s.ctr.PrefUseful)
+	reg.RegisterHistogram("memsys.mshr_occupancy", &s.ctr.MSHROccupancy)
+	reg.RegisterGaugeFunc("memsys.mshr_outstanding", func() int64 { return int64(len(s.mshrs)) })
+	for i, l1 := range s.l1 {
+		l1.RegisterMetrics(reg, fmt.Sprintf("cache.l1.%d", i))
+	}
+	s.l2.RegisterMetrics(reg, "cache.l2")
+}
 
 // MemStats returns the memory controller's counters.
 func (s *System) MemStats() memctrl.Stats { return s.ctrl.Stats() }
@@ -301,11 +380,11 @@ func (s *System) Access(now sim.Cycle, a Access, onDone func(now sim.Cycle)) (do
 	if a.Core < 0 || a.Core >= len(s.l1) {
 		panic(fmt.Sprintf("memsys: core %d out of range", a.Core))
 	}
-	s.stats.Accesses++
+	s.ctr.Accesses++
 	if a.Write {
-		s.stats.Stores++
+		s.ctr.Stores++
 	} else {
-		s.stats.Loads++
+		s.ctr.Loads++
 	}
 
 	// Transparent pattern promotion (paper §4, future work): a confident
@@ -332,10 +411,10 @@ func (s *System) Access(now sim.Cycle, a Access, onDone func(now sim.Cycle)) (do
 
 	t1 := now + s.cfg.L1Latency
 	if s.l1[a.Core].Lookup(line, a.Pattern, a.Write) {
-		s.stats.L1Hits++
+		s.ctr.L1Hits++
 		return t1, true
 	}
-	s.stats.L1Misses++
+	s.ctr.L1Misses++
 
 	// A dirty copy may live in another core's L1 (shared-table HTAP):
 	// pull it into L2 first.
@@ -347,15 +426,15 @@ func (s *System) Access(now sim.Cycle, a Access, onDone func(now sim.Cycle)) (do
 		s.train(now, a, line)
 	}
 	if s.l2.Lookup(line, a.Pattern, false) {
-		s.stats.L2Hits++
+		s.ctr.L2Hits++
 		if s.prefetchedLines[key] {
-			s.stats.PrefUseful++
+			s.ctr.PrefUseful++
 			delete(s.prefetchedLines, key)
 		}
 		s.fillL1(a.Core, line, a.Pattern, a.Write)
 		return t2, true
 	}
-	s.stats.L2Misses++
+	s.ctr.L2Misses++
 
 	extra := sim.Cycle(0)
 	if a.Shuffled {
@@ -370,6 +449,7 @@ func (s *System) Access(now sim.Cycle, a Access, onDone func(now sim.Cycle)) (do
 	e.key, e.line, e.acc = key, line, a
 	e.waiters = append(e.waiters, w)
 	s.mshrs[key] = e
+	s.ctr.MSHROccupancy.Observe(uint64(len(s.mshrs)))
 	// The fetch leaves for the controller after the L1 and L2 tag checks.
 	s.q.Schedule(t2, e.fetchFn)
 	return 0, false
@@ -397,12 +477,13 @@ func (s *System) train(now sim.Cycle, a Access, line addrmap.Addr) {
 		e.prefetched = true
 		e.key = key
 		s.mshrs[key] = e
+		s.ctr.MSHROccupancy.Observe(uint64(len(s.mshrs)))
 		if !s.enqueueFetch(now, cl, cand.Pattern, true, e) {
 			delete(s.mshrs, key)
 			s.recycleMSHR(e)
 			continue
 		}
-		s.stats.PrefIssued++
+		s.ctr.PrefIssued++
 	}
 }
 
@@ -445,7 +526,7 @@ func (s *System) fetch(now sim.Cycle, e *mshrEntry) {
 	if e.acc.Shuffled {
 		s.flushOverlaps(now, e.line, e.acc)
 	}
-	s.stats.DRAMReads++
+	s.ctr.DRAMReads++
 	s.enqueueFetch(now, e.line, e.acc.Pattern, false, e)
 }
 
@@ -490,7 +571,7 @@ func (s *System) fillL2(line addrmap.Addr, p gsdram.Pattern, dirty bool) {
 
 // writeback posts a write to the controller.
 func (s *System) writeback(line addrmap.Addr, p gsdram.Pattern) {
-	s.stats.Writebacks++
+	s.ctr.Writebacks++
 	req := s.ctrl.NewRequest()
 	req.Addr = line
 	req.Pattern = p
@@ -508,7 +589,7 @@ func (s *System) probeOtherL1s(now sim.Cycle, core int, line addrmap.Addr, p gsd
 		if present, dirty := l1.Probe(line, p); present && dirty {
 			l1.Invalidate(line, p)
 			s.fillL2(line, p, true)
-			s.stats.CrossCoreProbe++
+			s.ctr.CrossCoreProbe++
 		}
 	}
 }
@@ -563,7 +644,7 @@ func (s *System) flushOverlaps(now sim.Cycle, line addrmap.Addr, a Access) {
 	for _, oa := range addrs {
 		for _, c := range s.allCaches() {
 			if present, dirty := c.Probe(oa, other); present && dirty {
-				s.stats.OverlapFlushes++
+				s.ctr.OverlapFlushes++
 				s.writeback(oa, other)
 				c.CleanLine(oa, other)
 			}
@@ -582,7 +663,7 @@ func (s *System) invalidateOverlaps(line addrmap.Addr, a Access) {
 					s.writeback(oa, other)
 				}
 				c.Invalidate(oa, other)
-				s.stats.OverlapInvals++
+				s.ctr.OverlapInvals++
 			}
 		}
 	}

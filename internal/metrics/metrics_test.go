@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	var g Gauge
+	g.Set(-7)
+	g.Add(3)
+	if g.Value() != -4 {
+		t.Fatalf("gauge = %d, want -4", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1023, 1024} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 0+1+2+3+4+1023+1024 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	// 0 → bucket 0; 1 → bucket 1; 2,3 → bucket 2; 4 → bucket 3;
+	// 1023 → bucket 10; 1024 → bucket 11.
+	want := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 1, 10: 1, 11: 1}
+	for b, n := range h.Buckets {
+		if n != want[b] {
+			t.Errorf("bucket %d = %d, want %d", b, n, want[b])
+		}
+	}
+	if BucketLow(0) != 0 || BucketLow(1) != 1 || BucketLow(11) != 1024 {
+		t.Errorf("BucketLow wrong: %d %d %d", BucketLow(0), BucketLow(1), BucketLow(11))
+	}
+}
+
+func TestNilRegistryIsDisabled(t *testing.T) {
+	var r *Registry
+	var c Counter
+	var g Gauge
+	var h Histogram
+	// All of these must be silent no-ops.
+	r.RegisterCounter("a", &c)
+	r.RegisterGauge("b", &g)
+	r.RegisterGaugeFunc("c", func() int64 { return 1 })
+	r.RegisterHistogram("d", &h)
+	if r.Len() != 0 || r.Names() != nil || r.Export() != nil {
+		t.Fatal("nil registry must be empty")
+	}
+	if got := r.SampleInto(nil); got != nil {
+		t.Fatalf("nil registry SampleInto = %v, want nil", got)
+	}
+	r.Each(func(string, Kind, int64) { t.Fatal("nil registry Each must not call fn") })
+}
+
+func TestRegistryOrderAndSampling(t *testing.T) {
+	r := New()
+	var c Counter
+	var g Gauge
+	var h Histogram
+	r.RegisterCounter("z.counter", &c)
+	r.RegisterGauge("a.gauge", &g)
+	r.RegisterGaugeFunc("m.depth", func() int64 { return 5 })
+	r.RegisterHistogram("q.wait", &h)
+
+	c.Add(10)
+	g.Set(-2)
+	h.Observe(4)
+	h.Observe(8)
+
+	wantNames := []string{"z.counter", "a.gauge", "m.depth", "q.wait"}
+	if got := r.Names(); !reflect.DeepEqual(got, wantNames) {
+		t.Fatalf("Names = %v, want registration order %v", got, wantNames)
+	}
+	wantCols := []string{"z.counter", "a.gauge", "m.depth", "q.wait.count", "q.wait.sum"}
+	if got := r.SampleColumns(); !reflect.DeepEqual(got, wantCols) {
+		t.Fatalf("SampleColumns = %v, want %v", got, wantCols)
+	}
+	row := r.SampleInto(nil)
+	negTwo := int64(-2)
+	want := []uint64{10, uint64(negTwo), 5, 2, 12}
+	if !reflect.DeepEqual(row, want) {
+		t.Fatalf("SampleInto = %v, want %v", row, want)
+	}
+
+	// SampleInto appends without clobbering.
+	row2 := r.SampleInto(row)
+	if len(row2) != 2*len(want) || !reflect.DeepEqual(row2[:len(want)], want) {
+		t.Fatalf("SampleInto must append: %v", row2)
+	}
+}
+
+func TestRegistryExportJSON(t *testing.T) {
+	r := New()
+	var c Counter
+	var h Histogram
+	r.RegisterCounter("reads", &c)
+	r.RegisterHistogram("wait", &h)
+	c.Add(3)
+	h.Observe(100)
+
+	blob, err := json.Marshal(r.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["reads"].(float64) != 3 {
+		t.Fatalf("reads = %v", back["reads"])
+	}
+	wait := back["wait"].(map[string]any)
+	if wait["count"].(float64) != 1 || wait["sum"].(float64) != 100 {
+		t.Fatalf("wait = %v", wait)
+	}
+	// 100 has bit length 7, bucket low bound 64.
+	if wait["buckets"].(map[string]any)["64"].(float64) != 1 {
+		t.Fatalf("buckets = %v", wait["buckets"])
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	r := New()
+	var c, d Counter
+	r.RegisterCounter("x", &c)
+	r.RegisterCounter("x", &d)
+}
+
+func TestCounterIncrementIsPlainAdd(t *testing.T) {
+	// The whole design rests on components being able to keep using ++
+	// on their (now Counter-typed) fields.
+	var c Counter
+	c++
+	c += 4
+	if c.Value() != 5 {
+		t.Fatalf("got %d", c.Value())
+	}
+}

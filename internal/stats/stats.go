@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode"
 )
 
 // Table is a titled text table with aligned columns.
@@ -53,8 +54,8 @@ func (t *Table) Render(w io.Writer) {
 	widths := make([]int, cols)
 	measure := func(row []string) {
 		for i, c := range row {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
+			if w := cellWidth(c); w > widths[i] {
+				widths[i] = w
 			}
 		}
 	}
@@ -98,10 +99,48 @@ func (t *Table) String() string {
 }
 
 func pad(s string, w int) string {
-	if len(s) >= w {
-		return s
+	if cw := cellWidth(s); cw < w {
+		return s + strings.Repeat(" ", w-cw)
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return s
+}
+
+// cellWidth is the terminal display width of a cell: one column per
+// rune, except zero for combining marks and two for East Asian wide and
+// fullwidth characters. Byte length would over-pad any non-ASCII cell
+// (layout names like "µarch", table rules like "≥") and break alignment.
+func cellWidth(s string) int {
+	w := 0
+	for _, r := range s {
+		switch {
+		case unicode.In(r, unicode.Mn, unicode.Me, unicode.Cf):
+			// combining marks and format controls occupy no column
+		case isWide(r):
+			w += 2
+		default:
+			w++
+		}
+	}
+	return w
+}
+
+// isWide reports whether r renders two columns wide: the East Asian
+// Wide/Fullwidth blocks (CJK ideographs, Hangul, kana, fullwidth forms).
+func isWide(r rune) bool {
+	switch {
+	case r < 0x1100:
+		return false
+	case r <= 0x115F, // Hangul Jamo
+		r >= 0x2E80 && r <= 0xA4CF, // CJK radicals .. Yi
+		r >= 0xAC00 && r <= 0xD7A3, // Hangul syllables
+		r >= 0xF900 && r <= 0xFAFF, // CJK compatibility ideographs
+		r >= 0xFE30 && r <= 0xFE4F, // CJK compatibility forms
+		r >= 0xFF00 && r <= 0xFF60, // fullwidth forms
+		r >= 0xFFE0 && r <= 0xFFE6,
+		r >= 0x20000 && r <= 0x3FFFD: // CJK extension planes
+		return true
+	}
+	return false
 }
 
 // Mcycles formats a cycle count as millions with two decimals, the unit

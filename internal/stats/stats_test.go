@@ -39,6 +39,41 @@ func TestTableColumnsAligned(t *testing.T) {
 	}
 }
 
+// TestTableNonASCIIAligned: padding must go by display width, not byte
+// length — "µarch" is 6 bytes but 5 columns, so byte-based padding
+// would shift every cell after it one column left.
+func TestTableNonASCIIAligned(t *testing.T) {
+	tb := NewTable("", "layout", "x")
+	tb.Add("µarch", "b")
+	tb.Add("plain", "c")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	bIdx := strings.Index(lines[2], "b") - (len("µarch") - len([]rune("µarch")))
+	cIdx := strings.Index(lines[3], "c")
+	if bIdx != cIdx {
+		t.Fatalf("non-ASCII cell misaligned columns:\n%s", out)
+	}
+}
+
+func TestCellWidth(t *testing.T) {
+	cases := []struct {
+		s string
+		w int
+	}{
+		{"", 0},
+		{"abc", 3},
+		{"µarch", 5},   // 6 bytes, 5 columns
+		{"≥1.5×", 5},   // 9 bytes, 5 columns
+		{"行列", 4},      // CJK: 2 columns per rune
+		{"e\u0301", 1}, // e + combining acute renders one column
+	}
+	for _, c := range cases {
+		if got := cellWidth(c.s); got != c.w {
+			t.Errorf("cellWidth(%q) = %d, want %d", c.s, got, c.w)
+		}
+	}
+}
+
 func TestShortRowPadded(t *testing.T) {
 	tb := NewTable("", "a", "b", "c")
 	tb.Add("only")

@@ -66,7 +66,8 @@ type Summary struct {
 	Span       sim.Cycle // first..last command time
 	CmdCounts  map[dram.CmdKind]uint64
 	PerBank    map[BankKey]BankSummary
-	RowHitRate float64 // column commands not preceded by an ACT for them
+	RowHits    uint64  // column commands to an already-open row (see Summarize)
+	RowHitRate float64 // RowHits / column commands
 	Patterned  uint64  // RD/WR with non-zero pattern ID
 }
 
@@ -83,10 +84,18 @@ func Summarize(events []memctrl.CommandEvent) Summary {
 	s.Span = events[len(events)-1].At - events[0].At
 
 	var colCmds, hits uint64
-	// A column command is a row hit if the bank's last command was not the
-	// ACT that opened its row for this request; track per bank whether the
-	// previous command was an ACT.
-	lastWasACT := map[BankKey]bool{}
+	// A column command is a row hit iff it reads/writes the bank's
+	// currently open row and is not the first column command after the
+	// ACT that opened it — that first access is the row miss the ACT was
+	// issued for. Track, per bank, which row is open and whether its ACT
+	// is still unconsumed. (The previous heuristic, "last command was not
+	// an ACT", miscounted whenever an ACT for one bank interleaved with
+	// column commands to another row-open bank on the same rank.)
+	type openRow struct {
+		row      int
+		freshACT bool // no column command has consumed this ACT yet
+	}
+	open := map[BankKey]openRow{}
 	for _, ev := range events {
 		s.CmdCounts[ev.Kind]++
 		key := BankKey{ev.Channel, ev.Rank, ev.Bank}
@@ -94,10 +103,17 @@ func Summarize(events []memctrl.CommandEvent) Summary {
 		switch ev.Kind {
 		case dram.CmdACT:
 			b.ACTs++
-			lastWasACT[key] = true
+			open[key] = openRow{row: ev.Row, freshACT: true}
 		case dram.CmdPRE:
 			b.PREs++
-			lastWasACT[key] = false
+			delete(open, key)
+		case dram.CmdREF:
+			// Refresh precharges every bank on the rank.
+			for k := range open {
+				if k.Channel == key.Channel && k.Rank == key.Rank {
+					delete(open, k)
+				}
+			}
 		case dram.CmdRD, dram.CmdWR:
 			if ev.Kind == dram.CmdRD {
 				b.Reads++
@@ -105,16 +121,17 @@ func Summarize(events []memctrl.CommandEvent) Summary {
 				b.Writes++
 			}
 			colCmds++
-			if !lastWasACT[key] {
+			if o, ok := open[key]; ok && o.row == ev.Row && !o.freshACT {
 				hits++
 			}
-			lastWasACT[key] = false
+			open[key] = openRow{row: ev.Row}
 			if ev.Pattern != 0 {
 				s.Patterned++
 			}
 		}
 		s.PerBank[key] = b
 	}
+	s.RowHits = hits
 	if colCmds > 0 {
 		s.RowHitRate = float64(hits) / float64(colCmds)
 	}
@@ -157,9 +174,11 @@ func Timeline(events []memctrl.CommandEvent, from, to sim.Cycle, step sim.Cycle)
 		return ""
 	}
 	cols := int((to - from + step - 1) / step)
+	truncated := false
 	if cols > 200 {
 		cols = 200
 		to = from + sim.Cycle(cols)*step
+		truncated = true
 	}
 	lanes := map[BankKey][]byte{}
 	glyph := map[dram.CmdKind]byte{
@@ -183,7 +202,11 @@ func Timeline(events []memctrl.CommandEvent, from, to sim.Cycle, step sim.Cycle)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
 	var b strings.Builder
-	fmt.Fprintf(&b, "cycles %d..%d, %d cycles/column\n", from, to, step)
+	fmt.Fprintf(&b, "cycles %d..%d, %d cycles/column", from, to, step)
+	if truncated {
+		fmt.Fprintf(&b, " (window truncated to %d columns)", cols)
+	}
+	b.WriteByte('\n')
 	for _, k := range keys {
 		fmt.Fprintf(&b, "%-12s %s\n", k.String(), lanes[k])
 	}

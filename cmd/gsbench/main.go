@@ -11,6 +11,15 @@
 //	        [-json FILE] [-trace-out FILE] [-epoch N]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //	gsbench metrics-diff [-all] OLD.json NEW.json
+//	gsbench stress [-seed S] [-count N] [-shrink] [-workers N] [-noinline]
+//	        [-xmodes] [-pseed P] [-inject none|shuffle-swap] [-repro-out FILE]
+//
+// gsbench stress runs seeded random programs through both the cycle
+// simulator and a timing-free golden reference model
+// (internal/refmodel) and diff-checks every loaded value, the final
+// memory image, and cache state. A failing program is shrunk to a
+// minimal reproducer; replay one with -pseed using the seed printed in
+// the failure report.
 //
 // The defaults complete in a few minutes. To run at the paper's scale:
 //
@@ -100,6 +109,12 @@ type output struct {
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "metrics-diff" {
 		if err := metricsDiff(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "stress" {
+		if err := stressCmd(os.Args[2:]); err != nil {
 			fatal(err)
 		}
 		return

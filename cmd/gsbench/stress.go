@@ -1,0 +1,150 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"gsdram/internal/runner"
+	"gsdram/internal/stress"
+)
+
+// stressCmd implements `gsbench stress`: seeded differential verification
+// of the cycle simulator against the architectural golden model
+// (internal/refmodel), with ddmin shrinking of any failing program.
+func stressCmd(args []string) error {
+	fs := flag.NewFlagSet("stress", flag.ExitOnError)
+	var (
+		seed     = fs.Uint64("seed", 1, "base seed; program i uses a seed derived from (base, i)")
+		pseed    = fs.Uint64("pseed", 0, "run exactly one program with this exact program seed (as printed in a failure report); overrides -seed/-count")
+		count    = fs.Int("count", 200, "number of random programs to run")
+		doShrink = fs.Bool("shrink", true, "shrink the first failing program to a minimal reproducer")
+		workers  = fs.Int("workers", 0, "concurrent differential runs (0 = GOMAXPROCS, 1 = serial)")
+		noInline = fs.Bool("noinline", false, "verify the pure event-driven path instead of the event-skipping one")
+		xmodes   = fs.Bool("xmodes", false, "verify BOTH execution paths for every program (overrides -noinline)")
+		inject   = fs.String("inject", "none", "deterministic fault to plant in the simulator side: none|shuffle-swap (self-test of the oracle)")
+		reproOut = fs.String("repro-out", "", "write the (shrunk) failing program to FILE")
+		verbose  = fs.Bool("v", false, "print one line per program")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *count <= 0 {
+		return fmt.Errorf("stress: -count must be positive")
+	}
+	var inj stress.Inject
+	switch *inject {
+	case "none":
+		inj = stress.InjectNone
+	case "shuffle-swap":
+		inj = stress.InjectShuffleSwap
+	default:
+		return fmt.Errorf("stress: unknown -inject %q", *inject)
+	}
+	modes := []stress.Options{{NoInline: *noInline, Inject: inj}}
+	if *xmodes {
+		modes = []stress.Options{{Inject: inj}, {NoInline: true, Inject: inj}}
+	}
+
+	type failure struct {
+		seed uint64
+		opts stress.Options
+		div  *stress.Divergence
+	}
+	seeds := runner.Seeds(*seed, *count)
+	pseedSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "pseed" {
+			pseedSet = true
+		}
+	})
+	if pseedSet {
+		seeds = []uint64{*pseed}
+		*count = 1
+	}
+	fails := make([]*failure, *count)
+	var mu sync.Mutex
+	totalOps := 0
+	pool := runner.Pool{Workers: *workers}
+	err := pool.Run(*count, func(i int) error {
+		p := stress.Generate(seeds[i])
+		mu.Lock()
+		totalOps += len(p.Ops)
+		mu.Unlock()
+		for _, opts := range modes {
+			res, err := stress.Run(p, opts)
+			if err != nil {
+				return fmt.Errorf("program %d (seed %d): %w", i, seeds[i], err)
+			}
+			if res.Div != nil {
+				fails[i] = &failure{seed: seeds[i], opts: opts, div: res.Div}
+				return fmt.Errorf("program %d (seed %d) diverged: %s", i, seeds[i], res.Div)
+			}
+		}
+		if *verbose {
+			mu.Lock()
+			fmt.Printf("program %4d seed %-20d %3d ops  ok\n", i, seeds[i], len(p.Ops))
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err == nil {
+		modeNames := "event-skipping"
+		if *xmodes {
+			modeNames = "event-skipping + event-driven"
+		} else if *noInline {
+			modeNames = "event-driven"
+		}
+		fmt.Printf("stress: %d programs (%d accesses) verified against the golden model [%s], zero divergences\n",
+			*count, totalOps, modeNames)
+		return nil
+	}
+
+	// Find the lowest-index failure (matching the pool's error) and
+	// shrink it.
+	var f *failure
+	for _, cand := range fails {
+		if cand != nil {
+			f = cand
+			break
+		}
+	}
+	if f == nil {
+		return err // a Run() error, not a divergence
+	}
+	fmt.Printf("stress: divergence on seed %d: %s\n", f.seed, f.div)
+	p := stress.Generate(f.seed)
+	div := f.div
+	if *doShrink {
+		p, div = stress.Shrink(p, stress.Checker(f.opts))
+		fmt.Printf("stress: shrunk to %d ops / %d region(s) / %d core(s)\n", len(p.Ops), len(p.Regions), p.Cores)
+	}
+	report := stress.ShrinkReport(p, div)
+	fmt.Println(report)
+	mode := ""
+	if f.opts.NoInline {
+		mode = " -noinline"
+	}
+	if f.opts.Inject == stress.InjectShuffleSwap {
+		mode += " -inject shuffle-swap"
+	}
+	fmt.Printf("reproduce with: gsbench stress -pseed %d%s\n", f.seed, mode)
+	if *reproOut != "" {
+		if werr := os.WriteFile(*reproOut, []byte(report+"\n"), 0o644); werr != nil {
+			return fmt.Errorf("writing -repro-out: %w", werr)
+		}
+		fmt.Printf("reproducer written to %s\n", *reproOut)
+	}
+	return fmt.Errorf("stress: %d/%d programs diverged", countNonNil(fails), *count)
+}
+
+func countNonNil[T any](s []*T) int {
+	n := 0
+	for _, v := range s {
+		if v != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -12,6 +12,7 @@ package cache
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"gsdram/internal/addrmap"
 	"gsdram/internal/gsdram"
@@ -264,6 +265,31 @@ func (c *Cache) CleanLine(a addrmap.Addr, p gsdram.Pattern) {
 	if w := c.find(a, p); w != nil {
 		w.dirty = false
 	}
+}
+
+// Lines returns a snapshot of every resident line, sorted by (address,
+// pattern) so two snapshots are directly comparable regardless of way
+// placement. It is the state-extraction hook of the differential
+// verification harness (internal/stress): the architectural content of a
+// cache is exactly this set — which (line, pattern) pairs are present and
+// which are dirty — not where in a set they happen to live.
+func (c *Cache) Lines() []Line {
+	var lines []Line
+	for _, set := range c.sets {
+		for i := range set {
+			w := &set[i]
+			if w.valid {
+				lines = append(lines, Line{Addr: c.lineAddrFromTag(w.tag), Pattern: w.pattern, Dirty: w.dirty})
+			}
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].Addr != lines[j].Addr {
+			return lines[i].Addr < lines[j].Addr
+		}
+		return lines[i].Pattern < lines[j].Pattern
+	})
+	return lines
 }
 
 // ResidentLines returns the number of valid lines — used by tests and the

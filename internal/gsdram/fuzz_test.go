@@ -92,3 +92,113 @@ func FuzzModuleWriteRead(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCTLTranslation cross-checks the chip/pattern/column algebra — the
+// closed-form CTL, wide-chip-ID replication, and gather plans — against
+// a brute-force word-location map built the hardware's way: a literal
+// stage-by-stage simulation of the shuffling network plus a bit-by-bit
+// widened chip ID, sharing no code with the implementation under test.
+func FuzzCTLTranslation(f *testing.F) {
+	f.Add(uint8(0), uint16(7), uint16(0))
+	f.Add(uint8(1), uint16(3), uint16(1))
+	f.Add(uint8(2), uint16(9), uint16(40))
+	f.Add(uint8(3), uint16(45), uint16(63))
+	f.Fuzz(func(t *testing.T, sel uint8, pattRaw, colRaw uint16) {
+		paramSet := []Params{
+			GS844,
+			GS422,
+			{Chips: 16, ShuffleStages: 4, PatternBits: 4},
+			{Chips: 8, ShuffleStages: 3, PatternBits: 6}, // wide patterns (§6.2)
+		}
+		p := paramSet[int(sel)%len(paramSet)]
+		const cols = 64
+		patt := Pattern(uint32(pattRaw)) & p.PatternMask()
+		col := int(colRaw) % cols
+
+		// Brute-force layout: simulate the shuffling network literally on
+		// an identity line to learn which word of column c sits on each
+		// chip. netWord[chip] under control input ctrl.
+		netWord := func(ctrl int) []int {
+			line := make([]int, p.Chips)
+			for i := range line {
+				line[i] = i
+			}
+			for stage := 1; stage <= p.ShuffleStages; stage++ {
+				if ctrl&(1<<(stage-1)) == 0 {
+					continue
+				}
+				blk := 1 << (stage - 1)
+				for base := 0; base+2*blk <= len(line); base += 2 * blk {
+					for i := 0; i < blk; i++ {
+						line[base+i], line[base+blk+i] = line[base+blk+i], line[base+i]
+					}
+				}
+			}
+			return line
+		}
+		// Bit-by-bit wide chip ID (§6.2), independent of WideChipID's
+		// shift-and-or loop.
+		cb := 0
+		for c := p.Chips; c > 1; c >>= 1 {
+			cb++
+		}
+		wide := func(chip int) int {
+			id := 0
+			for i := 0; i < p.PatternBits; i++ {
+				if cb > 0 && chip>>(i%cb)&1 == 1 {
+					id |= 1 << i
+				}
+			}
+			return id
+		}
+
+		// Expected gather set, brute force: chip k reads its CTL column c,
+		// holding word netWord(c mod 2^s)[k] of the line written there.
+		want := make([]int, 0, p.Chips)
+		for k := 0; k < p.Chips; k++ {
+			c := (wide(k) & int(patt)) ^ col
+			if c != p.CTL(k, patt, col) {
+				t.Fatalf("CTL(%d,%d,%d) = %d, brute force %d", k, patt, col, p.CTL(k, patt, col), c)
+			}
+			w := netWord(c % (1 << p.ShuffleStages))[k]
+			if w != p.WordForChip(k, c) {
+				t.Fatalf("WordForChip(%d,%d) = %d, network simulation %d", k, c, p.WordForChip(k, c), w)
+			}
+			want = append(want, c*p.Chips+w)
+		}
+		for i := 1; i < len(want); i++ {
+			for j := i; j > 0 && want[j-1] > want[j]; j-- {
+				want[j-1], want[j] = want[j], want[j-1]
+			}
+		}
+		got := p.GatherIndices(patt, col)
+		if len(got) != len(want) {
+			t.Fatalf("GatherIndices returned %d entries, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("GatherIndices(%d,%d)[%d] = %d, brute force %d (got %v want %v)",
+					patt, col, i, got[i], want[i], got, want)
+			}
+		}
+
+		// The module's assembled line must agree: sentinel every word of a
+		// row with its logical index, gather, and check values == indices.
+		mod := NewModule(p, Geometry{Banks: 1, Rows: 1, Cols: cols})
+		for l := 0; l < cols*p.Chips; l++ {
+			if err := mod.WriteWord(0, 0, l, true, uint64(1<<20+l)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dst := make([]uint64, p.Chips)
+		idx, err := mod.ReadLine(0, 0, col, patt, true, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range dst {
+			if idx[i] != want[i] || dst[i] != uint64(1<<20+want[i]) {
+				t.Fatalf("module gather pos %d: (idx %d, val %#x), want logical %d", i, idx[i], dst[i], want[i])
+			}
+		}
+	})
+}

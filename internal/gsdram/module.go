@@ -346,6 +346,28 @@ func (m *Module) ReadWord(bank, row, logical int, shuffled bool) (uint64, error)
 	return m.getWord(bank, row, col, chip), nil
 }
 
+// ForEachWord visits every word of every allocated DRAM row, in
+// deterministic (bank, row, chipCol, chip) order, including words that
+// are still zero. It is the state-extraction hook the differential
+// verification harness uses to compare the module's physical chip layout
+// word-for-word against an independent golden model. Untouched rows
+// (never written) are skipped; they read as zero through every other
+// accessor.
+func (m *Module) ForEachWord(fn func(bank, row, chipCol, chip int, v uint64)) {
+	for key, s := range m.rows {
+		if s == nil {
+			continue
+		}
+		bank := key / m.geom.Rows
+		row := key % m.geom.Rows
+		for cc := 0; cc < m.geom.Cols; cc++ {
+			for chip := 0; chip < m.params.Chips; chip++ {
+				fn(bank, row, cc, chip, s[cc*m.params.Chips+chip])
+			}
+		}
+	}
+}
+
 // ChipWord returns the raw word stored on a chip at a chip-local column —
 // the physical view used to verify the layout of Figure 6.
 func (m *Module) ChipWord(bank, row, chipCol, chip int) (uint64, error) {

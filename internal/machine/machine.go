@@ -134,6 +134,18 @@ func (m *Machine) Module(l addrmap.Loc) *gsdram.Module {
 	return m.mods[l.Channel][l.Rank]
 }
 
+// ForEachModule visits every GS-DRAM module of the machine in
+// deterministic (channel, rank) order — the state-extraction hook the
+// differential verification harness uses to compare physical memory
+// contents against the golden model.
+func (m *Machine) ForEachModule(fn func(channel, rank int, mod *gsdram.Module)) {
+	for c, rank := range m.mods {
+		for r, mod := range rank {
+			fn(c, r, mod)
+		}
+	}
+}
+
 // locate decomposes a byte address, returning its location and the 8-byte
 // word offset within the cache line.
 func (m *Machine) locate(a addrmap.Addr) (addrmap.Loc, int, error) {
@@ -203,6 +215,24 @@ func (m *Machine) ReadLine(a addrmap.Addr, patt gsdram.Pattern, dst []uint64) er
 	sh := m.AS.Flags(a).Shuffled
 	_, err = m.Module(loc).ReadLine(loc.Bank, loc.Row, loc.Col, patt, sh, dst)
 	return err
+}
+
+// ReadLineIndices is ReadLine, additionally returning the within-row
+// logical word indices each position of dst was gathered from (ascending,
+// as in Figure 7). The returned slice aliases the module's precomputed
+// plan table: callers must not modify it, and it is only valid while the
+// machine is alive. It is the hook the differential verification harness
+// uses to check the CTL algebra, not just the gathered values.
+func (m *Machine) ReadLineIndices(a addrmap.Addr, patt gsdram.Pattern, dst []uint64) ([]int, error) {
+	if err := m.AS.CheckAccess(a, patt); err != nil {
+		return nil, err
+	}
+	loc, _, err := m.locate(a)
+	if err != nil {
+		return nil, err
+	}
+	sh := m.AS.Flags(a).Shuffled
+	return m.Module(loc).ReadLine(loc.Bank, loc.Row, loc.Col, patt, sh, dst)
 }
 
 // WriteLine scatters a cache line to address a with the given pattern.

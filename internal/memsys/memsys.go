@@ -354,6 +354,18 @@ func (s *System) CacheStats() ([]cache.Stats, cache.Stats) {
 	return l1, s.l2.Stats()
 }
 
+// SnapshotCaches returns the resident lines of every cache — one sorted
+// slice per core L1 plus the shared L2 — for differential verification
+// against an architectural golden model (internal/refmodel). The
+// snapshot is a deep copy; it does not perturb LRU or statistics.
+func (s *System) SnapshotCaches() (l1 [][]cache.Line, l2 []cache.Line) {
+	l1 = make([][]cache.Line, len(s.l1))
+	for i, c := range s.l1 {
+		l1[i] = c.Lines()
+	}
+	return l1, s.l2.Lines()
+}
+
 // PrefetchStats returns the prefetcher's counters.
 func (s *System) PrefetchStats() prefetch.Stats { return s.pf.Stats() }
 

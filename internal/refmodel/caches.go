@@ -1,0 +1,186 @@
+package refmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/cache"
+	"gsdram/internal/gsdram"
+)
+
+// entry is one resident cache line of the golden model. Unlike the
+// simulator's presence-only tags, it carries the actual gathered data —
+// one word per chip — together with the flat-memory address and
+// within-row logical index each position came from, so writebacks can
+// scatter correctly and a coherence bug surfaces as a stale value.
+type entry struct {
+	addr  addrmap.Addr
+	patt  gsdram.Pattern
+	dirty bool
+
+	words   []uint64       // words[i] is the data at gather position i
+	addrs   []addrmap.Addr // addrs[i] is the word address of position i
+	logical []int          // logical[i] is the within-row word index
+}
+
+// clone deep-copies an entry (the address/index slices are immutable per
+// (line, pattern) and may be shared).
+func (e *entry) clone() *entry {
+	return &entry{
+		addr:    e.addr,
+		patt:    e.patt,
+		dirty:   e.dirty,
+		words:   append([]uint64(nil), e.words...),
+		addrs:   e.addrs,
+		logical: e.logical,
+	}
+}
+
+// posOf returns the gather position holding the given word address, or -1.
+func (e *entry) posOf(wa addrmap.Addr) int {
+	for i, a := range e.addrs {
+		if a == wa {
+			return i
+		}
+	}
+	return -1
+}
+
+// modelCache is a set-associative cache over entries with true-LRU
+// replacement, expressed as a per-set recency list (most recent first)
+// rather than the simulator's timestamp clock. The two formulations pick
+// identical victims: LRU order is exactly "least recently hit or filled",
+// and only Lookup hits and Fills refresh recency in both.
+type modelCache struct {
+	geom    CacheGeom
+	ways    int
+	sets    [][]*entry // each slice ordered most-recent-first
+	setMask uint64
+	offBits uint
+}
+
+func newModelCache(g CacheGeom) (*modelCache, error) {
+	if g.SizeBytes <= 0 || g.Ways <= 0 || g.LineBytes <= 0 {
+		return nil, fmt.Errorf("refmodel: non-positive cache geometry %+v", g)
+	}
+	if g.LineBytes&(g.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("refmodel: LineBytes must be a power of two, got %d", g.LineBytes)
+	}
+	lines := g.SizeBytes / g.LineBytes
+	if lines*g.LineBytes != g.SizeBytes || lines%g.Ways != 0 {
+		return nil, fmt.Errorf("refmodel: cache size %d not divisible into %d-way sets of %d-byte lines", g.SizeBytes, g.Ways, g.LineBytes)
+	}
+	numSets := lines / g.Ways
+	if numSets&(numSets-1) != 0 {
+		return nil, fmt.Errorf("refmodel: set count %d must be a power of two", numSets)
+	}
+	offBits := uint(0)
+	for v := g.LineBytes; v > 1; v >>= 1 {
+		offBits++
+	}
+	return &modelCache{
+		geom:    g,
+		ways:    g.Ways,
+		sets:    make([][]*entry, numSets),
+		setMask: uint64(numSets - 1),
+		offBits: offBits,
+	}, nil
+}
+
+func (c *modelCache) setIndex(a addrmap.Addr) uint64 {
+	return (uint64(a) >> c.offBits) & c.setMask
+}
+
+// lookup finds (addr, patt) and moves it to the front of its recency
+// list (a hit refreshes LRU). Returns nil on miss.
+func (c *modelCache) lookup(a addrmap.Addr, p gsdram.Pattern) *entry {
+	si := c.setIndex(a)
+	set := c.sets[si]
+	for i, e := range set {
+		if e.addr == a && e.patt == p {
+			copy(set[1:i+1], set[:i])
+			set[0] = e
+			return e
+		}
+	}
+	return nil
+}
+
+// probe finds (addr, patt) without touching recency.
+func (c *modelCache) probe(a addrmap.Addr, p gsdram.Pattern) *entry {
+	for _, e := range c.sets[c.setIndex(a)] {
+		if e.addr == a && e.patt == p {
+			return e
+		}
+	}
+	return nil
+}
+
+// fill inserts an entry at the front of its set. If a copy of the same
+// (addr, patt) is already resident it is refreshed in place: dirtiness
+// merged, data overwritten with the (newer) incoming words. Otherwise the
+// LRU entry of a full set is evicted and returned.
+func (c *modelCache) fill(ne *entry) (evicted *entry) {
+	si := c.setIndex(ne.addr)
+	set := c.sets[si]
+	for i, e := range set {
+		if e.addr == ne.addr && e.patt == ne.patt {
+			e.dirty = e.dirty || ne.dirty
+			copy(e.words, ne.words)
+			copy(set[1:i+1], set[:i])
+			set[0] = e
+			return nil
+		}
+	}
+	if len(set) == c.ways {
+		evicted = set[len(set)-1]
+		set = set[:len(set)-1]
+	}
+	set = append(set, nil)
+	copy(set[1:], set)
+	set[0] = ne
+	c.sets[si] = set
+	return evicted
+}
+
+// invalidate removes (addr, patt), returning the removed entry or nil.
+func (c *modelCache) invalidate(a addrmap.Addr, p gsdram.Pattern) *entry {
+	si := c.setIndex(a)
+	set := c.sets[si]
+	for i, e := range set {
+		if e.addr == a && e.patt == p {
+			c.sets[si] = append(set[:i], set[i+1:]...)
+			return e
+		}
+	}
+	return nil
+}
+
+// lines snapshots the resident set in the same sorted form as
+// cache.Cache.Lines, so golden and simulated cache state diff directly.
+func (c *modelCache) lines() []cache.Line {
+	var out []cache.Line
+	for _, set := range c.sets {
+		for _, e := range set {
+			out = append(out, cache.Line{Addr: e.addr, Pattern: e.patt, Dirty: e.dirty})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].Pattern < out[j].Pattern
+	})
+	return out
+}
+
+// forEachEntry visits every resident entry (set order, recency order
+// within a set).
+func (c *modelCache) forEachEntry(fn func(e *entry)) {
+	for _, set := range c.sets {
+		for _, e := range set {
+			fn(e)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package stress
+
+import (
+	"testing"
+
+	"gsdram/internal/gsdram"
+	"gsdram/internal/refmodel"
+)
+
+// FuzzTwoPatternCoherence drives random write/read interleavings across
+// the two patterns of one shuffled page — plain and patterned, loads and
+// stores, at fuzzer-chosen offsets — through the full differential
+// oracle. Any interleaving in which the simulated hierarchy would let a
+// load observe stale data (a violation of the §4.1 two-pattern coherence
+// rules) shows up as a load-value divergence against the golden model,
+// whose caches carry real data.
+func FuzzTwoPatternCoherence(f *testing.F) {
+	f.Add(uint8(7), []byte{0x00, 0x41, 0x82, 0xc3, 0x04, 0x45})
+	f.Add(uint8(3), []byte{0xff, 0x3e, 0x81, 0x00, 0x81, 0x3e, 0xff})
+	f.Add(uint8(1), []byte{0x10, 0x50, 0x90, 0xd0})
+	f.Fuzz(func(t *testing.T, altRaw uint8, script []byte) {
+		if len(script) == 0 || len(script) > 512 {
+			return
+		}
+		gs := gsdram.GS844
+		alt := gsdram.Pattern(altRaw) & gs.PatternMask()
+		if alt == 0 {
+			alt = 7
+		}
+		p := Program{
+			Seed:  uint64(altRaw),
+			GS:    gs,
+			Cores: 1,
+			Regions: []Region{
+				{Pages: 1, Alt: alt, Core: 0},
+			},
+		}
+		p.Spec.Channels, p.Spec.Ranks, p.Spec.Banks = 1, 1, 8
+		p.Spec.Rows, p.Spec.Cols, p.Spec.LineBytes = 32, 64, gs.LineBytes()
+
+		// Each script byte is one op: top two bits select the kind, the
+		// rest the offset within the page.
+		size := refmodel.PageSize
+		lb := p.Spec.LineBytes
+		for i, b := range script {
+			op := Op{Core: 0, Kind: OpKind(b >> 6)}
+			switch op.Kind {
+			case OpLoad, OpStore:
+				op.Off = (int(b&0x3f) * 8) % size
+			case OpPattLoad, OpPattStore:
+				op.Off = (int(b&0x3f) * lb) % size
+			}
+			if op.Kind == OpStore || op.Kind == OpPattStore {
+				op.Val = uint64(i)<<32 | uint64(b)
+			}
+			p.Ops = append(p.Ops, op)
+		}
+
+		res, err := Run(p, Options{})
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if res.Div != nil {
+			t.Fatalf("stale data observed: %s\n%s", res.Div, p)
+		}
+	})
+}

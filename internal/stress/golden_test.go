@@ -1,0 +1,84 @@
+package stress
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// renderLog serialises a program and its per-access value log in a
+// stable, human-readable text form for golden-file comparison.
+func renderLog(p Program, res *Result) string {
+	var b strings.Builder
+	b.WriteString(p.String())
+	fmt.Fprintf(&b, "divergence: %s\n", res.Div)
+	for i, rec := range res.Records {
+		op := p.Ops[i]
+		fmt.Fprintf(&b, "access %3d: core %d %-9s addr %#06x patt %d", i, op.Core, op.Kind, uint64(rec.Addr), rec.Patt)
+		if len(rec.Vals) > 0 {
+			b.WriteString(" vals")
+			for _, v := range rec.Vals {
+				fmt.Fprintf(&b, " %#x", v)
+			}
+		}
+		if len(rec.Idx) > 0 {
+			b.WriteString(" idx")
+			for _, x := range rec.Idx {
+				fmt.Fprintf(&b, " %d", x)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestGoldenAccessLog locks down the end-to-end behaviour of a fixed
+// seed: the generated program, every value its loads observed, and every
+// gather index, compared byte-for-byte against a checked-in golden file.
+// Any change to the generator, the address math, the coherence protocol,
+// or the functional data path shows up as a diff here. Regenerate with
+//
+//	go test ./internal/stress -run TestGoldenAccessLog -update
+//
+// and review the diff like any other code change.
+func TestGoldenAccessLog(t *testing.T) {
+	const seed = 42
+	p := Generate(seed)
+	res, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Div != nil {
+		t.Fatalf("seed %d diverged: %s", seed, res.Div)
+	}
+	got := renderLog(p, res)
+
+	path := filepath.Join("testdata", fmt.Sprintf("stress_seed%d.golden", seed))
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		// Locate the first differing line for a readable failure.
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("golden mismatch at line %d:\n got: %s\nwant: %s\n(re-run with -update to regenerate)", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("golden length mismatch: got %d lines, want %d (re-run with -update)", len(gl), len(wl))
+	}
+}

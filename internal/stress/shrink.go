@@ -1,0 +1,130 @@
+package stress
+
+import "fmt"
+
+// CheckFunc re-runs a candidate program and returns its divergence, or
+// nil if the candidate passes.
+type CheckFunc func(Program) *Divergence
+
+// Checker adapts Run into a CheckFunc for the given options. Programs
+// that fail to even build (malformed candidates) count as passing: the
+// shrinker must preserve the original failure, not introduce new ones.
+func Checker(opts Options) CheckFunc {
+	return func(p Program) *Divergence {
+		res, err := Run(p, opts)
+		if err != nil {
+			return nil
+		}
+		return res.Div
+	}
+}
+
+// Shrink minimises a failing program with a ddmin-style reduction: first
+// the op list (removing halves, then quarters, … single ops), then any
+// region no remaining op references, then surplus cores. Every candidate
+// is re-verified with check; only still-failing candidates are kept, so
+// the returned program reproduces a divergence of the original kind.
+// Returns the minimal program and its divergence (nil if the input does
+// not fail at all, in which case the input is returned unchanged).
+func Shrink(p Program, check CheckFunc) (Program, *Divergence) {
+	div := check(p)
+	if div == nil {
+		return p, nil
+	}
+	best := p
+
+	// ddmin over ops: delete chunks of shrinking size until no single op
+	// can be removed.
+	chunk := (len(best.Ops) + 1) / 2
+	for chunk >= 1 {
+		removed := false
+		for start := 0; start < len(best.Ops); {
+			end := start + chunk
+			if end > len(best.Ops) {
+				end = len(best.Ops)
+			}
+			cand := best
+			cand.Ops = append(append([]Op(nil), best.Ops[:start]...), best.Ops[end:]...)
+			if len(cand.Ops) > 0 {
+				if d := check(cand); d != nil {
+					best, div = cand, d
+					removed = true
+					continue // same start now addresses the next chunk
+				}
+			}
+			start = end
+		}
+		if chunk == 1 && !removed {
+			break
+		}
+		if !removed || chunk > len(best.Ops) {
+			chunk /= 2
+		}
+	}
+
+	// Drop regions no remaining op references. Removing a region shifts
+	// the bump-allocated bases of those after it, so each drop is
+	// re-verified like any other candidate.
+	for ri := len(best.Regions) - 1; ri >= 0; ri-- {
+		used := false
+		for _, op := range best.Ops {
+			if op.Region == ri {
+				used = true
+				break
+			}
+		}
+		if used {
+			continue
+		}
+		cand := best
+		cand.Regions = append(append([]Region(nil), best.Regions[:ri]...), best.Regions[ri+1:]...)
+		cand.Ops = append([]Op(nil), best.Ops...)
+		for i := range cand.Ops {
+			if cand.Ops[i].Region > ri {
+				cand.Ops[i].Region--
+			}
+		}
+		if d := check(cand); d != nil {
+			best, div = cand, d
+		}
+	}
+
+	// Compact cores: renumber so only cores that still own ops remain.
+	usedCore := make([]bool, best.Cores)
+	for _, op := range best.Ops {
+		usedCore[op.Core] = true
+	}
+	remap := make([]int, best.Cores)
+	next := 0
+	for c := 0; c < best.Cores; c++ {
+		if usedCore[c] {
+			remap[c] = next
+			next++
+		}
+	}
+	if next > 0 && next < best.Cores {
+		cand := best
+		cand.Cores = next
+		cand.Ops = append([]Op(nil), best.Ops...)
+		for i := range cand.Ops {
+			cand.Ops[i].Core = remap[cand.Ops[i].Core]
+		}
+		cand.Regions = append([]Region(nil), best.Regions...)
+		for i := range cand.Regions {
+			if usedCore[cand.Regions[i].Core] {
+				cand.Regions[i].Core = remap[cand.Regions[i].Core]
+			} else {
+				cand.Regions[i].Core = 0
+			}
+		}
+		if d := check(cand); d != nil {
+			best, div = cand, d
+		}
+	}
+	return best, div
+}
+
+// ShrinkReport renders a shrunk reproducer with its divergence.
+func ShrinkReport(p Program, div *Divergence) string {
+	return fmt.Sprintf("%s\n%s", div, p.String())
+}

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
+	"strconv"
 
 	"gsdram/internal/stats"
 )
@@ -22,8 +24,9 @@ type diffFile struct {
 		Experiment string `json:"experiment"`
 		WallNS     int64  `json:"wall_ns"`
 		Telemetry  []struct {
-			Label   string                     `json:"label"`
-			Metrics map[string]json.RawMessage `json:"metrics"`
+			Label    string                     `json:"label"`
+			EndCycle uint64                     `json:"end_cycle"`
+			Metrics  map[string]json.RawMessage `json:"metrics"`
 		} `json:"telemetry"`
 	} `json:"experiments"`
 }
@@ -135,7 +138,9 @@ func loadDiffFile(path string) (*diffFile, error) {
 }
 
 // flattenMetrics turns the exported metrics map into name → float64:
-// scalar metrics pass through; histograms expand to .count/.sum/.mean.
+// scalar metrics pass through; histograms expand to
+// .count/.sum/.mean/.p50/.p99 (percentiles recomputed from the exported
+// power-of-2 buckets, matching metrics.Histogram.Quantile).
 func flattenMetrics(raw map[string]json.RawMessage) map[string]float64 {
 	out := make(map[string]float64, len(raw))
 	for name, blob := range raw {
@@ -145,17 +150,67 @@ func flattenMetrics(raw map[string]json.RawMessage) map[string]float64 {
 			continue
 		}
 		var h struct {
-			Count float64 `json:"count"`
-			Sum   float64 `json:"sum"`
-			Mean  float64 `json:"mean"`
+			Count   float64           `json:"count"`
+			Sum     float64           `json:"sum"`
+			Mean    float64           `json:"mean"`
+			Buckets map[string]uint64 `json:"buckets"`
 		}
 		if err := json.Unmarshal(blob, &h); err == nil {
 			out[name+".count"] = h.Count
 			out[name+".sum"] = h.Sum
 			out[name+".mean"] = h.Mean
+			if len(h.Buckets) > 0 {
+				out[name+".p50"] = bucketQuantile(h.Buckets, 0.50)
+				out[name+".p99"] = bucketQuantile(h.Buckets, 0.99)
+			}
 		}
 	}
 	return out
+}
+
+// bucketQuantile recomputes a quantile upper bound from exported
+// histogram buckets (lower bound string → count). Bucket i holds values
+// in [2^(i-1), 2^i), so the inclusive upper bound of the bucket with
+// lower bound L is 2L-1 (and 0 for the zero bucket) — the same answer
+// metrics.Histogram.Quantile gives on the live histogram.
+func bucketQuantile(buckets map[string]uint64, q float64) float64 {
+	type bucket struct {
+		low   uint64
+		count uint64
+	}
+	var bs []bucket
+	var n uint64
+	for lowStr, c := range buckets {
+		low, err := strconv.ParseUint(lowStr, 10, 64)
+		if err != nil || c == 0 {
+			continue
+		}
+		bs = append(bs, bucket{low, c})
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].low < bs[j].low })
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for _, b := range bs {
+		seen += b.count
+		if seen >= rank {
+			if b.low == 0 {
+				return 0
+			}
+			return float64(2*b.low - 1)
+		}
+	}
+	b := bs[len(bs)-1]
+	if b.low == 0 {
+		return 0
+	}
+	return float64(2*b.low - 1)
 }
 
 // trimFloat renders v without a trailing ".000000" for integral values.

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"flag"
+	"strconv"
+
+	"gsdram"
+	"gsdram/internal/stats"
+)
+
+// expFlags holds the workload-scale knobs shared by the main run path
+// and the latency subcommand, so both register identical flags and build
+// experiments from one registry.
+type expFlags struct {
+	tuples   int
+	txns     int
+	gemmStr  string
+	kvPairs  int
+	gVerts   int
+	gDeg     int
+	seed     uint64
+	workers  int
+	noInline bool
+}
+
+// register installs the workload flags on fs.
+func (ef *expFlags) register(fs *flag.FlagSet) {
+	fs.IntVar(&ef.tuples, "tuples", gsdram.DefaultOptions().Tuples, "database table size in tuples (paper: 1048576)")
+	fs.IntVar(&ef.txns, "txns", gsdram.DefaultOptions().Txns, "transactions per Figure 9 run (paper: 10000)")
+	fs.StringVar(&ef.gemmStr, "gemm", "32,64,128,256", "comma-separated GEMM matrix sizes (paper: 32..1024)")
+	fs.IntVar(&ef.kvPairs, "kvpairs", 4096, "key-value pairs for the kvstore experiment")
+	fs.IntVar(&ef.gVerts, "vertices", 32768, "vertices for the graph experiment")
+	fs.IntVar(&ef.gDeg, "degree", 8, "average out-degree for the graph experiment")
+	fs.Uint64Var(&ef.seed, "seed", 42, "workload random seed")
+	fs.IntVar(&ef.workers, "workers", 0, "concurrent simulation runs per experiment (0 = GOMAXPROCS, 1 = serial)")
+	fs.BoolVar(&ef.noInline, "noinline", false, "disable the event-horizon fast path (pure event-driven execution; identical results)")
+}
+
+// options resolves the flags into experiment Options.
+func (ef *expFlags) options() (gsdram.Options, error) {
+	opts := gsdram.DefaultOptions()
+	opts.Tuples = ef.tuples
+	opts.Txns = ef.txns
+	opts.Seed = ef.seed
+	opts.Workers = ef.workers
+	sizes, err := parseSizes(ef.gemmStr)
+	if err != nil {
+		return opts, err
+	}
+	opts.GemmSizes = sizes
+	return opts, nil
+}
+
+// params renders the flags as manifest parameters.
+func (ef *expFlags) params(exp string) map[string]string {
+	return map[string]string{
+		"exp":      exp,
+		"tuples":   strconv.Itoa(ef.tuples),
+		"txns":     strconv.Itoa(ef.txns),
+		"gemm":     ef.gemmStr,
+		"kvpairs":  strconv.Itoa(ef.kvPairs),
+		"vertices": strconv.Itoa(ef.gVerts),
+		"degree":   strconv.Itoa(ef.gDeg),
+		"noinline": strconv.FormatBool(ef.noInline),
+	}
+}
+
+// buildExperiments returns the full experiment registry, in the fixed
+// execution order shared by every gsbench mode.
+func buildExperiments(ef *expFlags, opts gsdram.Options) []experiment {
+	return []experiment{
+		{"table1", func() (any, any, []*stats.Table, error) {
+			t := gsdram.Table1()
+			return t, nil, []*stats.Table{t}, nil
+		}},
+		{"fig7", func() (any, any, []*stats.Table, error) {
+			t1 := gsdram.Fig7(gsdram.GS422, 4)
+			t2 := gsdram.Fig7(gsdram.GS844, 8)
+			ts := []*stats.Table{t1, t2}
+			return ts, nil, ts, nil
+		}},
+		{"fig9", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunFig9(opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, fig9Summary(r), []*stats.Table{r.Table()}, nil
+		}},
+		{"fig10", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunFig10(opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, fig10Summary(r), []*stats.Table{r.Table()}, nil
+		}},
+		{"fig11", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunFig11(opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.AnalyticsTable(), r.ThroughputTable()}, nil
+		}},
+		{"fig12", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunFig12(opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.PerfTable(), r.EnergyTable(), r.EnergyBreakdownTable()}, nil
+		}},
+		{"fig13", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunFig13(opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.Table()}, nil
+		}},
+		{"kvstore", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunKVStore(ef.kvPairs, ef.seed)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.Table()}, nil
+		}},
+		{"graph", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunGraph(ef.gVerts, ef.gDeg, opts.Txns, ef.seed)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.Table()}, nil
+		}},
+		{"channels", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunChannels(opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.Table()}, nil
+		}},
+		{"impulse", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunImpulse(opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.Table()}, nil
+		}},
+		{"pattbits", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunPattBits(opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.Table()}, nil
+		}},
+		{"storebuf", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunStoreBuf(opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.Table()}, nil
+		}},
+		{"autogather", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunAuto(opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.Table()}, nil
+		}},
+		{"schedpol", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunSchedule(opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.Table()}, nil
+		}},
+		{"pixels", func() (any, any, []*stats.Table, error) {
+			r, err := gsdram.RunPixels(ef.tuples&^7, 2000, ef.seed)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, nil, []*stats.Table{r.Table()}, nil
+		}},
+		{"ablation", func() (any, any, []*stats.Table, error) {
+			t := gsdram.AblationMap(gsdram.GS844)
+			t2 := gsdram.AblationECC(gsdram.GS844)
+			ts := []*stats.Table{t, t2}
+			return ts, nil, ts, nil
+		}},
+	}
+}
+
+// experimentNames lists the registry names for usage errors.
+func experimentNames(exps []experiment) []string {
+	names := make([]string, len(exps))
+	for i, e := range exps {
+		names[i] = e.name
+	}
+	return names
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// gateArgs are the parsed bench-gate arguments. The flags are scanned
+// manually so they can appear before or after the positional files
+// (Go's flag package stops at the first positional argument).
+type gateArgs struct {
+	old, new string
+	tol      float64 // simulated-cycle tolerance, percent
+	wallTol  float64 // wall-clock tolerance, percent; 0 disables
+}
+
+// parseGateArgs scans args for -tol/-wall-tol (either "-tol 5" or
+// "-tol=5") and two positional file names.
+func parseGateArgs(args []string) (gateArgs, error) {
+	ga := gateArgs{tol: 5, wallTol: 200}
+	var files []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		name, val, hasVal := a, "", false
+		if eq := strings.IndexByte(a, '='); eq >= 0 && strings.HasPrefix(a, "-") {
+			name, val, hasVal = a[:eq], a[eq+1:], true
+		}
+		switch strings.TrimLeft(name, "-") {
+		case "tol", "wall-tol":
+			if !strings.HasPrefix(a, "-") {
+				files = append(files, a)
+				continue
+			}
+			if !hasVal {
+				i++
+				if i >= len(args) {
+					return ga, fmt.Errorf("bench-gate: %s needs a value", a)
+				}
+				val = args[i]
+			}
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 {
+				return ga, fmt.Errorf("bench-gate: bad %s value %q", name, val)
+			}
+			if strings.TrimLeft(name, "-") == "tol" {
+				ga.tol = f
+			} else {
+				ga.wallTol = f
+			}
+		default:
+			if strings.HasPrefix(a, "-") {
+				return ga, fmt.Errorf("bench-gate: unknown flag %s (usage: gsbench bench-gate [-tol PCT] [-wall-tol PCT] OLD.json NEW.json)", a)
+			}
+			files = append(files, a)
+		}
+	}
+	if len(files) != 2 {
+		return ga, fmt.Errorf("bench-gate: want exactly 2 files, got %d (usage: gsbench bench-gate [-tol PCT] [-wall-tol PCT] OLD.json NEW.json)", len(files))
+	}
+	ga.old, ga.new = files[0], files[1]
+	return ga, nil
+}
+
+// benchGate implements `gsbench bench-gate OLD.json NEW.json`: compare
+// NEW's simulated end cycles run by run against the OLD baseline
+// (typically the committed BENCH_seed.json) and fail when any run
+// regresses beyond -tol percent. Simulated cycles are deterministic, so
+// a small tolerance only absorbs intentional modelling changes;
+// wall-clock time is machine-dependent and gated separately by the
+// generous -wall-tol (0 disables it). A run present in OLD but missing
+// from NEW also fails: coverage loss is a regression.
+func benchGate(args []string, w io.Writer) error {
+	ga, err := parseGateArgs(args)
+	if err != nil {
+		return err
+	}
+	oldF, err := loadDiffFile(ga.old)
+	if err != nil {
+		return err
+	}
+	newF, err := loadDiffFile(ga.new)
+	if err != nil {
+		return err
+	}
+	return gateFiles(w, ga, oldF, newF)
+}
+
+// gateFiles runs the comparison; split from benchGate for testing.
+func gateFiles(w io.Writer, ga gateArgs, oldF, newF *diffFile) error {
+	type runKey struct{ exp, label string }
+	newCycles := map[runKey]uint64{}
+	newWall := map[string]int64{}
+	for _, e := range newF.Experiments {
+		newWall[e.Experiment] = e.WallNS
+		for _, t := range e.Telemetry {
+			newCycles[runKey{e.Experiment, t.Label}] = t.EndCycle
+		}
+	}
+
+	checked, regressions := 0, 0
+	for _, e := range oldF.Experiments {
+		for _, t := range e.Telemetry {
+			k := runKey{e.Experiment, t.Label}
+			nc, ok := newCycles[k]
+			if !ok {
+				fmt.Fprintf(w, "FAIL %s · %s: run missing from %s\n", k.exp, k.label, ga.new)
+				regressions++
+				continue
+			}
+			checked++
+			limit := float64(t.EndCycle) * (1 + ga.tol/100)
+			if float64(nc) > limit {
+				fmt.Fprintf(w, "FAIL %s · %s: %d cycles vs baseline %d (+%.2f%% > %.2f%%)\n",
+					k.exp, k.label, nc, t.EndCycle,
+					100*(float64(nc)/float64(t.EndCycle)-1), ga.tol)
+				regressions++
+			}
+		}
+		if ga.wallTol > 0 && e.WallNS > 0 {
+			if nw, ok := newWall[e.Experiment]; ok {
+				limit := float64(e.WallNS) * (1 + ga.wallTol/100)
+				if float64(nw) > limit {
+					fmt.Fprintf(w, "FAIL %s: wall %.2fms vs baseline %.2fms (+%.1f%% > %.1f%%)\n",
+						e.Experiment, float64(nw)/1e6, float64(e.WallNS)/1e6,
+						100*(float64(nw)/float64(e.WallNS)-1), ga.wallTol)
+					regressions++
+				}
+			}
+		}
+	}
+	if checked == 0 && regressions == 0 {
+		return fmt.Errorf("bench-gate: %s has no telemetry runs to gate on (produce it with -json)", ga.old)
+	}
+	if regressions > 0 {
+		return fmt.Errorf("bench-gate: %d regression(s) against %s", regressions, ga.old)
+	}
+	fmt.Fprintf(w, "bench-gate: OK — %d runs within %.2f%% of %s\n", checked, ga.tol, ga.old)
+	return nil
+}

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gsdram"
+	"gsdram/internal/latency"
+	"gsdram/internal/stats"
+	"gsdram/internal/telemetry"
+)
+
+// latencySummary is the latency attribution section of one telemetry
+// entry in the -json output and the data behind the `gsbench latency`
+// report tables.
+type latencySummary struct {
+	// RequestsSeen counts every DRAM-bound request observed (traces may
+	// be capped; this is not).
+	RequestsSeen uint64 `json:"requests_seen"`
+	// Classes maps the pattern class ("p0" for ordinary cache lines,
+	// "gather" for non-zero pattern IDs) to its latency distribution.
+	Classes map[string]latencyClass `json:"classes,omitempty"`
+	// CoreStalls[i] maps stage name to the cycles core i spent stalled on
+	// that stage; the values sum exactly to the core's mem_stall_cycles.
+	CoreStalls []map[string]uint64 `json:"core_stalls,omitempty"`
+}
+
+// latencyClass is one pattern class's end-to-end latency distribution
+// plus its span decomposition.
+type latencyClass struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P95   uint64  `json:"p95"`
+	P99   uint64  `json:"p99"`
+	// Spans maps span name to its share of the class's total cycles.
+	Spans map[string]latencySpan `json:"spans,omitempty"`
+}
+
+// latencySpan summarises one lifecycle span within a class.
+type latencySpan struct {
+	Mean  float64 `json:"mean"`
+	P95   uint64  `json:"p95"`
+	Share float64 `json:"share"`
+}
+
+// summarizeLatency condenses a recorder into the JSON shape. Returns nil
+// for runs captured without latency attribution.
+func summarizeLatency(rec *latency.Recorder) *latencySummary {
+	if rec == nil {
+		return nil
+	}
+	out := &latencySummary{
+		RequestsSeen: rec.Seen(),
+		Classes:      map[string]latencyClass{},
+	}
+	for _, gather := range []bool{false, true} {
+		total, spans := rec.Class(gather)
+		if total.Count() == 0 {
+			continue
+		}
+		lc := latencyClass{
+			Count: total.Count(),
+			Mean:  total.Mean(),
+			P50:   total.Quantile(0.50),
+			P95:   total.Quantile(0.95),
+			P99:   total.Quantile(0.99),
+			Spans: map[string]latencySpan{},
+		}
+		for si, h := range spans {
+			if h.Sum() == 0 {
+				continue
+			}
+			lc.Spans[latency.Span(si).String()] = latencySpan{
+				Mean:  h.Mean(),
+				P95:   h.Quantile(0.95),
+				Share: float64(h.Sum()) / float64(total.Sum()),
+			}
+		}
+		name := "p0"
+		if gather {
+			name = "gather"
+		}
+		out.Classes[name] = lc
+	}
+	for core := 0; core < rec.Cores(); core++ {
+		m := map[string]uint64{}
+		for st := latency.Stage(0); st < latency.NumStages; st++ {
+			if v := rec.StallCycles(core, st); v > 0 {
+				m[st.String()] = v
+			}
+		}
+		out.CoreStalls = append(out.CoreStalls, m)
+	}
+	return out
+}
+
+// latencyCmd implements `gsbench latency [-exp fig9] [workload flags]`:
+// run the selected experiment(s) with latency attribution enabled and
+// print the request-lifecycle report for every telemetered run.
+func latencyCmd(args []string) error {
+	fs := flag.NewFlagSet("latency", flag.ContinueOnError)
+	var ef expFlags
+	ef.register(fs)
+	exp := fs.String("exp", "fig9", "experiment to report on (or \"all\")")
+	epoch := fs.Uint64("epoch", uint64(telemetry.DefaultEpoch), "telemetry sampling interval in CPU cycles")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: gsbench latency [-exp fig9] [workload flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("latency: unexpected arguments %v", fs.Args())
+	}
+
+	gsdram.SetNoInline(ef.noInline)
+	gsdram.SetTelemetry(true, *epoch)
+	defer gsdram.SetTelemetry(false, 0)
+
+	opts, err := ef.options()
+	if err != nil {
+		return err
+	}
+	experiments := buildExperiments(&ef, opts)
+	ran := false
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		ran = true
+		if _, _, _, err := e.run(); err != nil {
+			return err
+		}
+		for _, r := range gsdram.DrainTelemetryRuns() {
+			printLatencyReport(e.name, r)
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (valid: all, %s)", *exp,
+			strings.Join(experimentNames(experiments), ", "))
+	}
+	return nil
+}
+
+// printLatencyReport renders one run's latency attribution: the
+// per-class percentiles, the span decomposition, and the per-core stall
+// attribution whose stage totals sum to the core's mem_stall_cycles.
+func printLatencyReport(expName string, r *gsdram.TelemetryRun) {
+	rec := r.Latency
+	if rec == nil || rec.Seen() == 0 {
+		return
+	}
+	title := fmt.Sprintf("%s · %s", expName, r.Label)
+
+	dist := stats.NewTable("latency · "+title,
+		"class", "requests", "mean", "p50", "p95", "p99")
+	spansT := stats.NewTable("spans · "+title,
+		"class", "span", "cycles", "share", "mean", "p95")
+	for _, gather := range []bool{false, true} {
+		total, spans := rec.Class(gather)
+		if total.Count() == 0 {
+			continue
+		}
+		name := "p0"
+		if gather {
+			name = "gather"
+		}
+		dist.Addf(name, total.Count(), total.Mean(),
+			total.Quantile(0.50), total.Quantile(0.95), total.Quantile(0.99))
+		for si, h := range spans {
+			if h.Sum() == 0 {
+				continue
+			}
+			spansT.Addf(name, latency.Span(si).String(), h.Sum(),
+				fmt.Sprintf("%.1f%%", 100*float64(h.Sum())/float64(total.Sum())),
+				h.Mean(), h.Quantile(0.95))
+		}
+	}
+	fmt.Println(dist)
+	fmt.Println()
+	fmt.Println(spansT)
+	fmt.Println()
+
+	stalls := stats.NewTable("core stalls · "+title,
+		"core", "stage", "cycles", "share")
+	for core := 0; core < rec.Cores(); core++ {
+		var totalStall uint64
+		for st := latency.Stage(0); st < latency.NumStages; st++ {
+			totalStall += rec.StallCycles(core, st)
+		}
+		if totalStall == 0 {
+			continue
+		}
+		for st := latency.Stage(0); st < latency.NumStages; st++ {
+			v := rec.StallCycles(core, st)
+			if v == 0 {
+				continue
+			}
+			stalls.Addf(core, st.String(), v,
+				fmt.Sprintf("%.1f%%", 100*float64(v)/float64(totalStall)))
+		}
+		stalls.Addf(core, "total", totalStall, "100.0%")
+	}
+	fmt.Println(stalls)
+	fmt.Println()
+}

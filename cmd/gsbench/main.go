@@ -8,11 +8,28 @@
 //	         pixels]
 //	        [-tuples N] [-txns N] [-gemm n1,n2,...] [-kvpairs N]
 //	        [-vertices N] [-degree D] [-seed S] [-workers N] [-noinline]
-//	        [-json FILE] [-trace-out FILE] [-epoch N]
+//	        [-json FILE] [-trace-out FILE] [-prom-out FILE] [-epoch N]
 //	        [-cpuprofile FILE] [-memprofile FILE]
+//	gsbench latency [-exp fig9] [workload flags]
 //	gsbench metrics-diff [-all] OLD.json NEW.json
+//	gsbench bench-gate [-tol PCT] [-wall-tol PCT] OLD.json NEW.json
 //	gsbench stress [-seed S] [-count N] [-shrink] [-workers N] [-noinline]
 //	        [-xmodes] [-pseed P] [-inject none|shuffle-swap] [-repro-out FILE]
+//
+// gsbench latency runs an experiment with latency attribution enabled and
+// prints the request-lifecycle report: per-pattern-class latency
+// percentiles, the span decomposition of where request cycles went, and
+// the per-core stall attribution ("where did the cycles go"), whose
+// stage totals sum exactly to each core's mem_stall_cycles.
+//
+// gsbench metrics-diff compares the telemetry metrics of two -json
+// documents run by run; histograms expand to .count/.mean/.p50/.p99 rows.
+//
+// gsbench bench-gate compares NEW.json against a committed baseline
+// (BENCH_seed.json) and exits nonzero when any run's simulated end cycle
+// regresses by more than -tol percent (default 5). Wall-clock time is
+// gated separately by -wall-tol (default 200, generous because CI
+// machines vary; 0 disables the wall gate).
 //
 // gsbench stress runs seeded random programs through both the cycle
 // simulator and a timing-free golden reference model
@@ -30,19 +47,25 @@
 // seed, workers, go version) plus a record per experiment with name,
 // wall-clock nanoseconds, a cycles/speedups summary where the experiment
 // has one, the full structured result, and per-run telemetry (final
-// metrics and the epoch time-series) — is written to FILE ("-" replaces
-// the text tables on stdout), so perf trajectories can be tracked as
-// BENCH_*.json artifacts and compared with `gsbench metrics-diff`.
+// metrics, the epoch time-series, and the latency attribution summary) —
+// is written to FILE ("-" replaces the text tables on stdout), so perf
+// trajectories can be tracked as BENCH_*.json artifacts and compared
+// with `gsbench metrics-diff` / gated with `gsbench bench-gate`.
 //
 // With -trace-out FILE, a Chrome trace_event JSON covering every
 // telemetered run — DRAM commands per bank lane, core busy/stall
-// phases, epoch counter tracks — is written to FILE; open it at
+// phases, epoch counter tracks, and flow arrows from each stalled core
+// to the DRAM read that unblocked it — is written to FILE; open it at
 // https://ui.perfetto.dev (timestamps are simulated CPU cycles, not
 // microseconds). -epoch N sets the sampling interval in cycles.
 //
-// Telemetry capture is enabled automatically when -json or -trace-out is
-// given; it observes without mutating, so results are bit-identical with
-// and without it.
+// With -prom-out FILE, the final metrics of every telemetered run are
+// written in Prometheus text exposition format, labelled by experiment
+// and run, for scraping into dashboards.
+//
+// Telemetry capture is enabled automatically when -json, -trace-out or
+// -prom-out is given; it observes without mutating, so results are
+// bit-identical with and without it.
 //
 // -noinline disables the cores' event-horizon fast path and takes the pure
 // event-driven execution path; results are bit-identical, only slower — the
@@ -68,6 +91,7 @@ import (
 
 	"gsdram"
 	"gsdram/internal/imdb"
+	"gsdram/internal/metrics"
 	"gsdram/internal/stats"
 	"gsdram/internal/telemetry"
 )
@@ -98,6 +122,7 @@ type telemetryEntry struct {
 	PhasesSeen   uint64            `json:"stall_phases_seen"`
 	Metrics      map[string]any    `json:"metrics"`
 	Series       *telemetry.Series `json:"series,omitempty"`
+	Latency      *latencySummary   `json:"latency,omitempty"`
 }
 
 // output is the top-level -json document.
@@ -107,31 +132,27 @@ type output struct {
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "metrics-diff" {
-		if err := metricsDiff(os.Args[2:]); err != nil {
-			fatal(err)
+	if len(os.Args) > 1 {
+		subcommands := map[string]func([]string) error{
+			"metrics-diff": metricsDiff,
+			"bench-gate":   func(args []string) error { return benchGate(args, os.Stdout) },
+			"latency":      latencyCmd,
+			"stress":       stressCmd,
 		}
-		return
-	}
-	if len(os.Args) > 1 && os.Args[1] == "stress" {
-		if err := stressCmd(os.Args[2:]); err != nil {
-			fatal(err)
+		if cmd, ok := subcommands[os.Args[1]]; ok {
+			if err := cmd(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
 		}
-		return
 	}
+	var ef expFlags
+	ef.register(flag.CommandLine)
 	var (
 		exp      = flag.String("exp", "all", "experiment to run (or \"all\"); see the registry in -h")
-		tuples   = flag.Int("tuples", gsdram.DefaultOptions().Tuples, "database table size in tuples (paper: 1048576)")
-		txns     = flag.Int("txns", gsdram.DefaultOptions().Txns, "transactions per Figure 9 run (paper: 10000)")
-		gemmStr  = flag.String("gemm", "32,64,128,256", "comma-separated GEMM matrix sizes (paper: 32..1024)")
-		kvPairs  = flag.Int("kvpairs", 4096, "key-value pairs for the kvstore experiment")
-		gVerts   = flag.Int("vertices", 32768, "vertices for the graph experiment")
-		gDeg     = flag.Int("degree", 8, "average out-degree for the graph experiment")
-		seed     = flag.Uint64("seed", 42, "workload random seed")
-		workers  = flag.Int("workers", 0, "concurrent simulation runs per experiment (0 = GOMAXPROCS, 1 = serial)")
-		noInline = flag.Bool("noinline", false, "disable the event-horizon fast path (pure event-driven execution; identical results)")
 		jsonOut  = flag.String("json", "", "write the JSON document (manifest, per-experiment records, telemetry) to FILE; \"-\" replaces the text tables on stdout")
 		traceOut = flag.String("trace-out", "", "write a Chrome trace_event / Perfetto JSON of all telemetered runs to FILE")
+		promOut  = flag.String("prom-out", "", "write the final metrics of all telemetered runs in Prometheus text format to FILE")
 		epoch    = flag.Uint64("epoch", uint64(telemetry.DefaultEpoch), "telemetry sampling interval in CPU cycles")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -163,141 +184,20 @@ func main() {
 		}()
 	}
 
-	gsdram.SetNoInline(*noInline)
-	telemetryOn := *jsonOut != "" || *traceOut != ""
+	gsdram.SetNoInline(ef.noInline)
+	telemetryOn := *jsonOut != "" || *traceOut != "" || *promOut != ""
 	gsdram.SetTelemetry(telemetryOn, *epoch)
 
-	opts := gsdram.DefaultOptions()
-	opts.Tuples = *tuples
-	opts.Txns = *txns
-	opts.Seed = *seed
-	opts.Workers = *workers
-	sizes, err := parseSizes(*gemmStr)
+	opts, err := ef.options()
 	if err != nil {
 		fatal(err)
 	}
-	opts.GemmSizes = sizes
-
-	experiments := []experiment{
-		{"table1", func() (any, any, []*stats.Table, error) {
-			t := gsdram.Table1()
-			return t, nil, []*stats.Table{t}, nil
-		}},
-		{"fig7", func() (any, any, []*stats.Table, error) {
-			t1 := gsdram.Fig7(gsdram.GS422, 4)
-			t2 := gsdram.Fig7(gsdram.GS844, 8)
-			ts := []*stats.Table{t1, t2}
-			return ts, nil, ts, nil
-		}},
-		{"fig9", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunFig9(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, fig9Summary(r), []*stats.Table{r.Table()}, nil
-		}},
-		{"fig10", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunFig10(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, fig10Summary(r), []*stats.Table{r.Table()}, nil
-		}},
-		{"fig11", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunFig11(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.AnalyticsTable(), r.ThroughputTable()}, nil
-		}},
-		{"fig12", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunFig12(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.PerfTable(), r.EnergyTable(), r.EnergyBreakdownTable()}, nil
-		}},
-		{"fig13", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunFig13(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.Table()}, nil
-		}},
-		{"kvstore", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunKVStore(*kvPairs, *seed)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.Table()}, nil
-		}},
-		{"graph", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunGraph(*gVerts, *gDeg, opts.Txns, *seed)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.Table()}, nil
-		}},
-		{"channels", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunChannels(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.Table()}, nil
-		}},
-		{"impulse", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunImpulse(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.Table()}, nil
-		}},
-		{"pattbits", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunPattBits(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.Table()}, nil
-		}},
-		{"storebuf", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunStoreBuf(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.Table()}, nil
-		}},
-		{"autogather", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunAuto(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.Table()}, nil
-		}},
-		{"schedpol", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunSchedule(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.Table()}, nil
-		}},
-		{"pixels", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunPixels((*tuples)&^7, 2000, *seed)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.Table()}, nil
-		}},
-		{"ablation", func() (any, any, []*stats.Table, error) {
-			t := gsdram.AblationMap(gsdram.GS844)
-			t2 := gsdram.AblationECC(gsdram.GS844)
-			ts := []*stats.Table{t, t2}
-			return ts, nil, ts, nil
-		}},
-	}
+	experiments := buildExperiments(&ef, opts)
 
 	jsonToStdout := *jsonOut == "-"
 	var records []record
 	var traceRuns []*gsdram.TelemetryRun
+	var promRegs []metrics.LabeledRegistry
 	ran := false
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.name {
@@ -322,6 +222,11 @@ func main() {
 					PhasesSeen:   r.Phases.Seen(),
 					Metrics:      r.Registry.Export(),
 					Series:       r.Series,
+					Latency:      summarizeLatency(r.Latency),
+				})
+				promRegs = append(promRegs, metrics.LabeledRegistry{
+					Labels: map[string]string{"experiment": e.name, "run": r.Label},
+					Reg:    r.Registry,
 				})
 			}
 		}
@@ -342,29 +247,17 @@ func main() {
 	}
 
 	if !ran {
-		names := make([]string, len(experiments))
-		for i, e := range experiments {
-			names[i] = e.name
-		}
-		fatal(fmt.Errorf("unknown experiment %q (valid: all, %s)", *exp, strings.Join(names, ", ")))
+		fatal(fmt.Errorf("unknown experiment %q (valid: all, %s)", *exp,
+			strings.Join(experimentNames(experiments), ", ")))
 	}
 
 	manifest := telemetry.Manifest{
 		Tool:      "gsbench",
 		GoVersion: runtime.Version(),
-		Seed:      *seed,
-		Workers:   *workers,
+		Seed:      ef.seed,
+		Workers:   ef.workers,
 		Epoch:     *epoch,
-		Params: map[string]string{
-			"exp":      *exp,
-			"tuples":   strconv.Itoa(*tuples),
-			"txns":     strconv.Itoa(*txns),
-			"gemm":     *gemmStr,
-			"kvpairs":  strconv.Itoa(*kvPairs),
-			"vertices": strconv.Itoa(*gVerts),
-			"degree":   strconv.Itoa(*gDeg),
-			"noinline": strconv.FormatBool(*noInline),
-		},
+		Params:    ef.params(*exp),
 	}
 
 	if *traceOut != "" {
@@ -373,6 +266,20 @@ func main() {
 			fatal(err)
 		}
 		if err := telemetry.WriteTrace(f, manifest, traceRuns); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *promOut != "" {
+		f, err := os.Create(*promOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := metrics.WritePrometheusMulti(f, promRegs); err != nil {
 			f.Close()
 			fatal(err)
 		}

@@ -141,6 +141,9 @@ func newRig(rc runConfig) (*machine.Machine, *imdb.DB, *sim.EventQueue, *memsys.
 	cfg := memsys.DefaultConfig(rc.cores)
 	cfg.EnablePrefetch = rc.prefetch
 	cfg.Metrics, cfg.Mem.Observer = telemetryForRig(rc.label, q)
+	if cfg.Metrics != nil {
+		cfg.LatencyTraceCap = maxLatencyTraces
+	}
 	mem, err := memsys.New(cfg, q)
 	if err != nil {
 		return nil, nil, nil, nil, err

@@ -21,6 +21,7 @@ import (
 const (
 	maxTraceCommands = 200_000
 	maxTracePhases   = 100_000
+	maxLatencyTraces = 50_000
 )
 
 // telem is the session-level telemetry switch, mirroring noInline: off
@@ -47,6 +48,9 @@ type rigTelemetry struct {
 	rec     *trace.Recorder
 	phases  *telemetry.PhaseRecorder
 	sampler *telemetry.Sampler
+	// mem is the rig's memory system, captured in start so finish can
+	// collect its latency recorder.
+	mem *memsys.System
 }
 
 // SetTelemetry enables or disables telemetry capture for subsequently
@@ -121,6 +125,7 @@ func (rt *rigTelemetry) start(q *sim.EventQueue, mem *memsys.System, cores []*cp
 	if rt == nil {
 		return
 	}
+	rt.mem = mem
 	for i, c := range cores {
 		c.RegisterMetrics(rt.reg, fmt.Sprintf("core.%d", i))
 		c.SetPhaseHook(rt.phases.HookFor(i))
@@ -159,6 +164,7 @@ func (rt *rigTelemetry) finish(q *sim.EventQueue, cores []*cpu.Core) {
 		Phases:       rt.phases,
 		Commands:     rt.rec.Events(),
 		CommandsSeen: rt.rec.Seen(),
+		Latency:      rt.mem.LatencyRecorder(),
 		End:          q.Now(),
 	}
 	for i, c := range cores {

@@ -315,11 +315,13 @@ func (c *Core) step(now sim.Cycle) {
 				// Buffered store: retire in one cycle unless the buffer
 				// is full, in which case stall until a slot frees.
 				c.sbPending++
+				acc.NonBlocking = true
 				drain := func(dt sim.Cycle) {
 					c.sbPending--
 					if c.sbWaiting {
 						c.sbWaiting = false
 						c.ctr.MemStallCycles += metrics.Counter(dt - issue)
+						c.mem.ChargeStoreBufferStall(c.id, dt-issue)
 						if c.phaseHook != nil && dt > issue {
 							c.phaseHook(issue, dt)
 						}

@@ -1,0 +1,130 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"gsdram/internal/latency"
+	"gsdram/internal/memsys"
+	"gsdram/internal/metrics"
+	"gsdram/internal/sim"
+)
+
+// stallWorkload builds an op mix that exercises every stall stage: L1/L2
+// hits, cold and row-conflict misses, coalescing across cores, shuffled
+// (pattern-carrying) accesses, and stores.
+func stallWorkload(core int, n int) []Op {
+	rng := rand.New(rand.NewSource(int64(42 + core)))
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			ops = append(ops, Compute(rng.Intn(20)+1))
+		case 1: // revisit a small set: L1 hits
+			ops = append(ops, Load(addr(0, 1, rng.Intn(4)), 1))
+		case 2: // wider set: L2 hits and misses
+			ops = append(ops, Load(addr(rng.Intn(8), 1+rng.Intn(4), rng.Intn(128)), 2))
+		case 3: // stores, some to contended rows
+			ops = append(ops, Store(addr(rng.Intn(8), 1+rng.Intn(2), rng.Intn(128)), 3))
+		case 4: // patterned loads over shuffled data
+			ops = append(ops, PattLoad(addr(rng.Intn(8), 6, rng.Intn(16)*8), 2, 4))
+		default: // shared lines: cross-core coalescing
+			ops = append(ops, Load(addr(1, 2, rng.Intn(8)), 5))
+		}
+	}
+	return ops
+}
+
+func runStallRig(t *testing.T, cores int, sbCap int) ([]*Core, *memsys.System, *metrics.Registry) {
+	t.Helper()
+	reg := metrics.New()
+	cfg := memsys.DefaultConfig(cores)
+	cfg.Metrics = reg
+	q := &sim.EventQueue{}
+	mem, err := memsys.New(cfg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := make([]*Core, cores)
+	for i := range cs {
+		cs[i] = NewWithStoreBuffer(i, q, mem, SliceStream(stallWorkload(i, 600)), nil, sbCap)
+		cs[i].RegisterMetrics(reg, "core."+string(rune('0'+i)))
+		cs[i].Start(0)
+	}
+	q.Run()
+	for _, c := range cs {
+		if !c.Stats().Finished {
+			t.Fatal("core did not finish")
+		}
+	}
+	return cs, mem, reg
+}
+
+// TestStallAttributionConservation is the "where did the cycles go"
+// invariant: per core, the stage-attributed stall cycles sum EXACTLY to
+// the core's own mem_stall_cycles counter — nothing lost, nothing double
+// counted — for blocking stores, store-buffered cores, and the noinline
+// path alike.
+func TestStallAttributionConservation(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		cores int
+		sbCap int
+	}{
+		{"1core-blocking", 1, 0},
+		{"2core-blocking", 2, 0},
+		{"2core-storebuf", 2, 4},
+		{"1core-storebuf1", 1, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cs, mem, _ := runStallRig(t, tc.cores, tc.sbCap)
+			rec := mem.LatencyRecorder()
+			for i, c := range cs {
+				var attributed uint64
+				for st := latency.Stage(0); st < latency.NumStages; st++ {
+					attributed += rec.StallCycles(i, st)
+				}
+				if got := uint64(c.Stats().MemStallCycles); attributed != got {
+					for st := latency.Stage(0); st < latency.NumStages; st++ {
+						t.Logf("  core %d %-13s %d", i, st, rec.StallCycles(i, st))
+					}
+					t.Errorf("core %d: attributed %d stall cycles, core counted %d (diff %d)",
+						i, attributed, got, int64(attributed)-int64(got))
+				}
+				if c.Stats().MemStallCycles == 0 {
+					t.Errorf("core %d never stalled — workload too easy to pin anything", i)
+				}
+			}
+		})
+	}
+}
+
+// TestStallAttributionConservationNoInline repeats the invariant on the
+// pure event-driven path.
+func TestStallAttributionConservationNoInline(t *testing.T) {
+	reg := metrics.New()
+	cfg := memsys.DefaultConfig(2)
+	cfg.Metrics = reg
+	q := &sim.EventQueue{}
+	mem, err := memsys.New(cfg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := make([]*Core, 2)
+	for i := range cs {
+		cs[i] = NewWithStoreBuffer(i, q, mem, SliceStream(stallWorkload(i, 400)), nil, 2)
+		cs[i].SetNoInline(true)
+		cs[i].Start(0)
+	}
+	q.Run()
+	rec := mem.LatencyRecorder()
+	for i, c := range cs {
+		var attributed uint64
+		for st := latency.Stage(0); st < latency.NumStages; st++ {
+			attributed += rec.StallCycles(i, st)
+		}
+		if got := uint64(c.Stats().MemStallCycles); attributed != got {
+			t.Errorf("core %d (noinline): attributed %d, counted %d", i, attributed, got)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package cpu
 import (
 	"testing"
 
+	"gsdram/internal/latency"
 	"gsdram/internal/memsys"
 	"gsdram/internal/metrics"
 	"gsdram/internal/sim"
@@ -108,6 +109,20 @@ func TestCoreStepL1HitZeroAllocsWithMetrics(t *testing.T) {
 	if reg.Len() < 20 {
 		t.Fatalf("registry has %d metrics, want >= 20", reg.Len())
 	}
+	// The registry also brings up the latency attribution recorder: its
+	// stall counters and span histograms must be registered, and the hit
+	// fast path must be charging the L1-hit stage — while still not
+	// allocating (checked below).
+	rec := mem.LatencyRecorder()
+	if rec == nil {
+		t.Fatal("no latency recorder with a registry configured")
+	}
+	if _, ok := reg.Export()["core.0.stall.l1_hit"]; !ok {
+		t.Fatal("latency stall counters not registered")
+	}
+	if _, ok := reg.Export()["latency.p0.total"]; !ok {
+		t.Fatal("latency span histograms not registered")
+	}
 	allocs := testing.AllocsPerRun(10, func() {
 		s.remaining = 1000
 		c.Start(q.Now())
@@ -115,5 +130,8 @@ func TestCoreStepL1HitZeroAllocsWithMetrics(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("L1-hit fast path with metrics registered allocates %v times per 1000-op batch, want 0", allocs)
+	}
+	if rec.StallCycles(0, latency.StageL1Hit) == 0 {
+		t.Error("L1-hit stalls were not attributed")
 	}
 }

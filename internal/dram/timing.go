@@ -85,6 +85,13 @@ func DDR3_1866() Timing {
 	}
 }
 
+// ReadDataCycles returns the time from RD issue to the end of the data
+// burst (CAS latency plus burst length), in the Timing's own unit —
+// exactly the interval Rank.Issue reports for a CmdRD. The latency
+// attribution tests use it to pin the data_transfer span of an
+// uncontended read.
+func (t Timing) ReadDataCycles() int { return t.CL + t.TBL }
+
 // Scaled returns the timing with every parameter multiplied by ratio —
 // used to convert bus cycles to CPU cycles (ratio 5 for a 4 GHz core with
 // an 800 MHz DDR3-1600 bus).

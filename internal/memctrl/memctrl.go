@@ -16,6 +16,7 @@ import (
 	"gsdram/internal/addrmap"
 	"gsdram/internal/dram"
 	"gsdram/internal/gsdram"
+	"gsdram/internal/latency"
 	"gsdram/internal/metrics"
 	"gsdram/internal/sim"
 )
@@ -29,6 +30,12 @@ type Request struct {
 	// OnComplete fires when the data burst finishes (reads) or when the
 	// write has been accepted into the write queue (writes). May be nil.
 	OnComplete func(now sim.Cycle)
+
+	// Lat, when non-nil, receives the request's lifecycle timestamps
+	// (enqueue, first scheduler consideration, first command, CAS, burst
+	// completion) as the controller processes it. The pointer belongs to
+	// the producer (an MSHR entry); the controller drops it on recycle.
+	Lat *latency.ReqLat
 
 	loc     addrmap.Loc
 	arrival sim.Cycle
@@ -213,6 +220,7 @@ func (c *Controller) NewRequest() *Request {
 // free list.
 func (c *Controller) recycle(r *Request) {
 	r.OnComplete = nil
+	r.Lat = nil
 	c.freeReqs = append(c.freeReqs, r)
 }
 
@@ -334,6 +342,12 @@ func (c *Controller) Enqueue(now sim.Cycle, req *Request) bool {
 	}
 	req.loc = loc
 	req.arrival = now
+	if req.Lat != nil {
+		req.Lat.Enqueue = now
+		req.Lat.Channel = loc.Channel
+		req.Lat.Rank = loc.Rank
+		req.Lat.Bank = loc.Bank
+	}
 	ch := c.ch[loc.Channel]
 
 	if req.Write {
@@ -352,6 +366,10 @@ func (c *Controller) Enqueue(now sim.Cycle, req *Request) bool {
 		if w.Addr == req.Addr && w.Pattern == req.Pattern {
 			c.ctr.Forwards++
 			c.ctr.ReadsServed++
+			if req.Lat != nil {
+				req.Lat.Forwarded = true
+				req.Lat.Done = now + sim.Cycle(2*c.cfg.ClockRatio)
+			}
 			if req.OnComplete != nil {
 				cb := req.OnComplete
 				c.q.Schedule(now+sim.Cycle(2*c.cfg.ClockRatio), cb)
@@ -499,6 +517,11 @@ func (ch *channel) tryIssueOne(now sim.Cycle) bool {
 	if req == nil {
 		return false
 	}
+	if req.Lat != nil && req.Lat.FirstSched == 0 {
+		// First time the scheduler selected this request during an
+		// activation (it may still be blocked by DDR timing below).
+		req.Lat.FirstSched = now
+	}
 	rank := ch.ranks[req.loc.Rank]
 	earliest := rank.EarliestIssue(cmd, req.loc.Bank, now)
 	if earliest > now {
@@ -617,6 +640,15 @@ func (ch *channel) issue(rank *dram.Rank, req *Request, cmd dram.CmdKind, now si
 	done := rank.Issue(cmd, req.loc.Bank, req.loc.Row, now)
 	ch.observe(now, req.loc.Rank, req.loc.Bank, req.loc.Row, cmd, req.Pattern)
 	c := ch.ctrl
+	if req.Lat != nil {
+		if req.Lat.FirstCmd == 0 {
+			req.Lat.FirstCmd = now
+		}
+		if cmd == dram.CmdRD {
+			req.Lat.CAS = now
+			req.Lat.Done = done
+		}
+	}
 	switch cmd {
 	case dram.CmdRD:
 		c.ctr.ReadsServed++

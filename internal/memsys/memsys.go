@@ -22,6 +22,7 @@ import (
 	"gsdram/internal/autopatt"
 	"gsdram/internal/cache"
 	"gsdram/internal/gsdram"
+	"gsdram/internal/latency"
 	"gsdram/internal/memctrl"
 	"gsdram/internal/metrics"
 	"gsdram/internal/prefetch"
@@ -65,7 +66,15 @@ type Config struct {
 	// construction: the hierarchy's own counters, the per-cache counters,
 	// the MSHR occupancy telemetry, and (threaded through Mem.Metrics)
 	// the controller and DRAM rank counters. Nil disables registration.
+	// A registry also enables the request-lifecycle latency recorder
+	// (internal/latency): span histograms and core-stall attribution.
 	Metrics *metrics.Registry
+
+	// LatencyTraceCap bounds the number of per-request lifecycle traces
+	// the latency recorder captures for the exporters (0 = none). The
+	// histograms and stall counters are always complete; only the
+	// per-request traces are bounded.
+	LatencyTraceCap int
 }
 
 // GatherMode selects the gather implementation being modelled.
@@ -120,6 +129,13 @@ type Access struct {
 	Pattern gsdram.Pattern
 	Write   bool
 	PC      uint64
+	// NonBlocking marks accesses the issuing core does not stall on (a
+	// store retiring into a free store-buffer slot). They are observed in
+	// the latency histograms but charge no core-stall cycles; the
+	// store-buffer-full wait is charged separately via
+	// ChargeStoreBufferStall. The zero value (blocking) is correct for
+	// every demand load and unbuffered store.
+	NonBlocking bool
 	// Shuffled marks accesses to pattmalloc'd (shuffled) data; it enables
 	// the shuffle latency and the cross-pattern coherence rules.
 	Shuffled bool
@@ -181,6 +197,13 @@ type waiter struct {
 	write  bool
 	onDone func(now sim.Cycle)
 	extra  sim.Cycle
+
+	// Latency-attribution context: the waiter's access time, whether it
+	// joined an entry whose fetch was already in flight, and whether its
+	// core blocks on the fill (see Access.NonBlocking).
+	start     sim.Cycle
+	coalesced bool
+	blocking  bool
 }
 
 type mshrEntry struct {
@@ -193,6 +216,11 @@ type mshrEntry struct {
 	key  mshrKey
 	line addrmap.Addr
 	acc  Access
+	// lat is the entry's request-lifecycle timestamp record; the
+	// controller stamps it through Request.Lat. It lives in the (pooled)
+	// entry so it outlives the controller's Request, which is recycled at
+	// CAS issue — before the fill completes. Reset at entry allocation.
+	lat latency.ReqLat
 	// onFetch completes the fill (the controller's OnComplete); fetchFn is
 	// the scheduled L2-miss continuation that issues the DRAM fetch. Both
 	// capture the entry itself and are built once per entry.
@@ -227,6 +255,11 @@ type System struct {
 	// overlapLines call; all callers consume it before issuing another
 	// access (the simulation is single-threaded per System).
 	overlapBuf []addrmap.Addr
+
+	// lat is the request-lifecycle attribution recorder, created only
+	// when the system is built with a metrics registry; nil otherwise
+	// (one pointer check per hit, one per miss fill).
+	lat *latency.Recorder
 
 	ctr counters
 }
@@ -268,7 +301,25 @@ func New(cfg Config, q *sim.EventQueue) (*System, error) {
 	s.auto = autopatt.New(cfg.AutoPatt)
 	s.caches = append(append(s.caches, s.l1...), s.l2)
 	s.registerMetrics(cfg.Metrics)
+	if cfg.Metrics != nil {
+		spec := cfg.Mem.Spec
+		s.lat = latency.NewRecorder(cfg.Cores, spec.Channels, spec.Ranks, spec.Banks,
+			cfg.LatencyTraceCap, cfg.Metrics)
+	}
 	return s, nil
+}
+
+// LatencyRecorder returns the request-lifecycle attribution recorder, or
+// nil when the system was built without a metrics registry.
+func (s *System) LatencyRecorder() *latency.Recorder { return s.lat }
+
+// ChargeStoreBufferStall attributes core-stall cycles spent waiting on a
+// full store buffer (the only memory stall the core accounts that never
+// surfaces as a blocking Access). No-op without a latency recorder.
+func (s *System) ChargeStoreBufferStall(core int, cycles sim.Cycle) {
+	if s.lat != nil {
+		s.lat.ChargeStall(core, latency.StageStoreBuf, cycles)
+	}
 }
 
 // newMSHR returns a recycled (or fresh) entry with no waiters.
@@ -424,6 +475,11 @@ func (s *System) Access(now sim.Cycle, a Access, onDone func(now sim.Cycle)) (do
 	t1 := now + s.cfg.L1Latency
 	if s.l1[a.Core].Lookup(line, a.Pattern, a.Write) {
 		s.ctr.L1Hits++
+		if s.lat != nil && !a.NonBlocking && t1 > now+1 {
+			// The core stalls max(done, issue)-issue cycles on a hit;
+			// charge exactly that (issue = now+1, the op's issue slot).
+			s.lat.ChargeStall(a.Core, latency.StageL1Hit, t1-(now+1))
+		}
 		return t1, true
 	}
 	s.ctr.L1Misses++
@@ -444,6 +500,9 @@ func (s *System) Access(now sim.Cycle, a Access, onDone func(now sim.Cycle)) (do
 			delete(s.prefetchedLines, key)
 		}
 		s.fillL1(a.Core, line, a.Pattern, a.Write)
+		if s.lat != nil && !a.NonBlocking && t2 > now+1 {
+			s.lat.ChargeStall(a.Core, latency.StageL2Hit, t2-(now+1))
+		}
 		return t2, true
 	}
 	s.ctr.L2Misses++
@@ -452,13 +511,18 @@ func (s *System) Access(now sim.Cycle, a Access, onDone func(now sim.Cycle)) (do
 	if a.Shuffled {
 		extra = s.cfg.ShuffleLatency
 	}
-	w := waiter{core: a.Core, write: a.Write, onDone: onDone, extra: extra}
+	w := waiter{
+		core: a.Core, write: a.Write, onDone: onDone, extra: extra,
+		start: now, blocking: !a.NonBlocking,
+	}
 	if e, ok := s.mshrs[key]; ok {
+		w.coalesced = true
 		e.waiters = append(e.waiters, w)
 		return 0, false
 	}
 	e := s.newMSHR()
 	e.key, e.line, e.acc = key, line, a
+	e.lat = latency.ReqLat{MSHRAlloc: now}
 	e.waiters = append(e.waiters, w)
 	s.mshrs[key] = e
 	s.ctr.MSHROccupancy.Observe(uint64(len(s.mshrs)))
@@ -488,6 +552,7 @@ func (s *System) train(now sim.Cycle, a Access, line addrmap.Addr) {
 		e := s.newMSHR()
 		e.prefetched = true
 		e.key = key
+		e.lat = latency.ReqLat{MSHRAlloc: now}
 		s.mshrs[key] = e
 		s.ctr.MSHROccupancy.Observe(uint64(len(s.mshrs)))
 		if !s.enqueueFetch(now, cl, cand.Pattern, true, e) {
@@ -514,6 +579,12 @@ func (s *System) enqueueFetch(now sim.Cycle, line addrmap.Addr, patt gsdram.Patt
 		for _, da := range donors {
 			req := s.ctrl.NewRequest()
 			req.Addr = da
+			if s.lat != nil {
+				// All donors share the entry's record; the stamps reflect
+				// whichever donor the controller touched last. The clamped
+				// span chain keeps the decomposition conservative anyway.
+				req.Lat = &e.lat
+			}
 			req.OnComplete = func(t sim.Cycle) {
 				remaining--
 				if remaining == 0 {
@@ -529,6 +600,9 @@ func (s *System) enqueueFetch(now sim.Cycle, line addrmap.Addr, patt gsdram.Patt
 	req.Pattern = patt
 	req.IsPrefetch = isPrefetch
 	req.OnComplete = e.onFetch
+	if s.lat != nil {
+		req.Lat = &e.lat
+	}
 	return s.ctrl.Enqueue(now, req)
 }
 
@@ -558,6 +632,12 @@ func (s *System) finishFetch(now sim.Cycle, key mshrKey) {
 		s.fillL1(w.core, key.addr, key.patt, w.write)
 		cb := w.onDone
 		s.q.Schedule(now+w.extra, cb)
+		if s.lat != nil {
+			// The waiter's continuation runs at now+extra: that is the
+			// cycle the core unstalls.
+			s.lat.ObserveMiss(w.core, w.start, now+w.extra, w.coalesced, w.blocking,
+				int(key.patt), &e.lat)
+		}
 	}
 	s.recycleMSHR(e)
 }

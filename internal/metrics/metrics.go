@@ -23,6 +23,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 )
@@ -93,6 +94,40 @@ func BucketLow(i int) uint64 {
 		return 0
 	}
 	return 1 << (i - 1)
+}
+
+// BucketHigh returns the inclusive upper bound of bucket i.
+func BucketHigh(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= HistBuckets-1 {
+		return math.MaxUint64
+	}
+	return 1<<i - 1
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1) of the
+// recorded distribution: the inclusive upper bound of the bucket holding
+// the ceil(q*N)-th smallest observation. With pow2 buckets this is exact
+// to within a factor of 2, which is all the latency percentiles need.
+// Returns 0 with no samples.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.N == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.N)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, n := range h.Buckets {
+		seen += n
+		if seen >= rank {
+			return BucketHigh(i)
+		}
+	}
+	return BucketHigh(HistBuckets - 1)
 }
 
 // Kind classifies a registry entry.

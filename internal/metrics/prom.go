@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file implements the Prometheus text exposition format (version
+// 0.0.4) for registries: counters and gauges as single samples,
+// histograms as cumulative le-labeled buckets with _sum and _count.
+// The registry's dotted metric names are mapped to the Prometheus
+// charset by replacing every illegal rune with '_'.
+
+// PromName converts a registry metric name to a legal Prometheus metric
+// name: [a-zA-Z_:][a-zA-Z0-9_:]*, with every other rune replaced by '_'.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// LabeledRegistry pairs a registry with the label set its samples carry
+// — used to write several runs' metrics into one exposition document.
+type LabeledRegistry struct {
+	// Labels are rendered on every sample, sorted by key.
+	Labels map[string]string
+	Reg    *Registry
+}
+
+// WritePrometheus writes every metric in the registry in the Prometheus
+// text exposition format, sorted by name. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WritePrometheusMulti(w, []LabeledRegistry{{Reg: r}})
+}
+
+// WritePrometheusMulti writes the union of several labeled registries as
+// one exposition document. The format requires a single # TYPE line per
+// metric name, so samples are grouped by (sanitized) name across all
+// registries; name collisions after sanitization are merged under the
+// first registry's type.
+func WritePrometheusMulti(w io.Writer, runs []LabeledRegistry) error {
+	type sample struct {
+		labels map[string]string
+		entry  *entry
+	}
+	groups := map[string][]sample{}
+	kinds := map[string]Kind{}
+	var order []string
+	for _, lr := range runs {
+		if lr.Reg == nil {
+			continue
+		}
+		for i := range lr.Reg.entries {
+			e := &lr.Reg.entries[i]
+			pn := PromName(e.name)
+			if _, seen := kinds[pn]; !seen {
+				kinds[pn] = e.kind
+				order = append(order, pn)
+			}
+			groups[pn] = append(groups[pn], sample{labels: lr.Labels, entry: e})
+		}
+	}
+	sort.Strings(order)
+
+	var b strings.Builder
+	for _, pn := range order {
+		fmt.Fprintf(&b, "# TYPE %s %s\n", pn, promType(kinds[pn]))
+		for _, s := range groups[pn] {
+			writeSample(&b, pn, s.labels, s.entry)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func promType(k Kind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// labelString renders a label set (plus an optional extra pair) as
+// {k="v",...}, or "" when empty.
+func labelString(labels map[string]string, extraKey, extraVal string) string {
+	n := len(labels)
+	if extraKey != "" {
+		n++
+	}
+	if n == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, n)
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf(`%s=%q`, PromName(k), promEscape(labels[k])))
+	}
+	if extraKey != "" {
+		parts = append(parts, fmt.Sprintf(`%s=%q`, extraKey, promEscape(extraVal)))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func writeSample(b *strings.Builder, pn string, labels map[string]string, e *entry) {
+	switch e.kind {
+	case KindCounter:
+		fmt.Fprintf(b, "%s%s %d\n", pn, labelString(labels, "", ""), e.counter.Value())
+	case KindGauge:
+		fmt.Fprintf(b, "%s%s %d\n", pn, labelString(labels, "", ""), e.gaugeValue())
+	case KindHistogram:
+		h := e.hist
+		hi := 0
+		for i, n := range h.Buckets {
+			if n > 0 {
+				hi = i
+			}
+		}
+		var cum uint64
+		for i := 0; i <= hi; i++ {
+			cum += h.Buckets[i]
+			fmt.Fprintf(b, "%s_bucket%s %d\n", pn, labelString(labels, "le", fmt.Sprint(BucketHigh(i))), cum)
+		}
+		fmt.Fprintf(b, "%s_bucket%s %d\n", pn, labelString(labels, "le", "+Inf"), h.Count())
+		fmt.Fprintf(b, "%s_sum%s %d\n", pn, labelString(labels, "", ""), h.Sum())
+		fmt.Fprintf(b, "%s_count%s %d\n", pn, labelString(labels, "", ""), h.Count())
+	}
+}

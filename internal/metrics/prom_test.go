@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestBucketBounds(t *testing.T) {
+	for i := 1; i < HistBuckets-1; i++ {
+		if got, want := BucketLow(i+1), BucketHigh(i)+1; got != want {
+			t.Fatalf("bucket %d: high+1 = %d, next low = %d", i, want, got)
+		}
+	}
+	if BucketHigh(0) != 0 || BucketLow(0) != 0 {
+		t.Fatalf("bucket 0 bounds: [%d,%d]", BucketLow(0), BucketHigh(0))
+	}
+	if BucketHigh(HistBuckets-1) != math.MaxUint64 {
+		t.Fatalf("top bucket high = %d", BucketHigh(HistBuckets-1))
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram quantile = %d", h.Quantile(0.5))
+	}
+	// 90 samples of 5 (bucket [4,7]), 9 of 100 (bucket [64,127]), 1 of
+	// 5000 (bucket [4096,8191]).
+	for i := 0; i < 90; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(100)
+	}
+	h.Observe(5000)
+	if got := h.Quantile(0.5); got != 7 {
+		t.Errorf("p50 = %d, want 7", got)
+	}
+	if got := h.Quantile(0.95); got != 127 {
+		t.Errorf("p95 = %d, want 127", got)
+	}
+	if got := h.Quantile(0.99); got != 127 {
+		t.Errorf("p99 = %d, want 127", got)
+	}
+	if got := h.Quantile(1); got != 8191 {
+		t.Errorf("p100 = %d, want 8191", got)
+	}
+	if got := h.Quantile(0); got != 7 {
+		t.Errorf("p0 = %d, want 7 (smallest sample's bucket)", got)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"memctrl.reads_served":   "memctrl_reads_served",
+		"core.0.stall.l1_hit":    "core_0_stall_l1_hit",
+		"latency.ch0.total":      "latency_ch0_total",
+		"9lives":                 "_lives",
+		"a:b":                    "a:b",
+		"weird metric-name/here": "weird_metric_name_here",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// parseProm is a minimal exposition-format reader used to round-trip the
+// exporter's output: it returns TYPE declarations and all samples keyed
+// by "name{labels}".
+func parseProm(t *testing.T, text string) (types map[string]string, samples map[string]float64) {
+	t.Helper()
+	types = map[string]string{}
+	samples = map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			if _, dup := types[fields[2]]; dup {
+				t.Fatalf("duplicate TYPE line for %s", fields[2])
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("bad sample line %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		if _, dup := samples[key]; dup {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		samples[key] = val
+	}
+	return types, samples
+}
+
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	reg := New()
+	var c Counter
+	var g Gauge
+	var h Histogram
+	reg.RegisterCounter("memctrl.reads_served", &c)
+	reg.RegisterGauge("memctrl.ch0.read_queue", &g)
+	reg.RegisterGaugeFunc("queue.depth", func() int64 { return -3 })
+	reg.RegisterHistogram("latency.p0.total", &h)
+	c.Add(42)
+	g.Set(7)
+	for _, v := range []uint64{0, 1, 5, 5, 130, 1 << 20} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parseProm(t, b.String())
+
+	wantTypes := map[string]string{
+		"memctrl_reads_served":   "counter",
+		"memctrl_ch0_read_queue": "gauge",
+		"queue_depth":            "gauge",
+		"latency_p0_total":       "histogram",
+	}
+	for name, kind := range wantTypes {
+		if types[name] != kind {
+			t.Errorf("TYPE %s = %q, want %q", name, types[name], kind)
+		}
+	}
+
+	if samples["memctrl_reads_served"] != 42 {
+		t.Errorf("counter = %v", samples["memctrl_reads_served"])
+	}
+	if samples["memctrl_ch0_read_queue"] != 7 {
+		t.Errorf("gauge = %v", samples["memctrl_ch0_read_queue"])
+	}
+	if samples["queue_depth"] != -3 {
+		t.Errorf("gauge func = %v", samples["queue_depth"])
+	}
+	if samples["latency_p0_total_count"] != float64(h.Count()) {
+		t.Errorf("hist count = %v, want %d", samples["latency_p0_total_count"], h.Count())
+	}
+	if samples["latency_p0_total_sum"] != float64(h.Sum()) {
+		t.Errorf("hist sum = %v, want %d", samples["latency_p0_total_sum"], h.Sum())
+	}
+	if samples[`latency_p0_total_bucket{le="+Inf"}`] != float64(h.Count()) {
+		t.Errorf("+Inf bucket = %v", samples[`latency_p0_total_bucket{le="+Inf"}`])
+	}
+	// Reconstruct each cumulative bucket from the histogram and check the
+	// exported value: count of v <= BucketHigh(i).
+	var cum uint64
+	for i := range h.Buckets {
+		cum += h.Buckets[i]
+		key := `latency_p0_total_bucket{le="` + strconv.FormatUint(BucketHigh(i), 10) + `"}`
+		got, present := samples[key]
+		if !present {
+			continue // exporter stops after the last non-empty bucket
+		}
+		if got != float64(cum) {
+			t.Errorf("bucket %s = %v, want %d", key, got, cum)
+		}
+	}
+	// Cumulative buckets must be non-decreasing and end at count.
+	if samples[`latency_p0_total_bucket{le="2097151"}`] != float64(h.Count()) {
+		t.Errorf("last explicit bucket should hold every sample")
+	}
+}
+
+func TestWritePrometheusMultiGroupsTypes(t *testing.T) {
+	regA, regB := New(), New()
+	var ca, cb Counter
+	var ha, hb Histogram
+	regA.RegisterCounter("core.0.instructions", &ca)
+	regA.RegisterHistogram("latency.p0.total", &ha)
+	regB.RegisterCounter("core.0.instructions", &cb)
+	regB.RegisterHistogram("latency.p0.total", &hb)
+	ca.Add(10)
+	cb.Add(20)
+	ha.Observe(3)
+	hb.Observe(9)
+
+	var b strings.Builder
+	err := WritePrometheusMulti(&b, []LabeledRegistry{
+		{Labels: map[string]string{"run": "fig9/a"}, Reg: regA},
+		{Labels: map[string]string{"run": "fig9/b"}, Reg: regB},
+		{Reg: nil},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parseProm(t, b.String())
+	if len(types) != 2 {
+		t.Fatalf("types = %v", types)
+	}
+	if samples[`core_0_instructions{run="fig9/a"}`] != 10 ||
+		samples[`core_0_instructions{run="fig9/b"}`] != 20 {
+		t.Errorf("labeled counters wrong: %v", samples)
+	}
+	if samples[`latency_p0_total_count{run="fig9/a"}`] != 1 {
+		t.Errorf("labeled histogram count wrong")
+	}
+	// parseProm already fails on duplicate TYPE lines; also pin ordering
+	// is sorted by name.
+	text := b.String()
+	if strings.Index(text, "# TYPE core_0_instructions") > strings.Index(text, "# TYPE latency_p0_total") {
+		t.Errorf("TYPE blocks not sorted:\n%s", text)
+	}
+}

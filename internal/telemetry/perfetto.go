@@ -32,6 +32,8 @@ type traceEvent struct {
 	Tid  int            `json:"tid"`
 	Ts   uint64         `json:"ts"`
 	Dur  uint64         `json:"dur,omitempty"`
+	ID   uint64         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -40,6 +42,8 @@ type traceWriter struct {
 	w     *bufio.Writer
 	first bool
 	err   error
+	// flowID numbers flow-event pairs; ids must be unique trace-wide.
+	flowID uint64
 }
 
 func (t *traceWriter) emit(ev traceEvent) {
@@ -118,16 +122,51 @@ func writeRun(tw *traceWriter, pid, sortIndex int, run *Run) {
 		}
 	}
 
-	writeCommandLanes(tw, pid, run)
+	lanes := writeCommandLanes(tw, pid, run)
+	writeFlowEvents(tw, pid, run, lanes)
 	writeCounterTracks(tw, pid, run.Series)
+}
+
+// writeFlowEvents draws one flow arrow per captured request lifecycle:
+// from the stalled core's "dram stall" slice to the CAS command slice on
+// the bank lane that produced the data the core was waiting for. Only
+// blocking requests whose CAS landed inside the captured command stream
+// get an arrow — a flow must terminate on an existing slice.
+func writeFlowEvents(tw *traceWriter, pid int, run *Run, lanes map[laneKey]int) {
+	if run.Latency == nil || len(lanes) == 0 {
+		return
+	}
+	var lastCmd uint64
+	for _, ev := range run.Commands {
+		if uint64(ev.At) > lastCmd {
+			lastCmd = uint64(ev.At)
+		}
+	}
+	for _, tr := range run.Latency.Traces() {
+		if !tr.Blocking || tr.CAS == 0 || tr.Coalesced {
+			continue
+		}
+		tid, ok := lanes[laneKey{tr.Channel, tr.Rank, tr.Bank}]
+		if !ok || uint64(tr.CAS) > lastCmd {
+			// The command capture was truncated before this CAS; no slice
+			// to bind the arrow to.
+			continue
+		}
+		tw.flowID++
+		// The stall slice starts at the op's issue slot (start+1).
+		tw.emit(traceEvent{Name: "unblock", Ph: "s", Pid: pid, Tid: coreTidBase + tr.Core,
+			Ts: uint64(tr.Start + 1), ID: tw.flowID})
+		tw.emit(traceEvent{Name: "unblock", Ph: "f", BP: "e", Pid: pid, Tid: tid,
+			Ts: uint64(tr.CAS), ID: tw.flowID})
+	}
 }
 
 // laneKey orders DRAM command lanes by (channel, rank, bank).
 type laneKey struct{ ch, rk, ba int }
 
-func writeCommandLanes(tw *traceWriter, pid int, run *Run) {
+func writeCommandLanes(tw *traceWriter, pid int, run *Run) map[laneKey]int {
 	if len(run.Commands) == 0 {
-		return
+		return nil
 	}
 	lanes := map[laneKey]int{}
 	keys := []laneKey{}
@@ -172,6 +211,7 @@ func writeCommandLanes(tw *traceWriter, pid int, run *Run) {
 		tw.emit(traceEvent{Name: name, Ph: "X", Pid: pid, Tid: tid,
 			Ts: uint64(ev.At), Dur: 1, Args: args})
 	}
+	return lanes
 }
 
 // writeCounterTracks emits one "C" event per epoch per column. Counter

@@ -11,6 +11,7 @@
 package telemetry
 
 import (
+	"gsdram/internal/latency"
 	"gsdram/internal/memctrl"
 	"gsdram/internal/metrics"
 	"gsdram/internal/sim"
@@ -85,6 +86,11 @@ type Run struct {
 	// CommandsSeen counts every command issued).
 	Commands     []memctrl.CommandEvent
 	CommandsSeen uint64
+
+	// Latency is the run's request-lifecycle attribution recorder (span
+	// histograms, core-stall stage counters, bounded request traces). Nil
+	// when the run was captured without one.
+	Latency *latency.Recorder
 
 	// End is the cycle the run finished at.
 	End sim.Cycle

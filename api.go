@@ -23,6 +23,7 @@ import (
 	"gsdram/internal/bench"
 	core "gsdram/internal/gsdram"
 	"gsdram/internal/machine"
+	"gsdram/internal/sample"
 	"gsdram/internal/telemetry"
 )
 
@@ -144,11 +145,30 @@ func DrainTelemetryRuns() []*TelemetryRun { return bench.DrainTelemetryRuns() }
 
 // Fig9Result and Fig10Result are the structured results of the headline
 // analytics experiments, exported so tools (gsbench -json) can summarise
-// them without reaching into internal packages.
+// them without reaching into internal packages. PattBitsResult is the
+// §3.5 pattern-bit sweep.
 type (
-	Fig9Result  = bench.Fig9Result
-	Fig10Result = bench.Fig10Result
+	Fig9Result     = bench.Fig9Result
+	Fig10Result    = bench.Fig10Result
+	PattBitsResult = bench.PatternSweepResult
 )
+
+// ---- Sampled simulation (DESIGN.md §5.7) ----
+
+// SampleConfig parameterises SMARTS-style interval sampling: set it on
+// Options.Sample and the sampling-capable runners (Figure 9, Figure 10,
+// the pattern sweep) fast-forward most instructions functionally and
+// measure short detailed windows, returning extrapolated estimates with
+// confidence intervals (gsbench -sample).
+type SampleConfig = sample.Config
+
+// SampledResult is one run's sampled estimate: CPI, extrapolated cycles
+// and energy, and the Student-t confidence interval half-widths.
+type SampledResult = sample.Result
+
+// SampledEntry labels one run's sampled estimate inside an experiment
+// result (the `sampled` section of gsbench -json output).
+type SampledEntry = bench.SampledEntry
 
 // The experiment runners regenerate the paper's tables and figures. Each
 // returns structured results with a Table() (or similar) renderer.

@@ -2,15 +2,17 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"strconv"
+	"strings"
 
 	"gsdram"
 	"gsdram/internal/stats"
 )
 
 // expFlags holds the workload-scale knobs shared by the main run path
-// and the latency subcommand, so both register identical flags and build
-// experiments from one registry.
+// and the latency and sample-validate subcommands, so all register
+// identical flags and build experiments from one registry.
 type expFlags struct {
 	tuples   int
 	txns     int
@@ -21,6 +23,16 @@ type expFlags struct {
 	seed     uint64
 	workers  int
 	noInline bool
+
+	sampleOn       bool
+	sampleInterval uint64
+	sampleWarmup   uint64
+	sampleMeasure  uint64
+	sampleSeed     uint64
+	sampleFFWarm   uint64
+	// fs is the flag set the fields were registered on, kept so options()
+	// can tell which sampling flags were explicitly set.
+	fs *flag.FlagSet
 }
 
 // register installs the workload flags on fs.
@@ -34,10 +46,31 @@ func (ef *expFlags) register(fs *flag.FlagSet) {
 	fs.Uint64Var(&ef.seed, "seed", 42, "workload random seed")
 	fs.IntVar(&ef.workers, "workers", 0, "concurrent simulation runs per experiment (0 = GOMAXPROCS, 1 = serial)")
 	fs.BoolVar(&ef.noInline, "noinline", false, "disable the event-horizon fast path (pure event-driven execution; identical results)")
+	fs.BoolVar(&ef.sampleOn, "sample", false, "estimate the sampling-capable experiments (fig9, fig10, pattbits) via interval sampling: functional fast-forward plus detailed windows with confidence intervals")
+	fs.Uint64Var(&ef.sampleInterval, "sample-interval", 16384, "sampling interval in instructions (one detailed window per interval); larger workloads tolerate longer intervals (32768 holds at -tuples 1048576)")
+	fs.Uint64Var(&ef.sampleWarmup, "sample-warmup", 512, "detailed warm-up instructions per window (excluded from the samples)")
+	fs.Uint64Var(&ef.sampleMeasure, "sample-measure", 1024, "measured instructions per window")
+	fs.Uint64Var(&ef.sampleSeed, "sample-seed", 1, "window-placement seed (independent of the workload -seed)")
+	fs.Uint64Var(&ef.sampleFFWarm, "sample-ffwarm", 0, "functional cache warming tail before each detailed window, in instructions (0 = warm the entire fast-forward; bounded warming is faster but mispredicts L2-resident workloads)")
+	ef.fs = fs
 }
 
-// options resolves the flags into experiment Options.
-func (ef *expFlags) options() (gsdram.Options, error) {
+// sampleConfig resolves the sampling flags into a config.
+func (ef *expFlags) sampleConfig() *gsdram.SampleConfig {
+	return &gsdram.SampleConfig{
+		Interval: ef.sampleInterval,
+		Warmup:   ef.sampleWarmup,
+		Measure:  ef.sampleMeasure,
+		Seed:     ef.sampleSeed,
+		FFWarm:   ef.sampleFFWarm,
+	}
+}
+
+// options resolves the flags into experiment Options. sampledAlways
+// indicates the selected experiments include an always-sampled one
+// (fig9sampled), whose config consumes the sampling sub-flags even
+// without -sample.
+func (ef *expFlags) options(sampledAlways bool) (gsdram.Options, error) {
 	opts := gsdram.DefaultOptions()
 	opts.Tuples = ef.tuples
 	opts.Txns = ef.txns
@@ -48,6 +81,29 @@ func (ef *expFlags) options() (gsdram.Options, error) {
 		return opts, err
 	}
 	opts.GemmSizes = sizes
+	if !ef.sampleOn {
+		var set []string
+		if ef.fs != nil && !sampledAlways {
+			ef.fs.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "sample-interval", "sample-warmup", "sample-measure", "sample-seed", "sample-ffwarm":
+					set = append(set, "-"+f.Name)
+				}
+			})
+		}
+		if len(set) > 0 {
+			return opts, fmt.Errorf("sampling flags (%s) only take effect with -sample", strings.Join(set, ", "))
+		}
+		return opts, nil
+	}
+	if ef.noInline {
+		return opts, fmt.Errorf("-sample cannot be combined with -noinline: sampled runs fast-forward most instructions functionally, so there is no pure event-driven execution to fall back to")
+	}
+	if ef.sampleInterval <= ef.sampleWarmup+ef.sampleMeasure {
+		return opts, fmt.Errorf("-sample-interval (%d) must exceed -sample-warmup + -sample-measure (%d)",
+			ef.sampleInterval, ef.sampleWarmup+ef.sampleMeasure)
+	}
+	opts.Sample = ef.sampleConfig()
 	return opts, nil
 }
 
@@ -62,6 +118,7 @@ func (ef *expFlags) params(exp string) map[string]string {
 		"vertices": strconv.Itoa(ef.gVerts),
 		"degree":   strconv.Itoa(ef.gDeg),
 		"noinline": strconv.FormatBool(ef.noInline),
+		"sample":   strconv.FormatBool(ef.sampleOn),
 	}
 }
 
@@ -85,6 +142,18 @@ func buildExperiments(ef *expFlags, opts gsdram.Options) []experiment {
 				return nil, nil, nil, err
 			}
 			return r, fig9Summary(r), []*stats.Table{r.Table()}, nil
+		}},
+		{"fig9sampled", func() (any, any, []*stats.Table, error) {
+			// Always sampled, independent of -sample: this run keeps a
+			// wall-clock row in the -json document so bench-gate can
+			// regression-gate the sampled path's speed.
+			sopts := opts
+			sopts.Sample = ef.sampleConfig()
+			r, err := gsdram.RunFig9(sopts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return r, fig9SampledSummary(r), []*stats.Table{r.SampledTable()}, nil
 		}},
 		{"fig10", func() (any, any, []*stats.Table, error) {
 			r, err := gsdram.RunFig10(opts)

@@ -122,7 +122,7 @@ func latencyCmd(args []string) error {
 	gsdram.SetTelemetry(true, *epoch)
 	defer gsdram.SetTelemetry(false, 0)
 
-	opts, err := ef.options()
+	opts, err := ef.options(false)
 	if err != nil {
 		return err
 	}

@@ -3,14 +3,18 @@
 //
 // Usage:
 //
-//	gsbench [-exp all|table1|fig7|fig9|fig10|fig11|fig12|fig13|kvstore|graph|
-//	         ablation|autogather|schedpol|channels|impulse|pattbits|storebuf|
-//	         pixels]
+//	gsbench [-exp all|table1|fig7|fig9|fig9sampled|fig10|fig11|fig12|fig13|
+//	         kvstore|graph|ablation|autogather|schedpol|channels|impulse|
+//	         pattbits|storebuf|pixels]
 //	        [-tuples N] [-txns N] [-gemm n1,n2,...] [-kvpairs N]
 //	        [-vertices N] [-degree D] [-seed S] [-workers N] [-noinline]
+//	        [-sample] [-sample-interval N] [-sample-warmup N]
+//	        [-sample-measure N] [-sample-seed S] [-sample-ffwarm N]
 //	        [-json FILE] [-trace-out FILE] [-prom-out FILE] [-epoch N]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //	gsbench latency [-exp fig9] [workload flags]
+//	gsbench sample-validate [-min-speedup X] [-max-error PCT] [-json FILE]
+//	        [workload and sampling flags]
 //	gsbench metrics-diff [-all] OLD.json NEW.json
 //	gsbench bench-gate [-tol PCT] [-wall-tol PCT] OLD.json NEW.json
 //	gsbench stress [-seed S] [-count N] [-shrink] [-workers N] [-noinline]
@@ -21,6 +25,26 @@
 // percentiles, the span decomposition of where request cycles went, and
 // the per-core stall attribution ("where did the cycles go"), whose
 // stage totals sum exactly to each core's mem_stall_cycles.
+//
+// With -sample, the sampling-capable experiments (fig9, fig10, pattbits)
+// are estimated by interval sampling (DESIGN.md §5.7): long functional
+// fast-forwards that keep caches, predictors and DRAM state warm,
+// punctuated by short detailed windows whose per-instruction cycle
+// samples yield a mean and a 95% confidence interval. -sample-interval /
+// -sample-warmup / -sample-measure size the windows, -sample-seed places
+// them, and -sample-ffwarm bounds how much of each fast-forward warms
+// the hierarchy (0 = all of it). The fig9sampled experiment runs the
+// sampled and detailed fig9 side by side and reports the error of every
+// estimate.
+//
+// gsbench sample-validate is the accuracy-and-speedup gate built on that
+// comparison: it runs fig9 both ways at the configured scale, checks
+// every sampled CPI against the detailed truth (each |error| must stay
+// within -max-error percent and inside the sampled 95% CI) and the
+// wall-clock speedup against -min-speedup, exiting nonzero on any miss.
+// CI runs it at the paper's scale:
+//
+//	gsbench sample-validate -tuples 1048576 -sample-interval 32768
 //
 // gsbench metrics-diff compares the telemetry metrics of two -json
 // documents run by run; histograms expand to .count/.mean/.p50/.p99 rows.
@@ -107,11 +131,26 @@ type experiment struct {
 
 // record is one experiment's entry in the -json output.
 type record struct {
-	Experiment string           `json:"experiment"`
-	WallNS     int64            `json:"wall_ns"`
-	Summary    any              `json:"summary,omitempty"`
-	Result     any              `json:"result"`
-	Telemetry  []telemetryEntry `json:"telemetry,omitempty"`
+	Experiment string                `json:"experiment"`
+	WallNS     int64                 `json:"wall_ns"`
+	Summary    any                   `json:"summary,omitempty"`
+	Result     any                   `json:"result"`
+	Sampled    []gsdram.SampledEntry `json:"sampled,omitempty"`
+	Telemetry  []telemetryEntry      `json:"telemetry,omitempty"`
+}
+
+// sampledEntries extracts the per-run sampled estimates from the
+// experiments that support interval sampling; nil otherwise.
+func sampledEntries(result any) []gsdram.SampledEntry {
+	switch r := result.(type) {
+	case *gsdram.Fig9Result:
+		return r.SampledEntries()
+	case *gsdram.Fig10Result:
+		return r.SampledEntries()
+	case *gsdram.PattBitsResult:
+		return r.SampledEntries()
+	}
+	return nil
 }
 
 // telemetryEntry is one simulated run's telemetry in the -json output.
@@ -134,16 +173,20 @@ type output struct {
 func main() {
 	if len(os.Args) > 1 {
 		subcommands := map[string]func([]string) error{
-			"metrics-diff": metricsDiff,
-			"bench-gate":   func(args []string) error { return benchGate(args, os.Stdout) },
-			"latency":      latencyCmd,
-			"stress":       stressCmd,
+			"metrics-diff":    metricsDiff,
+			"bench-gate":      func(args []string) error { return benchGate(args, os.Stdout) },
+			"latency":         latencyCmd,
+			"stress":          stressCmd,
+			"sample-validate": sampleValidateCmd,
 		}
 		if cmd, ok := subcommands[os.Args[1]]; ok {
 			if err := cmd(os.Args[2:]); err != nil {
 				fatal(err)
 			}
 			return
+		}
+		if !strings.HasPrefix(os.Args[1], "-") {
+			fatal(fmt.Errorf("unknown subcommand %q (valid: latency, stress, bench-gate, metrics-diff, sample-validate)", os.Args[1]))
 		}
 	}
 	var ef expFlags
@@ -188,7 +231,7 @@ func main() {
 	telemetryOn := *jsonOut != "" || *traceOut != "" || *promOut != ""
 	gsdram.SetTelemetry(telemetryOn, *epoch)
 
-	opts, err := ef.options()
+	opts, err := ef.options(*exp == "all" || *exp == "fig9sampled")
 	if err != nil {
 		fatal(err)
 	}
@@ -236,6 +279,7 @@ func main() {
 				WallNS:     wall.Nanoseconds(),
 				Summary:    summary,
 				Result:     result,
+				Sampled:    sampledEntries(result),
 				Telemetry:  entries,
 			})
 		}
@@ -328,6 +372,27 @@ func fig10Summary(r *gsdram.Fig10Result) any {
 		"speedup_vs_row":    ratio(row, gs),
 		"speedup_vs_column": ratio(col, gs),
 	}
+}
+
+// fig9SampledSummary extends the Figure 9 summary with the sampling
+// quality stats: the worst relative CI half-width and the detailed
+// fraction, averaged over runs.
+func fig9SampledSummary(r *gsdram.Fig9Result) any {
+	s := fig9Summary(r).(map[string]any)
+	var maxCI, frac float64
+	n := 0
+	for _, e := range r.SampledEntries() {
+		if ci := e.Result.RelCI(); ci > maxCI {
+			maxCI = ci
+		}
+		frac += e.Result.SampledFraction()
+		n++
+	}
+	if n > 0 {
+		s["max_rel_ci"] = maxCI
+		s["detail_fraction"] = frac / float64(n)
+	}
+	return s
 }
 
 func ratio(a, b float64) float64 {

@@ -1,0 +1,50 @@
+package autopatt
+
+import (
+	"fmt"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/ckpt"
+)
+
+// Save serializes the per-PC stride table and counters for machine
+// checkpointing.
+func (d *Detector) Save(w *ckpt.Writer) {
+	w.Tag("autopatt")
+	w.U32(uint32(len(d.table)))
+	for i := range d.table {
+		e := &d.table[i]
+		w.Bool(e.valid)
+		w.U64(e.pc)
+		w.U64(uint64(e.last))
+		w.I64(e.stride)
+		w.Int(e.conf)
+	}
+	w.U64(d.stats.Observed)
+	w.U64(d.stats.Promoted)
+	w.U64(d.stats.StrideHits)
+}
+
+// Load restores state written by Save into an identically configured
+// detector.
+func (d *Detector) Load(r *ckpt.Reader) error {
+	r.ExpectTag("autopatt")
+	n := int(r.U32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n != len(d.table) {
+		return fmt.Errorf("autopatt: checkpoint table size %d != %d", n, len(d.table))
+	}
+	for i := range d.table {
+		d.table[i] = entry{
+			valid:  r.Bool(),
+			pc:     r.U64(),
+			last:   addrmap.Addr(r.U64()),
+			stride: r.I64(),
+			conf:   r.Int(),
+		}
+	}
+	d.stats = Stats{Observed: r.U64(), Promoted: r.U64(), StrideHits: r.U64()}
+	return r.Err()
+}

@@ -20,6 +20,7 @@ import (
 	"gsdram/internal/memctrl"
 	"gsdram/internal/memsys"
 	"gsdram/internal/runner"
+	"gsdram/internal/sample"
 	"gsdram/internal/sim"
 )
 
@@ -43,6 +44,14 @@ type Options struct {
 	// identical results: runs are independent rigs whose seeds depend only
 	// on the run index (see internal/runner).
 	Workers int
+	// Sample, when non-nil, switches the runners that support it (Figure
+	// 9, Figure 10, the pattern sweep) to interval sampling
+	// (internal/sample): each run's Cycles and Energy become the sampled
+	// extrapolation, and the result carries the per-run estimates with
+	// their confidence intervals. Sampled runs are untelemetered. The
+	// per-run placement seed is derived from Sample.Seed and the run
+	// index, so results stay identical at any worker count.
+	Sample *sample.Config
 }
 
 // pool returns the worker pool the experiment's runs are submitted to.

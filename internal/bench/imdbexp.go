@@ -5,6 +5,7 @@ import (
 
 	"gsdram/internal/cpu"
 	"gsdram/internal/imdb"
+	"gsdram/internal/sample"
 	"gsdram/internal/sim"
 	"gsdram/internal/stats"
 )
@@ -15,6 +16,9 @@ type Fig9Result struct {
 	Opts  Options
 	Mixes []imdb.TxnMix
 	Runs  map[imdb.Layout][]RunMetrics // indexed like Mixes
+	// Sampled holds the per-run estimates when the experiment ran under
+	// interval sampling (Options.Sample); nil otherwise.
+	Sampled map[imdb.Layout][]*sample.Result
 }
 
 // RunFig9 reproduces Figure 9: 10000 transactions per mix, for Row Store,
@@ -26,10 +30,14 @@ func RunFig9(opts Options) (*Fig9Result, error) {
 	// One job per (layout, mix), in the historical layout-major order. Each
 	// job builds its own rig and owns result slot j; the workload seed is
 	// opts.Seed for every run so all layouts replay the same transactions.
+	ests := make([]*sample.Result, len(runs))
 	err := opts.pool().Run(len(runs), func(j int) error {
 		layout, mix := layouts[j/nm], res.Mixes[j%nm]
-		_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1,
-			label: fmt.Sprintf("fig9/%v/%v", layout, mix)})
+		label := fmt.Sprintf("fig9/%v/%v", layout, mix)
+		if opts.Sample != nil {
+			label = "" // sampled rigs are untelemetered
+		}
+		mach, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1, label: label})
 		if err != nil {
 			return err
 		}
@@ -38,7 +46,15 @@ func RunFig9(opts Options) (*Fig9Result, error) {
 		if err != nil {
 			return err
 		}
-		m := runStreams(q, mem, []cpu.Stream{s})
+		var m RunMetrics
+		if opts.Sample != nil {
+			m, ests[j], err = runSampled(sampleConfigFor(*opts.Sample, j), mach, q, mem, s)
+			if err != nil {
+				return fmt.Errorf("bench: %v/%v sampled: %w", layout, mix, err)
+			}
+		} else {
+			m = runStreams(q, mem, []cpu.Stream{s})
+		}
 		if tr.Completed != uint64(opts.Txns) {
 			return fmt.Errorf("bench: %v/%v completed %d txns, want %d", layout, mix, tr.Completed, opts.Txns)
 		}
@@ -51,7 +67,54 @@ func RunFig9(opts Options) (*Fig9Result, error) {
 	for li, layout := range layouts {
 		res.Runs[layout] = runs[li*nm : (li+1)*nm : (li+1)*nm]
 	}
+	if opts.Sample != nil {
+		res.Sampled = map[imdb.Layout][]*sample.Result{}
+		for li, layout := range layouts {
+			res.Sampled[layout] = ests[li*nm : (li+1)*nm : (li+1)*nm]
+		}
+	}
 	return res, nil
+}
+
+// SampledEntries flattens the sampled estimates in the fixed
+// (layout-major) run order; empty when the experiment ran in full
+// detail.
+func (r *Fig9Result) SampledEntries() []SampledEntry {
+	var es []SampledEntry
+	for _, l := range layouts {
+		for i, est := range r.Sampled[l] {
+			es = append(es, SampledEntry{Run: fmt.Sprintf("fig9/%v/%v", l, r.Mixes[i]), Result: est})
+		}
+	}
+	return es
+}
+
+// SampledTable renders the sampled Figure 9 estimates with their
+// confidence intervals.
+func (r *Fig9Result) SampledTable() *stats.Table {
+	conf := 0.95
+	if ests := r.Sampled[imdb.GSStore]; len(ests) > 0 && ests[0] != nil {
+		conf = ests[0].Confidence
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 9 (sampled): %d txns, %d tuples (estimated Mcycles ± relative CI at %g%% confidence)",
+			r.Opts.Txns, r.Opts.Tuples, conf*100),
+		"mix (RO-WO-RW)", "Row Store", "Column Store", "GS-DRAM", "Col/GS ratio", "windows", "detail %")
+	if r.Sampled == nil {
+		return t
+	}
+	for i, mix := range r.Mixes {
+		cell := func(l imdb.Layout) string {
+			est := r.Sampled[l][i]
+			return fmt.Sprintf("%s ±%.1f%%", stats.Mcycles(est.Cycles), est.RelCI()*100)
+		}
+		col, gs := r.Sampled[imdb.ColumnStore][i], r.Sampled[imdb.GSStore][i]
+		t.Add(mix.String(), cell(imdb.RowStore), cell(imdb.ColumnStore), cell(imdb.GSStore),
+			stats.Ratio(float64(col.Cycles), float64(gs.Cycles)),
+			fmt.Sprint(gs.Windows),
+			fmt.Sprintf("%.1f", gs.SampledFraction()*100))
+	}
+	return t
 }
 
 // Table renders the Figure 9 series (execution time in million cycles).
@@ -98,6 +161,9 @@ type Fig10Result struct {
 	Opts   Options
 	Points []Fig10Point
 	Runs   map[imdb.Layout][]RunMetrics
+	// Sampled holds the per-run estimates when the experiment ran under
+	// interval sampling (Options.Sample); nil otherwise.
+	Sampled map[imdb.Layout][]*sample.Result
 }
 
 // RunFig10 reproduces Figure 10: sum of 1 or 2 columns, without and with
@@ -112,10 +178,15 @@ func RunFig10(opts Options) (*Fig10Result, error) {
 	}
 	np := len(res.Points)
 	runs := make([]RunMetrics, len(layouts)*np)
+	ests := make([]*sample.Result, len(runs))
 	err := opts.pool().Run(len(runs), func(j int) error {
 		layout, pt := layouts[j/np], res.Points[j%np]
-		_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1, prefetch: pt.Prefetch,
-			label: fmt.Sprintf("fig10/%v/%dcol/prefetch=%v", layout, pt.Columns, pt.Prefetch)})
+		label := fmt.Sprintf("fig10/%v/%dcol/prefetch=%v", layout, pt.Columns, pt.Prefetch)
+		if opts.Sample != nil {
+			label = ""
+		}
+		mach, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1, prefetch: pt.Prefetch,
+			label: label})
 		if err != nil {
 			return err
 		}
@@ -128,7 +199,15 @@ func RunFig10(opts Options) (*Fig10Result, error) {
 		if err != nil {
 			return err
 		}
-		m := runStreams(q, mem, []cpu.Stream{s})
+		var m RunMetrics
+		if opts.Sample != nil {
+			m, ests[j], err = runSampled(sampleConfigFor(*opts.Sample, j), mach, q, mem, s)
+			if err != nil {
+				return fmt.Errorf("bench: fig10 %v sampled: %w", layout, err)
+			}
+		} else {
+			m = runStreams(q, mem, []cpu.Stream{s})
+		}
 		checkSums(&ar, opts.Tuples, columns)
 		runs[j] = m
 		return nil
@@ -139,7 +218,29 @@ func RunFig10(opts Options) (*Fig10Result, error) {
 	for li, layout := range layouts {
 		res.Runs[layout] = runs[li*np : (li+1)*np : (li+1)*np]
 	}
+	if opts.Sample != nil {
+		res.Sampled = map[imdb.Layout][]*sample.Result{}
+		for li, layout := range layouts {
+			res.Sampled[layout] = ests[li*np : (li+1)*np : (li+1)*np]
+		}
+	}
 	return res, nil
+}
+
+// SampledEntries flattens the sampled estimates in the fixed run order;
+// empty when the experiment ran in full detail.
+func (r *Fig10Result) SampledEntries() []SampledEntry {
+	var es []SampledEntry
+	for _, l := range layouts {
+		for i, est := range r.Sampled[l] {
+			pt := r.Points[i]
+			es = append(es, SampledEntry{
+				Run:    fmt.Sprintf("fig10/%v/%dcol/prefetch=%v", l, pt.Columns, pt.Prefetch),
+				Result: est,
+			})
+		}
+	}
+	return es
 }
 
 // Table renders the Figure 10 series.

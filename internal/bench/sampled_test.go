@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"gsdram/internal/imdb"
+	"gsdram/internal/sample"
+)
+
+func quickSampleOptions() Options {
+	o := QuickOptions()
+	o.Sample = &sample.Config{Interval: 8192, Warmup: 512, Measure: 512, Seed: 7}
+	return o
+}
+
+// TestSampledFig9Shape checks the sampled Figure 9 path: every run gets
+// an estimate, the whole transaction stream is consumed (fast-forward is
+// functional, so completion checks still hold), and the estimate stays
+// within a loose band of the detailed run at quick scale.
+func TestSampledFig9Shape(t *testing.T) {
+	opts := quickSampleOptions()
+	r, err := RunFig9(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detailed, err := RunFig9(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := r.SampledEntries()
+	if len(entries) != len(layouts)*len(r.Mixes) {
+		t.Fatalf("got %d sampled entries, want %d", len(entries), len(layouts)*len(r.Mixes))
+	}
+	for _, l := range layouts {
+		for i := range r.Mixes {
+			est := r.Sampled[l][i]
+			if est == nil || est.Windows == 0 {
+				t.Fatalf("%v/%v: missing estimate", l, r.Mixes[i])
+			}
+			if r.Runs[l][i].Cycles != est.Cycles {
+				t.Errorf("%v/%v: RunMetrics.Cycles %d != estimate %d", l, r.Mixes[i], r.Runs[l][i].Cycles, est.Cycles)
+			}
+			det := float64(detailed.Runs[l][i].Cycles)
+			relErr := (float64(est.Cycles) - det) / det
+			if relErr < -0.25 || relErr > 0.25 {
+				t.Errorf("%v/%v: sampled %d vs detailed %d (%.1f%% error)",
+					l, r.Mixes[i], est.Cycles, detailed.Runs[l][i].Cycles, relErr*100)
+			}
+		}
+	}
+	// The GS-vs-column conclusion must survive sampling.
+	if gs, col := r.AvgCycles(imdb.GSStore), r.AvgCycles(imdb.ColumnStore); gs >= col {
+		t.Errorf("sampled fig9 lost the layout ordering: GS %v >= column %v", gs, col)
+	}
+}
+
+// TestSampledFig9WorkersDeterminism pins the sampled runner contract:
+// window placement seeds derive from the job index alone, so worker
+// count cannot change any estimate.
+func TestSampledFig9WorkersDeterminism(t *testing.T) {
+	serial := quickSampleOptions()
+	serial.Workers = 1
+	par := quickSampleOptions()
+	par.Workers = 8
+
+	s, err := RunFig9(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := RunFig9(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Runs, p.Runs) {
+		t.Errorf("sampled Fig9 runs differ between Workers=1 and Workers=8")
+	}
+	if !reflect.DeepEqual(s.Sampled, p.Sampled) {
+		t.Errorf("sampled Fig9 estimates differ between Workers=1 and Workers=8")
+	}
+}
+
+// TestSampledFig10AndSweep smoke-tests the other sampled rigs: analytics
+// sums must still be exact (data moves at stream generation), and every
+// point must carry an estimate.
+func TestSampledFig10AndSweep(t *testing.T) {
+	opts := quickSampleOptions()
+	// The analytics scan is shorter than the transaction run; tighten the
+	// interval so every point still collects multiple windows.
+	opts.Sample = &sample.Config{Interval: 4096, Warmup: 256, Measure: 256, Seed: 7}
+	f10, err := RunFig10(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(f10.SampledEntries()); n != len(layouts)*len(f10.Points) {
+		t.Fatalf("fig10: got %d sampled entries, want %d", n, len(layouts)*len(f10.Points))
+	}
+	for _, l := range layouts {
+		for i := range f10.Points {
+			if f10.Sampled[l][i] == nil || f10.Sampled[l][i].Windows == 0 {
+				t.Fatalf("fig10 %v point %d: missing estimate", l, i)
+			}
+		}
+	}
+
+	sweep, err := RunPatternSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, est := range sweep.Sampled {
+		if est == nil || est.Windows == 0 {
+			t.Fatalf("pattern sweep p=%d: missing estimate", p)
+		}
+		if sweep.Cycles[p] != est.Cycles {
+			t.Errorf("pattern sweep p=%d: Cycles %d != estimate %d", p, sweep.Cycles[p], est.Cycles)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"gsdram/internal/memsys"
 	"gsdram/internal/pixels"
 	"gsdram/internal/runner"
+	"gsdram/internal/sample"
 	"gsdram/internal/sim"
 	"gsdram/internal/stats"
 )
@@ -90,6 +91,9 @@ type PatternSweepResult struct {
 	// Indexed by pattern bits 0..3.
 	Cycles    [4]uint64
 	LineReads [4]uint64
+	// Sampled holds the per-point estimates when the sweep ran under
+	// interval sampling (Options.Sample); all nil otherwise.
+	Sampled [4]*sample.Result
 }
 
 // RunPatternSweep runs the 1-column scan on the GS layout with 0..3
@@ -98,8 +102,12 @@ type PatternSweepResult struct {
 func RunPatternSweep(opts Options) (*PatternSweepResult, error) {
 	res := &PatternSweepResult{Opts: opts}
 	err := opts.pool().Run(4, func(p int) error {
-		_, db, q, mem, err := newRig(runConfig{layout: imdb.GSStore, tuples: opts.Tuples, cores: 1, prefetch: true,
-			label: fmt.Sprintf("pattbits/p%d", p)})
+		label := fmt.Sprintf("pattbits/p%d", p)
+		if opts.Sample != nil {
+			label = ""
+		}
+		mach, db, q, mem, err := newRig(runConfig{layout: imdb.GSStore, tuples: opts.Tuples, cores: 1, prefetch: true,
+			label: label})
 		if err != nil {
 			return err
 		}
@@ -108,7 +116,15 @@ func RunPatternSweep(opts Options) (*PatternSweepResult, error) {
 		if err != nil {
 			return err
 		}
-		m := runStreams(q, mem, []cpu.Stream{s})
+		var m RunMetrics
+		if opts.Sample != nil {
+			m, res.Sampled[p], err = runSampled(sampleConfigFor(*opts.Sample, p), mach, q, mem, s)
+			if err != nil {
+				return fmt.Errorf("bench: pattern sweep p=%d sampled: %w", p, err)
+			}
+		} else {
+			m = runStreams(q, mem, []cpu.Stream{s})
+		}
 		checkSums(&ar, opts.Tuples, []int{0})
 		res.Cycles[p] = m.Cycles
 		res.LineReads[p] = m.Ctrl.ReadsServed
@@ -118,6 +134,18 @@ func RunPatternSweep(opts Options) (*PatternSweepResult, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// SampledEntries flattens the sampled estimates in sweep order; empty
+// when the sweep ran in full detail.
+func (r *PatternSweepResult) SampledEntries() []SampledEntry {
+	var es []SampledEntry
+	for p, est := range r.Sampled {
+		if est != nil {
+			es = append(es, SampledEntry{Run: fmt.Sprintf("pattbits/p%d", p), Result: est})
+		}
+	}
+	return es
 }
 
 // Table renders the pattern-bit sweep.

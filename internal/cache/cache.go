@@ -71,18 +71,42 @@ type counters struct {
 	PatternFills  metrics.Counter
 }
 
-type way struct {
-	valid   bool
-	dirty   bool
-	tag     uint64
-	pattern gsdram.Pattern
-	stamp   uint64 // LRU timestamp
+// Tag-array packing: each line's identity is one uint64 key,
+//
+//	key = tag<<keyTagShift | pattern<<keyPattShift | keyValid
+//
+// so the per-way match in find is a single integer compare and an 8-way
+// set's keys occupy 64 contiguous bytes (one host cache line) instead of
+// eight scattered structs. An invalid way has key 0, which can never
+// equal a packed key (bit 0 is the valid bit). Pattern IDs fit in 16
+// bits (Params.PatternBits is capped at 16), leaving 47 bits of tag —
+// enough for any address below 2^53 bytes; Fill guards the bound.
+const (
+	keyValid     = 1
+	keyPattShift = 1
+	keyPattBits  = 16
+	keyTagShift  = keyPattShift + keyPattBits
+)
+
+func packKey(tag uint64, p gsdram.Pattern) uint64 {
+	return tag<<keyTagShift | uint64(p)<<keyPattShift | keyValid
 }
 
-// Cache is one level of set-associative cache with LRU replacement.
+func keyTag(key uint64) uint64 { return key >> keyTagShift }
+func keyPattern(key uint64) gsdram.Pattern {
+	return gsdram.Pattern(key >> keyPattShift & (1<<keyPattBits - 1))
+}
+
+// Cache is one level of set-associative cache with LRU replacement. The
+// per-line state lives in parallel arrays indexed by set*Ways+way: the
+// packed identity keys scanned on every access, and the LRU stamps and
+// dirty bits touched only on hits, fills, and victim scans.
 type Cache struct {
 	cfg     Config
-	sets    [][]way
+	keys    []uint64
+	stamps  []uint64
+	dirty   []bool
+	ways    int
 	setMask uint64
 	offBits uint
 	clock   uint64
@@ -112,19 +136,19 @@ func New(cfg Config) (*Cache, error) {
 	if numSets&(numSets-1) != 0 {
 		return nil, fmt.Errorf("cache %s: set count %d must be a power of two", cfg.Name, numSets)
 	}
-	sets := make([][]way, numSets)
-	backing := make([]way, numSets*cfg.Ways)
-	for i := range sets {
-		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
-	}
 	return &Cache{
 		cfg:     cfg,
-		sets:    sets,
+		keys:    make([]uint64, lines),
+		stamps:  make([]uint64, lines),
+		dirty:   make([]bool, lines),
+		ways:    cfg.Ways,
 		setMask: uint64(numSets - 1),
 		offBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
 		mru:     make([]uint16, numSets),
 	}, nil
 }
+
+func (c *Cache) numSets() int { return len(c.mru) }
 
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
@@ -159,31 +183,50 @@ func (c *Cache) RegisterMetrics(r *metrics.Registry, prefix string) {
 func (c *Cache) setIndex(a addrmap.Addr) uint64 { return (uint64(a) >> c.offBits) & c.setMask }
 func (c *Cache) tag(a addrmap.Addr) uint64      { return uint64(a) >> c.offBits }
 
-func (c *Cache) find(a addrmap.Addr, p gsdram.Pattern) *way {
+// find returns the line index of (addr, pattern), or -1. The packed-key
+// compare subsumes the validity, tag, and pattern checks.
+func (c *Cache) find(a addrmap.Addr, p gsdram.Pattern) int {
 	si := c.setIndex(a)
-	set := c.sets[si]
-	tag := c.tag(a)
-	if m := &set[c.mru[si]]; m.valid && m.tag == tag && m.pattern == p {
-		return m
+	key := packKey(c.tag(a), p)
+	base := int(si) * c.ways
+	if i := base + int(c.mru[si]); c.keys[i] == key {
+		return i
 	}
-	for i := range set {
-		w := &set[i]
-		if w.valid && w.tag == tag && w.pattern == p {
-			c.mru[si] = uint16(i)
-			return w
+	for i := base; i < base+c.ways; i++ {
+		if c.keys[i] == key {
+			c.mru[si] = uint16(i - base)
+			return i
 		}
 	}
-	return nil
+	return -1
+}
+
+// victim returns the index to fill in the set holding a: the first
+// invalid way, or the LRU way of a full set.
+func (c *Cache) victim(si uint64) int {
+	base := int(si) * c.ways
+	vi := base
+	for i := base; i < base+c.ways; i++ {
+		if c.keys[i]&keyValid == 0 {
+			vi = i
+			break
+		}
+		if c.stamps[i] < c.stamps[vi] {
+			vi = i
+		}
+	}
+	c.mru[si] = uint16(vi - base)
+	return vi
 }
 
 // Lookup checks for (addr, pattern), updating LRU and hit/miss statistics.
 // setDirty additionally marks a hit line dirty (a store hit).
 func (c *Cache) Lookup(a addrmap.Addr, p gsdram.Pattern, setDirty bool) bool {
 	c.clock++
-	if w := c.find(a, p); w != nil {
-		w.stamp = c.clock
+	if i := c.find(a, p); i >= 0 {
+		c.stamps[i] = c.clock
 		if setDirty {
-			w.dirty = true
+			c.dirty[i] = true
 		}
 		c.ctr.Hits++
 		if p != gsdram.DefaultPattern {
@@ -197,10 +240,26 @@ func (c *Cache) Lookup(a addrmap.Addr, p gsdram.Pattern, setDirty bool) bool {
 
 // Probe checks for presence without touching LRU or statistics.
 func (c *Cache) Probe(a addrmap.Addr, p gsdram.Pattern) (present, dirty bool) {
-	if w := c.find(a, p); w != nil {
-		return true, w.dirty
+	if i := c.find(a, p); i >= 0 {
+		return true, c.dirty[i]
 	}
 	return false, false
+}
+
+// evictLine extracts the line being displaced at index vi, counting the
+// eviction when counted is set, and returns whether one was resident.
+func (c *Cache) evictLine(vi int, counted bool) (Line, bool) {
+	key := c.keys[vi]
+	if key&keyValid == 0 {
+		return Line{}, false
+	}
+	if counted {
+		c.ctr.Evictions++
+		if c.dirty[vi] {
+			c.ctr.DirtyEvicts++
+		}
+	}
+	return Line{Addr: c.lineAddrFromTag(keyTag(key)), Pattern: keyPattern(key), Dirty: c.dirty[vi]}, true
 }
 
 // Fill inserts (addr, pattern), evicting the LRU way if the set is full.
@@ -208,35 +267,19 @@ func (c *Cache) Probe(a addrmap.Addr, p gsdram.Pattern) (present, dirty bool) {
 // present just refreshes it (merging dirtiness).
 func (c *Cache) Fill(a addrmap.Addr, p gsdram.Pattern, dirty bool) (evicted Line, hasEvict bool) {
 	c.clock++
-	if w := c.find(a, p); w != nil {
-		w.stamp = c.clock
-		w.dirty = w.dirty || dirty
+	if i := c.find(a, p); i >= 0 {
+		c.stamps[i] = c.clock
+		c.dirty[i] = c.dirty[i] || dirty
 		return Line{}, false
 	}
-	si := c.setIndex(a)
-	set := c.sets[si]
-	victim := &set[0]
-	vi := 0
-	for i := range set {
-		w := &set[i]
-		if !w.valid {
-			victim, vi = w, i
-			break
-		}
-		if w.stamp < victim.stamp {
-			victim, vi = w, i
-		}
+	if c.tag(a) >= 1<<(64-keyTagShift) {
+		panic(fmt.Sprintf("cache %s: address %#x exceeds the packed-tag range", c.cfg.Name, uint64(a)))
 	}
-	c.mru[si] = uint16(vi)
-	if victim.valid {
-		c.ctr.Evictions++
-		if victim.dirty {
-			c.ctr.DirtyEvicts++
-		}
-		evicted = Line{Addr: c.lineAddrFromTag(victim.tag), Pattern: victim.pattern, Dirty: victim.dirty}
-		hasEvict = true
-	}
-	*victim = way{valid: true, dirty: dirty, tag: c.tag(a), pattern: p, stamp: c.clock}
+	vi := c.victim(c.setIndex(a))
+	evicted, hasEvict = c.evictLine(vi, true)
+	c.keys[vi] = packKey(c.tag(a), p)
+	c.stamps[vi] = c.clock
+	c.dirty[vi] = dirty
 	if p != gsdram.DefaultPattern {
 		c.ctr.PatternFills++
 	}
@@ -247,23 +290,30 @@ func (c *Cache) lineAddrFromTag(tag uint64) addrmap.Addr {
 	return addrmap.Addr(tag << c.offBits)
 }
 
+// clearLine resets line index i to the invalid state.
+func (c *Cache) clearLine(i int) {
+	c.keys[i] = 0
+	c.stamps[i] = 0
+	c.dirty[i] = false
+}
+
 // Invalidate removes (addr, pattern) if present, returning whether it was
 // present and whether it was dirty (the caller must write back dirty
 // victims).
 func (c *Cache) Invalidate(a addrmap.Addr, p gsdram.Pattern) (present, dirty bool) {
-	if w := c.find(a, p); w != nil {
+	if i := c.find(a, p); i >= 0 {
 		c.ctr.Invalidations++
-		present, dirty = true, w.dirty
-		*w = way{}
-		return present, dirty
+		dirty = c.dirty[i]
+		c.clearLine(i)
+		return true, dirty
 	}
 	return false, false
 }
 
 // CleanLine clears the dirty bit of (addr, pattern) after a writeback.
 func (c *Cache) CleanLine(a addrmap.Addr, p gsdram.Pattern) {
-	if w := c.find(a, p); w != nil {
-		w.dirty = false
+	if i := c.find(a, p); i >= 0 {
+		c.dirty[i] = false
 	}
 }
 
@@ -275,12 +325,9 @@ func (c *Cache) CleanLine(a addrmap.Addr, p gsdram.Pattern) {
 // which are dirty — not where in a set they happen to live.
 func (c *Cache) Lines() []Line {
 	var lines []Line
-	for _, set := range c.sets {
-		for i := range set {
-			w := &set[i]
-			if w.valid {
-				lines = append(lines, Line{Addr: c.lineAddrFromTag(w.tag), Pattern: w.pattern, Dirty: w.dirty})
-			}
+	for i, key := range c.keys {
+		if key&keyValid != 0 {
+			lines = append(lines, Line{Addr: c.lineAddrFromTag(keyTag(key)), Pattern: keyPattern(key), Dirty: c.dirty[i]})
 		}
 	}
 	sort.Slice(lines, func(i, j int) bool {
@@ -296,11 +343,9 @@ func (c *Cache) Lines() []Line {
 // cache-footprint statistics.
 func (c *Cache) ResidentLines() int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid {
-				n++
-			}
+	for _, key := range c.keys {
+		if key&keyValid != 0 {
+			n++
 		}
 	}
 	return n
@@ -309,14 +354,11 @@ func (c *Cache) ResidentLines() int {
 // Flush invalidates every line, returning all dirty lines for writeback.
 func (c *Cache) Flush() []Line {
 	var dirty []Line
-	for _, set := range c.sets {
-		for i := range set {
-			w := &set[i]
-			if w.valid && w.dirty {
-				dirty = append(dirty, Line{Addr: c.lineAddrFromTag(w.tag), Pattern: w.pattern, Dirty: true})
-			}
-			*w = way{}
+	for i, key := range c.keys {
+		if key&keyValid != 0 && c.dirty[i] {
+			dirty = append(dirty, Line{Addr: c.lineAddrFromTag(keyTag(key)), Pattern: keyPattern(key), Dirty: true})
 		}
+		c.clearLine(i)
 	}
 	return dirty
 }

@@ -1,0 +1,152 @@
+package cache
+
+import (
+	"fmt"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/ckpt"
+	"gsdram/internal/gsdram"
+	"gsdram/internal/metrics"
+)
+
+// Save serializes the cache's full microarchitectural state: every way
+// (including LRU stamps and the mru shortcuts), the LRU clock, and the
+// counters. Saving stamps rather than a canonical recency order keeps
+// the restore bit-identical — the next eviction picks the same victim
+// the uninterrupted run would have.
+func (c *Cache) Save(w *ckpt.Writer) {
+	w.Tag("cache")
+	w.U32(uint32(c.numSets()))
+	w.U32(uint32(c.cfg.Ways))
+	w.U64(c.clock)
+	for i, key := range c.keys {
+		w.Bool(key&keyValid != 0)
+		w.Bool(c.dirty[i])
+		w.U64(keyTag(key))
+		w.U32(uint32(keyPattern(key)))
+		w.U64(c.stamps[i])
+	}
+	for _, m := range c.mru {
+		w.U32(uint32(m))
+	}
+	w.U64(c.ctr.Hits.Value())
+	w.U64(c.ctr.Misses.Value())
+	w.U64(c.ctr.Evictions.Value())
+	w.U64(c.ctr.DirtyEvicts.Value())
+	w.U64(c.ctr.Invalidations.Value())
+	w.U64(c.ctr.PatternHits.Value())
+	w.U64(c.ctr.PatternFills.Value())
+}
+
+// Load restores state written by Save into a cache with the same
+// geometry.
+func (c *Cache) Load(r *ckpt.Reader) error {
+	r.ExpectTag("cache")
+	sets, ways := int(r.U32()), int(r.U32())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if sets != c.numSets() || ways != c.cfg.Ways {
+		return fmt.Errorf("cache %s: checkpoint geometry %dx%d does not match %dx%d",
+			c.cfg.Name, sets, ways, c.numSets(), c.cfg.Ways)
+	}
+	clock := r.U64()
+	for i := range c.keys {
+		valid := r.Bool()
+		c.dirty[i] = r.Bool()
+		tag := r.U64()
+		patt := gsdram.Pattern(r.U32())
+		c.stamps[i] = r.U64()
+		if valid {
+			c.keys[i] = packKey(tag, patt)
+		} else {
+			c.keys[i] = 0
+		}
+	}
+	for i := range c.mru {
+		c.mru[i] = uint16(r.U32())
+	}
+	c.ctr = counters{
+		Hits:          metrics.Counter(r.U64()),
+		Misses:        metrics.Counter(r.U64()),
+		Evictions:     metrics.Counter(r.U64()),
+		DirtyEvicts:   metrics.Counter(r.U64()),
+		Invalidations: metrics.Counter(r.U64()),
+		PatternHits:   metrics.Counter(r.U64()),
+		PatternFills:  metrics.Counter(r.U64()),
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	c.clock = clock
+	return nil
+}
+
+// WarmFill inserts (addr, pattern) exactly like Fill but without
+// counting the fill in the statistics — the functional fast-forward of
+// sampled simulation (DESIGN.md §5.7) warms tags without distorting the
+// counters the measured windows difference. LRU state advances normally:
+// warmed lines must age exactly like fetched ones. The warm variants are
+// direct uncounted implementations rather than counter-save/restore
+// wrappers: the fast-forward calls them once or more per instruction, so
+// copying the counter block twice per call dominated warming cost.
+func (c *Cache) WarmFill(a addrmap.Addr, p gsdram.Pattern, dirty bool) (evicted Line, hasEvict bool) {
+	c.clock++
+	if i := c.find(a, p); i >= 0 {
+		c.stamps[i] = c.clock
+		c.dirty[i] = c.dirty[i] || dirty
+		return Line{}, false
+	}
+	if c.tag(a) >= 1<<(64-keyTagShift) {
+		panic(fmt.Sprintf("cache %s: address %#x exceeds the packed-tag range", c.cfg.Name, uint64(a)))
+	}
+	vi := c.victim(c.setIndex(a))
+	evicted, hasEvict = c.evictLine(vi, false)
+	c.keys[vi] = packKey(c.tag(a), p)
+	c.stamps[vi] = c.clock
+	c.dirty[vi] = dirty
+	return evicted, hasEvict
+}
+
+// WarmLookup checks for (addr, pattern) updating LRU but not the hit or
+// miss counters, for the same reason as WarmFill.
+func (c *Cache) WarmLookup(a addrmap.Addr, p gsdram.Pattern, setDirty bool) bool {
+	c.clock++
+	if i := c.find(a, p); i >= 0 {
+		c.stamps[i] = c.clock
+		if setDirty {
+			c.dirty[i] = true
+		}
+		return true
+	}
+	return false
+}
+
+// WarmFillNew inserts (addr, pattern) that the caller has just observed
+// absent — a WarmLookup or WarmFill miss with no intervening fill — so
+// the presence scan of WarmFill is skipped and victim selection starts
+// immediately. Filling a line that is actually present would duplicate
+// it; call sites must guarantee absence.
+func (c *Cache) WarmFillNew(a addrmap.Addr, p gsdram.Pattern, dirty bool) (evicted Line, hasEvict bool) {
+	c.clock++
+	if c.tag(a) >= 1<<(64-keyTagShift) {
+		panic(fmt.Sprintf("cache %s: address %#x exceeds the packed-tag range", c.cfg.Name, uint64(a)))
+	}
+	vi := c.victim(c.setIndex(a))
+	evicted, hasEvict = c.evictLine(vi, false)
+	c.keys[vi] = packKey(c.tag(a), p)
+	c.stamps[vi] = c.clock
+	c.dirty[vi] = dirty
+	return evicted, hasEvict
+}
+
+// WarmInvalidate removes (addr, pattern) without counting the
+// invalidation.
+func (c *Cache) WarmInvalidate(a addrmap.Addr, p gsdram.Pattern) (present, dirty bool) {
+	if i := c.find(a, p); i >= 0 {
+		dirty = c.dirty[i]
+		c.clearLine(i)
+		return true, dirty
+	}
+	return false, false
+}

@@ -1,0 +1,217 @@
+// Package ckpt is the little-endian binary codec used by machine
+// checkpointing (DESIGN.md §5.7). It is deliberately tiny: a Writer that
+// appends fixed-width fields to a growing buffer and a Reader with a
+// sticky error, so component Save/Load methods can be written as straight
+// field lists without per-call error handling.
+//
+// The format has no self-description beyond optional section tags; the
+// schema is the code, and the machine-level header carries a version
+// number so incompatible readers fail fast instead of misparsing.
+package ckpt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Writer serializes values into an in-memory buffer.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns an empty writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Bytes returns the serialized buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U32 writes a little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	w.buf = append(w.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// U64 writes a little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	w.buf = append(w.buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// I64 writes an int64 as its two's-complement bits.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes an int as an int64.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// Bool writes a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// F64 writes a float64 as its IEEE-754 bits.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Str writes a length-prefixed string.
+func (w *Writer) Str(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// U64s writes a length-prefixed slice of uint64.
+func (w *Writer) U64s(vs []uint64) {
+	w.U32(uint32(len(vs)))
+	for _, v := range vs {
+		w.U64(v)
+	}
+}
+
+// Tag writes a section marker. Readers verify tags with ExpectTag, which
+// turns a mis-ordered schema into an immediate, named error instead of a
+// silently corrupt restore.
+func (w *Writer) Tag(name string) { w.Str(name) }
+
+// Reader deserializes values from a buffer. The first decoding error
+// sticks: subsequent reads return zero values, and Err reports it.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewReader returns a reader over data.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("ckpt: "+format+" at offset %d", append(args, r.off)...)
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.data) {
+		r.fail("truncated: need %d bytes, have %d", n, len(r.data)-r.off)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int written with Writer.Int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// Bool reads a bool.
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("bad bool byte")
+		return false
+	}
+}
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Str reads a length-prefixed string.
+func (r *Reader) Str() string {
+	n := r.U32()
+	if r.err != nil {
+		return ""
+	}
+	if int(n) > r.Remaining() {
+		r.fail("truncated string: length %d", n)
+		return ""
+	}
+	return string(r.take(int(n)))
+}
+
+// U64s reads a length-prefixed slice of uint64.
+func (r *Reader) U64s() []uint64 {
+	n := r.U32()
+	if r.err != nil {
+		return nil
+	}
+	if int(n)*8 > r.Remaining() {
+		r.fail("truncated u64 slice: length %d", n)
+		return nil
+	}
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = r.U64()
+	}
+	return vs
+}
+
+// ExpectTag consumes a section marker written with Writer.Tag and errors
+// if it does not match.
+func (r *Reader) ExpectTag(name string) {
+	got := r.Str()
+	if r.err == nil && got != name {
+		r.fail("section tag mismatch: want %q, got %q", name, got)
+	}
+}
+
+// Finish errors unless the buffer was consumed exactly.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("ckpt: %d trailing bytes after decode", r.Remaining())
+	}
+	return nil
+}

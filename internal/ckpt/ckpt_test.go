@@ -1,0 +1,96 @@
+package ckpt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Tag("hdr")
+	w.U8(7)
+	w.U32(0xDEADBEEF)
+	w.U64(1<<63 | 12345)
+	w.I64(-42)
+	w.Int(-7)
+	w.Bool(true)
+	w.Bool(false)
+	w.F64(3.25)
+	w.Str("hello µ")
+	w.U64s([]uint64{1, 2, 3})
+	w.U64s(nil)
+
+	r := NewReader(w.Bytes())
+	r.ExpectTag("hdr")
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 1<<63|12345 {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.Int(); got != -7 {
+		t.Errorf("Int = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Errorf("Bool round trip failed")
+	}
+	if got := r.F64(); got != 3.25 {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := r.Str(); got != "hello µ" {
+		t.Errorf("Str = %q", got)
+	}
+	vs := r.U64s()
+	if len(vs) != 3 || vs[0] != 1 || vs[2] != 3 {
+		t.Errorf("U64s = %v", vs)
+	}
+	if got := r.U64s(); len(got) != 0 {
+		t.Errorf("empty U64s = %v", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestTruncationSticks(t *testing.T) {
+	w := NewWriter()
+	w.U32(5)
+	r := NewReader(w.Bytes())
+	if r.U64(); r.Err() == nil {
+		t.Fatal("want error reading u64 from 4 bytes")
+	}
+	// Subsequent reads keep returning zero values with the same error.
+	if got := r.U64(); got != 0 {
+		t.Errorf("post-error U64 = %d", got)
+	}
+	if !strings.Contains(r.Err().Error(), "truncated") {
+		t.Errorf("err = %v", r.Err())
+	}
+}
+
+func TestTagMismatch(t *testing.T) {
+	w := NewWriter()
+	w.Tag("caches")
+	r := NewReader(w.Bytes())
+	r.ExpectTag("dram")
+	if r.Err() == nil || !strings.Contains(r.Err().Error(), "tag mismatch") {
+		t.Fatalf("err = %v", r.Err())
+	}
+}
+
+func TestFinishTrailing(t *testing.T) {
+	w := NewWriter()
+	w.U64(1)
+	w.U8(9)
+	r := NewReader(w.Bytes())
+	r.U64()
+	if err := r.Finish(); err == nil {
+		t.Fatal("want trailing-bytes error")
+	}
+}

@@ -1,0 +1,82 @@
+package dram
+
+import (
+	"fmt"
+
+	"gsdram/internal/ckpt"
+	"gsdram/internal/metrics"
+	"gsdram/internal/sim"
+)
+
+// Save serializes the rank's full timing state — open rows, per-bank and
+// rank-global earliest-issue constraints, the ACT rate-limit ring, the
+// command-bus reservation — plus the activity counters. Restoring this
+// exactly is what makes a resumed run issue every subsequent command at
+// the same cycle the uninterrupted run would.
+func (r *Rank) Save(w *ckpt.Writer) {
+	w.Tag("rank")
+	w.U32(uint32(len(r.banks)))
+	for i := range r.banks {
+		b := &r.banks[i]
+		w.Int(b.openRow)
+		w.U64(uint64(b.actAllowed))
+		w.U64(uint64(b.preAllowed))
+		w.U64(uint64(b.rdAllowed))
+		w.U64(uint64(b.wrAllowed))
+	}
+	w.U64(uint64(r.rdAllowed))
+	w.U64(uint64(r.wrAllowed))
+	w.U64(uint64(r.lastAct))
+	for _, t := range r.actTimes {
+		w.U64(uint64(t))
+	}
+	w.Int(r.actHead)
+	w.U64(r.actCount)
+	w.U64(uint64(r.cmdBusFree))
+	w.U64(r.ctr.ACTs.Value())
+	w.U64(r.ctr.PREs.Value())
+	w.U64(r.ctr.Reads.Value())
+	w.U64(r.ctr.Writes.Value())
+	w.U64(r.ctr.Refreshes.Value())
+	w.U64(r.ctr.BusBusy.Value())
+}
+
+// Load restores state written by Save into a rank with the same bank
+// count.
+func (r *Rank) Load(rd *ckpt.Reader) error {
+	rd.ExpectTag("rank")
+	n := int(rd.U32())
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	if n != len(r.banks) {
+		return fmt.Errorf("dram: checkpoint has %d banks, rank has %d", n, len(r.banks))
+	}
+	for i := range r.banks {
+		r.banks[i] = bankState{
+			openRow:    rd.Int(),
+			actAllowed: sim.Cycle(rd.U64()),
+			preAllowed: sim.Cycle(rd.U64()),
+			rdAllowed:  sim.Cycle(rd.U64()),
+			wrAllowed:  sim.Cycle(rd.U64()),
+		}
+	}
+	r.rdAllowed = sim.Cycle(rd.U64())
+	r.wrAllowed = sim.Cycle(rd.U64())
+	r.lastAct = sim.Cycle(rd.U64())
+	for i := range r.actTimes {
+		r.actTimes[i] = sim.Cycle(rd.U64())
+	}
+	r.actHead = rd.Int()
+	r.actCount = rd.U64()
+	r.cmdBusFree = sim.Cycle(rd.U64())
+	r.ctr = counters{
+		ACTs:      metrics.Counter(rd.U64()),
+		PREs:      metrics.Counter(rd.U64()),
+		Reads:     metrics.Counter(rd.U64()),
+		Writes:    metrics.Counter(rd.U64()),
+		Refreshes: metrics.Counter(rd.U64()),
+		BusBusy:   metrics.Counter(rd.U64()),
+	}
+	return rd.Err()
+}

@@ -49,6 +49,20 @@ type Module struct {
 	// row lookup off the map hash path.
 	rows [][]uint64
 
+	// owned is a bitset over rows marking storage this module owns
+	// exclusively. Clone shares row storage between the two modules and
+	// clears both bitsets; a module copies a shared row before its first
+	// write to it (copy-on-write), so clones of a populated template cost
+	// O(rows) pointer copies instead of a deep copy of the contents.
+	owned []uint64
+
+	// rowsShared marks that rows and owned are still the shared tables of
+	// a Clone pair: the first mutation must replace them with private
+	// copies (unshare) before touching either. Shadow-mode sampled runs
+	// never write the machine, so their clones stay in this state for
+	// their whole lifetime and the clone costs O(1).
+	rowsShared bool
+
 	// plans is the precomputed gather-plan table, indexed by
 	// ((shuffledBit*patterns)+pattern)*Cols + column. It is built once at
 	// construction (the software analogue of the CTL being pure
@@ -105,6 +119,7 @@ func NewModuleFunc(p Params, g Geometry, fn ShuffleFunc) (*Module, error) {
 		geom:      g,
 		shuffle:   fn,
 		rows:      make([][]uint64, g.Banks*g.Rows),
+		owned:     make([]uint64, (g.Banks*g.Rows+63)/64),
 		chipShift: uint(p.chipBits()),
 		chipMask:  p.Chips - 1,
 	}
@@ -131,18 +146,25 @@ func NewModuleFunc(p Params, g Geometry, fn ShuffleFunc) (*Module, error) {
 
 // Clone returns an independent copy of the module's contents. The
 // immutable state — parameters, shuffle function and precomputed gather
-// plans — is shared with the original; the row storage is deep-copied, so
-// writes to either module never appear in the other. Cloning a populated
-// module is much cheaper than re-running the writes that populated it,
-// which is how the experiment harness stamps out per-run machines.
+// plans — is shared with the original. Row storage is shared
+// copy-on-write: both modules mark every row as shared and copy a row
+// the first time they write to it, so writes to either module never
+// appear in the other while the clone itself costs only a pointer-slice
+// copy. Cloning a populated module is therefore far cheaper than
+// re-running the writes that populated it, which is how the experiment
+// harness stamps out per-run machines.
 func (m *Module) Clone() *Module {
 	n := *m
-	n.rows = make([][]uint64, len(m.rows))
-	for i, r := range m.rows {
-		if r != nil {
-			n.rows[i] = append([]uint64(nil), r...)
-		}
+	// Neither side owns any row after a clone, so the ownership bitmap
+	// (zeroed here, possibly already shared) and the row table itself
+	// are shared too: the first write through either module copies them
+	// (unshare) before mutating. A clone that never writes the module —
+	// a shadow-overlay sampled run reads and writes only its logical
+	// overlay — costs O(1) per clone instead of a row-table copy.
+	for i := range m.owned {
+		m.owned[i] = 0
 	}
+	m.rowsShared, n.rowsShared = true, true
 	if m.planCache != nil {
 		// Lazy-plan configurations get their own memo map (entries are
 		// immutable and safely shared; the map itself is not).
@@ -160,16 +182,38 @@ func (m *Module) Params() Params { return m.params }
 // Geometry returns the module's storage organisation.
 func (m *Module) Geometry() Geometry { return m.geom }
 
-// rowSlice returns the storage of one DRAM row, allocating it when alloc
-// is set. It returns nil for an untouched row when alloc is false.
+// rowSlice returns the storage of one DRAM row. With alloc set (the
+// write path) it allocates untouched rows and copies rows still shared
+// with a Clone sibling before returning them, so the caller may mutate
+// the result. It returns nil for an untouched row when alloc is false.
 func (m *Module) rowSlice(bank, row int, alloc bool) []uint64 {
 	key := bank*m.geom.Rows + row
 	s := m.rows[key]
-	if s == nil && alloc {
-		s = make([]uint64, m.geom.Cols*m.params.Chips)
+	if !alloc {
+		return s
+	}
+	if m.rowsShared {
+		m.unshare()
+	}
+	if bit := uint64(1) << (uint(key) & 63); m.owned[key>>6]&bit == 0 {
+		if s == nil {
+			s = make([]uint64, m.geom.Cols*m.params.Chips)
+		} else {
+			s = append([]uint64(nil), s...)
+		}
 		m.rows[key] = s
+		m.owned[key>>6] |= bit
 	}
 	return s
+}
+
+// unshare gives the module a private row table and ownership bitmap
+// before its first post-clone write. The sibling keeps the shared
+// (now immutable to us) arrays.
+func (m *Module) unshare() {
+	m.rows = append([][]uint64(nil), m.rows...)
+	m.owned = make([]uint64, len(m.owned))
+	m.rowsShared = false
 }
 
 // setWord stores one word at (bank, row, chipCol, chip).

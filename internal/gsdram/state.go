@@ -1,0 +1,74 @@
+package gsdram
+
+import (
+	"fmt"
+
+	"gsdram/internal/ckpt"
+)
+
+// Save serializes the module's mutable contents: the sparse row store.
+// Untouched (nil) rows are skipped, so the checkpoint size is
+// proportional to the data the workload actually wrote, not the rank
+// capacity. Parameters, geometry and the plan tables are construction
+// configuration and are re-derived on load.
+func (m *Module) Save(w *ckpt.Writer) {
+	w.Tag("module")
+	populated := 0
+	for _, r := range m.rows {
+		if r != nil {
+			populated++
+		}
+	}
+	w.U32(uint32(populated))
+	for i, r := range m.rows {
+		if r == nil {
+			continue
+		}
+		w.U32(uint32(i))
+		w.U64s(r)
+	}
+}
+
+// Load restores contents written by Save into a module built with the
+// same parameters and geometry. Rows absent from the checkpoint are reset
+// to untouched.
+func (m *Module) Load(r *ckpt.Reader) error {
+	r.ExpectTag("module")
+	n := int(r.U32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	rowWords := m.geom.Cols * m.params.Chips
+	rows := make([][]uint64, len(m.rows))
+	for i := 0; i < n; i++ {
+		idx := int(r.U32())
+		words := r.U64s()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if idx >= len(rows) {
+			return fmt.Errorf("gsdram: checkpoint row index %d out of range (%d rows)", idx, len(rows))
+		}
+		if len(words) != rowWords {
+			return fmt.Errorf("gsdram: checkpoint row %d has %d words, geometry needs %d", idx, len(words), rowWords)
+		}
+		if rows[idx] != nil {
+			return fmt.Errorf("gsdram: duplicate checkpoint row %d", idx)
+		}
+		rows[idx] = words
+	}
+	m.rows = rows
+	// The loaded rows are freshly allocated and exclusively ours — mark
+	// them owned so the copy-on-write path does not re-copy them. The
+	// bitmap is rebuilt fresh rather than zeroed in place: the current
+	// one may still be shared with a Clone sibling.
+	owned := make([]uint64, len(m.owned))
+	for i, row := range rows {
+		if row != nil {
+			owned[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	m.owned = owned
+	m.rowsShared = false
+	return nil
+}

@@ -214,80 +214,211 @@ type TxnResult struct {
 // txnOverheadInstrs models per-transaction bookkeeping (key lookup, logging).
 const txnOverheadInstrs = 16
 
+// TxnStream is the instruction stream executing transactions against the
+// table (paper §5.1, Figure 9). It is a plain struct (not a closure) so
+// the sampled-simulation checkpointer can serialize its progress — RNG
+// state, transaction count, and the partially drained op buffer — and
+// resume it bit-identically in a fresh process (see Save/Load).
+type TxnStream struct {
+	db    *DB
+	mix   TxnMix
+	count int
+	rng   *sim.Rand
+	res   *TxnResult
+
+	// pending is drained by index and reset (not re-sliced) so the backing
+	// array is reused txn after txn — the stream allocates nothing in
+	// steady state.
+	pending []cpu.Op
+	head    int
+	done    int
+	permBuf []int
+
+	// shadow, when non-nil, redirects the stream's functional reads and
+	// writes from the machine's DRAM rows to a compact logical overlay
+	// keyed by t*FieldsPerTuple+f: written fields live in the map, unwritten
+	// fields read as InitialValue. The op stream, the checksum and the
+	// completed count are bit-identical to machine-backed execution —
+	// op addresses depend only on the RNG, and the overlay stores exactly
+	// the values the machine would — but the machine's row data stays at
+	// its populated state. Sampled runs (DESIGN.md §5.7) use this: the
+	// timing path is tag-only, so skipping the scattered physical-layout
+	// writes (and the copy-on-write row copies they trigger) changes no
+	// measurable output while removing most of the fast-forward cost.
+	shadow *shadowTab
+}
+
 // TransactionStream returns an instruction stream executing `count`
 // transactions of the given mix against the table ( paper §5.1, Figure 9).
 // A count of 0 yields an unbounded stream (for HTAP, where the harness
 // stops the core externally). Functional reads/writes happen during
 // generation, which matches program order because the core is in-order and
 // blocking.
-func (db *DB) TransactionStream(mix TxnMix, count int, seed uint64, res *TxnResult) (cpu.Stream, error) {
+func (db *DB) TransactionStream(mix TxnMix, count int, seed uint64, res *TxnResult) (*TxnStream, error) {
 	if mix.Fields() > FieldsPerTuple {
 		return nil, fmt.Errorf("imdb: mix %v touches %d fields, table has %d", mix, mix.Fields(), FieldsPerTuple)
 	}
 	if mix.Fields() == 0 {
 		return nil, fmt.Errorf("imdb: empty transaction mix")
 	}
-	rng := sim.NewRand(seed)
 	if res == nil {
 		res = &TxnResult{}
 	}
+	return &TxnStream{
+		db:      db,
+		mix:     mix,
+		count:   count,
+		rng:     sim.NewRand(seed),
+		res:     res,
+		permBuf: make([]int, 0, FieldsPerTuple),
+	}, nil
+}
 
-	// pending is drained by index and reset (not re-sliced) so the backing
-	// array is reused txn after txn — the stream allocates nothing in
-	// steady state.
-	var pending []cpu.Op
-	head := 0
-	done := 0
-	permBuf := make([]int, 0, FieldsPerTuple)
-	makeTxn := func() {
-		t := rng.Intn(db.tuples)
-		permBuf = rng.PermInto(permBuf, FieldsPerTuple)
-		fields := permBuf[:mix.Fields()]
-		pending = append(pending, cpu.Compute(txnOverheadInstrs))
-		idx := 0
-		read := func(f int) {
-			v, err := db.ReadField(t, f)
-			if err != nil {
-				panic(fmt.Sprintf("imdb: functional read failed: %v", err))
-			}
-			res.Checksum ^= v
-			pending = append(pending, db.loadOp(t, f, 0x100+uint64(idx)), cpu.Compute(2))
-		}
-		write := func(f int) {
-			if err := db.WriteField(t, f, rng.Uint64()); err != nil {
-				panic(fmt.Sprintf("imdb: functional write failed: %v", err))
-			}
-			pending = append(pending, db.storeOp(t, f, 0x200+uint64(idx)), cpu.Compute(2))
-		}
-		for i := 0; i < mix.RO; i++ {
-			read(fields[idx])
-			idx++
-		}
-		for i := 0; i < mix.WO; i++ {
-			write(fields[idx])
-			idx++
-		}
-		for i := 0; i < mix.RW; i++ {
-			read(fields[idx])
-			write(fields[idx])
-			idx++
-		}
-		res.Completed++
+// Result returns the stream's accumulator.
+func (s *TxnStream) Result() *TxnResult { return s.res }
+
+// EnableShadow switches the stream's functional execution to the logical
+// overlay (see the shadow field). Must be called before the first
+// transaction is generated; enabling it later would leave earlier writes
+// in the machine and later ones in the overlay.
+func (s *TxnStream) EnableShadow() {
+	if s.done != 0 || len(s.pending) != 0 {
+		panic("imdb: EnableShadow after transactions were generated")
 	}
+	// Presize for the stream's total write count (an upper bound on
+	// distinct written fields) so the table is allocated once instead of
+	// through a doubling chain of large, zeroed arrays.
+	s.shadow = newShadowTabSized(s.count * (s.mix.WO + s.mix.RW))
+}
 
-	return cpu.FuncStream(func() (cpu.Op, bool) {
-		for head >= len(pending) {
-			pending, head = pending[:0], 0
-			if count > 0 && done >= count {
-				return cpu.Op{}, false
-			}
-			makeTxn()
-			done++
+// readVal functionally reads field f of tuple t through the active
+// backing (overlay or machine) and folds it into the checksum.
+func (s *TxnStream) readVal(t, f int) {
+	if s.shadow != nil {
+		v, ok := s.shadow.get(uint32(t*FieldsPerTuple + f))
+		if !ok {
+			v = InitialValue(t, f)
 		}
-		op := pending[head]
-		head++
-		return op, true
-	}), nil
+		s.res.Checksum ^= v
+		return
+	}
+	v, err := s.db.ReadField(t, f)
+	if err != nil {
+		panic(fmt.Sprintf("imdb: functional read failed: %v", err))
+	}
+	s.res.Checksum ^= v
+}
+
+// writeVal functionally writes field f of tuple t through the active
+// backing, consuming one RNG draw for the stored value.
+func (s *TxnStream) writeVal(t, f int) {
+	v := s.rng.Uint64()
+	if s.shadow != nil {
+		s.shadow.set(uint32(t*FieldsPerTuple+f), v)
+		return
+	}
+	if err := s.db.WriteField(t, f, v); err != nil {
+		panic(fmt.Sprintf("imdb: functional write failed: %v", err))
+	}
+}
+
+func (s *TxnStream) makeTxn() {
+	t := s.rng.Intn(s.db.tuples)
+	s.permBuf = s.rng.PermInto(s.permBuf, FieldsPerTuple)
+	fields := s.permBuf[:s.mix.Fields()]
+	s.pending = append(s.pending, cpu.Compute(txnOverheadInstrs))
+	idx := 0
+	read := func(f int) {
+		s.readVal(t, f)
+		s.pending = append(s.pending, s.db.loadOp(t, f, 0x100+uint64(idx)), cpu.Compute(2))
+	}
+	write := func(f int) {
+		s.writeVal(t, f)
+		s.pending = append(s.pending, s.db.storeOp(t, f, 0x200+uint64(idx)), cpu.Compute(2))
+	}
+	for i := 0; i < s.mix.RO; i++ {
+		read(fields[idx])
+		idx++
+	}
+	for i := 0; i < s.mix.WO; i++ {
+		write(fields[idx])
+		idx++
+	}
+	for i := 0; i < s.mix.RW; i++ {
+		read(fields[idx])
+		write(fields[idx])
+		idx++
+	}
+	s.res.Completed++
+}
+
+// skipTxn is makeTxn without op materialization: identical RNG draws,
+// functional effects and checksum folding, no appends to pending.
+func (s *TxnStream) skipTxn() {
+	t := s.rng.Intn(s.db.tuples)
+	s.permBuf = s.rng.PermInto(s.permBuf, FieldsPerTuple)
+	fields := s.permBuf[:s.mix.Fields()]
+	idx := 0
+	for i := 0; i < s.mix.RO; i++ {
+		s.readVal(t, fields[idx])
+		idx++
+	}
+	for i := 0; i < s.mix.WO; i++ {
+		s.writeVal(t, fields[idx])
+		idx++
+	}
+	for i := 0; i < s.mix.RW; i++ {
+		s.readVal(t, fields[idx])
+		s.writeVal(t, fields[idx])
+		idx++
+	}
+	s.res.Completed++
+}
+
+// txnInstrs is the exact retired-instruction weight of one transaction's
+// op sequence: the overhead compute block, plus load+Compute(2) per read
+// and store+Compute(2) per write.
+func (s *TxnStream) txnInstrs() uint64 {
+	return txnOverheadInstrs + 3*uint64(s.mix.RO+s.mix.WO) + 6*uint64(s.mix.RW)
+}
+
+// SkipInstrs functionally executes whole transactions without
+// materializing their ops, stopping before max instructions are
+// exceeded. It returns the instructions skipped — zero when buffered ops
+// remain to be drained op-by-op, when the next transaction would not
+// fit, or when the stream is exhausted. The RNG state, checksum,
+// completed count and (overlay or machine) contents advance exactly as
+// if the ops had been generated and discarded.
+func (s *TxnStream) SkipInstrs(max uint64) uint64 {
+	if s.head < len(s.pending) {
+		return 0
+	}
+	ti := s.txnInstrs()
+	var done uint64
+	for done+ti <= max {
+		if s.count > 0 && s.done >= s.count {
+			break
+		}
+		s.skipTxn()
+		s.done++
+		done += ti
+	}
+	return done
+}
+
+// Next implements cpu.Stream.
+func (s *TxnStream) Next() (cpu.Op, bool) {
+	for s.head >= len(s.pending) {
+		s.pending, s.head = s.pending[:0], 0
+		if s.count > 0 && s.done >= s.count {
+			return cpu.Op{}, false
+		}
+		s.makeTxn()
+		s.done++
+	}
+	op := s.pending[s.head]
+	s.head++
+	return op, true
 }
 
 // AnalyticsResult holds the functional outcome of an analytics query.

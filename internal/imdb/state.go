@@ -1,0 +1,149 @@
+package imdb
+
+import (
+	"fmt"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/ckpt"
+	"gsdram/internal/cpu"
+	"gsdram/internal/gsdram"
+	"gsdram/internal/machine"
+	"gsdram/internal/sim"
+)
+
+// Save serializes the table metadata — layout, geometry and allocation
+// bases. Together with machine.Checkpoint (which carries the row data and
+// the address-space flags) this lets a fresh process reattach to the
+// table without re-running the population writes.
+func (db *DB) Save(w *ckpt.Writer) {
+	w.Tag("imdb")
+	w.Int(int(db.layout))
+	w.Int(db.tuples)
+	w.U64(uint64(db.base))
+	for _, b := range db.colBase {
+		w.U64(uint64(b))
+	}
+}
+
+// LoadDB reattaches a table saved with Save to a (restored) machine.
+func LoadDB(mach *machine.Machine, r *ckpt.Reader) (*DB, error) {
+	r.ExpectTag("imdb")
+	db := &DB{
+		mach:   mach,
+		layout: Layout(r.Int()),
+		tuples: r.Int(),
+		base:   addrmap.Addr(r.U64()),
+	}
+	for f := range db.colBase {
+		db.colBase[f] = addrmap.Addr(r.U64())
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if db.layout < RowStore || db.layout > GSStore {
+		return nil, fmt.Errorf("imdb: checkpoint has unknown layout %d", int(db.layout))
+	}
+	return db, nil
+}
+
+// saveOp serializes one instruction-stream entry.
+func saveOp(w *ckpt.Writer, op cpu.Op) {
+	w.U8(uint8(op.Kind))
+	w.U64(uint64(op.Cycles))
+	w.U64(uint64(op.Addr))
+	w.U32(uint32(op.Pattern))
+	w.Bool(op.Shuffled)
+	w.U32(uint32(op.AltPattern))
+	w.U64(op.PC)
+}
+
+func loadOp(r *ckpt.Reader) cpu.Op {
+	return cpu.Op{
+		Kind:       cpu.OpKind(r.U8()),
+		Cycles:     sim.Cycle(r.U64()),
+		Addr:       addrmap.Addr(r.U64()),
+		Pattern:    gsdram.Pattern(r.U32()),
+		Shuffled:   r.Bool(),
+		AltPattern: gsdram.Pattern(r.U32()),
+		PC:         r.U64(),
+	}
+}
+
+// Save serializes the stream's execution progress: the RNG state, the
+// transaction and drain positions, the buffered ops not yet handed to the
+// core, and the result accumulator. The mix and count are included as a
+// fingerprint so a checkpoint cannot silently resume a different
+// workload. The functional effects of already-generated transactions live
+// in the machine, which is checkpointed separately — unless the stream
+// runs in shadow mode, in which case the overlay is serialized here
+// (sorted by key, so the byte stream is deterministic).
+func (s *TxnStream) Save(w *ckpt.Writer) {
+	w.Tag("txnstream")
+	w.Int(s.mix.RO)
+	w.Int(s.mix.WO)
+	w.Int(s.mix.RW)
+	w.Int(s.count)
+	w.U64(s.rng.State())
+	w.Int(s.done)
+	w.Int(s.head)
+	w.U32(uint32(len(s.pending)))
+	for _, op := range s.pending {
+		saveOp(w, op)
+	}
+	w.U64(s.res.Completed)
+	w.U64(s.res.Checksum)
+	if s.shadow == nil {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	keys := s.shadow.sortedKeys()
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		w.U32(k)
+		v, _ := s.shadow.get(k)
+		w.U64(v)
+	}
+}
+
+// Load restores progress written by Save into a freshly constructed
+// stream of the same mix and count.
+func (s *TxnStream) Load(r *ckpt.Reader) error {
+	r.ExpectTag("txnstream")
+	mix := TxnMix{RO: r.Int(), WO: r.Int(), RW: r.Int()}
+	count := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if mix != s.mix || count != s.count {
+		return fmt.Errorf("imdb: checkpoint stream is mix %v count %d, this stream is mix %v count %d",
+			mix, count, s.mix, s.count)
+	}
+	s.rng.SetState(r.U64())
+	s.done = r.Int()
+	s.head = r.Int()
+	n := int(r.U32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	s.pending = s.pending[:0]
+	for i := 0; i < n; i++ {
+		s.pending = append(s.pending, loadOp(r))
+	}
+	s.res.Completed = r.U64()
+	s.res.Checksum = r.U64()
+	if !r.Bool() {
+		s.shadow = nil
+		return r.Err()
+	}
+	m := int(r.U32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	s.shadow = newShadowTabSized(m)
+	for i := 0; i < m; i++ {
+		k := r.U32()
+		s.shadow.set(k, r.U64())
+	}
+	return r.Err()
+}

@@ -1,0 +1,104 @@
+package machine
+
+import (
+	"fmt"
+	"io"
+
+	"gsdram/internal/ckpt"
+)
+
+// Checkpoint format (DESIGN.md §5.7): a fixed magic and version, a
+// configuration fingerprint (the address-map spec and GS-DRAM parameters
+// the machine was built with), then the machine body — address-space
+// allocator state and every module's sparse row store in (channel, rank)
+// order. The serialization is deterministic: the same machine state
+// always produces the same bytes.
+const (
+	// checkpointMagic is "GSCK" little-endian.
+	checkpointMagic = 0x4B435347
+	// CheckpointVersion is bumped whenever the serialized schema changes;
+	// Restore rejects checkpoints from any other version.
+	CheckpointVersion = 1
+)
+
+// Save appends the machine's configuration fingerprint and full
+// functional state to w. It is the composable body used by higher-level
+// checkpoints (internal/sample); Checkpoint adds the magic/version
+// header for stand-alone files.
+func (m *Machine) Save(w *ckpt.Writer) {
+	w.Tag("machine")
+	w.Int(m.Spec.Channels)
+	w.Int(m.Spec.Ranks)
+	w.Int(m.Spec.Banks)
+	w.Int(m.Spec.Rows)
+	w.Int(m.Spec.Cols)
+	w.Int(m.Spec.LineBytes)
+	w.Int(m.GS.Chips)
+	w.Int(m.GS.ShuffleStages)
+	w.Int(m.GS.PatternBits)
+	m.AS.Save(w)
+	for _, rank := range m.mods {
+		for _, mod := range rank {
+			mod.Save(w)
+		}
+	}
+}
+
+// Load restores state written by Save into a machine built with the same
+// configuration; a fingerprint mismatch fails before any state is
+// touched.
+func (m *Machine) Load(r *ckpt.Reader) error {
+	r.ExpectTag("machine")
+	got := [9]int{r.Int(), r.Int(), r.Int(), r.Int(), r.Int(), r.Int(), r.Int(), r.Int(), r.Int()}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	want := [9]int{m.Spec.Channels, m.Spec.Ranks, m.Spec.Banks, m.Spec.Rows, m.Spec.Cols,
+		m.Spec.LineBytes, m.GS.Chips, m.GS.ShuffleStages, m.GS.PatternBits}
+	if got != want {
+		return fmt.Errorf("machine: checkpoint fingerprint %v does not match configuration %v", got, want)
+	}
+	if err := m.AS.Load(r); err != nil {
+		return err
+	}
+	for _, rank := range m.mods {
+		for _, mod := range rank {
+			if err := mod.Load(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Checkpoint writes the machine's functional state to w in the stable
+// binary checkpoint format.
+func (m *Machine) Checkpoint(w io.Writer) error {
+	cw := ckpt.NewWriter()
+	cw.U32(checkpointMagic)
+	cw.U32(CheckpointVersion)
+	m.Save(cw)
+	_, err := w.Write(cw.Bytes())
+	return err
+}
+
+// Restore replaces the machine's functional state with a checkpoint
+// previously written by Checkpoint on a machine with the same
+// configuration.
+func (m *Machine) Restore(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	cr := ckpt.NewReader(data)
+	if magic := cr.U32(); cr.Err() == nil && magic != checkpointMagic {
+		return fmt.Errorf("machine: not a checkpoint (magic %#x)", magic)
+	}
+	if v := cr.U32(); cr.Err() == nil && v != CheckpointVersion {
+		return fmt.Errorf("machine: checkpoint version %d, this build reads version %d", v, CheckpointVersion)
+	}
+	if err := m.Load(cr); err != nil {
+		return err
+	}
+	return cr.Finish()
+}

@@ -1,0 +1,184 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/gsdram"
+	"gsdram/internal/sim"
+)
+
+// testSpec is a small organisation so property tests stay fast while
+// still exercising multiple banks and patterned pages.
+var testSpec = addrmap.Spec{Channels: 1, Ranks: 1, Banks: 4, Rows: 64, Cols: 16, LineBytes: 64}
+
+// buildPopulated returns a machine with one plain and one pattern-7
+// region, filled with seed-derived data, plus the two region bases.
+func buildPopulated(t *testing.T, seed uint64) (*Machine, addrmap.Addr, addrmap.Addr) {
+	t.Helper()
+	m, err := New(testSpec, gsdram.GS844)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := m.AS.Malloc(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuf, err := m.AS.PattMalloc(8192, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRand(seed)
+	for i := 0; i < 256; i++ {
+		if err := m.WriteWord(plain+addrmap.Addr(8*rng.Intn(1024)), rng.Uint64()); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WriteWord(shuf+addrmap.Addr(8*rng.Intn(1024)), rng.Uint64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, plain, shuf
+}
+
+// mutateBurst applies a seed-derived burst of random operations — word
+// writes, patterned line scatters, and a fresh allocation — designed to
+// touch every kind of machine state a shallow copy could alias.
+func mutateBurst(t *testing.T, m *Machine, plain, shuf addrmap.Addr, seed uint64) {
+	t.Helper()
+	rng := sim.NewRand(seed)
+	line := make([]uint64, testSpec.LineBytes/8)
+	for i := 0; i < 200; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			if err := m.WriteWord(plain+addrmap.Addr(8*rng.Intn(1024)), rng.Uint64()); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if err := m.WriteWord(shuf+addrmap.Addr(8*rng.Intn(1024)), rng.Uint64()); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			for j := range line {
+				line[j] = rng.Uint64()
+			}
+			a := shuf + addrmap.Addr(64*rng.Intn(128))
+			if err := m.WriteLine(a, 7, line); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Allocation mutates the address space (bump pointer and flags slice).
+	if _, err := m.AS.PattMalloc(4096, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkpointBytes(t *testing.T, m *Machine) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// sameContents deep-compares two machines word by word through the
+// public iteration API, independent of the serialization.
+func sameContents(t *testing.T, a, b *Machine) bool {
+	t.Helper()
+	same := true
+	a.ForEachModule(func(ch, rk int, mod *gsdram.Module) {
+		mod.ForEachWord(func(bank, row, chipCol, chip int, v uint64) {
+			bv, err := b.Module(addrmap.Loc{Channel: ch, Rank: rk, Bank: bank}).ChipWord(bank, row, chipCol, chip)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bv != v {
+				same = false
+			}
+		})
+	})
+	return same
+}
+
+// TestCloneIndependence is the checkpointing prerequisite: mutating a
+// clone with a random op burst must leave the original bit-identical to
+// a pristine twin built from the same seed. A shallow-copied slice or
+// shared row store fails this immediately.
+func TestCloneIndependence(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		orig, plain, shuf := buildPopulated(t, seed)
+		twin, _, _ := buildPopulated(t, seed)
+		clone := orig.Clone()
+		mutateBurst(t, clone, plain, shuf, seed^0xDEAD)
+
+		if !bytes.Equal(checkpointBytes(t, orig), checkpointBytes(t, twin)) {
+			t.Fatalf("seed %d: mutating the clone changed the original", seed)
+		}
+		if !sameContents(t, orig, twin) || !sameContents(t, twin, orig) {
+			t.Fatalf("seed %d: original contents drifted from pristine twin", seed)
+		}
+		if bytes.Equal(checkpointBytes(t, clone), checkpointBytes(t, orig)) {
+			t.Fatalf("seed %d: op burst left the clone identical — burst is not exercising state", seed)
+		}
+	}
+}
+
+// TestCheckpointRestoreRoundTrip saves a populated machine, restores it
+// into a freshly built one, and requires bit-identical serialization —
+// then mutates both identically and re-compares, proving allocator
+// state (not just data) survived.
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	m, plain, shuf := buildPopulated(t, 99)
+	saved := checkpointBytes(t, m)
+
+	fresh, err := New(testSpec, gsdram.GS844)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(bytes.NewReader(saved)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(checkpointBytes(t, fresh), saved) {
+		t.Fatal("restore round trip is not bit-identical")
+	}
+	if !sameContents(t, m, fresh) {
+		t.Fatal("restored contents differ from original")
+	}
+
+	mutateBurst(t, m, plain, shuf, 5)
+	mutateBurst(t, fresh, plain, shuf, 5)
+	if !bytes.Equal(checkpointBytes(t, m), checkpointBytes(t, fresh)) {
+		t.Fatal("identical mutations diverged after restore (allocator state not restored)")
+	}
+}
+
+// TestRestoreRejectsMismatch pins the failure modes: wrong magic, wrong
+// version, wrong configuration fingerprint.
+func TestRestoreRejectsMismatch(t *testing.T) {
+	m, _, _ := buildPopulated(t, 3)
+	saved := checkpointBytes(t, m)
+
+	bad := append([]byte(nil), saved...)
+	bad[0] ^= 0xFF
+	if err := m.Restore(bytes.NewReader(bad)); err == nil {
+		t.Error("want error for bad magic")
+	}
+
+	bad = append([]byte(nil), saved...)
+	bad[4] ^= 0xFF
+	if err := m.Restore(bytes.NewReader(bad)); err == nil {
+		t.Error("want error for bad version")
+	}
+
+	other := testSpec
+	other.Banks = 8
+	om, err := New(other, gsdram.GS844)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := om.Restore(bytes.NewReader(saved)); err == nil {
+		t.Error("want error for configuration fingerprint mismatch")
+	}
+}

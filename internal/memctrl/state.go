@@ -1,0 +1,101 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"gsdram/internal/ckpt"
+	"gsdram/internal/metrics"
+	"gsdram/internal/sim"
+)
+
+// Quiescent reports whether the controller can be checkpointed: no
+// queued requests and no pending scheduler activation. Checkpoints are
+// only taken between sampling windows, after the event queue has
+// drained, so request closures never need to be serialized.
+func (c *Controller) Quiescent() bool {
+	for _, ch := range c.ch {
+		if len(ch.readQ) > 0 || len(ch.writeQ) > 0 || ch.wake != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Save serializes the controller's state at a quiescent point: global
+// counters, and per channel the refresh/drain/energy-accounting state
+// plus every rank's timing state. It fails if requests are still queued
+// — queued Requests carry completion closures that cannot be serialized,
+// which is why checkpointing is restricted to quiescent points.
+func (c *Controller) Save(w *ckpt.Writer) error {
+	if !c.Quiescent() {
+		return fmt.Errorf("memctrl: cannot checkpoint with queued requests (checkpoint only at quiescent points)")
+	}
+	w.Tag("memctrl")
+	w.U64(c.ctr.ReadsServed.Value())
+	w.U64(c.ctr.WritesServed.Value())
+	w.U64(c.ctr.RowHitReads.Value())
+	w.U64(c.ctr.RowMissReads.Value())
+	w.U64(c.ctr.RowHitWrites.Value())
+	w.U64(c.ctr.RowMissWrites.Value())
+	w.U64(c.ctr.Forwards.Value())
+	w.U64(c.ctr.DroppedPrefs.Value())
+	w.U64(c.ctr.Refreshes.Value())
+	w.U64(c.ctr.ReadQueueWait.Value())
+	w.U64(c.ctr.PatternedReads.Value())
+	c.ctr.ReadWait.Save(w)
+	w.U32(uint32(len(c.ch)))
+	for _, ch := range c.ch {
+		w.Bool(ch.draining)
+		w.U64(uint64(ch.nextRefresh))
+		w.Bool(ch.refreshing)
+		w.U64(uint64(ch.activeCycles))
+		w.U64(uint64(ch.lastAccount))
+		for _, rank := range ch.ranks {
+			rank.Save(w)
+		}
+	}
+	return nil
+}
+
+// Load restores state written by Save into an identically configured
+// controller, which must itself be quiescent.
+func (c *Controller) Load(r *ckpt.Reader) error {
+	if !c.Quiescent() {
+		return fmt.Errorf("memctrl: cannot restore into a controller with queued requests")
+	}
+	r.ExpectTag("memctrl")
+	c.ctr.ReadsServed = metrics.Counter(r.U64())
+	c.ctr.WritesServed = metrics.Counter(r.U64())
+	c.ctr.RowHitReads = metrics.Counter(r.U64())
+	c.ctr.RowMissReads = metrics.Counter(r.U64())
+	c.ctr.RowHitWrites = metrics.Counter(r.U64())
+	c.ctr.RowMissWrites = metrics.Counter(r.U64())
+	c.ctr.Forwards = metrics.Counter(r.U64())
+	c.ctr.DroppedPrefs = metrics.Counter(r.U64())
+	c.ctr.Refreshes = metrics.Counter(r.U64())
+	c.ctr.ReadQueueWait = metrics.Counter(r.U64())
+	c.ctr.PatternedReads = metrics.Counter(r.U64())
+	if err := c.ctr.ReadWait.Load(r); err != nil {
+		return err
+	}
+	n := int(r.U32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n != len(c.ch) {
+		return fmt.Errorf("memctrl: checkpoint has %d channels, controller has %d", n, len(c.ch))
+	}
+	for _, ch := range c.ch {
+		ch.draining = r.Bool()
+		ch.nextRefresh = sim.Cycle(r.U64())
+		ch.refreshing = r.Bool()
+		ch.activeCycles = sim.Cycle(r.U64())
+		ch.lastAccount = sim.Cycle(r.U64())
+		for _, rank := range ch.ranks {
+			if err := rank.Load(r); err != nil {
+				return err
+			}
+		}
+	}
+	return r.Err()
+}

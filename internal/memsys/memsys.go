@@ -256,6 +256,19 @@ type System struct {
 	// access (the simulation is single-threaded per System).
 	overlapBuf []addrmap.Addr
 
+	// warmInvMemo remembers the line of the functional fast-forward's
+	// most recent store-side overlap invalidation whose other pattern was
+	// non-default. Transactions store to several fields of one tuple —
+	// the same cache line — back to back, and after the first drop no
+	// (overlap, pattern) line exists, so repeating the drop is a no-op.
+	// The memo is conservatively cleared by anything that could
+	// reintroduce a non-default-pattern line (any warm or detailed fill
+	// of one) and by checkpoint restore; clearing it never changes
+	// state, only costs the redundant probe. warmInvMemoOK gates it.
+	warmInvMemo     addrmap.Addr
+	warmInvMemoPatt gsdram.Pattern
+	warmInvMemoOK   bool
+
 	// lat is the request-lifecycle attribution recorder, created only
 	// when the system is built with a metrics registry; nil otherwise
 	// (one pointer check per hit, one per miss fill).
@@ -443,6 +456,9 @@ func (s *System) Access(now sim.Cycle, a Access, onDone func(now sim.Cycle)) (do
 	if a.Core < 0 || a.Core >= len(s.l1) {
 		panic(fmt.Sprintf("memsys: core %d out of range", a.Core))
 	}
+	// Detailed execution can (re)fill non-default-pattern lines, so the
+	// fast-forward's overlap-invalidation memo is stale from here on.
+	s.warmInvMemoOK = false
 	s.ctr.Accesses++
 	if a.Write {
 		s.ctr.Stores++

@@ -1,0 +1,131 @@
+package memsys
+
+import (
+	"fmt"
+	"sort"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/ckpt"
+	"gsdram/internal/gsdram"
+	"gsdram/internal/metrics"
+)
+
+// Quiescent reports whether the hierarchy can be checkpointed: no
+// outstanding misses (whose MSHR entries hold completion closures) and a
+// quiescent controller.
+func (s *System) Quiescent() bool {
+	return len(s.mshrs) == 0 && s.ctrl.Quiescent()
+}
+
+// Save serializes the memory system at a quiescent point: every cache's
+// microarchitectural state, the hierarchy counters, the
+// prefetched-lines bookkeeping, the prefetcher and promotion tables, and
+// the controller (which recursively saves every DRAM rank). It fails if
+// misses are outstanding — see Controller.Save for why checkpoints are
+// quiescent-only.
+func (s *System) Save(w *ckpt.Writer) error {
+	if len(s.mshrs) != 0 {
+		return fmt.Errorf("memsys: cannot checkpoint with %d outstanding misses", len(s.mshrs))
+	}
+	w.Tag("memsys")
+	w.U32(uint32(len(s.l1)))
+	for _, l1 := range s.l1 {
+		l1.Save(w)
+	}
+	s.l2.Save(w)
+	w.U64(s.ctr.Accesses.Value())
+	w.U64(s.ctr.Loads.Value())
+	w.U64(s.ctr.Stores.Value())
+	w.U64(s.ctr.L1Hits.Value())
+	w.U64(s.ctr.L1Misses.Value())
+	w.U64(s.ctr.L2Hits.Value())
+	w.U64(s.ctr.L2Misses.Value())
+	w.U64(s.ctr.DRAMReads.Value())
+	w.U64(s.ctr.Writebacks.Value())
+	w.U64(s.ctr.OverlapFlushes.Value())
+	w.U64(s.ctr.OverlapInvals.Value())
+	w.U64(s.ctr.CrossCoreProbe.Value())
+	w.U64(s.ctr.PrefIssued.Value())
+	w.U64(s.ctr.PrefUseful.Value())
+	s.ctr.MSHROccupancy.Save(w)
+	keys := make([]mshrKey, 0, len(s.prefetchedLines))
+	for k := range s.prefetchedLines {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].addr != keys[j].addr {
+			return keys[i].addr < keys[j].addr
+		}
+		return keys[i].patt < keys[j].patt
+	})
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		w.U64(uint64(k.addr))
+		w.U32(uint32(k.patt))
+	}
+	s.pf.Save(w)
+	s.auto.Save(w)
+	return s.ctrl.Save(w)
+}
+
+// Load restores state written by Save into an identically configured,
+// quiescent memory system.
+func (s *System) Load(r *ckpt.Reader) error {
+	if len(s.mshrs) != 0 {
+		return fmt.Errorf("memsys: cannot restore with %d outstanding misses", len(s.mshrs))
+	}
+	s.warmInvMemoOK = false // transient fast-forward memo, never restored
+	r.ExpectTag("memsys")
+	n := int(r.U32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n != len(s.l1) {
+		return fmt.Errorf("memsys: checkpoint has %d L1s, system has %d", n, len(s.l1))
+	}
+	for _, l1 := range s.l1 {
+		if err := l1.Load(r); err != nil {
+			return err
+		}
+	}
+	if err := s.l2.Load(r); err != nil {
+		return err
+	}
+	s.ctr.Accesses = metrics.Counter(r.U64())
+	s.ctr.Loads = metrics.Counter(r.U64())
+	s.ctr.Stores = metrics.Counter(r.U64())
+	s.ctr.L1Hits = metrics.Counter(r.U64())
+	s.ctr.L1Misses = metrics.Counter(r.U64())
+	s.ctr.L2Hits = metrics.Counter(r.U64())
+	s.ctr.L2Misses = metrics.Counter(r.U64())
+	s.ctr.DRAMReads = metrics.Counter(r.U64())
+	s.ctr.Writebacks = metrics.Counter(r.U64())
+	s.ctr.OverlapFlushes = metrics.Counter(r.U64())
+	s.ctr.OverlapInvals = metrics.Counter(r.U64())
+	s.ctr.CrossCoreProbe = metrics.Counter(r.U64())
+	s.ctr.PrefIssued = metrics.Counter(r.U64())
+	s.ctr.PrefUseful = metrics.Counter(r.U64())
+	if err := s.ctr.MSHROccupancy.Load(r); err != nil {
+		return err
+	}
+	np := int(r.U32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	lines := make(map[mshrKey]bool, np)
+	for i := 0; i < np; i++ {
+		k := mshrKey{addrmap.Addr(r.U64()), gsdram.Pattern(r.U32())}
+		lines[k] = true
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	s.prefetchedLines = lines
+	if err := s.pf.Load(r); err != nil {
+		return err
+	}
+	if err := s.auto.Load(r); err != nil {
+		return err
+	}
+	return s.ctrl.Load(r)
+}

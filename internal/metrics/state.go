@@ -1,0 +1,23 @@
+package metrics
+
+import "gsdram/internal/ckpt"
+
+// Save serializes the histogram for machine checkpointing.
+func (h *Histogram) Save(w *ckpt.Writer) {
+	w.U64s(h.Buckets[:])
+	w.U64(h.N)
+	w.U64(h.Total)
+}
+
+// Load restores a histogram written by Save.
+func (h *Histogram) Load(r *ckpt.Reader) error {
+	bs := r.U64s()
+	n, total := r.U64(), r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	var nb [HistBuckets]uint64
+	copy(nb[:], bs)
+	h.Buckets, h.N, h.Total = nb, n, total
+	return nil
+}

@@ -1,0 +1,55 @@
+package prefetch
+
+import (
+	"fmt"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/ckpt"
+	"gsdram/internal/gsdram"
+)
+
+// Save serializes the reference-prediction table and counters. The table
+// is short-lived microarchitectural state, but a checkpoint must restore
+// it bit-exactly: the first accesses after restore train (and issue)
+// exactly as the uninterrupted run's would.
+func (p *Prefetcher) Save(w *ckpt.Writer) {
+	w.Tag("prefetch")
+	w.U32(uint32(len(p.table)))
+	for i := range p.table {
+		e := &p.table[i]
+		w.Bool(e.valid)
+		w.U64(e.pc)
+		w.U64(uint64(e.lastAdr))
+		w.U32(uint32(e.pattern))
+		w.I64(e.stride)
+		w.Int(e.conf)
+	}
+	w.U64(p.stats.Trains)
+	w.U64(p.stats.Issues)
+	w.U64(p.stats.StrideHits)
+}
+
+// Load restores state written by Save into an identically configured
+// prefetcher.
+func (p *Prefetcher) Load(r *ckpt.Reader) error {
+	r.ExpectTag("prefetch")
+	n := int(r.U32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n != len(p.table) {
+		return fmt.Errorf("prefetch: checkpoint table size %d != %d", n, len(p.table))
+	}
+	for i := range p.table {
+		p.table[i] = entry{
+			valid:   r.Bool(),
+			pc:      r.U64(),
+			lastAdr: addrmap.Addr(r.U64()),
+			pattern: gsdram.Pattern(r.U32()),
+			stride:  r.I64(),
+			conf:    r.Int(),
+		}
+	}
+	p.stats = Stats{Trains: r.U64(), Issues: r.U64(), StrideHits: r.U64()}
+	return r.Err()
+}

@@ -1,0 +1,184 @@
+package sample
+
+import (
+	"fmt"
+	"io"
+
+	"gsdram/internal/ckpt"
+	"gsdram/internal/sim"
+)
+
+// Checkpoint file layout (little-endian, via internal/ckpt):
+//
+//	u32 magic "GSSM" | u32 version
+//	tag "config"  | interval, warmup, measure, seed (u64), confidence (f64), ffwarm (u64)
+//	tag "sampler" | accumulators and per-window samples
+//	u64 queue clock
+//	machine section (machine.Save: fingerprint, address space, modules)
+//	memsys section (memsys.Save: caches, predictors, controller, ranks)
+//	stream section (CheckpointableStream.Save)
+//
+// The config fields double as a fingerprint: Resume refuses a checkpoint
+// taken under different sampling parameters, exactly as machine.Load
+// refuses a different DRAM organisation.
+const checkpointMagic uint32 = 0x4D535347 // "GSSM"
+
+// CheckpointVersion is the current checkpoint schema version.
+const CheckpointVersion uint32 = 1
+
+func saveF64s(w *ckpt.Writer, xs []float64) {
+	w.U32(uint32(len(xs)))
+	for _, x := range xs {
+		w.F64(x)
+	}
+}
+
+func loadF64s(r *ckpt.Reader) []float64 {
+	n := int(r.U32())
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.F64()
+	}
+	return xs
+}
+
+func (s *snapshot) save(w *ckpt.Writer) {
+	w.U64(s.l1Hits)
+	w.U64(s.l1Misses)
+	w.U64(s.l2Hits)
+	w.U64(s.l2Misses)
+	w.U64(s.acts)
+	w.U64(s.reads)
+	w.U64(s.writes)
+	w.U64(s.refreshes)
+	w.U64(s.active)
+	w.U64(s.queueWait)
+}
+
+func (s *snapshot) load(r *ckpt.Reader) {
+	s.l1Hits = r.U64()
+	s.l1Misses = r.U64()
+	s.l2Hits = r.U64()
+	s.l2Misses = r.U64()
+	s.acts = r.U64()
+	s.reads = r.U64()
+	s.writes = r.U64()
+	s.refreshes = r.U64()
+	s.active = r.U64()
+	s.queueWait = r.U64()
+}
+
+// writeCheckpoint serializes the complete state of a sampled run at a
+// quiescent inter-interval point.
+func writeCheckpoint(cfg Config, t Target, st *state) error {
+	cs, ok := t.Stream.(CheckpointableStream)
+	if !ok {
+		return fmt.Errorf("sample: stream %T does not support checkpointing", t.Stream)
+	}
+	w := ckpt.NewWriter()
+	w.U32(checkpointMagic)
+	w.U32(CheckpointVersion)
+	w.Tag("config")
+	w.U64(cfg.Interval)
+	w.U64(cfg.Warmup)
+	w.U64(cfg.Measure)
+	w.U64(cfg.Seed)
+	w.F64(cfg.Confidence)
+	w.U64(cfg.FFWarm)
+	w.Tag("sampler")
+	w.U64(st.interval)
+	w.U64(st.instrs)
+	w.U64(st.ffInstrs)
+	w.U64(st.skipInstrs)
+	w.U64(st.warmInstrs)
+	w.U64(st.measInstrs)
+	w.U64(st.detCycles)
+	w.U64(st.measCycles)
+	saveF64s(w, st.cpis)
+	saveF64s(w, st.waits)
+	saveF64s(w, st.epis)
+	st.agg.save(w)
+	w.U64(uint64(t.Q.Now()))
+	t.Mach.Save(w)
+	if err := t.Mem.Save(w); err != nil {
+		return err
+	}
+	cs.Save(w)
+	_, err := cfg.CheckpointW.Write(w.Bytes())
+	return err
+}
+
+// Resume restores a checkpoint written during Run into a freshly built,
+// identically configured target — possibly in a different process — and
+// continues the sampled run. The final result is bit-identical to the
+// uninterrupted run's.
+func Resume(cfg Config, t Target, src io.Reader) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cs, ok := t.Stream.(CheckpointableStream)
+	if !ok {
+		return nil, fmt.Errorf("sample: stream %T does not support checkpointing", t.Stream)
+	}
+	data, err := io.ReadAll(src)
+	if err != nil {
+		return nil, err
+	}
+	r := ckpt.NewReader(data)
+	if m := r.U32(); r.Err() == nil && m != checkpointMagic {
+		return nil, fmt.Errorf("sample: bad checkpoint magic %#x", m)
+	}
+	if v := r.U32(); r.Err() == nil && v != CheckpointVersion {
+		return nil, fmt.Errorf("sample: checkpoint version %d, this build reads %d", v, CheckpointVersion)
+	}
+	r.ExpectTag("config")
+	interval, warmup, measure, seed := r.U64(), r.U64(), r.U64(), r.U64()
+	conf := r.F64()
+	ffWarm := r.U64()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if interval != cfg.Interval || warmup != cfg.Warmup || measure != cfg.Measure ||
+		seed != cfg.Seed || conf != cfg.Confidence || ffWarm != cfg.FFWarm {
+		return nil, fmt.Errorf(
+			"sample: checkpoint taken with interval=%d warmup=%d measure=%d seed=%d conf=%g ffwarm=%d, resume requested %d/%d/%d/%d/%g/%d",
+			interval, warmup, measure, seed, conf, ffWarm,
+			cfg.Interval, cfg.Warmup, cfg.Measure, cfg.Seed, cfg.Confidence, cfg.FFWarm)
+	}
+	st := &state{checkpointed: true}
+	r.ExpectTag("sampler")
+	st.interval = r.U64()
+	st.instrs = r.U64()
+	st.ffInstrs = r.U64()
+	st.skipInstrs = r.U64()
+	st.warmInstrs = r.U64()
+	st.measInstrs = r.U64()
+	st.detCycles = r.U64()
+	st.measCycles = r.U64()
+	st.cpis = loadF64s(r)
+	st.waits = loadF64s(r)
+	st.epis = loadF64s(r)
+	st.agg.load(r)
+	now := sim.Cycle(r.U64())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if err := t.Mach.Load(r); err != nil {
+		return nil, err
+	}
+	if err := t.Mem.Load(r); err != nil {
+		return nil, err
+	}
+	if err := cs.Load(r); err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	t.Q.Advance(now)
+	return run(cfg, t, st)
+}

@@ -1,0 +1,532 @@
+// Package sample implements SMARTS-style interval sampling for the
+// event-driven GS-DRAM simulator (DESIGN.md §5.7): execution alternates
+// between functional fast-forward (fastsim.Functional driving
+// memsys.WarmAccess — caches, coherence state and predictor tables keep
+// evolving at zero simulated cost), a detailed warm-up window that
+// re-heats the short-lived microarchitectural state the functional path
+// cannot carry (MSHRs, row buffers, controller queues), and a detailed
+// measurement window whose CPI, memory-latency and energy-per-instruction
+// samples aggregate into a point estimate with a Student-t confidence
+// interval. Window placement within each interval is drawn from a
+// seed-derived PRNG, so a (config, seed) pair reproduces the exact same
+// estimate on any machine at any worker count.
+//
+// Between windows the event queue is fully drained, which makes every
+// inter-interval point quiescent: no MSHR entries, no queued controller
+// requests, no pending events. Checkpointing exploits this — the full
+// simulation state (machine, caches, DRAM timing state, stream progress,
+// sampler accumulators) serializes into a stable binary format and
+// resumes bit-identically, even in a fresh process.
+package sample
+
+import (
+	"fmt"
+	"io"
+
+	"gsdram/internal/cache"
+	"gsdram/internal/ckpt"
+	"gsdram/internal/cpu"
+	"gsdram/internal/energy"
+	"gsdram/internal/fastsim"
+	"gsdram/internal/machine"
+	"gsdram/internal/memctrl"
+	"gsdram/internal/memsys"
+	"gsdram/internal/sim"
+	"gsdram/internal/stats"
+)
+
+// Config parameterises one sampled run. All units are instructions.
+type Config struct {
+	// Interval is the sampling unit: each interval fast-forwards
+	// Interval-Warmup-Measure instructions functionally and simulates
+	// Warmup+Measure in detail. Must exceed Warmup+Measure.
+	Interval uint64
+	// Warmup is the detailed warm-up prefix of each window: simulated
+	// cycle-accurately to re-heat MSHRs, row buffers and queues, but
+	// excluded from the samples.
+	Warmup uint64
+	// Measure is the measured suffix of each window.
+	Measure uint64
+	// Seed derives the per-interval window placement (independent of the
+	// workload's own seed).
+	Seed uint64
+	// Confidence selects the interval level: 0.90, 0.95 (default) or 0.99.
+	Confidence float64
+
+	// FFWarm bounds functional cache warming to the last FFWarm
+	// instructions of each inter-window gap; the rest of the gap is
+	// bulk-skipped without touching the cache model when the stream
+	// implements Skipper (otherwise the whole gap warms, as if FFWarm
+	// were 0). Zero warms every fast-forwarded instruction — the most
+	// accurate and slowest setting. A bounded tail trades long-lived
+	// cache-state fidelity (far-reuse L2 residency) for speed; the
+	// sample-validate harness measures the resulting bias directly.
+	FFWarm uint64
+
+	// CheckpointAfter, when positive, serializes the full simulation
+	// state into CheckpointW after that many completed intervals; the run
+	// then continues normally, so the returned result equals an
+	// uninterrupted run's. Requires a stream implementing
+	// CheckpointableStream.
+	CheckpointAfter int
+	CheckpointW     io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Confidence == 0 {
+		c.Confidence = 0.95
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Measure == 0 {
+		return fmt.Errorf("sample: Measure must be positive")
+	}
+	if c.Interval <= c.Warmup+c.Measure {
+		return fmt.Errorf("sample: Interval (%d) must exceed Warmup+Measure (%d)",
+			c.Interval, c.Warmup+c.Measure)
+	}
+	return nil
+}
+
+// Target is the rig a sampled run drives: a machine, its detailed memory
+// hierarchy, and the single instruction stream to execute on core 0.
+type Target struct {
+	Mach   *machine.Machine
+	Q      *sim.EventQueue
+	Mem    *memsys.System
+	Stream cpu.Stream
+	// StoreBufCap is the per-window core's store-buffer capacity
+	// (0 = blocking stores), matching the detailed run being estimated.
+	StoreBufCap int
+}
+
+// CheckpointableStream is a cpu.Stream whose generation progress can be
+// serialized — required for checkpointing, where stream state must
+// survive into a fresh process (see imdb.TxnStream).
+type CheckpointableStream interface {
+	cpu.Stream
+	Save(w *ckpt.Writer)
+	Load(r *ckpt.Reader) error
+}
+
+// Skipper is a cpu.Stream that can advance its functional state in bulk,
+// without materializing ops (see imdb.TxnStream.SkipInstrs). SkipInstrs
+// skips at most max instructions — whole work units only — and returns
+// the count skipped; zero means the caller must fall back to pulling ops
+// one at a time (buffered ops, an oversized next unit, or end of
+// stream). Fast-forward uses it for the portion of each gap outside the
+// FFWarm warming tail.
+type Skipper interface {
+	SkipInstrs(max uint64) uint64
+}
+
+// Result is the sampled estimate.
+type Result struct {
+	// Windows is the number of completed measurement windows (= samples).
+	Windows int
+	// Instructions is the exact retired-instruction count of the whole
+	// program (fast-forwarded + detailed).
+	Instructions            uint64
+	MeasuredInstructions    uint64
+	WarmupInstructions      uint64
+	FastForwardInstructions uint64
+	// SkippedInstructions is the subset of FastForwardInstructions that
+	// advanced without functional cache warming (the bulk-skip region
+	// outside each gap's FFWarm tail).
+	SkippedInstructions uint64
+	// DetailedCycles is the simulated time actually spent in detailed
+	// windows (warm-up + measurement).
+	DetailedCycles uint64
+
+	// CPI is the mean cycles-per-instruction over the measurement
+	// windows; CPIHalf is the half-width of its confidence interval.
+	CPI        float64
+	CPIHalf    float64
+	Confidence float64
+	// Cycles is the extrapolated runtime: CPI x Instructions.
+	Cycles uint64
+
+	// AvgReadWait is the mean DRAM read queueing delay (CPU cycles per
+	// served read) over the windows, with its CI half-width.
+	AvgReadWait  float64
+	ReadWaitHalf float64
+
+	// EPI is the mean energy per instruction (nanojoules), with its CI
+	// half-width; Energy is the extrapolated full-run breakdown.
+	EPI     float64
+	EPIHalf float64
+	Energy  energy.Report
+
+	// CPISamples are the per-window CPI values, for error validation.
+	CPISamples []float64
+}
+
+// SampledFraction is the fraction of instructions simulated in detail.
+func (r *Result) SampledFraction() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.MeasuredInstructions+r.WarmupInstructions) / float64(r.Instructions)
+}
+
+// RelCI is the CI half-width relative to the CPI estimate.
+func (r *Result) RelCI() float64 {
+	if r.CPI == 0 {
+		return 0
+	}
+	return r.CPIHalf / r.CPI
+}
+
+// snapshot captures the counters the per-window samples difference. Only
+// the fields the latency and energy samples consume are carried.
+type snapshot struct {
+	l1Hits, l1Misses                                  uint64
+	l2Hits, l2Misses                                  uint64
+	acts, reads, writes, refreshes, active, queueWait uint64
+}
+
+func snap(mem *memsys.System) snapshot {
+	l1s, l2 := mem.CacheStats()
+	ms := mem.MemStats()
+	var s snapshot
+	for _, c := range l1s {
+		s.l1Hits += c.Hits
+		s.l1Misses += c.Misses
+	}
+	s.l2Hits, s.l2Misses = l2.Hits, l2.Misses
+	s.acts, s.reads, s.writes = ms.ACTs, ms.ReadsServed, ms.WritesServed
+	s.refreshes, s.active, s.queueWait = ms.Refreshes, ms.ActiveCycles, ms.ReadQueueWait
+	return s
+}
+
+func (a snapshot) sub(b snapshot) snapshot {
+	return snapshot{
+		l1Hits: a.l1Hits - b.l1Hits, l1Misses: a.l1Misses - b.l1Misses,
+		l2Hits: a.l2Hits - b.l2Hits, l2Misses: a.l2Misses - b.l2Misses,
+		acts: a.acts - b.acts, reads: a.reads - b.reads, writes: a.writes - b.writes,
+		refreshes: a.refreshes - b.refreshes, active: a.active - b.active,
+		queueWait: a.queueWait - b.queueWait,
+	}
+}
+
+func (a snapshot) add(b snapshot) snapshot {
+	return snapshot{
+		l1Hits: a.l1Hits + b.l1Hits, l1Misses: a.l1Misses + b.l1Misses,
+		l2Hits: a.l2Hits + b.l2Hits, l2Misses: a.l2Misses + b.l2Misses,
+		acts: a.acts + b.acts, reads: a.reads + b.reads, writes: a.writes + b.writes,
+		refreshes: a.refreshes + b.refreshes, active: a.active + b.active,
+		queueWait: a.queueWait + b.queueWait,
+	}
+}
+
+// activity converts a counter delta into the energy model's input.
+func (d snapshot) activity(cycles, instrs uint64, cores int) energy.Activity {
+	return energy.Activity{
+		Runtime:      sim.Cycle(cycles),
+		FreqGHz:      4,
+		Cores:        cores,
+		Instructions: instrs,
+		L1:           []cache.Stats{{Hits: d.l1Hits, Misses: d.l1Misses}},
+		L2:           cache.Stats{Hits: d.l2Hits, Misses: d.l2Misses},
+		Mem: memctrl.Stats{
+			ACTs: d.acts, ReadsServed: d.reads, WritesServed: d.writes,
+			Refreshes: d.refreshes, ActiveCycles: d.active,
+		},
+	}
+}
+
+// state is the sampler's accumulator — everything a checkpoint must carry
+// to resume the estimate bit-identically.
+type state struct {
+	interval   uint64 // completed intervals
+	instrs     uint64 // total retired
+	ffInstrs   uint64
+	skipInstrs uint64
+	warmInstrs uint64
+	measInstrs uint64
+	detCycles  uint64
+	measCycles uint64
+
+	cpis, waits, epis []float64
+	agg               snapshot // summed measurement-phase counter deltas
+	cores             int
+
+	checkpointed bool
+}
+
+// instrCount is the retired-instruction weight of one op, matching
+// cpu.Core's accounting: a compute block of n cycles is n instructions, a
+// memory op is one.
+func instrCount(op cpu.Op) uint64 {
+	if op.Kind == cpu.OpCompute {
+		return uint64(op.Cycles)
+	}
+	return 1
+}
+
+// intervalRand derives the PRNG placing interval k's window: a splitmix64
+// mix of the sampling seed and the interval index, so placement is a pure
+// function of (seed, k) — checkpoint/resume and worker count cannot
+// perturb it.
+func intervalRand(seed, k uint64) *sim.Rand {
+	z := seed + 0x9e3779b97f4a7c15*(k+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return sim.NewRand(z ^ (z >> 31))
+}
+
+// fastForward executes up to budget instructions functionally. Ops are
+// consumed whole (a compute block may overshoot). The last warmTail
+// instructions of the budget are warmed through the functional cache
+// model; everything before that is bulk-skipped when the stream supports
+// it (ops pulled in the skip region — a partially drained transaction,
+// or one that does not fit the remaining bulk budget — are consumed
+// unwarmed: their functional effects already happened at generation, and
+// only cache warming is elided). Returns false when the stream ended.
+func (st *state) fastForward(f *fastsim.Functional, s cpu.Stream, budget, warmTail uint64) bool {
+	var done uint64
+	if warmTail > budget {
+		warmTail = budget
+	}
+	if sk, ok := s.(Skipper); ok {
+		bulk := budget - warmTail
+		for done < bulk {
+			if n := sk.SkipInstrs(bulk - done); n > 0 {
+				done += n
+				st.instrs += n
+				st.ffInstrs += n
+				st.skipInstrs += n
+				continue
+			}
+			op, ok := s.Next()
+			if !ok {
+				return false
+			}
+			n := instrCount(op)
+			done += n
+			st.instrs += n
+			st.ffInstrs += n
+			st.skipInstrs += n
+		}
+	}
+	for done < budget {
+		op, ok := s.Next()
+		if !ok {
+			return false
+		}
+		f.Exec(0, op)
+		n := instrCount(op)
+		done += n
+		st.instrs += n
+		st.ffInstrs += n
+	}
+	return true
+}
+
+// windowStream feeds a measurement core a bounded slice of the program:
+// Warmup+Measure instructions, then end-of-stream. It captures the
+// warm-up/measurement boundary — the queue's clock and a counter
+// snapshot at the instant the first measured op is handed out, which is
+// exact because the core advances the queue to its local time before
+// every stream pull.
+type windowStream struct {
+	src      cpu.Stream
+	q        *sim.EventQueue
+	mem      *memsys.System
+	budget   uint64
+	warmLeft uint64
+
+	served      uint64
+	measured    uint64
+	boundary    sim.Cycle
+	boundarySet bool
+	bsnap       snapshot
+	exhausted   bool
+}
+
+// Next implements cpu.Stream.
+func (ws *windowStream) Next() (cpu.Op, bool) {
+	if ws.budget == 0 {
+		return cpu.Op{}, false
+	}
+	op, ok := ws.src.Next()
+	if !ok {
+		ws.exhausted = true
+		ws.budget = 0
+		return cpu.Op{}, false
+	}
+	n := instrCount(op)
+	if ws.warmLeft == 0 {
+		if !ws.boundarySet {
+			ws.boundarySet = true
+			ws.boundary = ws.q.Now()
+			ws.bsnap = snap(ws.mem)
+		}
+		ws.measured += n
+	} else if n >= ws.warmLeft {
+		// An op straddling the boundary counts entirely as warm-up.
+		ws.warmLeft = 0
+	} else {
+		ws.warmLeft -= n
+	}
+	if n >= ws.budget {
+		ws.budget = 0
+	} else {
+		ws.budget -= n
+	}
+	ws.served += n
+	return op, true
+}
+
+// window runs one detailed warm-up + measurement window on a fresh core
+// and drains the queue back to quiescence. Returns false when the
+// program ended inside the window.
+func (st *state) window(cfg Config, t Target) (bool, error) {
+	ws := &windowStream{
+		src:      t.Stream,
+		q:        t.Q,
+		mem:      t.Mem,
+		budget:   cfg.Warmup + cfg.Measure,
+		warmLeft: cfg.Warmup,
+	}
+	start := t.Q.Now()
+	core := cpu.NewWithStoreBuffer(0, t.Q, t.Mem, ws, nil, t.StoreBufCap)
+	core.Start(start)
+	t.Q.Run()
+	cs := core.Stats()
+	if !cs.Finished {
+		return false, fmt.Errorf("sample: measurement core did not finish")
+	}
+	st.instrs += ws.served
+	st.warmInstrs += ws.served - ws.measured
+	st.measInstrs += ws.measured
+	st.detCycles += uint64(cs.FinishCycle - start)
+	if ws.boundarySet && ws.measured > 0 {
+		wcyc := uint64(cs.FinishCycle - ws.boundary)
+		d := snap(t.Mem).sub(ws.bsnap)
+		st.cpis = append(st.cpis, float64(wcyc)/float64(ws.measured))
+		if d.reads > 0 {
+			st.waits = append(st.waits, float64(d.queueWait)/float64(d.reads))
+		} else {
+			st.waits = append(st.waits, 0)
+		}
+		rep := energy.Estimate(d.activity(wcyc, ws.measured, st.cores), energy.DefaultDRAM(), energy.DefaultCPU())
+		st.epis = append(st.epis, rep.TotalMJ()*1e6/float64(ws.measured))
+		st.measCycles += wcyc
+		st.agg = st.agg.add(d)
+	}
+	return !ws.exhausted, nil
+}
+
+// Run executes the target's stream to completion under interval
+// sampling and returns the estimate.
+func Run(cfg Config, t Target) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CheckpointAfter > 0 {
+		if cfg.CheckpointW == nil {
+			return nil, fmt.Errorf("sample: CheckpointAfter set without CheckpointW")
+		}
+		if _, ok := t.Stream.(CheckpointableStream); !ok {
+			return nil, fmt.Errorf("sample: stream %T does not support checkpointing", t.Stream)
+		}
+	}
+	return run(cfg, t, &state{})
+}
+
+func run(cfg Config, t Target, st *state) (*Result, error) {
+	l1s, _ := t.Mem.CacheStats()
+	st.cores = len(l1s)
+	f := fastsim.NewFunctional(t.Mem)
+	slack := cfg.Interval - cfg.Warmup - cfg.Measure
+	offset := func(k uint64) uint64 { return intervalRand(cfg.Seed, k).Uint64n(slack + 1) }
+	// Each iteration fast-forwards the previous interval's post-window
+	// slack plus this interval's offset in one call, so the FFWarm warming
+	// tail always immediately precedes the window. The pending slack is a
+	// pure function of the interval index, so a resumed run recomputes it.
+	var pending uint64
+	if st.interval > 0 {
+		pending = slack - offset(st.interval-1)
+	}
+	for {
+		if cfg.CheckpointAfter > 0 && !st.checkpointed && st.interval >= uint64(cfg.CheckpointAfter) {
+			if err := writeCheckpoint(cfg, t, st); err != nil {
+				return nil, err
+			}
+			st.checkpointed = true
+		}
+		off := offset(st.interval)
+		gap := pending + off
+		warmTail := gap
+		if cfg.FFWarm > 0 {
+			warmTail = cfg.FFWarm
+		}
+		if !st.fastForward(f, t.Stream, gap, warmTail) {
+			break
+		}
+		more, err := st.window(cfg, t)
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			break
+		}
+		pending = slack - off
+		st.interval++
+	}
+	return st.finalize(cfg)
+}
+
+func (st *state) finalize(cfg Config) (*Result, error) {
+	if len(st.cpis) == 0 {
+		return nil, fmt.Errorf("sample: program ended before any measurement window completed; reduce Interval (%d)", cfg.Interval)
+	}
+	cpi, cpiHalf, err := stats.MeanCI(st.cpis, cfg.Confidence)
+	if err != nil {
+		return nil, err
+	}
+	wait, waitHalf, err := stats.MeanCI(st.waits, cfg.Confidence)
+	if err != nil {
+		return nil, err
+	}
+	epi, epiHalf, err := stats.MeanCI(st.epis, cfg.Confidence)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Windows:                 len(st.cpis),
+		Instructions:            st.instrs,
+		MeasuredInstructions:    st.measInstrs,
+		WarmupInstructions:      st.warmInstrs,
+		FastForwardInstructions: st.ffInstrs,
+		SkippedInstructions:     st.skipInstrs,
+		DetailedCycles:          st.detCycles,
+		CPI:                     cpi,
+		CPIHalf:                 cpiHalf,
+		Confidence:              cfg.Confidence,
+		Cycles:                  uint64(cpi*float64(st.instrs) + 0.5),
+		AvgReadWait:             wait,
+		ReadWaitHalf:            waitHalf,
+		EPI:                     epi,
+		EPIHalf:                 epiHalf,
+		CPISamples:              st.cpis,
+	}
+	// Extrapolate the energy breakdown by scaling the aggregated
+	// measurement-phase report to the full instruction count: runtime,
+	// command counts and cache activity all scale with the same ratio
+	// under the sampling hypothesis (windows are representative).
+	rep := energy.Estimate(st.agg.activity(st.measCycles, st.measInstrs, st.cores),
+		energy.DefaultDRAM(), energy.DefaultCPU())
+	scale := float64(st.instrs) / float64(st.measInstrs)
+	rep.DRAMCommandMJ *= scale
+	rep.DRAMBackgroundMJ *= scale
+	rep.DRAMRefreshMJ *= scale
+	rep.CPUDynamicMJ *= scale
+	rep.CPUStaticMJ *= scale
+	res.Energy = rep
+	return res, nil
+}

@@ -1,0 +1,274 @@
+package sample_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gsdram/internal/cpu"
+	"gsdram/internal/imdb"
+	"gsdram/internal/machine"
+	"gsdram/internal/memsys"
+	"gsdram/internal/sample"
+	"gsdram/internal/sim"
+)
+
+const (
+	testTuples = 4096
+	testTxns   = 3000
+	testSeed   = 7
+)
+
+var testMix = imdb.TxnMix{RO: 2, WO: 1}
+
+// testTarget builds the canonical test rig: a GS-DRAM table and a
+// bounded transaction stream on a single-core detailed hierarchy.
+func testTarget(t *testing.T) (sample.Target, *imdb.TxnResult) {
+	t.Helper()
+	mach, err := machine.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := imdb.New(mach, imdb.GSStore, testTuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &sim.EventQueue{}
+	mem, err := memsys.New(memsys.DefaultConfig(1), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr imdb.TxnResult
+	s, err := db.TransactionStream(testMix, testTxns, testSeed, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sample.Target{Mach: mach, Q: q, Mem: mem, Stream: s}, &tr
+}
+
+func testConfig() sample.Config {
+	return sample.Config{Interval: 8192, Warmup: 512, Measure: 512, Seed: 99}
+}
+
+// TestDeterministicEstimate: the same (config, seed) pair must produce a
+// bit-identical estimate — samples, CI, extrapolation — on fresh rigs,
+// and the sampled run must consume the whole program (every transaction
+// completes, because fast-forward executes it functionally).
+func TestDeterministicEstimate(t *testing.T) {
+	tgt1, tr1 := testTarget(t)
+	res1, err := sample.Run(testConfig(), tgt1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt2, tr2 := testTarget(t)
+	res2, err := sample.Run(testConfig(), tgt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1, res2) {
+		t.Fatalf("same config+seed produced different estimates:\n%+v\n%+v", res1, res2)
+	}
+	if tr1.Completed != testTxns || tr2.Completed != testTxns {
+		t.Fatalf("sampled runs completed %d/%d transactions, want %d", tr1.Completed, tr2.Completed, testTxns)
+	}
+	if tr1.Checksum != tr2.Checksum {
+		t.Fatalf("checksums differ: %#x vs %#x", tr1.Checksum, tr2.Checksum)
+	}
+	if res1.Windows < 2 {
+		t.Fatalf("expected multiple measurement windows, got %d", res1.Windows)
+	}
+	if res1.Cycles == 0 || res1.CPI <= 0 {
+		t.Fatalf("degenerate estimate: %+v", res1)
+	}
+}
+
+// TestSeedMovesWindows: a different sampling seed must place windows
+// differently (the placement is seed-derived, not fixed).
+func TestSeedMovesWindows(t *testing.T) {
+	tgt1, _ := testTarget(t)
+	cfg := testConfig()
+	res1, err := sample.Run(cfg, tgt1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt2, _ := testTarget(t)
+	cfg.Seed = 12345
+	res2, err := sample.Run(cfg, tgt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(res1.CPISamples, res2.CPISamples) {
+		t.Fatalf("different sampling seeds produced identical window samples")
+	}
+	// Both seeds estimate the same program: the two estimates must agree
+	// loosely even at this tiny scale.
+	if rel := math.Abs(res1.CPI-res2.CPI) / res1.CPI; rel > 0.25 {
+		t.Fatalf("estimates across seeds diverge by %.1f%%: %v vs %v", rel*100, res1.CPI, res2.CPI)
+	}
+}
+
+// TestAccuracyAgainstDetailed compares the sampled estimate against the
+// full cycle-accurate run of the same program. The tolerance is loose
+// because the test scale is tiny (a few dozen windows over 100k
+// instructions); sample-validate gates the tight bound at benchmark
+// scale.
+func TestAccuracyAgainstDetailed(t *testing.T) {
+	tgt, _ := testTarget(t)
+	res, err := sample.Run(testConfig(), tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Detailed run of the identical program.
+	dt, dtr := testTarget(t)
+	core := cpu.New(0, dt.Q, dt.Mem, dt.Stream, nil)
+	core.Start(0)
+	dt.Q.Run()
+	cs := core.Stats()
+	if !cs.Finished || dtr.Completed != testTxns {
+		t.Fatalf("detailed run did not finish: %+v", cs)
+	}
+	if cs.Instructions != res.Instructions {
+		t.Fatalf("instruction counts diverge: sampled %d, detailed %d", res.Instructions, cs.Instructions)
+	}
+	det := float64(cs.FinishCycle)
+	rel := math.Abs(float64(res.Cycles)-det) / det
+	if rel > 0.20 {
+		t.Fatalf("sampled estimate off by %.1f%%: %d vs detailed %d", rel*100, res.Cycles, uint64(det))
+	}
+	t.Logf("sampled %d vs detailed %d cycles (%.2f%% error, CI ±%.2f%%, %d windows, %.1f%% detailed)",
+		res.Cycles, uint64(det), rel*100, res.RelCI()*100, res.Windows, res.SampledFraction()*100)
+}
+
+// TestCheckpointResume: a run that checkpoints mid-way and a fresh rig
+// resumed from that checkpoint must produce bit-identical estimates.
+func TestCheckpointResume(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig()
+	cfg.CheckpointAfter = 3
+	cfg.CheckpointW = &buf
+	tgt, _ := testTarget(t)
+	want, err := sample.Run(cfg, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no checkpoint written")
+	}
+
+	cfg2 := testConfig()
+	tgt2, tr2 := testTarget(t)
+	got, err := sample.Resume(cfg2, tgt2, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("resumed run diverged from uninterrupted run:\nwant %+v\ngot  %+v", want, got)
+	}
+	if tr2.Completed != testTxns {
+		t.Fatalf("resumed run completed %d transactions, want %d", tr2.Completed, testTxns)
+	}
+}
+
+// TestResumeRejectsMismatchedConfig: a checkpoint must not resume under
+// different sampling parameters.
+func TestResumeRejectsMismatchedConfig(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig()
+	cfg.CheckpointAfter = 2
+	cfg.CheckpointW = &buf
+	tgt, _ := testTarget(t)
+	if _, err := sample.Run(cfg, tgt); err != nil {
+		t.Fatal(err)
+	}
+	bad := testConfig()
+	bad.Measure = 1024
+	tgt2, _ := testTarget(t)
+	if _, err := sample.Resume(bad, tgt2, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("Resume accepted a checkpoint taken under a different config")
+	}
+}
+
+const (
+	resumeEnvCkpt = "GSDRAM_SAMPLE_RESUME_CKPT"
+	resumeEnvOut  = "GSDRAM_SAMPLE_RESUME_OUT"
+)
+
+// TestCheckpointResumeFreshProcess proves the checkpoint survives
+// process death: the parent writes a checkpoint to disk, a child test
+// process restores it into a freshly built rig and finishes the run,
+// and the child's estimate must be bit-identical to the parent's
+// uninterrupted one.
+func TestCheckpointResumeFreshProcess(t *testing.T) {
+	if os.Getenv(resumeEnvCkpt) != "" {
+		t.Skip("resume child")
+	}
+	dir := t.TempDir()
+	ckptPath := filepath.Join(dir, "sample.ckpt")
+	outPath := filepath.Join(dir, "result.json")
+
+	f, err := os.Create(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.CheckpointAfter = 3
+	cfg.CheckpointW = f
+	tgt, _ := testTarget(t)
+	want, err := sample.Run(cfg, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(os.Args[0], "-test.run=TestResumeChild$", "-test.v")
+	cmd.Env = append(os.Environ(), resumeEnvCkpt+"="+ckptPath, resumeEnvOut+"="+outPath)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("resume child failed: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got sample.Result
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*want, got) {
+		t.Fatalf("fresh-process resume diverged:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+// TestResumeChild is the fresh-process half of
+// TestCheckpointResumeFreshProcess; it only runs when spawned with the
+// checkpoint environment set.
+func TestResumeChild(t *testing.T) {
+	ckptPath := os.Getenv(resumeEnvCkpt)
+	if ckptPath == "" {
+		t.Skip("not a resume child")
+	}
+	f, err := os.Open(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tgt, _ := testTarget(t)
+	res, err := sample.Resume(testConfig(), tgt, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(os.Getenv(resumeEnvOut), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,9 +8,7 @@ import (
 	"gsdram/internal/cpu"
 	"gsdram/internal/gsdram"
 	"gsdram/internal/machine"
-	"gsdram/internal/memctrl"
 	"gsdram/internal/memsys"
-	"gsdram/internal/refmodel"
 	"gsdram/internal/sim"
 )
 
@@ -105,62 +103,14 @@ func Run(p Program, opts Options) (*Result, error) {
 	}
 
 	// --- build and populate both sides ---------------------------------
-	mach, err := machine.New(p.Spec, p.GS)
+	mach, model, bases, err := setupPair(p)
 	if err != nil {
 		return nil, err
-	}
-	l1cfg, l2cfg := cacheGeoms(p.Spec.LineBytes)
-	model, err := refmodel.New(refmodel.Config{
-		Spec:  p.Spec,
-		GS:    p.GS,
-		Cores: p.Cores,
-		L1:    refmodel.CacheGeom{SizeBytes: l1cfg.SizeBytes, Ways: l1cfg.Ways, LineBytes: l1cfg.LineBytes},
-		L2:    refmodel.CacheGeom{SizeBytes: l2cfg.SizeBytes, Ways: l2cfg.Ways, LineBytes: l2cfg.LineBytes},
-	})
-	if err != nil {
-		return nil, err
-	}
-	bases := make([]addrmap.Addr, len(p.Regions))
-	for i, reg := range p.Regions {
-		size := reg.Pages * refmodel.PageSize
-		var base addrmap.Addr
-		if reg.Alt != 0 {
-			base, err = mach.AS.PattMalloc(size, reg.Alt)
-		} else {
-			base, err = mach.AS.Malloc(size)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("stress: region %d: %w", i, err)
-		}
-		bases[i] = base
-		if err := model.SetRegion(base, size, refmodel.Page{Shuffled: reg.Alt != 0, Alt: reg.Alt}); err != nil {
-			return nil, err
-		}
-		for b := 0; b < size; b += 8 {
-			a := base + addrmap.Addr(b)
-			v := popValue(p.Seed, a)
-			if err := mach.WriteWord(a, v); err != nil {
-				return nil, err
-			}
-			model.InitWord(a, v)
-		}
 	}
 
 	// --- simulator run --------------------------------------------------
-	memCfg := memctrl.DefaultConfig()
-	memCfg.Spec = p.Spec
-	cfg := memsys.Config{
-		Cores:          p.Cores,
-		L1:             l1cfg,
-		L2:             l2cfg,
-		L1Latency:      3,
-		L2Latency:      18,
-		Mem:            memCfg,
-		GS:             p.GS,
-		ShuffleLatency: 3,
-	}
 	q := &sim.EventQueue{}
-	mem, err := memsys.New(cfg, q)
+	mem, err := memsys.New(memsysConfig(p), q)
 	if err != nil {
 		return nil, err
 	}
@@ -194,68 +144,16 @@ func Run(p Program, opts Options) (*Result, error) {
 	simL1, simL2 := mem.SnapshotCaches()
 
 	// --- golden-model run and value diff --------------------------------
-	chips := p.GS.Chips
-	refVals := make([]uint64, chips)
-	for i, op := range p.Ops {
-		addr := bases[op.Region] + addrmap.Addr(op.Off)
-		rec := &res.Records[i]
-		switch op.Kind {
-		case OpLoad:
-			v, err := model.LoadWord(op.Core, addr)
-			if err != nil {
-				return nil, err
-			}
-			if v != rec.Vals[0] {
-				res.Div = &Divergence{Kind: "load-value", Op: i, Detail: fmt.Sprintf(
-					"load %#x: sim %#x, model %#x", uint64(addr), rec.Vals[0], v)}
-				return res, nil
-			}
-		case OpStore:
-			if err := model.StoreWord(op.Core, addr, op.Val); err != nil {
-				return nil, err
-			}
-		case OpPattLoad:
-			idx, err := model.LoadLine(op.Core, addr, p.Pattern(op), refVals)
-			if err != nil {
-				return nil, err
-			}
-			for j := 0; j < chips; j++ {
-				if idx[j] != rec.Idx[j] {
-					res.Div = &Divergence{Kind: "gather-index", Op: i, Detail: fmt.Sprintf(
-						"pattload %#x patt %d pos %d: sim index %d, model %d",
-						uint64(addr), p.Pattern(op), j, rec.Idx[j], idx[j])}
-					return res, nil
-				}
-				if refVals[j] != rec.Vals[j] {
-					res.Div = &Divergence{Kind: "load-value", Op: i, Detail: fmt.Sprintf(
-						"pattload %#x patt %d pos %d (logical %d): sim %#x, model %#x",
-						uint64(addr), p.Pattern(op), j, idx[j], rec.Vals[j], refVals[j])}
-					return res, nil
-				}
-			}
-		case OpPattStore:
-			if err := model.StoreLine(op.Core, addr, p.Pattern(op), lineVals(chips, op.Val)); err != nil {
-				return nil, err
-			}
-		}
+	if div, err := replayModel(p, model, bases, res); err != nil {
+		return nil, err
+	} else if div != nil {
+		res.Div = div
+		return res, nil
 	}
 
 	// --- final memory diff ----------------------------------------------
 	model.FlushCaches()
-	var memDiv *Divergence
-	mach.ForEachModule(func(channel, rank int, mod *gsdram.Module) {
-		mod.ForEachWord(func(bank, row, chipCol, chip int, v uint64) {
-			if memDiv != nil {
-				return
-			}
-			if want := model.ChipWord(channel, rank, bank, row, chipCol, chip); v != want {
-				memDiv = &Divergence{Kind: "final-memory", Op: -1, Detail: fmt.Sprintf(
-					"chip word ch%d rank%d bank%d row%d col%d chip%d: sim %#x, model %#x",
-					channel, rank, bank, row, chipCol, chip, v, want)}
-			}
-		})
-	})
-	if memDiv != nil {
+	if memDiv := diffMemory(mach, model); memDiv != nil {
 		res.Div = memDiv
 		return res, nil
 	}

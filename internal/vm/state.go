@@ -1,0 +1,47 @@
+package vm
+
+import (
+	"fmt"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/ckpt"
+	"gsdram/internal/gsdram"
+)
+
+// Save serializes the address space's mutable state: the bump allocator's
+// high-water mark and the per-page flags. The spec/params/page size are
+// construction-time configuration and are fingerprinted by the machine
+// header instead.
+func (as *AddressSpace) Save(w *ckpt.Writer) {
+	w.Tag("vm")
+	w.U64(uint64(as.next))
+	w.U32(uint32(len(as.flags)))
+	for _, fl := range as.flags {
+		w.Bool(fl.Shuffled)
+		w.U32(uint32(fl.AltPattern))
+	}
+}
+
+// Load restores state written by Save into an address space built with
+// the same configuration.
+func (as *AddressSpace) Load(r *ckpt.Reader) error {
+	r.ExpectTag("vm")
+	next := addrmap.Addr(r.U64())
+	n := int(r.U32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if uint64(n)*uint64(as.pageSize) > as.spec.Capacity() {
+		return fmt.Errorf("vm: checkpoint has %d pages, capacity is %d", n, as.spec.Capacity()/uint64(as.pageSize))
+	}
+	flags := make([]PageFlags, n)
+	for i := range flags {
+		flags[i] = PageFlags{Shuffled: r.Bool(), AltPattern: gsdram.Pattern(r.U32())}
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	as.next = next
+	as.flags = flags
+	return nil
+}

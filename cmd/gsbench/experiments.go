@@ -7,12 +7,12 @@ import (
 	"strings"
 
 	"gsdram"
-	"gsdram/internal/stats"
+	"gsdram/internal/spec"
 )
 
 // expFlags holds the workload-scale knobs shared by the main run path
 // and the latency and sample-validate subcommands, so all register
-// identical flags and build experiments from one registry.
+// identical flags and build identical ExperimentSpecs.
 type expFlags struct {
 	tuples   int
 	txns     int
@@ -37,6 +37,7 @@ type expFlags struct {
 
 // register installs the workload flags on fs.
 func (ef *expFlags) register(fs *flag.FlagSet) {
+	ds := spec.DefaultSample()
 	fs.IntVar(&ef.tuples, "tuples", gsdram.DefaultOptions().Tuples, "database table size in tuples (paper: 1048576)")
 	fs.IntVar(&ef.txns, "txns", gsdram.DefaultOptions().Txns, "transactions per Figure 9 run (paper: 10000)")
 	fs.StringVar(&ef.gemmStr, "gemm", "32,64,128,256", "comma-separated GEMM matrix sizes (paper: 32..1024)")
@@ -47,23 +48,60 @@ func (ef *expFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&ef.workers, "workers", 0, "concurrent simulation runs per experiment (0 = GOMAXPROCS, 1 = serial)")
 	fs.BoolVar(&ef.noInline, "noinline", false, "disable the event-horizon fast path (pure event-driven execution; identical results)")
 	fs.BoolVar(&ef.sampleOn, "sample", false, "estimate the sampling-capable experiments (fig9, fig10, pattbits) via interval sampling: functional fast-forward plus detailed windows with confidence intervals")
-	fs.Uint64Var(&ef.sampleInterval, "sample-interval", 16384, "sampling interval in instructions (one detailed window per interval); larger workloads tolerate longer intervals (32768 holds at -tuples 1048576)")
-	fs.Uint64Var(&ef.sampleWarmup, "sample-warmup", 512, "detailed warm-up instructions per window (excluded from the samples)")
-	fs.Uint64Var(&ef.sampleMeasure, "sample-measure", 1024, "measured instructions per window")
-	fs.Uint64Var(&ef.sampleSeed, "sample-seed", 1, "window-placement seed (independent of the workload -seed)")
-	fs.Uint64Var(&ef.sampleFFWarm, "sample-ffwarm", 0, "functional cache warming tail before each detailed window, in instructions (0 = warm the entire fast-forward; bounded warming is faster but mispredicts L2-resident workloads)")
+	fs.Uint64Var(&ef.sampleInterval, "sample-interval", ds.Interval, "sampling interval in instructions (one detailed window per interval); larger workloads tolerate longer intervals (32768 holds at -tuples 1048576)")
+	fs.Uint64Var(&ef.sampleWarmup, "sample-warmup", ds.Warmup, "detailed warm-up instructions per window (excluded from the samples)")
+	fs.Uint64Var(&ef.sampleMeasure, "sample-measure", ds.Measure, "measured instructions per window")
+	fs.Uint64Var(&ef.sampleSeed, "sample-seed", ds.Seed, "window-placement seed (independent of the workload -seed)")
+	fs.Uint64Var(&ef.sampleFFWarm, "sample-ffwarm", ds.FFWarm, "functional cache warming tail before each detailed window, in instructions (0 = warm the entire fast-forward; bounded warming is faster but mispredicts L2-resident workloads)")
 	ef.fs = fs
 }
 
 // sampleConfig resolves the sampling flags into a config.
 func (ef *expFlags) sampleConfig() *gsdram.SampleConfig {
-	return &gsdram.SampleConfig{
+	return ef.sampleSpec().Config()
+}
+
+// sampleSpec resolves the sampling flags into the spec section.
+func (ef *expFlags) sampleSpec() *spec.Sample {
+	return &spec.Sample{
 		Interval: ef.sampleInterval,
 		Warmup:   ef.sampleWarmup,
 		Measure:  ef.sampleMeasure,
 		Seed:     ef.sampleSeed,
 		FFWarm:   ef.sampleFFWarm,
 	}
+}
+
+// spec builds the ExperimentSpec the flags describe for one registry
+// experiment; telemetryOn and epoch mirror the output flags. The CLI
+// and the farm construct identical rigs from identical specs, so this
+// is the single translation point from flags to spec.
+func (ef *expFlags) spec(name string, telemetryOn bool, epoch uint64) (*spec.Spec, error) {
+	sizes, err := parseSizes(ef.gemmStr)
+	if err != nil {
+		return nil, err
+	}
+	sp := &spec.Spec{
+		Experiment: name,
+		Tuples:     ef.tuples,
+		Txns:       ef.txns,
+		GemmSizes:  sizes,
+		KVPairs:    ef.kvPairs,
+		Vertices:   ef.gVerts,
+		Degree:     ef.gDeg,
+		Seed:       ef.seed,
+		Workers:    ef.workers,
+		NoInline:   ef.noInline,
+		Telemetry:  telemetryOn,
+		Epoch:      epoch,
+	}
+	// fig9sampled is always sampled, consuming the sampling sub-flags
+	// even without -sample (its registry entry falls back to the same
+	// defaults the flags carry).
+	if ef.sampleOn || name == "fig9sampled" {
+		sp.Sample = ef.sampleSpec()
+	}
+	return sp, nil
 }
 
 // options resolves the flags into experiment Options. sampledAlways
@@ -120,146 +158,4 @@ func (ef *expFlags) params(exp string) map[string]string {
 		"noinline": strconv.FormatBool(ef.noInline),
 		"sample":   strconv.FormatBool(ef.sampleOn),
 	}
-}
-
-// buildExperiments returns the full experiment registry, in the fixed
-// execution order shared by every gsbench mode.
-func buildExperiments(ef *expFlags, opts gsdram.Options) []experiment {
-	return []experiment{
-		{"table1", func() (any, any, []*stats.Table, error) {
-			t := gsdram.Table1()
-			return t, nil, []*stats.Table{t}, nil
-		}},
-		{"fig7", func() (any, any, []*stats.Table, error) {
-			t1 := gsdram.Fig7(gsdram.GS422, 4)
-			t2 := gsdram.Fig7(gsdram.GS844, 8)
-			ts := []*stats.Table{t1, t2}
-			return ts, nil, ts, nil
-		}},
-		{"fig9", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunFig9(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, fig9Summary(r), []*stats.Table{r.Table()}, nil
-		}},
-		{"fig9sampled", func() (any, any, []*stats.Table, error) {
-			// Always sampled, independent of -sample: this run keeps a
-			// wall-clock row in the -json document so bench-gate can
-			// regression-gate the sampled path's speed.
-			sopts := opts
-			sopts.Sample = ef.sampleConfig()
-			r, err := gsdram.RunFig9(sopts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, fig9SampledSummary(r), []*stats.Table{r.SampledTable()}, nil
-		}},
-		{"fig10", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunFig10(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, fig10Summary(r), []*stats.Table{r.Table()}, nil
-		}},
-		{"fig11", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunFig11(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.AnalyticsTable(), r.ThroughputTable()}, nil
-		}},
-		{"fig12", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunFig12(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.PerfTable(), r.EnergyTable(), r.EnergyBreakdownTable()}, nil
-		}},
-		{"fig13", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunFig13(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.Table()}, nil
-		}},
-		{"kvstore", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunKVStore(ef.kvPairs, ef.seed)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.Table()}, nil
-		}},
-		{"graph", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunGraph(ef.gVerts, ef.gDeg, opts.Txns, ef.seed)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.Table()}, nil
-		}},
-		{"channels", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunChannels(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.Table()}, nil
-		}},
-		{"impulse", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunImpulse(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.Table()}, nil
-		}},
-		{"pattbits", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunPattBits(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.Table()}, nil
-		}},
-		{"storebuf", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunStoreBuf(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.Table()}, nil
-		}},
-		{"autogather", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunAuto(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.Table()}, nil
-		}},
-		{"schedpol", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunSchedule(opts)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.Table()}, nil
-		}},
-		{"pixels", func() (any, any, []*stats.Table, error) {
-			r, err := gsdram.RunPixels(ef.tuples&^7, 2000, ef.seed)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			return r, nil, []*stats.Table{r.Table()}, nil
-		}},
-		{"ablation", func() (any, any, []*stats.Table, error) {
-			t := gsdram.AblationMap(gsdram.GS844)
-			t2 := gsdram.AblationECC(gsdram.GS844)
-			ts := []*stats.Table{t, t2}
-			return ts, nil, ts, nil
-		}},
-	}
-}
-
-// experimentNames lists the registry names for usage errors.
-func experimentNames(exps []experiment) []string {
-	names := make([]string, len(exps))
-	for i, e := range exps {
-		names[i] = e.name
-	}
-	return names
 }

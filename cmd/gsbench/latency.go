@@ -6,96 +6,11 @@ import (
 	"os"
 	"strings"
 
-	"gsdram"
 	"gsdram/internal/latency"
+	"gsdram/internal/spec"
 	"gsdram/internal/stats"
 	"gsdram/internal/telemetry"
 )
-
-// latencySummary is the latency attribution section of one telemetry
-// entry in the -json output and the data behind the `gsbench latency`
-// report tables.
-type latencySummary struct {
-	// RequestsSeen counts every DRAM-bound request observed (traces may
-	// be capped; this is not).
-	RequestsSeen uint64 `json:"requests_seen"`
-	// Classes maps the pattern class ("p0" for ordinary cache lines,
-	// "gather" for non-zero pattern IDs) to its latency distribution.
-	Classes map[string]latencyClass `json:"classes,omitempty"`
-	// CoreStalls[i] maps stage name to the cycles core i spent stalled on
-	// that stage; the values sum exactly to the core's mem_stall_cycles.
-	CoreStalls []map[string]uint64 `json:"core_stalls,omitempty"`
-}
-
-// latencyClass is one pattern class's end-to-end latency distribution
-// plus its span decomposition.
-type latencyClass struct {
-	Count uint64  `json:"count"`
-	Mean  float64 `json:"mean"`
-	P50   uint64  `json:"p50"`
-	P95   uint64  `json:"p95"`
-	P99   uint64  `json:"p99"`
-	// Spans maps span name to its share of the class's total cycles.
-	Spans map[string]latencySpan `json:"spans,omitempty"`
-}
-
-// latencySpan summarises one lifecycle span within a class.
-type latencySpan struct {
-	Mean  float64 `json:"mean"`
-	P95   uint64  `json:"p95"`
-	Share float64 `json:"share"`
-}
-
-// summarizeLatency condenses a recorder into the JSON shape. Returns nil
-// for runs captured without latency attribution.
-func summarizeLatency(rec *latency.Recorder) *latencySummary {
-	if rec == nil {
-		return nil
-	}
-	out := &latencySummary{
-		RequestsSeen: rec.Seen(),
-		Classes:      map[string]latencyClass{},
-	}
-	for _, gather := range []bool{false, true} {
-		total, spans := rec.Class(gather)
-		if total.Count() == 0 {
-			continue
-		}
-		lc := latencyClass{
-			Count: total.Count(),
-			Mean:  total.Mean(),
-			P50:   total.Quantile(0.50),
-			P95:   total.Quantile(0.95),
-			P99:   total.Quantile(0.99),
-			Spans: map[string]latencySpan{},
-		}
-		for si, h := range spans {
-			if h.Sum() == 0 {
-				continue
-			}
-			lc.Spans[latency.Span(si).String()] = latencySpan{
-				Mean:  h.Mean(),
-				P95:   h.Quantile(0.95),
-				Share: float64(h.Sum()) / float64(total.Sum()),
-			}
-		}
-		name := "p0"
-		if gather {
-			name = "gather"
-		}
-		out.Classes[name] = lc
-	}
-	for core := 0; core < rec.Cores(); core++ {
-		m := map[string]uint64{}
-		for st := latency.Stage(0); st < latency.NumStages; st++ {
-			if v := rec.StallCycles(core, st); v > 0 {
-				m[st.String()] = v
-			}
-		}
-		out.CoreStalls = append(out.CoreStalls, m)
-	}
-	return out
-}
 
 // latencyCmd implements `gsbench latency [-exp fig9] [workload flags]`:
 // run the selected experiment(s) with latency attribution enabled and
@@ -118,31 +33,30 @@ func latencyCmd(args []string) error {
 		return fmt.Errorf("latency: unexpected arguments %v", fs.Args())
 	}
 
-	gsdram.SetNoInline(ef.noInline)
-	gsdram.SetTelemetry(true, *epoch)
-	defer gsdram.SetTelemetry(false, 0)
-
-	opts, err := ef.options(false)
-	if err != nil {
+	if _, err := ef.options(false); err != nil {
 		return err
 	}
-	experiments := buildExperiments(&ef, opts)
 	ran := false
-	for _, e := range experiments {
-		if *exp != "all" && *exp != e.name {
+	for _, name := range spec.Names() {
+		if *exp != "all" && *exp != name {
 			continue
 		}
 		ran = true
-		if _, _, _, err := e.run(); err != nil {
+		sp, err := ef.spec(name, true, *epoch)
+		if err != nil {
 			return err
 		}
-		for _, r := range gsdram.DrainTelemetryRuns() {
-			printLatencyReport(e.name, r)
+		out, err := spec.Run(sp)
+		if err != nil {
+			return err
+		}
+		for _, r := range out.Runs {
+			printLatencyReport(name, r)
 		}
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (valid: all, %s)", *exp,
-			strings.Join(experimentNames(experiments), ", "))
+			strings.Join(spec.Names(), ", "))
 	}
 	return nil
 }
@@ -150,7 +64,7 @@ func latencyCmd(args []string) error {
 // printLatencyReport renders one run's latency attribution: the
 // per-class percentiles, the span decomposition, and the per-core stall
 // attribution whose stage totals sum to the core's mem_stall_cycles.
-func printLatencyReport(expName string, r *gsdram.TelemetryRun) {
+func printLatencyReport(expName string, r *telemetry.Run) {
 	rec := r.Latency
 	if rec == nil || rec.Seen() == 0 {
 		return

@@ -19,6 +19,11 @@
 //	gsbench bench-gate [-tol PCT] [-wall-tol PCT] OLD.json NEW.json
 //	gsbench stress [-seed S] [-count N] [-shrink] [-workers N] [-noinline]
 //	        [-xmodes] [-pseed P] [-inject none|shuffle-swap] [-repro-out FILE]
+//	gsbench serve [-addr HOST:PORT] [-cache-dir DIR] [-farm-workers N]
+//	        [-retries N] [-drain-timeout D]
+//	gsbench sweep [-server URL | -cache-dir DIR] [-exp LIST] [-tuples LIST]
+//	        [-txns LIST] [-seeds LIST] [-out DIR] [-json FILE] [-no-progress]
+//	        [workload flags]
 //
 // gsbench latency runs an experiment with latency attribution enabled and
 // prints the request-lifecycle report: per-pattern-class latency
@@ -62,6 +67,16 @@
 // minimal reproducer; replay one with -pseed using the seed printed in
 // the failure report.
 //
+// gsbench serve runs the simulation farm (DESIGN.md §5.8): an HTTP/JSON
+// job server that shards sweep points across a worker pool and stores
+// every run document in a content-addressed result cache keyed by the
+// canonical experiment-spec hash. Identical points are never simulated
+// twice — not within a sweep, not across sweeps, and not across servers
+// sharing one -cache-dir. gsbench sweep expands a cartesian sweep
+// (experiments × tuples × txns × seeds), submits it to a server (or runs
+// it in-process against a local cache), streams NDJSON progress, and
+// collects the per-point documents.
+//
 // The defaults complete in a few minutes. To run at the paper's scale:
 //
 //	gsbench -exp fig9 -tuples 1048576 -txns 10000
@@ -103,72 +118,19 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
-	"time"
 
-	"gsdram"
-	"gsdram/internal/imdb"
 	"gsdram/internal/metrics"
-	"gsdram/internal/stats"
+	"gsdram/internal/spec"
 	"gsdram/internal/telemetry"
 )
-
-// experiment couples a runnable experiment with its name, so the dispatch
-// loop and the unknown-experiment error share one registry.
-type experiment struct {
-	name string
-	// run returns the structured result, an optional cycles/speedups
-	// summary, and the rendered tables.
-	run func() (result any, summary any, tables []*stats.Table, err error)
-}
-
-// record is one experiment's entry in the -json output.
-type record struct {
-	Experiment string                `json:"experiment"`
-	WallNS     int64                 `json:"wall_ns"`
-	Summary    any                   `json:"summary,omitempty"`
-	Result     any                   `json:"result"`
-	Sampled    []gsdram.SampledEntry `json:"sampled,omitempty"`
-	Telemetry  []telemetryEntry      `json:"telemetry,omitempty"`
-}
-
-// sampledEntries extracts the per-run sampled estimates from the
-// experiments that support interval sampling; nil otherwise.
-func sampledEntries(result any) []gsdram.SampledEntry {
-	switch r := result.(type) {
-	case *gsdram.Fig9Result:
-		return r.SampledEntries()
-	case *gsdram.Fig10Result:
-		return r.SampledEntries()
-	case *gsdram.PattBitsResult:
-		return r.SampledEntries()
-	}
-	return nil
-}
-
-// telemetryEntry is one simulated run's telemetry in the -json output.
-type telemetryEntry struct {
-	Label        string            `json:"label"`
-	EndCycle     uint64            `json:"end_cycle"`
-	CommandsSeen uint64            `json:"dram_commands_seen"`
-	PhasesSeen   uint64            `json:"stall_phases_seen"`
-	Metrics      map[string]any    `json:"metrics"`
-	Series       *telemetry.Series `json:"series,omitempty"`
-	Latency      *latencySummary   `json:"latency,omitempty"`
-}
-
-// output is the top-level -json document.
-type output struct {
-	Manifest    telemetry.Manifest `json:"manifest"`
-	Experiments []record           `json:"experiments"`
-}
 
 func main() {
 	if len(os.Args) > 1 {
@@ -178,6 +140,8 @@ func main() {
 			"latency":         latencyCmd,
 			"stress":          stressCmd,
 			"sample-validate": sampleValidateCmd,
+			"serve":           serveCmd,
+			"sweep":           sweepCmd,
 		}
 		if cmd, ok := subcommands[os.Args[1]]; ok {
 			if err := cmd(os.Args[2:]); err != nil {
@@ -186,7 +150,12 @@ func main() {
 			return
 		}
 		if !strings.HasPrefix(os.Args[1], "-") {
-			fatal(fmt.Errorf("unknown subcommand %q (valid: latency, stress, bench-gate, metrics-diff, sample-validate)", os.Args[1]))
+			names := make([]string, 0, len(subcommands))
+			for name := range subcommands {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			fatal(fmt.Errorf("unknown subcommand %q (valid: %s)", os.Args[1], strings.Join(names, ", ")))
 		}
 	}
 	var ef expFlags
@@ -227,64 +196,44 @@ func main() {
 		}()
 	}
 
-	gsdram.SetNoInline(ef.noInline)
 	telemetryOn := *jsonOut != "" || *traceOut != "" || *promOut != ""
-	gsdram.SetTelemetry(telemetryOn, *epoch)
 
-	opts, err := ef.options(*exp == "all" || *exp == "fig9sampled")
-	if err != nil {
+	// Flag-level validation (sampling sub-flags without -sample, the
+	// noinline × sample conflict) before any experiment runs.
+	if _, err := ef.options(*exp == "all" || *exp == "fig9sampled"); err != nil {
 		fatal(err)
 	}
-	experiments := buildExperiments(&ef, opts)
 
 	jsonToStdout := *jsonOut == "-"
-	var records []record
-	var traceRuns []*gsdram.TelemetryRun
+	var records []spec.Record
+	var traceRuns []*telemetry.Run
 	var promRegs []metrics.LabeledRegistry
 	ran := false
-	for _, e := range experiments {
-		if *exp != "all" && *exp != e.name {
+	for _, name := range spec.Names() {
+		if *exp != "all" && *exp != name {
 			continue
 		}
 		ran = true
-		start := time.Now()
-		result, summary, tables, err := e.run()
-		wall := time.Since(start)
+		sp, err := ef.spec(name, telemetryOn, *epoch)
 		if err != nil {
 			fatal(err)
 		}
-		var entries []telemetryEntry
-		if telemetryOn {
-			runs := gsdram.DrainTelemetryRuns()
-			traceRuns = append(traceRuns, runs...)
-			for _, r := range runs {
-				entries = append(entries, telemetryEntry{
-					Label:        r.Label,
-					EndCycle:     uint64(r.End),
-					CommandsSeen: r.CommandsSeen,
-					PhasesSeen:   r.Phases.Seen(),
-					Metrics:      r.Registry.Export(),
-					Series:       r.Series,
-					Latency:      summarizeLatency(r.Latency),
-				})
-				promRegs = append(promRegs, metrics.LabeledRegistry{
-					Labels: map[string]string{"experiment": e.name, "run": r.Label},
-					Reg:    r.Registry,
-				})
-			}
+		out, err := spec.Run(sp)
+		if err != nil {
+			fatal(err)
 		}
-		if *jsonOut != "" {
-			records = append(records, record{
-				Experiment: e.name,
-				WallNS:     wall.Nanoseconds(),
-				Summary:    summary,
-				Result:     result,
-				Sampled:    sampledEntries(result),
-				Telemetry:  entries,
+		traceRuns = append(traceRuns, out.Runs...)
+		for _, r := range out.Runs {
+			promRegs = append(promRegs, metrics.LabeledRegistry{
+				Labels: map[string]string{"experiment": name, "run": r.Label},
+				Reg:    r.Registry,
 			})
 		}
+		if *jsonOut != "" {
+			records = append(records, out.Record())
+		}
 		if !jsonToStdout {
-			for _, t := range tables {
+			for _, t := range out.Tables {
 				fmt.Println(t)
 			}
 		}
@@ -292,7 +241,7 @@ func main() {
 
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q (valid: all, %s)", *exp,
-			strings.Join(experimentNames(experiments), ", ")))
+			strings.Join(spec.Names(), ", ")))
 	}
 
 	manifest := telemetry.Manifest{
@@ -333,73 +282,17 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		out, err := json.MarshalIndent(output{Manifest: manifest, Experiments: records}, "", "  ")
+		doc := spec.Document{Manifest: manifest, Experiments: records}
+		out, err := doc.Marshal()
 		if err != nil {
 			fatal(err)
 		}
 		if jsonToStdout {
-			fmt.Println(string(out))
-		} else if err := os.WriteFile(*jsonOut, append(out, '\n'), 0o644); err != nil {
+			fmt.Print(string(out))
+		} else if err := os.WriteFile(*jsonOut, out, 0o644); err != nil {
 			fatal(err)
 		}
 	}
-}
-
-// fig9Summary condenses Figure 9 into per-layout average cycles and the
-// headline speedups.
-func fig9Summary(r *gsdram.Fig9Result) any {
-	row, col, gs := r.AvgCycles(imdb.RowStore), r.AvgCycles(imdb.ColumnStore), r.AvgCycles(imdb.GSStore)
-	return map[string]any{
-		"avg_cycles": map[string]float64{
-			"row_store":    row,
-			"column_store": col,
-			"gs_dram":      gs,
-		},
-		"speedup_vs_row":    ratio(row, gs),
-		"speedup_vs_column": ratio(col, gs),
-	}
-}
-
-// fig10Summary condenses Figure 10 (prefetched analytics) the same way.
-func fig10Summary(r *gsdram.Fig10Result) any {
-	row, col, gs := r.AvgCycles(imdb.RowStore, true), r.AvgCycles(imdb.ColumnStore, true), r.AvgCycles(imdb.GSStore, true)
-	return map[string]any{
-		"avg_cycles_prefetch": map[string]float64{
-			"row_store":    row,
-			"column_store": col,
-			"gs_dram":      gs,
-		},
-		"speedup_vs_row":    ratio(row, gs),
-		"speedup_vs_column": ratio(col, gs),
-	}
-}
-
-// fig9SampledSummary extends the Figure 9 summary with the sampling
-// quality stats: the worst relative CI half-width and the detailed
-// fraction, averaged over runs.
-func fig9SampledSummary(r *gsdram.Fig9Result) any {
-	s := fig9Summary(r).(map[string]any)
-	var maxCI, frac float64
-	n := 0
-	for _, e := range r.SampledEntries() {
-		if ci := e.Result.RelCI(); ci > maxCI {
-			maxCI = ci
-		}
-		frac += e.Result.SampledFraction()
-		n++
-	}
-	if n > 0 {
-		s["max_rel_ci"] = maxCI
-		s["detail_fraction"] = frac / float64(n)
-	}
-	return s
-}
-
-func ratio(a, b float64) float64 {
-	if b == 0 {
-		return 0
-	}
-	return a / b
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gsdram/internal/farm"
+	"gsdram/internal/resultcache"
+)
+
+// serveCmd implements `gsbench serve`: a long-running simulation-farm
+// server exposing the HTTP/JSON job API (internal/farm) over a
+// content-addressed result cache. Multiple servers pointed at one
+// cache directory shard sweeps across processes or hosts: every
+// completed point is visible to all of them. SIGINT/SIGTERM drains
+// gracefully — new sweeps are rejected with 503, accepted points
+// finish, then the process exits.
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8573", "listen address")
+	cacheDir := fs.String("cache-dir", "gsbench-cache", "content-addressed result cache directory (sharable between servers)")
+	workers := fs.Int("farm-workers", 0, "concurrent sweep points in this process (0 = GOMAXPROCS); telemetered points serialize on the capture lock, each point still parallelizes internally per its spec")
+	retries := fs.Int("retries", 1, "times a point is re-executed after a worker failure before it is marked failed")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Minute, "how long a shutdown signal waits for in-flight points")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: gsbench serve [-addr HOST:PORT] [-cache-dir DIR] [-farm-workers N] [-retries N]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
+	}
+
+	cache, err := resultcache.Open(*cacheDir)
+	if err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, "gsbench serve: ", log.LstdFlags)
+	engine := farm.New(cache, farm.Options{Workers: *workers, Retries: *retries})
+	engine.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: farm.NewServer(engine, logger)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		logger.Printf("shutdown signal: draining (rejecting new sweeps, finishing in-flight points)")
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		err := engine.Drain(dctx)
+		if err != nil {
+			logger.Printf("drain: %v (exiting with points still queued)", err)
+		} else {
+			logger.Printf("drain complete")
+		}
+		drained <- err
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		_ = srv.Shutdown(sctx)
+	}()
+
+	logger.Printf("listening on http://%s (cache %s, %d workers, %d retries)",
+		ln.Addr(), cache.Dir(), engine.Workers(), *retries)
+	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-drained
+}

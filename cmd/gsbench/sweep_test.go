@@ -1,0 +1,94 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestValidateSweepStreams(t *testing.T) {
+	// -json - with streaming progress would interleave two formats on
+	// one stdout; rejected.
+	if err := validateSweepStreams("-", true); err == nil {
+		t.Fatalf("accepted -json - with progress streaming")
+	}
+	// Every other combination is fine.
+	for _, tc := range []struct {
+		jsonOut  string
+		progress bool
+	}{
+		{"-", false},
+		{"out.json", true},
+		{"out.json", false},
+		{"", true},
+		{"", false},
+	} {
+		if err := validateSweepStreams(tc.jsonOut, tc.progress); err != nil {
+			t.Fatalf("rejected jsonOut=%q progress=%v: %v", tc.jsonOut, tc.progress, err)
+		}
+	}
+}
+
+func TestParseLists(t *testing.T) {
+	got, err := parseIntList("-tuples", " 4096, 8192 ,16384")
+	if err != nil || len(got) != 3 || got[0] != 4096 || got[2] != 16384 {
+		t.Fatalf("parseIntList = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-5", "abc", "1,x"} {
+		if _, err := parseIntList("-tuples", bad); err == nil {
+			t.Errorf("parseIntList accepted %q", bad)
+		}
+	}
+	seeds, err := parseU64List("-seeds", "0,1,18446744073709551615")
+	if err != nil || len(seeds) != 3 || seeds[2] != 18446744073709551615 {
+		t.Fatalf("parseU64List = %v, %v", seeds, err)
+	}
+	for _, bad := range []string{"", "-1", "abc"} {
+		if _, err := parseU64List("-seeds", bad); err == nil {
+			t.Errorf("parseU64List accepted %q", bad)
+		}
+	}
+}
+
+func TestExpandSweep(t *testing.T) {
+	sf := sweepFlags{
+		exps:     []string{"fig9", "table1"},
+		tuples:   []int{1024, 2048},
+		txns:     []int{50},
+		seeds:    []uint64{1, 2, 3},
+		gemm:     []int{32},
+		kvPairs:  256,
+		vertices: 512,
+		degree:   4,
+	}
+	points, err := sf.expandSweep()
+	if err != nil {
+		t.Fatalf("expandSweep: %v", err)
+	}
+	if len(points) != 12 { // 2 exps x 2 tuples x 1 txns x 3 seeds
+		t.Fatalf("expanded %d points; want 12", len(points))
+	}
+	// Deterministic nesting order: exp outermost, seed innermost.
+	if points[0].Experiment != "fig9" || points[0].Tuples != 1024 || points[0].Seed != 1 {
+		t.Fatalf("point 0 = %+v", points[0])
+	}
+	if points[1].Seed != 2 || points[3].Tuples != 2048 || points[6].Experiment != "table1" {
+		t.Fatalf("unexpected nesting order: %+v", points[:7])
+	}
+	// Every point is normalized (fingerprint stamped) and distinct.
+	hashes := map[string]bool{}
+	for i, p := range points {
+		if p.Fingerprint == "" {
+			t.Fatalf("point %d not normalized", i)
+		}
+		h := p.Hash()
+		if hashes[h] {
+			t.Fatalf("duplicate hash %s at point %d", h, i)
+		}
+		hashes[h] = true
+	}
+
+	// An invalid point poisons the whole expansion up front.
+	sf.exps = []string{"fig9", "nope"}
+	if _, err := sf.expandSweep(); err == nil {
+		t.Fatalf("expandSweep accepted an unknown experiment")
+	}
+}

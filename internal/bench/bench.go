@@ -24,6 +24,15 @@ import (
 	"gsdram/internal/sim"
 )
 
+// SimVersion names the simulator's semantic version. It participates in
+// the experiment-spec code fingerprint (internal/spec), which keys the
+// on-disk result cache: bump it whenever a change alters simulation
+// results (timing model, coherence, workload generation, document
+// schema), so cached documents from older semantics can never be
+// returned for new requests. Builds stamped with VCS info additionally
+// mix the commit revision into the fingerprint.
+const SimVersion = "gsdram-sim/1"
+
 // Options scales the experiments. The zero value is unusable; start from
 // DefaultOptions.
 type Options struct {
@@ -65,6 +74,34 @@ func DefaultOptions() Options {
 		GemmSizes: []int{32, 64, 128, 256},
 		Seed:      42,
 	}
+}
+
+// Validate reports whether the options describe a runnable experiment
+// scale; the CLI flag layer and the spec layer (internal/spec) both
+// defer to it so they cannot drift.
+func (o Options) Validate() error {
+	if o.Tuples <= 0 {
+		return fmt.Errorf("tuples must be positive, got %d", o.Tuples)
+	}
+	if o.Txns <= 0 {
+		return fmt.Errorf("txns must be positive, got %d", o.Txns)
+	}
+	if len(o.GemmSizes) == 0 {
+		return fmt.Errorf("at least one GEMM size is required")
+	}
+	for _, n := range o.GemmSizes {
+		if n <= 0 {
+			return fmt.Errorf("GEMM sizes must be positive, got %d", n)
+		}
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("workers must be >= 0, got %d", o.Workers)
+	}
+	if s := o.Sample; s != nil && s.Interval <= s.Warmup+s.Measure {
+		return fmt.Errorf("sample interval (%d) must exceed warmup + measure (%d)",
+			s.Interval, s.Warmup+s.Measure)
+	}
+	return nil
 }
 
 // QuickOptions returns a reduced scale for unit tests and -short runs.

@@ -1,0 +1,179 @@
+package farm
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"gsdram/internal/spec"
+)
+
+// Client talks to a farm Server. The zero value is unusable; use
+// NewClient.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for a server base URL such as
+// "http://127.0.0.1:8573".
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// decodeError surfaces the server's JSON error body.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("farm server: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("farm server: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Healthy checks the server's liveness endpoint.
+func (c *Client) Healthy(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return nil
+}
+
+// Submit posts a sweep and returns the acknowledgement.
+func (c *Client) Submit(ctx context.Context, points []spec.Spec) (*SubmitResponse, error) {
+	body, err := json.Marshal(SubmitRequest{Points: points})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/api/v1/sweeps", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, decodeError(resp)
+	}
+	var ack SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return nil, err
+	}
+	return &ack, nil
+}
+
+// Job fetches a job's status snapshot.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var js JobStatus
+	if err := c.getJSON(ctx, "/api/v1/sweeps/"+id, &js); err != nil {
+		return nil, err
+	}
+	return &js, nil
+}
+
+// Stream consumes a job's NDJSON progress stream, calling fn for every
+// event until the terminal "done" event. A non-nil error from fn aborts
+// the stream and is returned.
+func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/sweeps/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("farm: bad event line %q: %w", line, err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+		if ev.Type == "done" {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("farm: event stream for %s ended without a done event", id)
+}
+
+// Result fetches the stored run document for a spec hash; ok is false
+// when the server has no document for it.
+func (c *Client) Result(ctx context.Context, hash string) (doc []byte, ok bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/results/"+hash, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		doc, err = io.ReadAll(resp.Body)
+		return doc, err == nil, err
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, decodeError(resp)
+	}
+}
+
+// Stats fetches the server's engine and cache counters.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var st Stats
+	if err := c.getJSON(ctx, "/api/v1/stats", &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

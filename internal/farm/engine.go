@@ -1,0 +1,299 @@
+// Package farm is the sharded sweep engine behind `gsbench serve` and
+// `gsbench sweep`: a work queue that fans sweep points (experiment
+// specs, internal/spec) across a worker pool, backed by the
+// content-addressed result cache (internal/resultcache) so a point
+// whose spec hash is already stored completes without executing a
+// single simulated cycle. Multiple servers sharing one cache directory
+// shard a sweep across processes or hosts; the cache's atomic writes
+// and the simulator's bit-identical determinism make every hit
+// trustworthy.
+//
+// The engine deduplicates identical points in flight (single-flight per
+// spec hash), retries points whose worker fails or panics, streams
+// per-point progress events, and drains gracefully: a draining engine
+// rejects new sweeps but finishes every accepted point.
+package farm
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gsdram/internal/resultcache"
+	"gsdram/internal/spec"
+)
+
+// Runner executes one spec and returns its run document. The default is
+// spec.RunDocument; tests inject failures and counters here.
+type Runner func(*spec.Spec) ([]byte, error)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the number of concurrently executing sweep points in
+	// this process (0 = GOMAXPROCS). Telemetered points additionally
+	// serialize on the simulator's capture lock (see internal/spec), so
+	// within-process point concurrency mainly helps untelemetered
+	// sweeps; each point always parallelizes internally via its spec's
+	// Workers field.
+	Workers int
+	// Retries is how many times a point is re-executed after a worker
+	// failure (error or panic) before the point is marked failed.
+	Retries int
+	// Runner overrides the execution function (nil = spec.RunDocument).
+	Runner Runner
+}
+
+// task is one queued sweep point.
+type task struct {
+	job   *Job
+	index int
+}
+
+// Engine owns the queue, the worker pool, and the job table.
+type Engine struct {
+	cache   *resultcache.Cache
+	runner  Runner
+	workers int
+	retries int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []task
+	jobs     map[string]*Job
+	nextJob  int
+	inflight map[string]chan struct{}
+	draining bool
+	started  bool
+	wg       sync.WaitGroup
+}
+
+// New returns an engine over cache; call Start before submitting.
+func New(cache *resultcache.Cache, opts Options) *Engine {
+	e := &Engine{
+		cache:    cache,
+		runner:   opts.Runner,
+		workers:  opts.Workers,
+		retries:  opts.Retries,
+		jobs:     map[string]*Job{},
+		inflight: map[string]chan struct{}{},
+	}
+	if e.runner == nil {
+		e.runner = spec.RunDocument
+	}
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	if e.retries < 0 {
+		e.retries = 0
+	}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// Cache returns the engine's result cache.
+func (e *Engine) Cache() *resultcache.Cache { return e.cache }
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Start launches the worker pool. Idempotent.
+func (e *Engine) Start() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return
+	}
+	e.started = true
+	e.wg.Add(e.workers)
+	for i := 0; i < e.workers; i++ {
+		go e.worker()
+	}
+}
+
+// Submit validates, normalizes and hashes every point, creates a job,
+// and enqueues all points. It returns an error (without side effects)
+// when any point is invalid or the engine is draining.
+func (e *Engine) Submit(points []spec.Spec) (*Job, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("farm: empty sweep")
+	}
+	pts := make([]*Point, len(points))
+	for i, s := range points {
+		ns := s.Normalized()
+		if err := ns.Validate(); err != nil {
+			return nil, fmt.Errorf("farm: point %d: %w", i, err)
+		}
+		pts[i] = &Point{Spec: *ns, Hash: ns.Hash(), Status: PointPending}
+	}
+
+	e.mu.Lock()
+	if e.draining {
+		e.mu.Unlock()
+		return nil, ErrDraining
+	}
+	e.nextJob++
+	j := newJob(fmt.Sprintf("job-%d", e.nextJob), pts)
+	e.jobs[j.ID] = j
+	for i := range pts {
+		e.queue = append(e.queue, task{job: j, index: i})
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	return j, nil
+}
+
+// ErrDraining is returned by Submit once Drain has begun.
+var ErrDraining = fmt.Errorf("farm: engine is draining, not accepting sweeps")
+
+// Job returns a submitted job by ID.
+func (e *Engine) Job(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// Stats describes the engine's current load.
+type Stats struct {
+	Workers  int               `json:"workers"`
+	Queue    int               `json:"queue"`
+	Jobs     int               `json:"jobs"`
+	Draining bool              `json:"draining"`
+	Cache    resultcache.Stats `json:"cache"`
+}
+
+// Stats snapshots the engine.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		Workers:  e.workers,
+		Queue:    len(e.queue),
+		Jobs:     len(e.jobs),
+		Draining: e.draining,
+		Cache:    e.cache.Stats(),
+	}
+}
+
+// Drain stops intake (Submit fails with ErrDraining), lets the pool
+// finish every queued and in-flight point, and waits for the workers to
+// exit, or for ctx.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	e.draining = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker pulls points until the queue is empty and the engine drains.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.draining {
+			e.cond.Wait()
+		}
+		if len(e.queue) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		t := e.queue[0]
+		e.queue = e.queue[1:]
+		e.mu.Unlock()
+		e.runPoint(t)
+	}
+}
+
+// acquire registers this goroutine as the single executor for hash.
+// When another executor is already running the same hash, it returns
+// (false, ch); wait on ch, then re-check the cache.
+func (e *Engine) acquire(hash string) (leader bool, ch <-chan struct{}) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.inflight[hash]; ok {
+		return false, c
+	}
+	c := make(chan struct{})
+	e.inflight[hash] = c
+	return true, c
+}
+
+// release ends this goroutine's leadership for hash and wakes waiters.
+func (e *Engine) release(hash string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.inflight[hash]; ok {
+		close(c)
+		delete(e.inflight, hash)
+	}
+}
+
+// execute runs one spec, converting a worker panic into an error so a
+// crashing point is retried like any other failure instead of taking
+// the server down.
+func (e *Engine) execute(s *spec.Spec) (doc []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("farm: worker panic: %v", r)
+		}
+	}()
+	return e.runner(s)
+}
+
+// runPoint drives one point to done or failed: cache hit → done
+// (cached); otherwise become the hash's single executor, run, store,
+// done; on failure retry up to Retries times. Followers of an in-flight
+// identical point wait and then take the leader's cached result.
+func (e *Engine) runPoint(t task) {
+	j, i := t.job, t.index
+	p := j.start(i)
+	attempts := 0
+	var lastErr error
+	for {
+		if _, ok, err := e.cache.Get(p.Hash); err != nil {
+			lastErr = err
+		} else if ok {
+			j.finish(i, attempts, true, 0)
+			return
+		}
+		leader, ch := e.acquire(p.Hash)
+		if !leader {
+			// An identical point is executing right now; its completion
+			// fills the cache. Waiting costs this worker slot but no
+			// simulation work.
+			<-ch
+			continue
+		}
+		attempts++
+		start := time.Now()
+		doc, err := e.execute(&p.Spec)
+		if err == nil {
+			err = e.cache.Put(p.Hash, doc)
+		}
+		wall := time.Since(start)
+		e.release(p.Hash)
+		if err == nil {
+			j.finish(i, attempts, false, wall.Nanoseconds())
+			return
+		}
+		lastErr = err
+		if attempts > e.retries {
+			j.fail(i, attempts, lastErr)
+			return
+		}
+	}
+}

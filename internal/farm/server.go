@@ -1,0 +1,185 @@
+package farm
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+
+	"gsdram/internal/spec"
+)
+
+// SubmitRequest is the POST /api/v1/sweeps body: one spec per point.
+type SubmitRequest struct {
+	Points []spec.Spec `json:"points"`
+}
+
+// SubmitPoint echoes one accepted point's content address.
+type SubmitPoint struct {
+	Index int    `json:"index"`
+	Hash  string `json:"hash"`
+}
+
+// SubmitResponse acknowledges an accepted sweep.
+type SubmitResponse struct {
+	ID     string        `json:"id"`
+	Total  int           `json:"total"`
+	Points []SubmitPoint `json:"points"`
+}
+
+// JobStatus is the GET /api/v1/sweeps/{id} body.
+type JobStatus struct {
+	ID       string  `json:"id"`
+	Complete bool    `json:"complete"`
+	Totals   Totals  `json:"totals"`
+	Points   []Point `json:"points"`
+}
+
+// Server exposes an Engine over HTTP/JSON:
+//
+//	POST /api/v1/sweeps               submit a sweep (503 while draining)
+//	GET  /api/v1/sweeps/{id}          job status snapshot
+//	GET  /api/v1/sweeps/{id}/events   NDJSON progress stream until done
+//	GET  /api/v1/results/{hash}       stored run document (404 on miss)
+//	GET  /api/v1/stats                engine + cache counters
+//	GET  /healthz                     liveness
+type Server struct {
+	engine *Engine
+	logger *log.Logger
+	mux    *http.ServeMux
+}
+
+// NewServer wraps an engine; logger may be nil for a silent server.
+func NewServer(e *Engine, logger *log.Logger) *Server {
+	s := &Server{engine: e, logger: logger, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("POST /api/v1/sweeps", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/v1/sweeps/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /api/v1/sweeps/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /api/v1/results/{hash}", s.handleResult)
+	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// writeJSON writes v with a status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad sweep body: %v", err)
+		return
+	}
+	j, err := s.engine.Submit(req.Points)
+	if err == ErrDraining {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := SubmitResponse{ID: j.ID, Total: len(req.Points)}
+	for i, p := range j.Points() {
+		resp.Points = append(resp.Points, SubmitPoint{Index: i, Hash: p.Hash})
+	}
+	s.logf("farm: %s accepted with %d point(s)", j.ID, resp.Total)
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.engine.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, JobStatus{
+		ID:       j.ID,
+		Complete: j.Complete(),
+		Totals:   j.Totals(),
+		Points:   j.Points(),
+	})
+}
+
+// handleEvents streams the job's progress as NDJSON: every event so
+// far, then live events until the terminal "done" event (or client
+// disconnect).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.engine.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	seq := 0
+	for {
+		evs, ch, done := j.EventsSince(seq)
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		seq += len(evs)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			// The snapshot and the completion flag come from one
+			// critical section, so a complete job's batch already ends
+			// with its terminal "done" event — everything is delivered.
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	doc, ok, err := s.engine.Cache().Get(hash)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !ok {
+		httpError(w, http.StatusNotFound, "no result for %s", hash)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(doc)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Stats())
+}

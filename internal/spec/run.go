@@ -1,0 +1,148 @@
+package spec
+
+import (
+	"encoding/json"
+	"runtime"
+	"sync"
+	"time"
+
+	"gsdram/internal/bench"
+	"gsdram/internal/stats"
+	"gsdram/internal/telemetry"
+)
+
+// runMu guards the simulator's process-wide switches (telemetry capture
+// and the noinline escape hatch, both session-global in internal/bench).
+// Specs that leave both at their defaults run concurrently under the
+// read lock; a spec that needs either takes the write lock, flips the
+// globals, runs, drains, and restores the defaults before unlocking.
+// The invariant is that the globals are at their defaults whenever the
+// write lock is free. Telemetered sweep points therefore serialize
+// within one process — shard across servers (a shared cache directory)
+// for process-level parallelism; each point still parallelizes
+// internally via Spec.Workers.
+var runMu sync.RWMutex
+
+// Outcome is one executed spec: the structured experiment result plus
+// everything a run document needs.
+type Outcome struct {
+	Spec    *Spec
+	WallNS  int64
+	Result  any
+	Summary any
+	Tables  []*stats.Table
+	Sampled []bench.SampledEntry
+	// Telemetry is the condensed per-run document section; Runs keeps
+	// the raw captures for exporters (traces, Prometheus, the latency
+	// report). Both are nil for untelemetered specs.
+	Telemetry []TelemetryEntry
+	Runs      []*telemetry.Run
+}
+
+// Run validates and executes one spec, constructing the rig exactly as
+// the CLI would for the equivalent flags. It is safe for concurrent use
+// (see runMu).
+func Run(s *Spec) (*Outcome, error) {
+	s = s.Normalized()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	run, _ := lookup(s.Experiment) // Validate checked membership
+	opts := s.BenchOptions()
+
+	if s.Telemetry || s.NoInline {
+		runMu.Lock()
+		defer runMu.Unlock()
+		if s.NoInline {
+			bench.SetNoInline(true)
+			defer bench.SetNoInline(false)
+		}
+		if s.Telemetry {
+			bench.SetTelemetry(true, s.Epoch)
+			defer bench.SetTelemetry(false, 0)
+		}
+	} else {
+		runMu.RLock()
+		defer runMu.RUnlock()
+	}
+
+	start := time.Now()
+	result, summary, tables, err := run(s, opts)
+	wall := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{
+		Spec:    s,
+		WallNS:  wall.Nanoseconds(),
+		Result:  result,
+		Summary: summary,
+		Tables:  tables,
+		Sampled: sampledEntries(result),
+	}
+	if s.Telemetry {
+		out.Runs = bench.DrainTelemetryRuns()
+		for _, r := range out.Runs {
+			out.Telemetry = append(out.Telemetry, NewTelemetryEntry(r))
+		}
+	}
+	return out, nil
+}
+
+// Record is one experiment's entry in a run document (identical to the
+// gsbench -json shape, including the committed BENCH_seed.json).
+type Record struct {
+	Experiment string               `json:"experiment"`
+	WallNS     int64                `json:"wall_ns"`
+	Summary    any                  `json:"summary,omitempty"`
+	Result     any                  `json:"result"`
+	Sampled    []bench.SampledEntry `json:"sampled,omitempty"`
+	Telemetry  []TelemetryEntry     `json:"telemetry,omitempty"`
+}
+
+// Document is the top-level run-document shape: a manifest plus one
+// record per experiment. gsbench -json writes one for the selected
+// experiments; the farm stores one per sweep point.
+type Document struct {
+	Manifest    telemetry.Manifest `json:"manifest"`
+	Experiments []Record           `json:"experiments"`
+}
+
+// Record condenses the outcome into its document entry.
+func (o *Outcome) Record() Record {
+	return Record{
+		Experiment: o.Spec.Experiment,
+		WallNS:     o.WallNS,
+		Summary:    o.Summary,
+		Result:     o.Result,
+		Sampled:    o.Sampled,
+		Telemetry:  o.Telemetry,
+	}
+}
+
+// Marshal renders a document exactly as gsbench -json does: indented,
+// with a trailing newline.
+func (d *Document) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// RunDocument executes one spec and returns its single-experiment run
+// document, the unit the result cache stores under the spec hash. The
+// simulation is deterministic, so everything in the document except
+// wall_ns is identical run to run; wall_ns records the execution that
+// actually produced the stored bytes.
+func RunDocument(s *Spec) ([]byte, error) {
+	out, err := Run(s)
+	if err != nil {
+		return nil, err
+	}
+	doc := &Document{
+		Manifest:    out.Spec.Manifest(runtime.Version()),
+		Experiments: []Record{out.Record()},
+	}
+	return doc.Marshal()
+}

@@ -1,0 +1,173 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// quickSpec is a fast fig9 rig for run tests.
+func quickSpec() *Spec {
+	return &Spec{
+		Experiment: "fig9",
+		Tuples:     1024,
+		Txns:       50,
+		GemmSizes:  []int{32},
+		KVPairs:    256,
+		Vertices:   512,
+		Degree:     4,
+		Seed:       7,
+	}
+}
+
+// zeroWallNS blanks every wall_ns in a run document so two executions
+// of a deterministic spec compare equal: wall-clock time is the one
+// field that legitimately differs run to run.
+func zeroWallNS(t *testing.T, doc []byte) []byte {
+	t.Helper()
+	var d map[string]any
+	if err := json.Unmarshal(doc, &d); err != nil {
+		t.Fatalf("unmarshal document: %v", err)
+	}
+	exps, ok := d["experiments"].([]any)
+	if !ok || len(exps) == 0 {
+		t.Fatalf("document has no experiments array")
+	}
+	for _, e := range exps {
+		e.(map[string]any)["wall_ns"] = 0
+	}
+	out, err := json.Marshal(d)
+	if err != nil {
+		t.Fatalf("re-marshal document: %v", err)
+	}
+	return out
+}
+
+// TestRunDocumentDeterministic is the property the whole cache rests
+// on: the same spec produces the same document, byte for byte, modulo
+// wall-clock time.
+func TestRunDocumentDeterministic(t *testing.T) {
+	s := quickSpec()
+	d1, err := RunDocument(s)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	d2, err := RunDocument(s)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if !bytes.Equal(zeroWallNS(t, d1), zeroWallNS(t, d2)) {
+		t.Fatalf("identical specs produced different documents")
+	}
+}
+
+// TestRunTelemeteredDeterministic covers the telemetered path, which
+// flips the session-global capture switches under the write lock.
+func TestRunTelemeteredDeterministic(t *testing.T) {
+	s := quickSpec()
+	s.Telemetry = true
+	d1, err := RunDocument(s)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	d2, err := RunDocument(s)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if !bytes.Equal(zeroWallNS(t, d1), zeroWallNS(t, d2)) {
+		t.Fatalf("identical telemetered specs produced different documents")
+	}
+	// The telemetered document must actually carry telemetry.
+	var doc struct {
+		Experiments []struct {
+			Telemetry []json.RawMessage `json:"telemetry"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(d1, &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(doc.Experiments) != 1 || len(doc.Experiments[0].Telemetry) == 0 {
+		t.Fatalf("telemetered document has no telemetry entries")
+	}
+}
+
+// TestRunSeedChangesResult guards against the hash distinguishing specs
+// whose results the simulator does not actually distinguish — the cache
+// would still be correct, but the experiment would be broken.
+func TestRunSeedChangesResult(t *testing.T) {
+	a := quickSpec()
+	b := quickSpec()
+	b.Seed = a.Seed + 1
+	da, err := RunDocument(a)
+	if err != nil {
+		t.Fatalf("seed %d: %v", a.Seed, err)
+	}
+	db, err := RunDocument(b)
+	if err != nil {
+		t.Fatalf("seed %d: %v", b.Seed, err)
+	}
+	if bytes.Equal(zeroWallNS(t, da), zeroWallNS(t, db)) {
+		t.Fatalf("different seeds produced identical documents")
+	}
+}
+
+// TestRunConcurrent exercises the read-lock path: untelemetered specs
+// may run concurrently, and mixing in a telemetered spec (write lock)
+// must not corrupt either side. Run under -race.
+func TestRunConcurrent(t *testing.T) {
+	base, err := RunDocument(quickSpec())
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	want := zeroWallNS(t, base)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			doc, err := RunDocument(quickSpec())
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(zeroWallNS(t, doc), want) {
+				errs <- bytes.ErrTooLarge // sentinel; message below
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := quickSpec()
+			s.Telemetry = true
+			if _, err := RunDocument(s); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err == bytes.ErrTooLarge {
+			t.Fatalf("concurrent run diverged from the serial baseline")
+		}
+		t.Fatalf("concurrent run failed: %v", err)
+	}
+}
+
+func TestRunRejectsInvalidSpec(t *testing.T) {
+	s := quickSpec()
+	s.Experiment = "nope"
+	if _, err := Run(s); err == nil {
+		t.Fatalf("Run accepted an unknown experiment")
+	}
+	s = quickSpec()
+	s.Tuples = 0
+	if _, err := Run(s); err == nil {
+		t.Fatalf("Run accepted zero tuples")
+	}
+}

@@ -128,20 +128,23 @@ func QuickOptions() Options   { return bench.QuickOptions() }
 // hatch and for equivalence testing (gsbench -noinline).
 func SetNoInline(v bool) { bench.SetNoInline(v) }
 
-// SetTelemetry enables (or disables) telemetry capture — per-run metrics
-// registries, the epoch time-series, DRAM command and core stall-phase
-// traces — for every subsequently started experiment. epochCycles is the
-// sampling interval (0 = the default 100k cycles). Telemetry observes
-// without mutating, so results are bit-identical either way; it is off
-// by default because the capture buffers cost memory.
-func SetTelemetry(enabled bool, epochCycles uint64) { bench.SetTelemetry(enabled, epochCycles) }
+// TelemetryCapture collects telemetry — per-run metrics registries, the
+// epoch time-series, DRAM command and core stall-phase traces — for one
+// batch of experiment runs. Set one on Options.Capture, run the batch,
+// then call Drain for the captured runs. Captures are per-batch, not
+// session-global: concurrent batches with independent captures record
+// independently, with no cross-talk and no serialization. Telemetry
+// observes without mutating, so results are bit-identical either way;
+// it is off by default (nil Options.Capture) because the capture
+// buffers cost memory.
+type TelemetryCapture = bench.Capture
+
+// NewTelemetryCapture returns an empty capture context. epochCycles is
+// the time-series sampling interval (0 = the default 100k cycles).
+func NewTelemetryCapture(epochCycles uint64) *TelemetryCapture { return bench.NewCapture(epochCycles) }
 
 // TelemetryRun is one run's captured telemetry (see internal/telemetry).
 type TelemetryRun = telemetry.Run
-
-// DrainTelemetryRuns returns the telemetry captured since the last call,
-// sorted by run label, and clears the collection.
-func DrainTelemetryRuns() []*TelemetryRun { return bench.DrainTelemetryRuns() }
 
 // Fig9Result and Fig10Result are the structured results of the headline
 // analytics experiments, exported so tools (gsbench -json) can summarise

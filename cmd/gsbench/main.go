@@ -20,10 +20,11 @@
 //	gsbench stress [-seed S] [-count N] [-shrink] [-workers N] [-noinline]
 //	        [-xmodes] [-pseed P] [-inject none|shuffle-swap] [-repro-out FILE]
 //	gsbench serve [-addr HOST:PORT] [-cache-dir DIR] [-farm-workers N]
-//	        [-retries N] [-drain-timeout D]
+//	        [-retries N] [-drain-timeout D] [-log-format text|json] [-pprof]
 //	gsbench sweep [-server URL | -cache-dir DIR] [-exp LIST] [-tuples LIST]
-//	        [-txns LIST] [-seeds LIST] [-out DIR] [-json FILE] [-no-progress]
-//	        [workload flags]
+//	        [-txns LIST] [-seeds LIST] [-out DIR] [-json FILE] [-trace-out FILE]
+//	        [-no-progress] [-quiet] [workload flags]
+//	gsbench top [-server URL] [-interval D] [-n N] [-once]
 //
 // gsbench latency runs an experiment with latency attribution enabled and
 // prints the request-lifecycle report: per-pattern-class latency
@@ -74,8 +75,15 @@
 // twice — not within a sweep, not across sweeps, and not across servers
 // sharing one -cache-dir. gsbench sweep expands a cartesian sweep
 // (experiments × tuples × txns × seeds), submits it to a server (or runs
-// it in-process against a local cache), streams NDJSON progress, and
-// collects the per-point documents.
+// it in-process against a local cache), streams NDJSON progress with a
+// live completion/ETA line on stderr (-quiet suppresses it), and
+// collects the per-point documents; -trace-out renders the sweep's
+// point-lifecycle spans (queued, cache probe, singleflight wait,
+// running, store) as a Perfetto trace. The server observes itself:
+// GET /metrics exposes Prometheus counters and latency histograms,
+// -pprof mounts net/http/pprof, and gsbench top renders a live fleet
+// view (queue, in-flight points, cache-hit rate, points/sec, latency
+// percentiles, per-job progress) by polling the server.
 //
 // The defaults complete in a few minutes. To run at the paper's scale:
 //
@@ -142,6 +150,7 @@ func main() {
 			"sample-validate": sampleValidateCmd,
 			"serve":           serveCmd,
 			"sweep":           sweepCmd,
+			"top":             topCmd,
 		}
 		if cmd, ok := subcommands[os.Args[1]]; ok {
 			if err := cmd(os.Args[2:]); err != nil {

@@ -43,7 +43,9 @@ type sweepFlags struct {
 
 	outDir     string
 	jsonOut    string
+	traceOut   string
 	noProgress bool
+	quiet      bool
 }
 
 // parseIntList parses a comma-separated list of positive ints.
@@ -177,11 +179,13 @@ func sweepCmd(args []string) error {
 	fs.IntVar(&sf.degree, "degree", 8, "graph average out-degree (shared)")
 	fs.IntVar(&sf.runWorker, "workers", 0, "concurrent simulation runs within each point (0 = GOMAXPROCS)")
 	fs.BoolVar(&sf.noInline, "noinline", false, "disable the event-horizon fast path in every point")
-	fs.BoolVar(&sf.telemetry, "telemetry", true, "capture per-run telemetry in every point's document (telemetered points serialize within one process)")
+	fs.BoolVar(&sf.telemetry, "telemetry", true, "capture per-run telemetry in every point's document (telemetered points run concurrently, like any others)")
 	fs.Uint64Var(&sf.epoch, "epoch", uint64(telemetry.DefaultEpoch), "telemetry sampling interval in CPU cycles")
 	fs.StringVar(&sf.outDir, "out", "", "write every point's run document to DIR/<hash>.json")
 	fs.StringVar(&sf.jsonOut, "json", "", "write the sweep summary document to FILE (\"-\" for stdout, only with -no-progress)")
+	fs.StringVar(&sf.traceOut, "trace-out", "", "write the sweep's point-lifecycle spans as a Perfetto trace to FILE")
 	fs.BoolVar(&sf.noProgress, "no-progress", false, "suppress the NDJSON progress stream on stdout")
+	fs.BoolVar(&sf.quiet, "quiet", false, "suppress the live progress line on stderr")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: gsbench sweep [-server URL | -cache-dir DIR] [-exp LIST] [-tuples LIST] [-txns LIST] [-seeds LIST] [shared workload flags] [-out DIR] [-json FILE]")
 		fs.PrintDefaults()
@@ -227,7 +231,28 @@ func runSweep(sf *sweepFlags, points []spec.Spec) error {
 	ctx := context.Background()
 	progress := json.NewEncoder(os.Stdout)
 	final := make([]farm.Event, len(points))
+	spans := make([][]farm.SpanRec, len(points))
 	var totals farm.Totals
+	var jobID string
+	var start time.Time
+	terminal := 0
+	cachedN := 0
+	// statusLine is the live stderr progress: completed count, cache-hit
+	// rate, throughput, and an ETA extrapolated from the completed
+	// points' wall times. Rewritten in place with \r; -quiet drops it.
+	statusLine := func() {
+		if sf.quiet || terminal == 0 {
+			return
+		}
+		elapsed := time.Since(start).Seconds()
+		rate := float64(terminal) / elapsed
+		eta := "?"
+		if rate > 0 {
+			eta = fmt.Sprintf("%.1fs", float64(len(points)-terminal)/rate)
+		}
+		fmt.Fprintf(os.Stderr, "\rsweep %s: %d/%d done, %.0f%% cache hits, %.2f pts/s, ETA %s   ",
+			jobID, terminal, len(points), 100*float64(cachedN)/float64(terminal), rate, eta)
+	}
 	onEvent := func(ev farm.Event) error {
 		if !sf.noProgress {
 			if err := progress.Encode(ev); err != nil {
@@ -239,19 +264,25 @@ func runSweep(sf *sweepFlags, points []spec.Spec) error {
 			if ev.Totals != nil {
 				totals = *ev.Totals
 			}
+		case ev.Type == "span":
+			if ev.Span != nil && ev.Index >= 0 && ev.Index < len(spans) {
+				spans[ev.Index] = append(spans[ev.Index], *ev.Span)
+			}
 		case ev.Status == farm.PointDone || ev.Status == farm.PointFailed:
 			if ev.Index >= 0 && ev.Index < len(final) {
 				final[ev.Index] = ev
+				terminal++
+				if ev.Cached {
+					cachedN++
+				}
+				statusLine()
 			}
 		}
 		return nil
 	}
 
-	var (
-		jobID string
-		fetch func(hash string) ([]byte, bool, error)
-	)
-	start := time.Now()
+	var fetch func(hash string) ([]byte, bool, error)
+	start = time.Now()
 	if sf.server != "" {
 		client := farm.NewClient(sf.server)
 		ack, err := client.Submit(ctx, points)
@@ -295,6 +326,9 @@ func runSweep(sf *sweepFlags, points []spec.Spec) error {
 		fetch = cache.Get
 	}
 	wall := time.Since(start)
+	if !sf.quiet && terminal > 0 {
+		fmt.Fprintln(os.Stderr) // finish the \r progress line
+	}
 
 	summary := sweepSummary{
 		Server: sf.server,
@@ -337,6 +371,33 @@ func runSweep(sf *sweepFlags, points []spec.Spec) error {
 			if err := os.WriteFile(filepath.Join(sf.outDir, ps.Hash+".json"), doc, 0o644); err != nil {
 				return err
 			}
+		}
+	}
+
+	if sf.traceOut != "" {
+		tracks := make([]telemetry.SpanTrack, len(points))
+		for i := range points {
+			tracks[i] = telemetry.SpanTrack{
+				Name: fmt.Sprintf("point%d %s seed%d", i, points[i].Experiment, points[i].Seed),
+			}
+			for _, sp := range spans[i] {
+				tracks[i].Spans = append(tracks[i].Spans, telemetry.TrackSpan{
+					Name:    sp.Name,
+					StartUS: uint64(sp.StartNS / 1000),
+					DurUS:   uint64(sp.DurNS / 1000),
+				})
+			}
+		}
+		f, err := os.Create(sf.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteSpanTrace(f, "sweep "+jobID, tracks); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
 		}
 	}
 

@@ -61,6 +61,15 @@ type Options struct {
 	// per-run placement seed is derived from Sample.Seed and the run
 	// index, so results stay identical at any worker count.
 	Sample *sample.Config
+	// Capture, when non-nil, enables telemetry capture for this batch's
+	// labelled runs: every labelled rig records its metrics registry,
+	// epoch series, and DRAM/stall traces into the capture, drained with
+	// Capture.Drain after the runner returns. Capture is per-batch state
+	// (never serialized, never part of a spec hash); concurrent batches
+	// with independent captures do not serialize on any global switch.
+	// Telemetry observes without mutating — results are bit-identical
+	// with capture on or off.
+	Capture *Capture
 }
 
 // pool returns the worker pool the experiment's runs are submitted to.
@@ -130,9 +139,12 @@ type runConfig struct {
 	prefetch bool
 	cores    int
 	// label names the run for telemetry capture (e.g. "fig9/GS-DRAM/
-	// 50-25-25"). Empty disables capture for this rig even when
-	// telemetry is enabled; labels must be unique within a batch.
+	// 50-25-25"). Empty disables capture for this rig even when the
+	// batch has a capture context; labels must be unique within a batch.
 	label string
+	// capture is the batch's telemetry sink (Options.Capture); nil
+	// builds an untelemetered rig regardless of label.
+	capture *Capture
 }
 
 // rigTemplates caches one populated machine+DB per (layout, tuples):
@@ -186,7 +198,7 @@ func newRig(rc runConfig) (*machine.Machine, *imdb.DB, *sim.EventQueue, *memsys.
 	q := &sim.EventQueue{}
 	cfg := memsys.DefaultConfig(rc.cores)
 	cfg.EnablePrefetch = rc.prefetch
-	cfg.Metrics, cfg.Mem.Observer = telemetryForRig(rc.label, q)
+	cfg.Metrics, cfg.Mem.Observer = telemetryForRig(rc.capture, rc.label, q)
 	if cfg.Metrics != nil {
 		cfg.LatencyTraceCap = maxLatencyTraces
 	}

@@ -37,7 +37,8 @@ func RunFig9(opts Options) (*Fig9Result, error) {
 		if opts.Sample != nil {
 			label = "" // sampled rigs are untelemetered
 		}
-		mach, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1, label: label})
+		mach, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1,
+			label: label, capture: opts.Capture})
 		if err != nil {
 			return err
 		}
@@ -186,7 +187,7 @@ func RunFig10(opts Options) (*Fig10Result, error) {
 			label = ""
 		}
 		mach, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1, prefetch: pt.Prefetch,
-			label: label})
+			label: label, capture: opts.Capture})
 		if err != nil {
 			return err
 		}
@@ -318,7 +319,7 @@ func RunFig11(opts Options) (*Fig11Result, error) {
 	err := opts.pool().Run(len(runs), func(j int) error {
 		layout, prefetch := layouts[j/2], j%2 == 1
 		_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 2, prefetch: prefetch,
-			label: fmt.Sprintf("fig11/%v/prefetch=%v", layout, prefetch)})
+			label: fmt.Sprintf("fig11/%v/prefetch=%v", layout, prefetch), capture: opts.Capture})
 		if err != nil {
 			return err
 		}

@@ -17,18 +17,17 @@ import (
 // mem_stall_cycles.
 func TestLatencyCaptureDoesNotPerturbResults(t *testing.T) {
 	opts := telemetryTestOpts(1)
-	SetTelemetry(false, 0)
 	base, err := RunFig9(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	SetTelemetry(true, 0)
-	defer SetTelemetry(false, 0)
+	capture := NewCapture(0)
+	opts.Capture = capture
 	got, err := RunFig9(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	runs := DrainTelemetryRuns()
+	runs := capture.Drain()
 	if !reflect.DeepEqual(base.Runs, got.Runs) {
 		t.Fatal("latency-instrumented Fig9 results differ from uninstrumented results")
 	}
@@ -93,13 +92,14 @@ func TestLatencyCaptureIdenticalAcrossWorkers(t *testing.T) {
 		t.Skip("multi-worker replay in -short mode")
 	}
 	capture := func(workers int) []*telemetry.Run {
-		SetTelemetry(true, 0)
-		if _, err := RunFig9(telemetryTestOpts(workers)); err != nil {
+		c := NewCapture(0)
+		opts := telemetryTestOpts(workers)
+		opts.Capture = c
+		if _, err := RunFig9(opts); err != nil {
 			t.Fatal(err)
 		}
-		return DrainTelemetryRuns()
+		return c.Drain()
 	}
-	defer SetTelemetry(false, 0)
 	serial, parallel := capture(1), capture(4)
 	if len(serial) != len(parallel) {
 		t.Fatalf("run counts differ: %d vs %d", len(serial), len(parallel))

@@ -107,7 +107,7 @@ func RunPatternSweep(opts Options) (*PatternSweepResult, error) {
 			label = ""
 		}
 		mach, db, q, mem, err := newRig(runConfig{layout: imdb.GSStore, tuples: opts.Tuples, cores: 1, prefetch: true,
-			label: label})
+			label: label, capture: opts.Capture})
 		if err != nil {
 			return err
 		}
@@ -180,7 +180,7 @@ func RunStoreBuffer(opts Options) (*StoreBufferResult, error) {
 	err := opts.pool().Run(len(runs), func(j int) error {
 		layout, sbCap := layouts[j/2], sbCaps[j%2]
 		_, db, q, mem, err := newRig(runConfig{layout: layout, tuples: opts.Tuples, cores: 1,
-			label: fmt.Sprintf("storebuf/%v/sb%d", layout, sbCap)})
+			label: fmt.Sprintf("storebuf/%v/sb%d", layout, sbCap), capture: opts.Capture})
 		if err != nil {
 			return err
 		}

@@ -24,26 +24,63 @@ const (
 	maxLatencyTraces = 50_000
 )
 
-// telem is the session-level telemetry switch, mirroring noInline: off
-// by default, toggled between experiment batches, read by concurrent
-// runs. When off, rigs are built with a nil registry and no observer, so
-// the simulation pays nothing beyond the counter increments it always
-// performed.
-var telem struct {
+// Capture is one experiment batch's telemetry collection context: set it
+// on Options.Capture and every labelled rig the batch builds records a
+// per-run metrics registry, epoch time-series, DRAM command and stall
+// traces into it. Captures are independent — concurrent batches (e.g.
+// telemetered sweep points in one farm process) each drain exactly the
+// runs they produced, with no cross-talk and no global serialization.
+// A nil *Capture disables capture: rigs are built with a nil registry
+// and no observer, so the simulation pays nothing beyond the counter
+// increments it always performed.
+type Capture struct {
+	epoch sim.Cycle
+
+	mu   sync.Mutex
+	runs []*telemetry.Run
+}
+
+// NewCapture returns an empty capture context. epochCycles is the
+// sampling interval of the epoch time-series (0 selects
+// telemetry.DefaultEpoch).
+func NewCapture(epochCycles uint64) *Capture {
+	return &Capture{epoch: sim.Cycle(epochCycles)}
+}
+
+// Drain returns the runs captured since the last call (or since
+// NewCapture), sorted by label so the result is deterministic regardless
+// of worker scheduling, and clears the collection.
+func (c *Capture) Drain() []*telemetry.Run {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	runs := c.runs
+	c.runs = nil
+	sort.Slice(runs, func(i, j int) bool { return runs[i].Label < runs[j].Label })
+	return runs
+}
+
+// add records one finished run.
+func (c *Capture) add(run *telemetry.Run) {
+	c.mu.Lock()
+	c.runs = append(c.runs, run)
+	c.mu.Unlock()
+}
+
+// pending holds per-rig capture state between newRig (which wires the
+// memory system) and runStreams (which wires cores and runs), keyed by
+// the rig's event queue. The map is process-global but purely a handoff
+// within one rig's construction: entries live for microseconds and the
+// critical sections are constant-time, so concurrent batches never
+// serialize on it.
+var pending struct {
 	sync.Mutex
-	enabled bool
-	epoch   sim.Cycle
-	// pending holds per-rig capture state between newRig (which wires
-	// the memory system) and runStreams (which wires cores and runs),
-	// keyed by the rig's event queue.
-	pending map[*sim.EventQueue]*rigTelemetry
-	runs    []*telemetry.Run
+	m map[*sim.EventQueue]*rigTelemetry
 }
 
 // rigTelemetry is one rig's capture state.
 type rigTelemetry struct {
+	owner   *Capture
 	label   string
-	epoch   sim.Cycle
 	reg     *metrics.Registry
 	rec     *trace.Recorder
 	phases  *telemetry.PhaseRecorder
@@ -53,55 +90,27 @@ type rigTelemetry struct {
 	mem *memsys.System
 }
 
-// SetTelemetry enables or disables telemetry capture for subsequently
-// built experiment rigs and resets any collected runs. epochCycles is
-// the sampling interval (0 selects telemetry.DefaultEpoch). Like
-// SetNoInline, call it between experiment batches, not mid-run.
-func SetTelemetry(enabled bool, epochCycles uint64) {
-	telem.Lock()
-	defer telem.Unlock()
-	telem.enabled = enabled
-	telem.epoch = sim.Cycle(epochCycles)
-	telem.pending = nil
-	telem.runs = nil
-}
-
-// DrainTelemetryRuns returns the runs captured since the last call (or
-// since SetTelemetry), sorted by label so the result is deterministic
-// regardless of worker scheduling, and clears the collection.
-func DrainTelemetryRuns() []*telemetry.Run {
-	telem.Lock()
-	defer telem.Unlock()
-	runs := telem.runs
-	telem.runs = nil
-	sort.Slice(runs, func(i, j int) bool { return runs[i].Label < runs[j].Label })
-	return runs
-}
-
 // telemetryForRig creates capture state for a labelled rig and returns
 // the registry and command observer to build the memory system with.
-// Returns nils (build an untelemetered rig) when telemetry is off or
-// the run has no label.
-func telemetryForRig(label string, q *sim.EventQueue) (*metrics.Registry, func(memctrl.CommandEvent)) {
-	if label == "" {
-		return nil, nil
-	}
-	telem.Lock()
-	defer telem.Unlock()
-	if !telem.enabled {
+// Returns nils (build an untelemetered rig) when the batch has no
+// capture context or the run has no label.
+func telemetryForRig(c *Capture, label string, q *sim.EventQueue) (*metrics.Registry, func(memctrl.CommandEvent)) {
+	if c == nil || label == "" {
 		return nil, nil
 	}
 	rt := &rigTelemetry{
+		owner:  c,
 		label:  label,
-		epoch:  telem.epoch,
 		reg:    metrics.New(),
 		rec:    trace.NewRecorder(maxTraceCommands),
 		phases: telemetry.NewPhaseRecorder(maxTracePhases),
 	}
-	if telem.pending == nil {
-		telem.pending = map[*sim.EventQueue]*rigTelemetry{}
+	pending.Lock()
+	if pending.m == nil {
+		pending.m = map[*sim.EventQueue]*rigTelemetry{}
 	}
-	telem.pending[q] = rt
+	pending.m[q] = rt
+	pending.Unlock()
 	return rt.reg, rt.rec.Observe
 }
 
@@ -109,11 +118,11 @@ func telemetryForRig(label string, q *sim.EventQueue) (*metrics.Registry, func(m
 // Returns nil for untelemetered rigs; every method of a nil
 // *rigTelemetry is a no-op, so run loops call them unconditionally.
 func takeTelemetry(q *sim.EventQueue) *rigTelemetry {
-	telem.Lock()
-	defer telem.Unlock()
-	rt := telem.pending[q]
+	pending.Lock()
+	defer pending.Unlock()
+	rt := pending.m[q]
 	if rt != nil {
-		delete(telem.pending, q)
+		delete(pending.m, q)
 	}
 	return rt
 }
@@ -146,12 +155,12 @@ func (rt *rigTelemetry) start(q *sim.EventQueue, mem *memsys.System, cores []*cp
 			Mem:          mem.MemStats(),
 		}
 	}, energy.DefaultDRAM(), energy.DefaultCPU())
-	rt.sampler = telemetry.NewSampler(q, rt.reg, rt.epoch)
+	rt.sampler = telemetry.NewSampler(q, rt.reg, rt.owner.epoch)
 	rt.sampler.Start()
 }
 
 // finish records the final epoch row, assembles the telemetry.Run, and
-// adds it to the session collection. Call after q.Run() returns.
+// adds it to the owning capture. Call after q.Run() returns.
 func (rt *rigTelemetry) finish(q *sim.EventQueue, cores []*cpu.Core) {
 	if rt == nil {
 		return
@@ -171,7 +180,5 @@ func (rt *rigTelemetry) finish(q *sim.EventQueue, cores []*cpu.Core) {
 		st := c.Stats()
 		run.Cores = append(run.Cores, telemetry.CoreSpan{Core: i, Start: st.StartCycle, Finish: st.FinishCycle})
 	}
-	telem.Lock()
-	telem.runs = append(telem.runs, run)
-	telem.Unlock()
+	rt.owner.add(run)
 }

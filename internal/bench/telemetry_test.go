@@ -21,18 +21,17 @@ func telemetryTestOpts(workers int) Options {
 // layer observes, never mutates.
 func TestTelemetryDoesNotPerturbResults(t *testing.T) {
 	opts := telemetryTestOpts(1)
-	SetTelemetry(false, 0)
 	base, err := RunFig9(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	SetTelemetry(true, 0)
-	defer SetTelemetry(false, 0)
+	capture := NewCapture(0)
+	opts.Capture = capture
 	got, err := RunFig9(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	runs := DrainTelemetryRuns()
+	runs := capture.Drain()
 	if !reflect.DeepEqual(base.Runs, got.Runs) {
 		t.Fatal("telemetry-enabled Fig9 results differ from telemetry-free results")
 	}
@@ -65,13 +64,14 @@ func TestTelemetrySeriesIdenticalAcrossWorkers(t *testing.T) {
 		t.Skip("multi-worker replay in -short mode")
 	}
 	capture := func(workers int) []*telemetry.Run {
-		SetTelemetry(true, 0)
-		if _, err := RunFig9(telemetryTestOpts(workers)); err != nil {
+		c := NewCapture(0)
+		opts := telemetryTestOpts(workers)
+		opts.Capture = c
+		if _, err := RunFig9(opts); err != nil {
 			t.Fatal(err)
 		}
-		return DrainTelemetryRuns()
+		return c.Drain()
 	}
-	defer SetTelemetry(false, 0)
 	serial, parallel := capture(1), capture(4)
 	if len(serial) != len(parallel) {
 		t.Fatalf("run counts differ: %d vs %d", len(serial), len(parallel))
@@ -96,13 +96,55 @@ func TestTelemetrySeriesIdenticalAcrossWorkers(t *testing.T) {
 	}
 }
 
-// TestTelemetryDisabledCapturesNothing: the default state stays silent.
+// TestTelemetryDisabledCapturesNothing: the default state (nil
+// Options.Capture) stays silent, and an unused capture stays empty.
 func TestTelemetryDisabledCapturesNothing(t *testing.T) {
-	SetTelemetry(false, 0)
+	unused := NewCapture(0)
 	if _, err := RunFig9(telemetryTestOpts(1)); err != nil {
 		t.Fatal(err)
 	}
-	if runs := DrainTelemetryRuns(); len(runs) != 0 {
-		t.Fatalf("captured %d runs with telemetry disabled", len(runs))
+	if runs := unused.Drain(); len(runs) != 0 {
+		t.Fatalf("captured %d runs into a capture no batch was given", len(runs))
+	}
+}
+
+// TestCapturesAreIndependent: two concurrent batches with their own
+// captures each drain exactly their own runs — the per-rig capture path
+// has no session-global state to cross-talk through.
+func TestCapturesAreIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two fig9 batches")
+	}
+	type result struct {
+		runs []*telemetry.Run
+		err  error
+	}
+	run := func(seed uint64, ch chan<- result) {
+		c := NewCapture(0)
+		opts := telemetryTestOpts(2)
+		opts.Seed = seed
+		opts.Capture = c
+		_, err := RunFig9(opts)
+		ch <- result{c.Drain(), err}
+	}
+	a, b := make(chan result, 1), make(chan result, 1)
+	go run(1, a)
+	go run(2, b)
+	ra, rb := <-a, <-b
+	if ra.err != nil || rb.err != nil {
+		t.Fatalf("concurrent batches failed: %v / %v", ra.err, rb.err)
+	}
+	if len(ra.runs) == 0 || len(ra.runs) != len(rb.runs) {
+		t.Fatalf("run counts: %d vs %d (want equal, non-zero)", len(ra.runs), len(rb.runs))
+	}
+	// Labels are per-batch identical (same experiment); the captured
+	// registries must belong to distinct rigs.
+	for i := range ra.runs {
+		if ra.runs[i].Label != rb.runs[i].Label {
+			t.Fatalf("label order differs: %q vs %q", ra.runs[i].Label, rb.runs[i].Label)
+		}
+		if ra.runs[i].Registry == rb.runs[i].Registry {
+			t.Fatalf("%s: both captures hold the same registry", ra.runs[i].Label)
+		}
 	}
 }

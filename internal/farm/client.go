@@ -110,7 +110,19 @@ func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
 // event until the terminal "done" event. A non-nil error from fn aborts
 // the stream and is returned.
 func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/sweeps/"+id+"/events", nil)
+	return c.StreamFrom(ctx, id, 0, fn)
+}
+
+// StreamFrom is Stream resuming at sequence number from: the server
+// replays events from..latest and then streams live. A client whose
+// stream broke mid-job reconnects with from = last delivered Seq + 1
+// and receives every remaining event exactly once, in order.
+func (c *Client) StreamFrom(ctx context.Context, id string, from int, fn func(Event) error) error {
+	url := c.base + "/api/v1/sweeps/" + id + "/events"
+	if from > 0 {
+		url += fmt.Sprintf("?from=%d", from)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return err
 	}
@@ -176,4 +188,13 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 		return nil, err
 	}
 	return &st, nil
+}
+
+// Jobs fetches every job's summary, in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]JobSummary, error) {
+	var jobs []JobSummary
+	if err := c.getJSON(ctx, "/api/v1/jobs", &jobs); err != nil {
+		return nil, err
+	}
+	return jobs, nil
 }

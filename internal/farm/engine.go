@@ -10,17 +10,24 @@
 //
 // The engine deduplicates identical points in flight (single-flight per
 // spec hash), retries points whose worker fails or panics, streams
-// per-point progress events, and drains gracefully: a draining engine
-// rejects new sweeps but finishes every accepted point.
+// per-point progress events (including lifecycle spans), and drains
+// gracefully: a draining engine rejects new sweeps but finishes every
+// accepted point. It also observes itself: point counters, latency
+// histograms, and queue gauges are exportable in the Prometheus text
+// format via WriteMetrics.
 package farm
 
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
+	"gsdram/internal/metrics"
 	"gsdram/internal/resultcache"
 	"gsdram/internal/spec"
 )
@@ -32,17 +39,19 @@ type Runner func(*spec.Spec) ([]byte, error)
 // Options configures an Engine.
 type Options struct {
 	// Workers is the number of concurrently executing sweep points in
-	// this process (0 = GOMAXPROCS). Telemetered points additionally
-	// serialize on the simulator's capture lock (see internal/spec), so
-	// within-process point concurrency mainly helps untelemetered
-	// sweeps; each point always parallelizes internally via its spec's
-	// Workers field.
+	// this process (0 = GOMAXPROCS). Telemetered and untelemetered
+	// points alike run concurrently — telemetry capture is per-rig (see
+	// internal/bench.Capture), not session-global — and each point
+	// additionally parallelizes internally via its spec's Workers field.
 	Workers int
 	// Retries is how many times a point is re-executed after a worker
 	// failure (error or panic) before the point is marked failed.
 	Retries int
 	// Runner overrides the execution function (nil = spec.RunDocument).
 	Runner Runner
+	// Logger receives structured engine events (job accepted, point
+	// done/failed, retries). Nil discards them.
+	Logger *slog.Logger
 }
 
 // task is one queued sweep point.
@@ -57,16 +66,32 @@ type Engine struct {
 	runner  Runner
 	workers int
 	retries int
+	logger  *slog.Logger
+	began   time.Time
 
 	mu       sync.Mutex
 	cond     *sync.Cond
 	queue    []task
 	jobs     map[string]*Job
+	jobOrder []*Job
 	nextJob  int
 	inflight map[string]chan struct{}
 	draining bool
 	started  bool
 	wg       sync.WaitGroup
+
+	// Self-observation state, all guarded by mu (the engine's workers
+	// update it under short critical sections; scrapes snapshot it).
+	active       int // points currently inside runPoint
+	submittedPts metrics.Counter
+	completedPts metrics.Counter
+	cachedPts    metrics.Counter
+	executedPts  metrics.Counter
+	failedPts    metrics.Counter
+	retriedPts   metrics.Counter
+	dedupWaits   metrics.Counter
+	pointLat     metrics.Histogram             // executed-point wall µs
+	runDur       map[string]*metrics.Histogram // per-experiment wall µs
 }
 
 // New returns an engine over cache; call Start before submitting.
@@ -76,8 +101,11 @@ func New(cache *resultcache.Cache, opts Options) *Engine {
 		runner:   opts.Runner,
 		workers:  opts.Workers,
 		retries:  opts.Retries,
+		logger:   opts.Logger,
+		began:    time.Now(),
 		jobs:     map[string]*Job{},
 		inflight: map[string]chan struct{}{},
+		runDur:   map[string]*metrics.Histogram{},
 	}
 	if e.runner == nil {
 		e.runner = spec.RunDocument
@@ -87,6 +115,9 @@ func New(cache *resultcache.Cache, opts Options) *Engine {
 	}
 	if e.retries < 0 {
 		e.retries = 0
+	}
+	if e.logger == nil {
+		e.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	e.cond = sync.NewCond(&e.mu)
 	return e
@@ -136,11 +167,14 @@ func (e *Engine) Submit(points []spec.Spec) (*Job, error) {
 	e.nextJob++
 	j := newJob(fmt.Sprintf("job-%d", e.nextJob), pts)
 	e.jobs[j.ID] = j
+	e.jobOrder = append(e.jobOrder, j)
 	for i := range pts {
 		e.queue = append(e.queue, task{job: j, index: i})
 	}
+	e.submittedPts.Add(uint64(len(pts)))
 	e.cond.Broadcast()
 	e.mu.Unlock()
+	e.logger.Info("sweep accepted", "job", j.ID, "points", len(pts))
 	return j, nil
 }
 
@@ -155,13 +189,55 @@ func (e *Engine) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
-// Stats describes the engine's current load.
+// JobSummary is one job's identity and progress, as listed by Jobs.
+type JobSummary struct {
+	ID       string `json:"id"`
+	Complete bool   `json:"complete"`
+	Totals   Totals `json:"totals"`
+}
+
+// Jobs lists every submitted job in submission order.
+func (e *Engine) Jobs() []JobSummary {
+	e.mu.Lock()
+	order := make([]*Job, len(e.jobOrder))
+	copy(order, e.jobOrder)
+	e.mu.Unlock()
+	out := make([]JobSummary, len(order))
+	for i, j := range order {
+		out[i] = JobSummary{ID: j.ID, Complete: j.Complete(), Totals: j.Totals()}
+	}
+	return out
+}
+
+// PointStats counts sweep points by outcome across the engine's
+// lifetime. Completed = Cached + Executed, always.
+type PointStats struct {
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Cached    uint64 `json:"cached"`
+	Executed  uint64 `json:"executed"`
+	Failed    uint64 `json:"failed"`
+}
+
+// Stats describes the engine's current load and lifetime counters.
 type Stats struct {
-	Workers  int               `json:"workers"`
-	Queue    int               `json:"queue"`
-	Jobs     int               `json:"jobs"`
-	Draining bool              `json:"draining"`
-	Cache    resultcache.Stats `json:"cache"`
+	Workers  int   `json:"workers"`
+	Queue    int   `json:"queue"`
+	Inflight int   `json:"inflight"`
+	Jobs     int   `json:"jobs"`
+	Draining bool  `json:"draining"`
+	UptimeNS int64 `json:"uptime_ns"`
+
+	Points            PointStats `json:"points"`
+	SingleflightWaits uint64     `json:"singleflight_waits"`
+	Retries           uint64     `json:"retries"`
+	// Point latency quantiles over executed (non-cached) points, from
+	// the power-of-2 latency histogram (upper bounds, so exact to
+	// within a factor of 2).
+	PointLatP50US uint64 `json:"point_lat_p50_us"`
+	PointLatP95US uint64 `json:"point_lat_p95_us"`
+
+	Cache resultcache.Stats `json:"cache"`
 }
 
 // Stats snapshots the engine.
@@ -171,10 +247,84 @@ func (e *Engine) Stats() Stats {
 	return Stats{
 		Workers:  e.workers,
 		Queue:    len(e.queue),
+		Inflight: e.active,
 		Jobs:     len(e.jobs),
 		Draining: e.draining,
-		Cache:    e.cache.Stats(),
+		UptimeNS: time.Since(e.began).Nanoseconds(),
+		Points: PointStats{
+			Submitted: e.submittedPts.Value(),
+			Completed: e.completedPts.Value(),
+			Cached:    e.cachedPts.Value(),
+			Executed:  e.executedPts.Value(),
+			Failed:    e.failedPts.Value(),
+		},
+		SingleflightWaits: e.dedupWaits.Value(),
+		Retries:           e.retriedPts.Value(),
+		PointLatP50US:     e.pointLat.Quantile(0.50),
+		PointLatP95US:     e.pointLat.Quantile(0.95),
+		Cache:             e.cache.Stats(),
 	}
+}
+
+// WriteMetrics writes the engine's self-observation metrics in the
+// Prometheus text exposition format: point counters, queue and inflight
+// gauges, cache counters, the global point-latency histogram, and one
+// run-duration histogram per experiment (labeled {experiment="..."}).
+//
+// metrics.Registry is single-threaded by design, so the engine does not
+// keep one live: each scrape snapshots the counters under the engine
+// lock into a fresh registry. Scrapes are rare and the copy is tiny.
+func (e *Engine) WriteMetrics(w io.Writer) error {
+	e.mu.Lock()
+	reg := metrics.New()
+	submitted, completed := e.submittedPts, e.completedPts
+	cached, executed, failed := e.cachedPts, e.executedPts, e.failedPts
+	retried, waits := e.retriedPts, e.dedupWaits
+	reg.RegisterCounter("farm.points_submitted", &submitted)
+	reg.RegisterCounter("farm.points_completed", &completed)
+	reg.RegisterCounter("farm.points_cached", &cached)
+	reg.RegisterCounter("farm.points_executed", &executed)
+	reg.RegisterCounter("farm.points_failed", &failed)
+	reg.RegisterCounter("farm.point_retries", &retried)
+	reg.RegisterCounter("farm.singleflight_waits", &waits)
+	cs := e.cache.Stats()
+	hits, misses, puts := metrics.Counter(cs.Hits), metrics.Counter(cs.Misses), metrics.Counter(cs.Puts)
+	reg.RegisterCounter("farm.cache_hits", &hits)
+	reg.RegisterCounter("farm.cache_misses", &misses)
+	reg.RegisterCounter("farm.cache_puts", &puts)
+	queue, inflight := int64(len(e.queue)), int64(e.active)
+	workers, jobs := int64(e.workers), int64(len(e.jobs))
+	var draining int64
+	if e.draining {
+		draining = 1
+	}
+	uptime := time.Since(e.began).Nanoseconds()
+	reg.RegisterGaugeFunc("farm.queue_depth", func() int64 { return queue })
+	reg.RegisterGaugeFunc("farm.inflight_points", func() int64 { return inflight })
+	reg.RegisterGaugeFunc("farm.workers", func() int64 { return workers })
+	reg.RegisterGaugeFunc("farm.jobs", func() int64 { return jobs })
+	reg.RegisterGaugeFunc("farm.draining", func() int64 { return draining })
+	reg.RegisterGaugeFunc("farm.uptime_ns", func() int64 { return uptime })
+	lat := e.pointLat
+	reg.RegisterHistogram("farm.point_latency_us", &lat)
+
+	labeled := []metrics.LabeledRegistry{{Reg: reg}}
+	exps := make([]string, 0, len(e.runDur))
+	for exp := range e.runDur {
+		exps = append(exps, exp)
+	}
+	sort.Strings(exps)
+	for _, exp := range exps {
+		h := *e.runDur[exp]
+		r := metrics.New()
+		r.RegisterHistogram("farm.run_duration_us", &h)
+		labeled = append(labeled, metrics.LabeledRegistry{
+			Labels: map[string]string{"experiment": exp},
+			Reg:    r,
+		})
+	}
+	e.mu.Unlock()
+	return metrics.WritePrometheusMulti(w, labeled)
 }
 
 // Drain stops intake (Submit fails with ErrDraining), lets the pool
@@ -213,8 +363,12 @@ func (e *Engine) worker() {
 		}
 		t := e.queue[0]
 		e.queue = e.queue[1:]
+		e.active++
 		e.mu.Unlock()
 		e.runPoint(t)
+		e.mu.Lock()
+		e.active--
+		e.mu.Unlock()
 	}
 }
 
@@ -254,20 +408,59 @@ func (e *Engine) execute(s *spec.Spec) (doc []byte, err error) {
 	return e.runner(s)
 }
 
+// finishPoint marks point i done, updating the engine's counters and
+// latency histograms for an executed point.
+func (e *Engine) finishPoint(j *Job, i, attempts int, cached bool, wallNS int64, experiment string) {
+	j.finish(i, attempts, cached, wallNS)
+	e.mu.Lock()
+	e.completedPts.Inc()
+	if cached {
+		e.cachedPts.Inc()
+	} else {
+		e.executedPts.Inc()
+		us := uint64(wallNS / 1000)
+		e.pointLat.Observe(us)
+		h := e.runDur[experiment]
+		if h == nil {
+			h = &metrics.Histogram{}
+			e.runDur[experiment] = h
+		}
+		h.Observe(us)
+	}
+	e.mu.Unlock()
+	e.logger.Info("point done", "job", j.ID, "point", i,
+		"hash", shortHash(j.points[i].Hash), "experiment", experiment,
+		"cached", cached, "attempts", attempts,
+		"dur", time.Duration(wallNS))
+}
+
+// shortHash abbreviates a spec hash for log lines.
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}
+
 // runPoint drives one point to done or failed: cache hit → done
 // (cached); otherwise become the hash's single executor, run, store,
 // done; on failure retry up to Retries times. Followers of an in-flight
-// identical point wait and then take the leader's cached result.
+// identical point wait and then take the leader's cached result. Every
+// stage closes a lifecycle span on the point (queued, cache_probe,
+// singleflight_wait, running, store), emitted as "span" events.
 func (e *Engine) runPoint(t task) {
 	j, i := t.job, t.index
 	p := j.start(i)
 	attempts := 0
 	var lastErr error
 	for {
-		if _, ok, err := e.cache.Get(p.Hash); err != nil {
+		probeStart := j.offset()
+		_, hit, err := e.cache.Get(p.Hash)
+		j.span(i, SpanCacheProbe, probeStart)
+		if err != nil {
 			lastErr = err
-		} else if ok {
-			j.finish(i, attempts, true, 0)
+		} else if hit {
+			e.finishPoint(j, i, attempts, true, 0, p.Spec.Experiment)
 			return
 		}
 		leader, ch := e.acquire(p.Hash)
@@ -275,25 +468,45 @@ func (e *Engine) runPoint(t task) {
 			// An identical point is executing right now; its completion
 			// fills the cache. Waiting costs this worker slot but no
 			// simulation work.
+			e.mu.Lock()
+			e.dedupWaits.Inc()
+			e.mu.Unlock()
+			waitStart := j.offset()
 			<-ch
+			j.span(i, SpanSingleflightWait, waitStart)
 			continue
 		}
 		attempts++
+		runStart := j.offset()
 		start := time.Now()
 		doc, err := e.execute(&p.Spec)
+		j.span(i, SpanRunning, runStart)
 		if err == nil {
+			storeStart := j.offset()
 			err = e.cache.Put(p.Hash, doc)
+			j.span(i, SpanStore, storeStart)
 		}
 		wall := time.Since(start)
 		e.release(p.Hash)
 		if err == nil {
-			j.finish(i, attempts, false, wall.Nanoseconds())
+			e.finishPoint(j, i, attempts, false, wall.Nanoseconds(), p.Spec.Experiment)
 			return
 		}
 		lastErr = err
 		if attempts > e.retries {
+			e.mu.Lock()
+			e.failedPts.Inc()
+			e.mu.Unlock()
 			j.fail(i, attempts, lastErr)
+			e.logger.Error("point failed", "job", j.ID, "point", i,
+				"hash", shortHash(p.Hash), "experiment", p.Spec.Experiment,
+				"attempts", attempts, "err", lastErr)
 			return
 		}
+		e.mu.Lock()
+		e.retriedPts.Inc()
+		e.mu.Unlock()
+		e.logger.Warn("point retrying", "job", j.ID, "point", i,
+			"hash", shortHash(p.Hash), "attempt", attempts, "err", lastErr)
 	}
 }

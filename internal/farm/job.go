@@ -21,6 +21,28 @@ const (
 	PointFailed PointStatus = "failed"
 )
 
+// SpanRec is one closed lifecycle span of a sweep point. Times are
+// nanosecond offsets from the job's submission instant, so spans from
+// different points of one job share a time base and overlap analysis
+// (did two points execute concurrently?) is a plain interval check.
+type SpanRec struct {
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// The span taxonomy, in lifecycle order. A point emits queued exactly
+// once; the remaining spans repeat per attempt (cache_probe on every
+// loop iteration, singleflight_wait only for followers, running and
+// store only for leaders).
+const (
+	SpanQueued           = "queued"
+	SpanCacheProbe       = "cache_probe"
+	SpanSingleflightWait = "singleflight_wait"
+	SpanRunning          = "running"
+	SpanStore            = "store"
+)
+
 // Point is one sweep point and its progress.
 type Point struct {
 	Spec     spec.Spec   `json:"spec"`
@@ -30,6 +52,8 @@ type Point struct {
 	Attempts int         `json:"attempts"`
 	WallNS   int64       `json:"wall_ns"`
 	Error    string      `json:"error,omitempty"`
+	// Spans is the point's closed lifecycle spans in completion order.
+	Spans []SpanRec `json:"spans,omitempty"`
 }
 
 // Totals summarises a job's points.
@@ -48,9 +72,9 @@ type Totals struct {
 // Event is one entry in a job's progress stream (NDJSON on the wire).
 type Event struct {
 	Seq  int    `json:"seq"`
-	Type string `json:"type"` // "point" or "done"
+	Type string `json:"type"` // "point", "span" or "done"
 	Job  string `json:"job"`
-	// Point fields (Type == "point").
+	// Point fields (Type == "point" or "span").
 	Index    int         `json:"index"`
 	Hash     string      `json:"hash,omitempty"`
 	Status   PointStatus `json:"status,omitempty"`
@@ -58,6 +82,8 @@ type Event struct {
 	Attempts int         `json:"attempts,omitempty"`
 	WallNS   int64       `json:"wall_ns,omitempty"`
 	Error    string      `json:"error,omitempty"`
+	// Span is the closed lifecycle span of a "span" event.
+	Span *SpanRec `json:"span,omitempty"`
 	// Totals is set on the final "done" event.
 	Totals *Totals `json:"totals,omitempty"`
 }
@@ -90,15 +116,35 @@ func (j *Job) wake() {
 	j.changed = make(chan struct{})
 }
 
-// start marks point i running and returns it. The returned Point's Spec
-// and Hash are immutable after Submit, so the executor may read them
-// without the job lock.
+// offset returns nanoseconds since the job was submitted — the time
+// base every SpanRec of this job uses.
+func (j *Job) offset() int64 { return time.Since(j.began).Nanoseconds() }
+
+// span closes a lifecycle span for point i that began at startNS (an
+// earlier j.offset() value), records it on the point, and emits a
+// "span" event.
+func (j *Job) span(i int, name string, startNS int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec := SpanRec{Name: name, StartNS: startNS, DurNS: j.offset() - startNS}
+	p := j.points[i]
+	p.Spans = append(p.Spans, rec)
+	j.emit(Event{Type: "span", Index: i, Hash: p.Hash, Span: &rec})
+}
+
+// start marks point i running and returns it, closing its queued span
+// (submission → first processing). The returned Point's Spec and Hash
+// are immutable after Submit, so the executor may read them without the
+// job lock.
 func (j *Job) start(i int) *Point {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	p := j.points[i]
 	p.Status = PointRunning
 	j.emit(Event{Type: "point", Index: i, Hash: p.Hash, Status: PointRunning})
+	rec := SpanRec{Name: SpanQueued, StartNS: 0, DurNS: j.offset()}
+	p.Spans = append(p.Spans, rec)
+	j.emit(Event{Type: "span", Index: i, Hash: p.Hash, Span: &rec})
 	return p
 }
 

@@ -1,0 +1,386 @@
+package farm
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gsdram/internal/spec"
+)
+
+func jsonDecode(r io.Reader, v any) error { return json.NewDecoder(r).Decode(v) }
+
+// spanNames extracts the span names of a point in completion order.
+func spanNames(p Point) []string {
+	names := make([]string, len(p.Spans))
+	for i, s := range p.Spans {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// TestLifecycleSpans: every point carries its closed lifecycle spans —
+// queued first, then cache_probe; an executed point adds running and
+// store, a warm (cached) point does not run — and the same spans arrive
+// as "span" events in the job's stream.
+func TestLifecycleSpans(t *testing.T) {
+	var calls atomic.Int64
+	e := newEngine(t, Options{Workers: 2, Runner: fakeRunner(&calls)})
+
+	j1, err := e.Submit([]spec.Spec{point(1), point(2)})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	wait(t, j1)
+	for _, p := range j1.Points() {
+		names := spanNames(p)
+		if len(names) < 4 || names[0] != SpanQueued || names[1] != SpanCacheProbe {
+			t.Fatalf("executed point spans = %v; want queued, cache_probe, ...", names)
+		}
+		if !contains(names, SpanRunning) || !contains(names, SpanStore) {
+			t.Fatalf("executed point spans = %v; want running and store", names)
+		}
+		for _, sp := range p.Spans {
+			if sp.StartNS < 0 || sp.DurNS < 0 {
+				t.Fatalf("span %+v has negative time", sp)
+			}
+		}
+		if p.Spans[0].StartNS != 0 {
+			t.Fatalf("queued span starts at %d; want 0 (submission)", p.Spans[0].StartNS)
+		}
+	}
+
+	// Warm resubmit: the cache hit resolves the point without running.
+	j2, err := e.Submit([]spec.Spec{point(1)})
+	if err != nil {
+		t.Fatalf("warm Submit: %v", err)
+	}
+	wait(t, j2)
+	names := spanNames(j2.Points()[0])
+	want := []string{SpanQueued, SpanCacheProbe}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("warm point spans = %v; want %v", names, want)
+	}
+
+	// The stream carries one "span" event per recorded span.
+	evs, _, done := j1.EventsSince(0)
+	if !done {
+		t.Fatalf("complete job reported not done")
+	}
+	streamed := 0
+	for _, ev := range evs {
+		if ev.Type == "span" {
+			if ev.Span == nil || ev.Span.Name == "" {
+				t.Fatalf("span event without a span: %+v", ev)
+			}
+			streamed++
+		}
+	}
+	recorded := 0
+	for _, p := range j1.Points() {
+		recorded += len(p.Spans)
+	}
+	if streamed != recorded {
+		t.Fatalf("stream carries %d span events; points record %d spans", streamed, recorded)
+	}
+}
+
+// TestSingleflightWaitSpan: followers of an in-flight identical point
+// record a singleflight_wait span.
+func TestSingleflightWaitSpan(t *testing.T) {
+	slow := func(s *spec.Spec) ([]byte, error) {
+		time.Sleep(50 * time.Millisecond)
+		return []byte("{}\n"), nil
+	}
+	e := newEngine(t, Options{Workers: 4, Runner: slow})
+	j, err := e.Submit([]spec.Spec{point(9), point(9), point(9), point(9)})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	wait(t, j)
+	waiters := 0
+	for _, p := range j.Points() {
+		if contains(spanNames(p), SpanSingleflightWait) {
+			waiters++
+		}
+	}
+	if waiters == 0 {
+		t.Fatalf("no point recorded a singleflight_wait span")
+	}
+	if st := e.Stats(); st.SingleflightWaits == 0 {
+		t.Fatalf("stats count no singleflight waits; spans saw %d waiters", waiters)
+	}
+}
+
+// TestRunningSpansOverlap: with a multi-worker pool, distinct points
+// execute concurrently — their running spans overlap on the job's
+// shared time base. This is the engine-level form of the sweep
+// concurrency acceptance check in CI.
+func TestRunningSpansOverlap(t *testing.T) {
+	slow := func(s *spec.Spec) ([]byte, error) {
+		time.Sleep(50 * time.Millisecond)
+		return []byte(fmt.Sprintf("{\"doc\":%q}\n", s.Hash())), nil
+	}
+	e := newEngine(t, Options{Workers: 4, Runner: slow})
+	j, err := e.Submit([]spec.Spec{point(1), point(2), point(3), point(4)})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	wait(t, j)
+	type iv struct{ lo, hi int64 }
+	var runs []iv
+	for _, p := range j.Points() {
+		for _, sp := range p.Spans {
+			if sp.Name == SpanRunning {
+				runs = append(runs, iv{sp.StartNS, sp.StartNS + sp.DurNS})
+			}
+		}
+	}
+	if len(runs) != 4 {
+		t.Fatalf("saw %d running spans; want 4", len(runs))
+	}
+	overlap := false
+	for i := 0; i < len(runs) && !overlap; i++ {
+		for k := i + 1; k < len(runs); k++ {
+			if runs[i].lo < runs[k].hi && runs[k].lo < runs[i].hi {
+				overlap = true
+				break
+			}
+		}
+	}
+	if !overlap {
+		t.Fatalf("no two running spans overlap; points executed serially: %+v", runs)
+	}
+}
+
+func contains(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestStatsAndMetricsReconcile: after a cold and a warm sweep, the
+// engine's point counters reconcile exactly — completed = cached +
+// executed, executed = cache puts — and the Prometheus exposition
+// carries the same values.
+func TestStatsAndMetricsReconcile(t *testing.T) {
+	var calls atomic.Int64
+	e := newEngine(t, Options{Workers: 2, Runner: fakeRunner(&calls)})
+	pts := []spec.Spec{point(1), point(2), point(3)}
+	for i := 0; i < 2; i++ {
+		j, err := e.Submit(pts)
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		wait(t, j)
+	}
+
+	st := e.Stats()
+	if st.Points.Submitted != 6 || st.Points.Completed != 6 {
+		t.Fatalf("points = %+v; want 6 submitted, 6 completed", st.Points)
+	}
+	if st.Points.Completed != st.Points.Cached+st.Points.Executed {
+		t.Fatalf("completed %d != cached %d + executed %d",
+			st.Points.Completed, st.Points.Cached, st.Points.Executed)
+	}
+	if st.Points.Executed != 3 || st.Points.Cached != 3 {
+		t.Fatalf("points = %+v; want 3 executed, 3 cached", st.Points)
+	}
+	if uint64(st.Cache.Puts) != st.Points.Executed {
+		t.Fatalf("cache puts %d != executed points %d", st.Cache.Puts, st.Points.Executed)
+	}
+	if st.UptimeNS <= 0 {
+		t.Fatalf("uptime = %d; want positive", st.UptimeNS)
+	}
+	if st.Inflight != 0 || st.Queue != 0 {
+		t.Fatalf("idle engine reports inflight=%d queue=%d", st.Inflight, st.Queue)
+	}
+
+	var b strings.Builder
+	if err := e.WriteMetrics(&b); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE farm_points_completed counter",
+		"farm_points_completed 6",
+		"farm_points_cached 3",
+		"farm_points_executed 3",
+		"farm_points_failed 0",
+		"farm_cache_puts 3",
+		"farm_point_latency_us_count 3",
+		`farm_run_duration_us_count{experiment="fig9"} 3`,
+		"farm_workers 2",
+		"farm_draining 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestStreamResume is the disconnect/reconnect contract of the NDJSON
+// stream: a client that breaks mid-job and reconnects with
+// StreamFrom(last seq + 1) receives every event exactly once, in
+// order, across the two connections — span events included.
+func TestStreamResume(t *testing.T) {
+	slow := func(s *spec.Spec) ([]byte, error) {
+		time.Sleep(20 * time.Millisecond)
+		return []byte("{}\n"), nil
+	}
+	ts, _ := newTestServer(t, Options{Workers: 1, Runner: slow})
+	client := NewClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	ack, err := client.Submit(ctx, []spec.Spec{point(1), point(2), point(3)})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	// First connection: take a few events, then "disconnect" by
+	// aborting the stream from the callback.
+	errDrop := fmt.Errorf("simulated disconnect")
+	var got []Event
+	err = client.Stream(ctx, ack.ID, func(ev Event) error {
+		got = append(got, ev)
+		if len(got) == 3 {
+			return errDrop
+		}
+		return nil
+	})
+	if err != errDrop {
+		t.Fatalf("aborted stream returned %v; want the callback error", err)
+	}
+
+	// Reconnect where the stream broke and consume to completion.
+	if err := client.StreamFrom(ctx, ack.ID, got[len(got)-1].Seq+1, func(ev Event) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("StreamFrom: %v", err)
+	}
+
+	// Exactly once, in order: seqs are 0..n-1 with no gaps or repeats,
+	// the last event is "done", and span events came through.
+	spans := 0
+	for i, ev := range got {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d; want contiguous exactly-once delivery", i, ev.Seq)
+		}
+		if ev.Type == "span" {
+			spans++
+		}
+	}
+	last := got[len(got)-1]
+	if last.Type != "done" || last.Totals == nil || last.Totals.Done != 3 {
+		t.Fatalf("stream ended with %+v; want done totals", last)
+	}
+	if spans == 0 {
+		t.Fatalf("resumed stream delivered no span events")
+	}
+
+	// A resume from the far end of a complete job delivers only the
+	// tail.
+	var tail []Event
+	if err := client.StreamFrom(ctx, ack.ID, last.Seq, func(ev Event) error {
+		tail = append(tail, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("tail StreamFrom: %v", err)
+	}
+	if len(tail) != 1 || tail[0].Type != "done" {
+		t.Fatalf("tail resume delivered %+v; want just the done event", tail)
+	}
+}
+
+// TestServerObservability: /metrics speaks the Prometheus text format,
+// /api/v1/jobs lists jobs in submission order, /healthz reports drain
+// state and uptime, and a bad ?from is rejected.
+func TestServerObservability(t *testing.T) {
+	var calls atomic.Int64
+	ts, e := newTestServer(t, Options{Workers: 1, Runner: fakeRunner(&calls)})
+	client := NewClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	ack, err := client.Submit(ctx, []spec.Spec{point(1), point(2)})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	j, _ := e.Job(ack.ID)
+	wait(t, j)
+
+	// /metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(string(body), "farm_points_completed 2") {
+		t.Fatalf("/metrics missing completed counter:\n%s", body)
+	}
+
+	// /api/v1/jobs.
+	jobs, err := client.Jobs(ctx)
+	if err != nil {
+		t.Fatalf("Jobs: %v", err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != ack.ID || !jobs[0].Complete || jobs[0].Totals.Done != 2 {
+		t.Fatalf("jobs = %+v", jobs)
+	}
+
+	// /healthz carries drain state and uptime.
+	var h Health
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	if err := jsonDecode(hr.Body, &h); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	hr.Body.Close()
+	if h.Status != "ok" || h.Draining || h.UptimeNS <= 0 {
+		t.Fatalf("healthz = %+v", h)
+	}
+	if err := e.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	hr, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	if err := jsonDecode(hr.Body, &h); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	hr.Body.Close()
+	if !h.Draining {
+		t.Fatalf("draining server reports %+v", h)
+	}
+
+	// Bad ?from is a 400.
+	br, err := http.Get(ts.URL + "/api/v1/sweeps/" + ack.ID + "/events?from=nope")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	br.Body.Close()
+	if br.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad from = HTTP %d; want 400", br.StatusCode)
+	}
+}

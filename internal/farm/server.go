@@ -3,8 +3,11 @@ package farm
 import (
 	"encoding/json"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 
 	"gsdram/internal/spec"
 )
@@ -35,42 +38,61 @@ type JobStatus struct {
 	Points   []Point `json:"points"`
 }
 
+// Health is the GET /healthz body.
+type Health struct {
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+	UptimeNS int64  `json:"uptime_ns"`
+}
+
 // Server exposes an Engine over HTTP/JSON:
 //
 //	POST /api/v1/sweeps               submit a sweep (503 while draining)
 //	GET  /api/v1/sweeps/{id}          job status snapshot
 //	GET  /api/v1/sweeps/{id}/events   NDJSON progress stream until done
+//	                                  (?from=N resumes at sequence N)
+//	GET  /api/v1/jobs                 every job's summary
 //	GET  /api/v1/results/{hash}       stored run document (404 on miss)
 //	GET  /api/v1/stats                engine + cache counters
-//	GET  /healthz                     liveness
+//	GET  /metrics                     Prometheus text exposition
+//	GET  /healthz                     liveness + drain state + uptime
+//	GET  /debug/pprof/...             profiling, if EnablePprof was called
 type Server struct {
 	engine *Engine
-	logger *log.Logger
+	logger *slog.Logger
 	mux    *http.ServeMux
 }
 
 // NewServer wraps an engine; logger may be nil for a silent server.
-func NewServer(e *Engine, logger *log.Logger) *Server {
+func NewServer(e *Engine, logger *slog.Logger) *Server {
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{engine: e, logger: logger, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /api/v1/sweeps", s.handleSubmit)
 	s.mux.HandleFunc("GET /api/v1/sweeps/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /api/v1/sweeps/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /api/v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /api/v1/results/{hash}", s.handleResult)
 	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by default
+// because the profile endpoints expose process internals; `gsbench
+// serve -pprof` opts in.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.logger != nil {
-		s.logger.Printf(format, args...)
-	}
 }
 
 // writeJSON writes v with a status code.
@@ -87,6 +109,15 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.engine.Stats()
+	writeJSON(w, http.StatusOK, Health{
+		Status:   "ok",
+		Draining: st.Draining,
+		UptimeNS: st.UptimeNS,
+	})
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
 	dec := json.NewDecoder(r.Body)
@@ -101,6 +132,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
+		s.logger.Warn("sweep rejected", "remote", r.RemoteAddr, "err", err)
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -108,7 +140,6 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	for i, p := range j.Points() {
 		resp.Points = append(resp.Points, SubmitPoint{Index: i, Hash: p.Hash})
 	}
-	s.logf("farm: %s accepted with %d point(s)", j.ID, resp.Total)
 	writeJSON(w, http.StatusAccepted, resp)
 }
 
@@ -126,20 +157,38 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleEvents streams the job's progress as NDJSON: every event so
-// far, then live events until the terminal "done" event (or client
-// disconnect).
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.engine.Jobs()
+	if jobs == nil {
+		jobs = []JobSummary{}
+	}
+	writeJSON(w, http.StatusOK, jobs)
+}
+
+// handleEvents streams the job's progress as NDJSON: every event at
+// sequence >= from (default 0), then live events until the terminal
+// "done" event (or client disconnect). A reconnecting client passes
+// ?from=<next sequence> to resume exactly where its stream broke.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.engine.Job(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
 		return
 	}
+	seq := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad from=%q: want a non-negative integer", v)
+			return
+		}
+		seq = n
+	}
+	s.logger.Debug("event stream opened", "job", j.ID, "from", seq, "remote", r.RemoteAddr)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	seq := 0
 	for {
 		evs, ch, done := j.EventsSince(seq)
 		for _, ev := range evs {
@@ -182,4 +231,11 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+// handleMetrics writes the engine's self-observation metrics in the
+// Prometheus text exposition format (version 0.0.4).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.engine.WriteMetrics(w)
 }

@@ -11,16 +11,16 @@ import (
 	"gsdram/internal/telemetry"
 )
 
-// runMu guards the simulator's process-wide switches (telemetry capture
-// and the noinline escape hatch, both session-global in internal/bench).
-// Specs that leave both at their defaults run concurrently under the
-// read lock; a spec that needs either takes the write lock, flips the
-// globals, runs, drains, and restores the defaults before unlocking.
-// The invariant is that the globals are at their defaults whenever the
-// write lock is free. Telemetered sweep points therefore serialize
-// within one process — shard across servers (a shared cache directory)
-// for process-level parallelism; each point still parallelizes
-// internally via Spec.Workers.
+// runMu guards the simulator's sole remaining process-wide switch: the
+// noinline escape hatch (bench.SetNoInline). Specs that leave it at its
+// default — including telemetered specs, whose capture context is
+// per-rig (bench.Capture) rather than session-global — run concurrently
+// under the read lock; only a NoInline spec takes the write lock, flips
+// the global, runs, and restores the default before unlocking. The
+// invariant is that the global is at its default whenever the write
+// lock is free. Telemetered sweep points therefore run concurrently
+// within one process, bit-identical to serial execution; each point
+// additionally parallelizes internally via Spec.Workers.
 var runMu sync.RWMutex
 
 // Outcome is one executed spec: the structured experiment result plus
@@ -50,20 +50,19 @@ func Run(s *Spec) (*Outcome, error) {
 	run, _ := lookup(s.Experiment) // Validate checked membership
 	opts := s.BenchOptions()
 
-	if s.Telemetry || s.NoInline {
+	if s.NoInline {
 		runMu.Lock()
 		defer runMu.Unlock()
-		if s.NoInline {
-			bench.SetNoInline(true)
-			defer bench.SetNoInline(false)
-		}
-		if s.Telemetry {
-			bench.SetTelemetry(true, s.Epoch)
-			defer bench.SetTelemetry(false, 0)
-		}
+		bench.SetNoInline(true)
+		defer bench.SetNoInline(false)
 	} else {
 		runMu.RLock()
 		defer runMu.RUnlock()
+	}
+	var capture *bench.Capture
+	if s.Telemetry {
+		capture = bench.NewCapture(s.Epoch)
+		opts.Capture = capture
 	}
 
 	start := time.Now()
@@ -81,7 +80,7 @@ func Run(s *Spec) (*Outcome, error) {
 		Sampled: sampledEntries(result),
 	}
 	if s.Telemetry {
-		out.Runs = bench.DrainTelemetryRuns()
+		out.Runs = capture.Drain()
 		for _, r := range out.Runs {
 			out.Telemetry = append(out.Telemetry, NewTelemetryEntry(r))
 		}

@@ -63,7 +63,7 @@ func TestRunDocumentDeterministic(t *testing.T) {
 }
 
 // TestRunTelemeteredDeterministic covers the telemetered path, which
-// flips the session-global capture switches under the write lock.
+// threads a per-rig capture context through rig construction.
 func TestRunTelemeteredDeterministic(t *testing.T) {
 	s := quickSpec()
 	s.Telemetry = true
@@ -112,9 +112,10 @@ func TestRunSeedChangesResult(t *testing.T) {
 	}
 }
 
-// TestRunConcurrent exercises the read-lock path: untelemetered specs
-// may run concurrently, and mixing in a telemetered spec (write lock)
-// must not corrupt either side. Run under -race.
+// TestRunConcurrent exercises the read-lock path: untelemetered and
+// telemetered specs alike run concurrently (only NoInline takes the
+// write lock), and mixing them must not corrupt either side. Run under
+// -race.
 func TestRunConcurrent(t *testing.T) {
 	base, err := RunDocument(quickSpec())
 	if err != nil {
@@ -156,6 +157,84 @@ func TestRunConcurrent(t *testing.T) {
 			t.Fatalf("concurrent run diverged from the serial baseline")
 		}
 		t.Fatalf("concurrent run failed: %v", err)
+	}
+}
+
+// TestTelemeteredRunHoldsOnlyReadLock pins the tentpole property of the
+// per-rig capture model: a telemetered spec must not take runMu's write
+// lock, so other points (telemetered or not) can run alongside it in
+// one process. The probe polls TryRLock while the telemetered run is in
+// flight; under the old session-global capture it could never succeed
+// until the run finished, so requiring one success before completion
+// fails deterministically on a write-locked implementation.
+func TestTelemeteredRunHoldsOnlyReadLock(t *testing.T) {
+	s := quickSpec()
+	s.Telemetry = true
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(s)
+		done <- err
+	}()
+	overlapped := false
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("telemetered run: %v", err)
+			}
+			if !overlapped {
+				t.Fatalf("runMu was write-locked for the entire telemetered run; telemetered points would serialize")
+			}
+			return
+		default:
+		}
+		if runMu.TryRLock() {
+			runMu.RUnlock()
+			overlapped = true
+		}
+	}
+}
+
+// TestConcurrentTelemeteredRunsMatchSerial: two telemetered specs
+// executed concurrently must produce documents byte-identical (modulo
+// wall_ns) to their serial executions — per-rig capture does not perturb
+// results or mix runs across points.
+func TestConcurrentTelemeteredRunsMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four telemetered simulations")
+	}
+	specs := []*Spec{quickSpec(), quickSpec()}
+	specs[0].Telemetry = true
+	specs[1].Telemetry = true
+	specs[1].Seed = 99
+
+	serial := make([][]byte, len(specs))
+	for i, s := range specs {
+		doc, err := RunDocument(s)
+		if err != nil {
+			t.Fatalf("serial run %d: %v", i, err)
+		}
+		serial[i] = zeroWallNS(t, doc)
+	}
+
+	docs := make([][]byte, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, s := range specs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			docs[i], errs[i] = RunDocument(s)
+		}()
+	}
+	wg.Wait()
+	for i := range specs {
+		if errs[i] != nil {
+			t.Fatalf("concurrent run %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(zeroWallNS(t, docs[i]), serial[i]) {
+			t.Fatalf("concurrent telemetered run %d differs from its serial execution", i)
+		}
 	}
 }
 

@@ -98,6 +98,54 @@ func WriteTrace(w io.Writer, m Manifest, runs []*Run) error {
 	return tw.w.Flush()
 }
 
+// TrackSpan is one closed interval on a span track, in microseconds on
+// the track set's shared time base.
+type TrackSpan struct {
+	Name    string
+	StartUS uint64
+	DurUS   uint64
+}
+
+// SpanTrack is one named lane of non-overlapping (or Perfetto-nestable)
+// spans — e.g. one sweep point's lifecycle.
+type SpanTrack struct {
+	Name  string
+	Spans []TrackSpan
+}
+
+// WriteSpanTrace writes a Chrome trace_event / Perfetto-loadable JSON
+// document with one process (named name) and one thread per track, each
+// span an "X" slice in real microseconds. It is the generic counterpart
+// of WriteTrace for wall-clock span data — the farm uses it to render a
+// sweep's point-lifecycle spans (gsbench sweep -trace-out).
+func WriteSpanTrace(w io.Writer, name string, tracks []SpanTrack) error {
+	tw := &traceWriter{w: bufio.NewWriter(w), first: true}
+	io.WriteString(tw.w, `{"displayTimeUnit":"ms","otherData":{"time_unit":"us"},"traceEvents":[`)
+	const pid = 1
+	tw.emit(traceEvent{Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+		Args: map[string]any{"name": name}})
+	for i, track := range tracks {
+		tid := i + 1
+		tw.emit(traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": track.Name}})
+		tw.emit(traceEvent{Name: "thread_sort_index", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"sort_index": tid}})
+		for _, sp := range track.Spans {
+			dur := sp.DurUS
+			if dur == 0 {
+				dur = 1 // zero-width slices vanish in the UI
+			}
+			tw.emit(traceEvent{Name: sp.Name, Ph: "X", Pid: pid, Tid: tid,
+				Ts: sp.StartUS, Dur: dur})
+		}
+	}
+	if tw.err != nil {
+		return tw.err
+	}
+	io.WriteString(tw.w, "]}\n")
+	return tw.w.Flush()
+}
+
 func writeRun(tw *traceWriter, pid, sortIndex int, run *Run) {
 	meta := func(name string, tid int, args map[string]any) {
 		tw.emit(traceEvent{Name: name, Ph: "M", Pid: pid, Tid: tid, Args: args})

@@ -249,3 +249,56 @@ func TestWriteTraceCounterDeltas(t *testing.T) {
 		t.Fatalf("counter tracks = %v, want %v", got, want)
 	}
 }
+
+// TestWriteSpanTrace: the generic span-track writer produces a valid
+// trace with one thread per track and one "X" slice per span, zero
+// durations widened to 1µs so they stay visible.
+func TestWriteSpanTrace(t *testing.T) {
+	var buf bytes.Buffer
+	tracks := []SpanTrack{
+		{Name: "point0", Spans: []TrackSpan{
+			{Name: "queued", StartUS: 0, DurUS: 10},
+			{Name: "running", StartUS: 10, DurUS: 500},
+		}},
+		{Name: "point1", Spans: []TrackSpan{
+			{Name: "cache_probe", StartUS: 3, DurUS: 0},
+		}},
+	}
+	if err := WriteSpanTrace(&buf, "sweep job-1", tracks); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   uint64         `json:"ts"`
+			Dur  uint64         `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("span trace does not decode: %v", err)
+	}
+	slices := map[string][]uint64{} // name → {tid, ts, dur}
+	meta := 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			slices[ev.Name] = []uint64{uint64(ev.Tid), ev.Ts, ev.Dur}
+		}
+	}
+	// process_name + 2×(thread_name + thread_sort_index) = 5 meta events.
+	if meta != 5 || len(slices) != 3 {
+		t.Fatalf("event population: %d meta, %d slices", meta, len(slices))
+	}
+	if got := slices["running"]; got[0] != 1 || got[1] != 10 || got[2] != 500 {
+		t.Fatalf("running slice = %v", got)
+	}
+	if got := slices["cache_probe"]; got[0] != 2 || got[2] != 1 {
+		t.Fatalf("cache_probe slice = %v; want tid 2 with widened dur 1", got)
+	}
+}

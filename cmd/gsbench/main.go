@@ -5,7 +5,7 @@
 //
 //	gsbench [-exp all|table1|fig7|fig9|fig9sampled|fig10|fig11|fig12|fig13|
 //	         kvstore|graph|ablation|autogather|schedpol|channels|impulse|
-//	         pattbits|storebuf|pixels]
+//	         pattbits|storebuf|pixels|hashjoin|spmv|ptrchase]
 //	        [-tuples N] [-txns N] [-gemm n1,n2,...] [-kvpairs N]
 //	        [-vertices N] [-degree D] [-seed S] [-workers N] [-noinline]
 //	        [-sample] [-sample-interval N] [-sample-warmup N]
@@ -18,7 +18,8 @@
 //	gsbench metrics-diff [-all] OLD.json NEW.json
 //	gsbench bench-gate [-tol PCT] [-wall-tol PCT] OLD.json NEW.json
 //	gsbench stress [-seed S] [-count N] [-shrink] [-workers N] [-noinline]
-//	        [-xmodes] [-pseed P] [-inject none|shuffle-swap] [-repro-out FILE]
+//	        [-xmodes] [-indexed] [-pseed P]
+//	        [-inject none|shuffle-swap|index-perm] [-repro-out FILE]
 //	gsbench serve [-addr HOST:PORT] [-cache-dir DIR] [-farm-workers N]
 //	        [-retries N] [-drain-timeout D] [-log-format text|json] [-pprof]
 //	gsbench sweep [-server URL | -cache-dir DIR] [-exp LIST] [-tuples LIST]
@@ -66,7 +67,17 @@
 // (internal/refmodel) and diff-checks every loaded value, the final
 // memory image, and cache state. A failing program is shrunk to a
 // minimal reproducer; replay one with -pseed using the seed printed in
-// the failure report.
+// the failure report. -indexed additionally generates indexed
+// gatherv/scatterv ops (explicit index vectors through the coalescer),
+// and -inject plants a known bug in the simulator side as a self-test
+// of the oracle (index-perm swaps the first two values of every
+// multi-element gatherv).
+//
+// The hashjoin, spmv and ptrchase experiments exercise the indexed
+// gather/scatter path (DESIGN.md §5.10): each compares a scalar
+// per-element fallback, gatherv on a flat layout, and gatherv on a
+// shuffled (GS) layout, reporting the speedup and the patterned/
+// fallback burst mix.
 //
 // gsbench serve runs the simulation farm (DESIGN.md §5.8): an HTTP/JSON
 // job server that shards sweep points across a worker pool and stores

@@ -23,7 +23,8 @@ func stressCmd(args []string) error {
 		workers  = fs.Int("workers", 0, "concurrent differential runs (0 = GOMAXPROCS, 1 = serial)")
 		noInline = fs.Bool("noinline", false, "verify the pure event-driven path instead of the event-skipping one")
 		xmodes   = fs.Bool("xmodes", false, "verify BOTH execution paths for every program (overrides -noinline)")
-		inject   = fs.String("inject", "none", "deterministic fault to plant in the simulator side: none|shuffle-swap (self-test of the oracle)")
+		indexed  = fs.Bool("indexed", false, "generate programs with gatherv/scatterv ops (indexed access path)")
+		inject   = fs.String("inject", "none", "deterministic fault to plant in the simulator side: none|shuffle-swap|index-perm (self-test of the oracle)")
 		reproOut = fs.String("repro-out", "", "write the (shrunk) failing program to FILE")
 		verbose  = fs.Bool("v", false, "print one line per program")
 	)
@@ -39,6 +40,8 @@ func stressCmd(args []string) error {
 		inj = stress.InjectNone
 	case "shuffle-swap":
 		inj = stress.InjectShuffleSwap
+	case "index-perm":
+		inj = stress.InjectIndexPerm
 	default:
 		return fmt.Errorf("stress: unknown -inject %q", *inject)
 	}
@@ -46,6 +49,7 @@ func stressCmd(args []string) error {
 	if *xmodes {
 		modes = []stress.Options{{Inject: inj}, {NoInline: true, Inject: inj}}
 	}
+	gcfg := stress.GenConfig{Indexed: *indexed}
 
 	type failure struct {
 		seed uint64
@@ -68,7 +72,7 @@ func stressCmd(args []string) error {
 	totalOps := 0
 	pool := runner.Pool{Workers: *workers}
 	err := pool.Run(*count, func(i int) error {
-		p := stress.Generate(seeds[i])
+		p := stress.GenerateWith(seeds[i], gcfg)
 		mu.Lock()
 		totalOps += len(p.Ops)
 		mu.Unlock()
@@ -114,7 +118,7 @@ func stressCmd(args []string) error {
 		return err // a Run() error, not a divergence
 	}
 	fmt.Printf("stress: divergence on seed %d: %s\n", f.seed, f.div)
-	p := stress.Generate(f.seed)
+	p := stress.GenerateWith(f.seed, gcfg)
 	div := f.div
 	if *doShrink {
 		p, div = stress.Shrink(p, stress.Checker(f.opts))
@@ -126,8 +130,14 @@ func stressCmd(args []string) error {
 	if f.opts.NoInline {
 		mode = " -noinline"
 	}
-	if f.opts.Inject == stress.InjectShuffleSwap {
+	if *indexed {
+		mode += " -indexed"
+	}
+	switch f.opts.Inject {
+	case stress.InjectShuffleSwap:
 		mode += " -inject shuffle-swap"
+	case stress.InjectIndexPerm:
+		mode += " -inject index-perm"
 	}
 	fmt.Printf("reproduce with: gsbench stress -pseed %d%s\n", f.seed, mode)
 	if *reproOut != "" {

@@ -31,7 +31,7 @@ import (
 // schema), so cached documents from older semantics can never be
 // returned for new requests. Builds stamped with VCS info additionally
 // mix the commit revision into the fingerprint.
-const SimVersion = "gsdram-sim/1"
+const SimVersion = "gsdram-sim/2"
 
 // Options scales the experiments. The zero value is unusable; start from
 // DefaultOptions.

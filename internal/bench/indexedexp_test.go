@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestIndexedWorkloads runs each indexed experiment at quick scale and
+// checks the structural invariants: non-zero cycles per variant,
+// cross-variant checksum agreement (enforced inside the runners), the
+// hashjoin build scan actually producing patterned bursts on the GS
+// layout, and the unstructured workloads being fallback-dominated.
+func TestIndexedWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("indexed workloads are slow in -short mode")
+	}
+	opts := QuickOptions()
+
+	hj, err := RunHashJoin(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := RunSpMV(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := RunPtrChase(4096, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, r := range []*IndexedResult{hj, sp, pc} {
+		for i, v := range indexedVariants {
+			if r.Cycles[i] == 0 {
+				t.Errorf("%s/%s: zero cycles", r.Name, v)
+			}
+		}
+		// Scalar never issues gatherv bursts; both gatherv variants must.
+		if r.Bursts[0] != 0 {
+			t.Errorf("%s scalar variant issued %d gatherv bursts", r.Name, r.Bursts[0])
+		}
+		if r.Bursts[1] == 0 || r.Bursts[2] == 0 {
+			t.Errorf("%s gatherv variants issued no bursts: %v", r.Name, r.Bursts)
+		}
+		// The flat layout can never use pattern bursts.
+		if r.Patterned[1] != 0 {
+			t.Errorf("%s gatherv-flat produced %d patterned bursts", r.Name, r.Patterned[1])
+		}
+		if r.Checksum == 0 {
+			t.Errorf("%s: zero checksum", r.Name)
+		}
+		if r.SpeedupVsFallback() <= 0 || r.SpeedupGSVsFlat() <= 0 {
+			t.Errorf("%s: non-positive speedups %v %v", r.Name, r.SpeedupVsFallback(), r.SpeedupGSVsFlat())
+		}
+		if r.Table() == nil {
+			t.Errorf("%s: nil table", r.Name)
+		}
+	}
+
+	// The hash-join build scan is a stride-8 field walk: on the GS layout
+	// most of its bursts must coalesce into in-DRAM pattern gathers.
+	if hj.Patterned[2] == 0 {
+		t.Error("hashjoin gatherv-gs produced no patterned bursts")
+	}
+	if hj.Patterned[2] <= hj.Fallback[2]/2 {
+		t.Errorf("hashjoin gatherv-gs burst mix unexpectedly fallback-heavy: %d patterned, %d fallback",
+			hj.Patterned[2], hj.Fallback[2])
+	}
+	// SpMV and ptrchase index vectors are unstructured: fallback dominates
+	// even on the GS layout (the honest stride-only limit).
+	for _, r := range []*IndexedResult{sp, pc} {
+		if r.Patterned[2] > r.Fallback[2] {
+			t.Errorf("%s gatherv-gs unexpectedly pattern-dominated: %d patterned, %d fallback",
+				r.Name, r.Patterned[2], r.Fallback[2])
+		}
+	}
+}
+
+// TestIndexedWorkloadsDeterministicAcrossWorkers pins the acceptance
+// invariant: results are bit-identical at any worker count.
+func TestIndexedWorkloadsDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("indexed workloads are slow in -short mode")
+	}
+	serial := QuickOptions()
+	serial.Workers = 1
+	parallel := QuickOptions()
+	parallel.Workers = 8
+	a, err := RunHashJoin(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunHashJoin(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("hashjoin diverges across worker counts:\n1: %+v\n8: %+v", *a, *b)
+	}
+}
+
+// TestIndexedTelemetryLabels checks every variant registers a labelled
+// telemetry run so the farm and bench-gate can see each access path.
+func TestIndexedTelemetryLabels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("indexed workloads are slow in -short mode")
+	}
+	opts := QuickOptions()
+	opts.Capture = NewCapture(0)
+	if _, err := RunSpMV(opts); err != nil {
+		t.Fatal(err)
+	}
+	runs := opts.Capture.Drain()
+	want := map[string]bool{"spmv/scalar": false, "spmv/gatherv-flat": false, "spmv/gatherv-gs": false}
+	for _, r := range runs {
+		if _, ok := want[r.Label]; ok {
+			want[r.Label] = true
+		}
+	}
+	for label, seen := range want {
+		if !seen {
+			t.Errorf("telemetry label %q not captured (got %d runs)", label, len(runs))
+		}
+	}
+}

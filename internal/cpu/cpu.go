@@ -26,6 +26,13 @@ const (
 	// OpStore is a (patt)store: write-allocate; blocking by default,
 	// asynchronous behind a store buffer when one is configured.
 	OpStore
+	// OpGatherV is an indexed gather: reads the words at an explicit
+	// address vector, blocking until the last coalesced burst returns.
+	OpGatherV
+	// OpScatterV is an indexed scatter: the store counterpart of
+	// OpGatherV. Its bursts are posted; the core pays only the dispatch
+	// latency.
+	OpScatterV
 )
 
 // Op is one instruction-stream entry. Compute blocks carry their length;
@@ -39,6 +46,10 @@ type Op struct {
 	Shuffled   bool
 	AltPattern gsdram.Pattern
 	PC         uint64
+	// Addrs is the element address vector of OpGatherV/OpScatterV. The
+	// core hands it to the memory system at issue time; it must stay
+	// unmodified until the op completes.
+	Addrs []addrmap.Addr
 }
 
 // Compute returns a compute block of n instructions.
@@ -63,6 +74,19 @@ func Store(addr addrmap.Addr, pc uint64) Op {
 // PattStore returns a pattstore (paper §4.2).
 func PattStore(addr addrmap.Addr, patt gsdram.Pattern, pc uint64) Op {
 	return Op{Kind: OpStore, Addr: addr, Pattern: patt, Shuffled: true, AltPattern: patt, PC: pc}
+}
+
+// GatherV returns an indexed gather over the given element addresses.
+// shuffled/alt carry the §4.1 page contract of the targeted region; alt 0
+// (or shuffled false) disables patterned coalescing, leaving the
+// per-column fallback.
+func GatherV(addrs []addrmap.Addr, shuffled bool, alt gsdram.Pattern, pc uint64) Op {
+	return Op{Kind: OpGatherV, Addrs: addrs, Shuffled: shuffled, AltPattern: alt, PC: pc}
+}
+
+// ScatterV returns an indexed scatter over the given element addresses.
+func ScatterV(addrs []addrmap.Addr, shuffled bool, alt gsdram.Pattern, pc uint64) Op {
+	return Op{Kind: OpScatterV, Addrs: addrs, Shuffled: shuffled, AltPattern: alt, PC: pc}
 }
 
 // Stream supplies a core's instruction stream lazily, so workloads of
@@ -362,6 +386,47 @@ func (c *Core) step(now sim.Cycle) {
 				// take the same two-hop route the event-driven model
 				// takes (completion callback at `done`, which schedules
 				// step), so same-cycle tie-breaks are identical.
+				c.q.Schedule(done, c.resume)
+				return
+			}
+			c.ctr.MemStallCycles += metrics.Counter(tn - issue)
+			t = tn
+		case OpGatherV, OpScatterV:
+			// Indexed ops always block the pipeline (scatters only for
+			// their dispatch slot — AccessV posts the bursts), so they
+			// take the plain blocking continuation, never the store
+			// buffer.
+			c.ctr.Instructions++
+			isStore := op.Kind == OpScatterV
+			if isStore {
+				c.ctr.Stores++
+			} else {
+				c.ctr.Loads++
+			}
+			issue := t + 1
+			va := memsys.VAccess{
+				Core:       c.id,
+				Addrs:      op.Addrs,
+				Write:      isStore,
+				PC:         op.PC,
+				Shuffled:   op.Shuffled,
+				AltPattern: op.AltPattern,
+			}
+			c.pendIssue = issue
+			done, hit := c.mem.AccessV(t, va, c.resume)
+			if !hit {
+				c.pendMiss = true
+				return
+			}
+			tn := done
+			if tn < issue {
+				tn = issue
+			}
+			if c.noInline {
+				c.q.Schedule(done, c.resume)
+				return
+			}
+			if h, ok := c.q.PeekWhen(); ok && tn >= h {
 				c.q.Schedule(done, c.resume)
 				return
 			}

@@ -52,6 +52,22 @@ func (f *Functional) Exec(core int, op cpu.Op) {
 			Shuffled:   op.Shuffled,
 			AltPattern: op.AltPattern,
 		})
+	case cpu.OpGatherV, cpu.OpScatterV:
+		f.instrs++
+		write := op.Kind == cpu.OpScatterV
+		if write {
+			f.stores++
+		} else {
+			f.loads++
+		}
+		f.mem.WarmAccessV(memsys.VAccess{
+			Core:       core,
+			Addrs:      op.Addrs,
+			Write:      write,
+			PC:         op.PC,
+			Shuffled:   op.Shuffled,
+			AltPattern: op.AltPattern,
+		})
 	}
 }
 

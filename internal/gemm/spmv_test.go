@@ -1,0 +1,86 @@
+package gemm
+
+import (
+	"testing"
+
+	"gsdram/internal/cpu"
+	"gsdram/internal/machine"
+)
+
+func drainSpMV(t *testing.T, s cpu.Stream) (gathers int) {
+	t.Helper()
+	n := 0
+	for {
+		op, ok := s.Next()
+		if !ok {
+			return gathers
+		}
+		if op.Kind == cpu.OpGatherV {
+			gathers++
+		}
+		n++
+		if n > 1<<24 {
+			t.Fatal("stream did not terminate")
+		}
+	}
+}
+
+// TestSpMVChecksumAcrossVariants checks every (layout, access path)
+// combination computes the identical y vector sum, matching the
+// reference dot products.
+func TestSpMVChecksumAcrossVariants(t *testing.T) {
+	const rows, cols, nnz = 64, 512, 16
+	const seed = 11
+	var want uint64
+	for _, gs := range []bool{false, true} {
+		for _, gatherv := range []bool{false, true} {
+			mach, err := machine.Default()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := NewSpMV(mach, rows, cols, nnz, seed, gs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var res SpMVResult
+			s, err := sp.Stream(gatherv, &res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gathers := drainSpMV(t, s)
+			if ref := sp.Reference(); res.YSum != ref {
+				t.Errorf("gs=%v gatherv=%v: YSum %d, want %d", gs, gatherv, res.YSum, ref)
+			}
+			if res.NNZ != rows*nnz {
+				t.Errorf("gs=%v gatherv=%v: NNZ %d, want %d", gs, gatherv, res.NNZ, rows*nnz)
+			}
+			if gatherv && gathers != rows {
+				t.Errorf("gatherv variant emitted %d gathers, want one per row (%d)", gathers, rows)
+			}
+			if !gatherv && gathers != 0 {
+				t.Errorf("scalar variant emitted %d gathers", gathers)
+			}
+			if want == 0 {
+				want = res.YSum
+			} else if res.YSum != want {
+				t.Errorf("gs=%v gatherv=%v: YSum %d differs from first variant %d", gs, gatherv, res.YSum, want)
+			}
+		}
+	}
+}
+
+func TestSpMVRejectsBadArgs(t *testing.T) {
+	mach, err := machine.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSpMV(mach, 63, 512, 16, 1, false); err == nil {
+		t.Error("non-multiple-of-8 rows accepted")
+	}
+	if _, err := NewSpMV(mach, 64, 100, 16, 1, false); err == nil {
+		t.Error("non-multiple-of-8 cols accepted")
+	}
+	if _, err := NewSpMV(mach, 64, 512, 0, 1, false); err == nil {
+		t.Error("zero nnzPerRow accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"testing"
+
+	"gsdram/internal/cpu"
+	"gsdram/internal/machine"
+)
+
+// TestInitPtrChaseSingleCycle checks the next pointers form one
+// Hamiltonian cycle: following them from vertex 0 visits every vertex
+// exactly once before returning.
+func TestInitPtrChaseSingleCycle(t *testing.T) {
+	const n = 256
+	mach, err := machine.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewRandom(mach, AoS, n, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InitPtrChase(99); err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, n)
+	u := 0
+	for i := 0; i < n; i++ {
+		if seen[u] {
+			t.Fatalf("vertex %d revisited after %d hops: cycle shorter than n", u, i)
+		}
+		seen[u] = true
+		v, err := g.ReadField(u, FieldDist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v >= n {
+			t.Fatalf("next pointer of %d out of range: %d", u, v)
+		}
+		u = int(v)
+	}
+	if u != 0 {
+		t.Fatalf("after %d hops landed on %d, want the start", n, u)
+	}
+}
+
+// TestPtrChaseChecksumAcrossVariants checks every (layout, access path)
+// combination walks the identical chains.
+func TestPtrChaseChecksumAcrossVariants(t *testing.T) {
+	const n, chains, steps = 512, 16, 40
+	const seed = 21
+	var want PtrChaseResult
+	first := true
+	for _, layout := range []Layout{AoS, SoA, GS} {
+		for _, gatherv := range []bool{false, true} {
+			mach, err := machine.Default()
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := NewRandom(mach, layout, n, 4, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.InitPtrChase(seed + 1); err != nil {
+				t.Fatal(err)
+			}
+			var res PtrChaseResult
+			s, err := g.PtrChaseStream(chains, steps, seed+2, gatherv, &res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gathers := 0
+			ops := 0
+			for {
+				op, ok := s.Next()
+				if !ok {
+					break
+				}
+				if op.Kind == cpu.OpGatherV {
+					gathers++
+					if (layout == GS) != op.Shuffled {
+						t.Fatalf("%v gatherv shuffled flag %v", layout, op.Shuffled)
+					}
+					if len(op.Addrs) != chains {
+						t.Fatalf("gatherv vector length %d, want %d", len(op.Addrs), chains)
+					}
+				}
+				ops++
+				if ops > 1<<24 {
+					t.Fatal("stream did not terminate")
+				}
+			}
+			if gatherv && gathers != steps {
+				t.Fatalf("%v: %d gathers, want one per step (%d)", layout, gathers, steps)
+			}
+			if !gatherv && gathers != 0 {
+				t.Fatalf("%v scalar variant emitted %d gathers", layout, gathers)
+			}
+			if res.Hops != chains*steps {
+				t.Fatalf("%v gatherv=%v: hops %d, want %d", layout, gatherv, res.Hops, chains*steps)
+			}
+			if first {
+				want = res
+				first = false
+			} else if res != want {
+				t.Fatalf("%v gatherv=%v: result %+v differs from first variant %+v", layout, gatherv, res, want)
+			}
+		}
+	}
+	if want.Checksum == 0 {
+		t.Fatal("degenerate zero checksum")
+	}
+}
+
+func TestPtrChaseRejectsBadArgs(t *testing.T) {
+	mach, err := machine.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewRandom(mach, AoS, 64, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.PtrChaseStream(0, 10, 1, true, nil); err == nil {
+		t.Error("zero chains accepted")
+	}
+	if _, err := g.PtrChaseStream(10, 0, 1, true, nil); err == nil {
+		t.Error("zero steps accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package gsdram
+
+import "fmt"
+
+// GatherV reads the words at the given logical indices (l = col*Chips +
+// word, as in ReadWord) of one DRAM row into dst, which must hold at
+// least len(logical) words. It is the module-level substrate of the
+// indexed gather path: an explicit index vector instead of the
+// power-of-2 strides the CTL patterns encode. Indices may repeat and
+// appear in any order; dst[i] always receives the word logical[i] names.
+// The steady-state path performs no allocations.
+func (m *Module) GatherV(bank, row int, logical []int, shuffled bool, dst []uint64) error {
+	if len(dst) < len(logical) {
+		return fmt.Errorf("gsdram: gatherv dst has %d words, want >= %d", len(dst), len(logical))
+	}
+	for i, l := range logical {
+		col := l >> m.chipShift
+		word := l & m.chipMask
+		if err := m.checkAddr(bank, row, col); err != nil {
+			return err
+		}
+		chip := word
+		if shuffled {
+			chip = word ^ m.shuffle(col)
+		}
+		dst[i] = m.getWord(bank, row, col, chip)
+	}
+	return nil
+}
+
+// ScatterV writes vals[i] to logical index logical[i] of one DRAM row —
+// the store counterpart of GatherV. vals must hold at least len(logical)
+// words. Duplicate indices are applied in vector order, so the last
+// write wins, matching a serial per-element scatter.
+func (m *Module) ScatterV(bank, row int, logical []int, shuffled bool, vals []uint64) error {
+	if len(vals) < len(logical) {
+		return fmt.Errorf("gsdram: scatterv has %d values, want >= %d", len(vals), len(logical))
+	}
+	for i, l := range logical {
+		col := l >> m.chipShift
+		word := l & m.chipMask
+		if err := m.checkAddr(bank, row, col); err != nil {
+			return err
+		}
+		chip := word
+		if shuffled {
+			chip = word ^ m.shuffle(col)
+		}
+		m.setWord(bank, row, col, chip, vals[i])
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package gsdram
+
+import "testing"
+
+// TestGatherVMatchesReadWord checks that a vectored gather returns
+// exactly the words the scalar accessor returns, for shuffled and
+// unshuffled storage, including duplicate and unsorted indices.
+func TestGatherVMatchesReadWord(t *testing.T) {
+	for _, shuffled := range []bool{false, true} {
+		m := NewModule(GS844, Geometry{Banks: 2, Rows: 4, Cols: 16})
+		words := 16 * GS844.Chips
+		for l := 0; l < words; l++ {
+			if err := m.WriteWord(1, 2, l, shuffled, uint64(1000+l)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		logical := []int{5, 0, 127, 8, 8, 63, 9, 1}
+		dst := make([]uint64, len(logical))
+		if err := m.GatherV(1, 2, logical, shuffled, dst); err != nil {
+			t.Fatal(err)
+		}
+		for i, l := range logical {
+			want, err := m.ReadWord(1, 2, l, shuffled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dst[i] != want {
+				t.Errorf("shuffled=%v: dst[%d] (logical %d) = %d, want %d", shuffled, i, l, dst[i], want)
+			}
+		}
+	}
+}
+
+// TestScatterVRoundTrip checks scatter-then-gather identity and that
+// duplicate indices resolve last-write-wins like a serial scatter.
+func TestScatterVRoundTrip(t *testing.T) {
+	m := NewModule(GS422, Geometry{Banks: 1, Rows: 2, Cols: 8})
+	logical := []int{3, 17, 17, 4, 0}
+	vals := []uint64{30, 170, 171, 40, 7}
+	if err := m.ScatterV(0, 1, logical, true, vals); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]uint64{3: 30, 17: 171, 4: 40, 0: 7}
+	for l, w := range want {
+		got, err := m.ReadWord(0, 1, l, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Errorf("logical %d = %d, want %d", l, got, w)
+		}
+	}
+}
+
+// TestScatterVShuffledPlacement checks the physical chip placement of a
+// shuffled scatter: word w of column c must land on chip w^shuffle(c),
+// the §3.2 involution the whole design rests on.
+func TestScatterVShuffledPlacement(t *testing.T) {
+	p := GS844
+	m := NewModule(p, Geometry{Banks: 1, Rows: 1, Cols: 16})
+	logical := []int{0, 9, 18, 27} // col 0..3, word = col (diagonal)
+	vals := []uint64{100, 101, 102, 103}
+	if err := m.ScatterV(0, 0, logical, true, vals); err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range logical {
+		col, word := l/p.Chips, l%p.Chips
+		chip := p.ChipForWord(word, col)
+		got, err := m.ChipWord(0, 0, col, chip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != vals[i] {
+			t.Errorf("chip %d col %d = %d, want %d", chip, col, got, vals[i])
+		}
+	}
+}
+
+// TestGatherVErrors checks bounds and size validation.
+func TestGatherVErrors(t *testing.T) {
+	m := NewModule(GS844, Geometry{Banks: 1, Rows: 1, Cols: 4})
+	dst := make([]uint64, 1)
+	if err := m.GatherV(0, 0, []int{4 * 8}, false, dst); err == nil {
+		t.Error("out-of-range logical index not rejected")
+	}
+	if err := m.GatherV(0, 0, []int{0, 1}, false, dst); err == nil {
+		t.Error("short dst not rejected")
+	}
+	if err := m.ScatterV(0, 0, []int{0, 1}, false, []uint64{1}); err == nil {
+		t.Error("short vals not rejected")
+	}
+}

@@ -1,0 +1,118 @@
+package imdb
+
+import (
+	"testing"
+
+	"gsdram/internal/cpu"
+	"gsdram/internal/machine"
+)
+
+// drainStream consumes a stream to completion (the functional side
+// effects happen at op generation) and returns the op count.
+func drainStream(t *testing.T, s cpu.Stream) int {
+	t.Helper()
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			return n
+		}
+		n++
+		if n > 1<<24 {
+			t.Fatal("stream did not terminate")
+		}
+	}
+}
+
+// TestHashJoinChecksumAcrossVariants checks every (layout, access path)
+// combination computes the identical functional result, matching the
+// closed form.
+func TestHashJoinChecksumAcrossVariants(t *testing.T) {
+	const tuples, probes, batch = 1024, 200, 32
+	const seed = 7
+	want := ExpectedHashJoinChecksum(tuples, probes, batch, seed)
+	if want.Matches == 0 || want.Matches >= want.Probes {
+		t.Fatalf("degenerate expectation: %+v", want)
+	}
+	for _, layout := range []Layout{RowStore, GSStore} {
+		for _, gatherv := range []bool{false, true} {
+			mach, err := machine.Default()
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, err := New(mach, layout, tuples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var res HashJoinResult
+			s, err := db.HashJoinStream(probes, batch, seed, gatherv, &res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			drainStream(t, s)
+			if res != want {
+				t.Errorf("%v gatherv=%v: result %+v, want %+v", layout, gatherv, res, want)
+			}
+		}
+	}
+}
+
+// TestHashJoinStreamOps checks the gatherv variant actually emits
+// indexed ops with the layout's two-pattern flags, and the scalar
+// variant emits none.
+func TestHashJoinStreamOps(t *testing.T) {
+	const tuples, probes, batch = 512, 100, 32
+	for _, gatherv := range []bool{false, true} {
+		mach, err := machine.Default()
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := New(mach, GSStore, tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res HashJoinResult
+		s, err := db.HashJoinStream(probes, batch, 3, gatherv, &res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gathers := 0
+		for {
+			op, ok := s.Next()
+			if !ok {
+				break
+			}
+			if op.Kind == cpu.OpGatherV {
+				gathers++
+				if !op.Shuffled || op.AltPattern != FieldPattern {
+					t.Fatalf("gatherv on GSStore missing two-pattern flags: %+v", op)
+				}
+				if len(op.Addrs) == 0 || len(op.Addrs) > hashJoinBuildBatch {
+					t.Fatalf("gatherv vector length %d out of range", len(op.Addrs))
+				}
+			}
+		}
+		if gatherv && gathers == 0 {
+			t.Fatal("gatherv variant emitted no indexed ops")
+		}
+		if !gatherv && gathers > 0 {
+			t.Fatal("scalar variant emitted indexed ops")
+		}
+	}
+}
+
+func TestHashJoinRejectsBadArgs(t *testing.T) {
+	mach, err := machine.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := New(mach, RowStore, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.HashJoinStream(0, 32, 1, true, nil); err == nil {
+		t.Error("zero probes accepted")
+	}
+	if _, err := db.HashJoinStream(100, 0, 1, true, nil); err == nil {
+		t.Error("zero batch accepted")
+	}
+}

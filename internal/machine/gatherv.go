@@ -1,0 +1,69 @@
+package machine
+
+import (
+	"fmt"
+
+	"gsdram/internal/addrmap"
+)
+
+// GatherV reads the 8-byte words at the given (word-aligned) addresses
+// into dst, which must hold at least len(addrs) words. Addresses may
+// repeat and appear in any order; dst[i] always receives the word at
+// addrs[i]. Consecutive addresses falling in the same DRAM row of the
+// same module (with the same page shuffle flag) are served by one
+// Module.GatherV call, mirroring the per-row burst grouping of the
+// timing-side coalescer. The steady-state path performs no allocations.
+func (m *Machine) GatherV(addrs []addrmap.Addr, dst []uint64) error {
+	if len(dst) < len(addrs) {
+		return fmt.Errorf("machine: gatherv dst has %d words, want >= %d", len(dst), len(addrs))
+	}
+	return m.forEachRun(addrs, func(i, j int, loc addrmap.Loc, shuffled bool) error {
+		return m.Module(loc).GatherV(loc.Bank, loc.Row, m.vecIdx, shuffled, dst[i:j])
+	})
+}
+
+// ScatterV writes vals[i] to addrs[i] — the store counterpart of
+// GatherV. vals must hold at least len(addrs) words. Duplicate addresses
+// are applied in vector order (last write wins), matching a serial
+// per-element scatter.
+func (m *Machine) ScatterV(addrs []addrmap.Addr, vals []uint64) error {
+	if len(vals) < len(addrs) {
+		return fmt.Errorf("machine: scatterv has %d values, want >= %d", len(vals), len(addrs))
+	}
+	return m.forEachRun(addrs, func(i, j int, loc addrmap.Loc, shuffled bool) error {
+		return m.Module(loc).ScatterV(loc.Bank, loc.Row, m.vecIdx, shuffled, vals[i:j])
+	})
+}
+
+// forEachRun splits addrs into maximal runs of consecutive elements that
+// share a (channel, rank, bank, row) and page shuffle flag, fills
+// m.vecIdx with the run's within-row logical word indices, and invokes
+// fn(i, j, loc, shuffled) for the half-open element range [i, j).
+func (m *Machine) forEachRun(addrs []addrmap.Addr, fn func(i, j int, loc addrmap.Loc, shuffled bool) error) error {
+	i := 0
+	for i < len(addrs) {
+		loc, word, err := m.locate(addrs[i])
+		if err != nil {
+			return err
+		}
+		shuffled := m.AS.Flags(addrs[i]).Shuffled
+		m.vecIdx = append(m.vecIdx[:0], loc.Col*m.GS.Chips+word)
+		j := i + 1
+		for ; j < len(addrs); j++ {
+			l, w, err := m.locate(addrs[j])
+			if err != nil {
+				return err
+			}
+			if l.Channel != loc.Channel || l.Rank != loc.Rank || l.Bank != loc.Bank ||
+				l.Row != loc.Row || m.AS.Flags(addrs[j]).Shuffled != shuffled {
+				break
+			}
+			m.vecIdx = append(m.vecIdx, l.Col*m.GS.Chips+w)
+		}
+		if err := fn(i, j, loc, shuffled); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}

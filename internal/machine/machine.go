@@ -29,6 +29,11 @@ type Machine struct {
 	// safe for concurrent use; each simulation run builds its own.
 	idxBuf []int
 
+	// vecIdx is the GatherV/ScatterV scratch buffer of per-run logical
+	// indices, reused across calls so the indexed functional path does not
+	// allocate in steady state.
+	vecIdx []int
+
 	// Precomputed decomposition of Spec (shift amounts, masks, address
 	// width), so the per-word locate on the functional data path is pure
 	// bit arithmetic. Derived once in New; Spec must not be mutated after.

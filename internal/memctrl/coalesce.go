@@ -1,0 +1,280 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/gsdram"
+)
+
+// Burst is one DRAM line request produced by the indexed-access
+// coalescer: a line address, the pattern to issue it with (0 = default,
+// non-zero = an in-DRAM gather through the CTL), and the input elements
+// it serves. A scatter burst writes only its elements' words (per-chip
+// write masking); a gather burst reads the whole line but only the
+// listed elements consume words from it.
+type Burst struct {
+	Line    addrmap.Addr
+	Pattern gsdram.Pattern
+	// Elems are indices into the Plan input vector, in ascending input
+	// order. Every input element appears in exactly one burst across the
+	// plan. The slice aliases the coalescer's arena and is valid only
+	// until the next Plan call.
+	Elems []int
+}
+
+// Coalescer sorts an explicit index vector into per-bank/per-row bursts
+// (paper §3's gather generalised to arbitrary indices). Within one DRAM
+// row it reuses the CTL gather algebra — GatherIndicesInto is the same
+// precomputed-plan machinery the module's pattern reads run on — to pack
+// up to Chips requested words into a single patterned burst wherever the
+// page's alternate pattern covers them. Words no pattern covers fall
+// back to one default-pattern line per column: the fallback cost model
+// charges full per-element line latency for non-coalescible indices.
+//
+// A Coalescer owns reusable buffers and is not safe for concurrent use;
+// the steady-state Plan path performs no allocations.
+type Coalescer struct {
+	spec addrmap.Spec
+	gs   gsdram.Params
+
+	keys   []uint64 // per-element sort key (group-major, then logical word)
+	locs   []addrmap.Loc
+	words8 []int // per-element within-line word index
+	order  []int // element indices sorted by (key, index)
+	bursts []Burst
+	arena  []int // backing array for Burst.Elems
+	cover  []int // GatherIndicesInto scratch
+	gwords []int // distinct logical word indices of the current group
+	assign []int // burst index per distinct word of the current group
+	elemB  []int // burst index per element
+	counts []int // per-burst element counts
+}
+
+// NewCoalescer returns a coalescer for the given organisation.
+func NewCoalescer(spec addrmap.Spec, gs gsdram.Params) *Coalescer {
+	return &Coalescer{spec: spec, gs: gs}
+}
+
+// growInts returns s with length n, reusing its backing array when the
+// capacity allows.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// Plan decomposes a vector of word-aligned element addresses into
+// bursts. shuffled and alt describe the pages the vector targets (the
+// §4.1 two-pattern contract: one region, one alternate pattern);
+// patterned bursts are only formed when shuffled is true and alt is a
+// valid non-zero pattern. The returned slice and the Elems slices it
+// contains are owned by the coalescer and valid until the next Plan.
+func (c *Coalescer) Plan(addrs []addrmap.Addr, shuffled bool, alt gsdram.Pattern) ([]Burst, error) {
+	n := len(addrs)
+	c.bursts = c.bursts[:0]
+	if n == 0 {
+		return c.bursts, nil
+	}
+	chips := c.gs.Chips
+	rowWords := uint64(c.spec.Cols * chips)
+
+	// Pass 1: decompose every element into (group, logical word) and a
+	// single sort key so one heapsort orders the vector bank-major,
+	// row-major, column-major.
+	c.keys = growInts64(c.keys, n)
+	if cap(c.locs) < n {
+		c.locs = make([]addrmap.Loc, n)
+	}
+	c.locs = c.locs[:n]
+	c.words8 = growInts(c.words8, n)
+	c.order = growInts(c.order, n)
+	c.elemB = growInts(c.elemB, n)
+	for i, a := range addrs {
+		loc, err := c.spec.Decompose(c.spec.LineAddr(a))
+		if err != nil {
+			return nil, fmt.Errorf("memctrl: coalesce: %w", err)
+		}
+		w := int(uint64(a) % uint64(c.spec.LineBytes) / gsdram.WordBytes)
+		c.locs[i] = loc
+		c.words8[i] = w
+		group := uint64(((loc.Channel*c.spec.Ranks+loc.Rank)*c.spec.Banks+loc.Bank)*c.spec.Rows + loc.Row)
+		c.keys[i] = group*rowWords + uint64(loc.Col*chips+w)
+		c.order[i] = i
+	}
+	c.sortOrder()
+
+	usePatt := shuffled && alt != 0 && alt <= c.gs.MaxPattern()
+
+	// Pass 2: walk each (channel, rank, bank, row) group of the sorted
+	// vector, collect its distinct logical words, and greedily cover them
+	// with bursts — a patterned line when the CTL covers more distinct
+	// words than the word's own default line would, a default line
+	// otherwise (the per-column fallback).
+	for gi := 0; gi < n; {
+		gkey := c.keys[c.order[gi]] / rowWords
+		gj := gi + 1
+		for gj < n && c.keys[c.order[gj]]/rowWords == gkey {
+			gj++
+		}
+		c.gwords = c.gwords[:0]
+		for e := gi; e < gj; e++ {
+			l := int(c.keys[c.order[e]] % rowWords)
+			if len(c.gwords) == 0 || c.gwords[len(c.gwords)-1] != l {
+				c.gwords = append(c.gwords, l)
+			}
+		}
+		c.assign = growInts(c.assign, len(c.gwords))
+		for wi := range c.assign {
+			c.assign[wi] = -1
+		}
+		loc := c.locs[c.order[gi]]
+		for wi := 0; wi < len(c.gwords); wi++ {
+			if c.assign[wi] >= 0 {
+				continue
+			}
+			l := c.gwords[wi]
+			col, w := l/chips, l%chips
+			// Unassigned words sharing this word's default line. gwords is
+			// sorted and wi is the first unassigned word, so they all lie at
+			// or after wi.
+			countD := 0
+			for wj := wi; wj < len(c.gwords) && c.gwords[wj] < (col+1)*chips; wj++ {
+				if c.assign[wj] < 0 {
+					countD++
+				}
+			}
+			pattCol, countP := 0, 0
+			if usePatt {
+				k := c.gs.ChipForWord(w, col)
+				pattCol = c.gs.CTL(k, alt, col)
+				c.cover = c.gs.GatherIndicesInto(alt, pattCol, c.cover[:0])
+				countP = c.markCovered(-1)
+			}
+			bi := len(c.bursts)
+			if countP > countD {
+				loc.Col = pattCol
+				c.bursts = append(c.bursts, Burst{Line: c.spec.Compose(loc), Pattern: alt})
+				c.markCovered(bi)
+			} else {
+				loc.Col = col
+				c.bursts = append(c.bursts, Burst{Line: c.spec.Compose(loc), Pattern: 0})
+				for wj := wi; wj < len(c.gwords) && c.gwords[wj] < (col+1)*chips; wj++ {
+					if c.assign[wj] < 0 {
+						c.assign[wj] = bi
+					}
+				}
+			}
+		}
+		// Map the group's elements to their word's burst.
+		for e := gi; e < gj; e++ {
+			l := int(c.keys[c.order[e]] % rowWords)
+			wi := searchInts(c.gwords, l)
+			c.elemB[c.order[e]] = c.assign[wi]
+		}
+		gi = gj
+	}
+
+	// Pass 3: bucket elements into per-burst Elems slices carved from one
+	// arena, in ascending input order.
+	c.counts = growInts(c.counts, len(c.bursts))
+	for bi := range c.counts {
+		c.counts[bi] = 0
+	}
+	for e := 0; e < n; e++ {
+		c.counts[c.elemB[e]]++
+	}
+	c.arena = growInts(c.arena, n)
+	off := 0
+	for bi := range c.bursts {
+		c.bursts[bi].Elems = c.arena[off : off : off+c.counts[bi]]
+		off += c.counts[bi]
+	}
+	for e := 0; e < n; e++ {
+		bi := c.elemB[e]
+		c.bursts[bi].Elems = append(c.bursts[bi].Elems, e)
+	}
+	return c.bursts, nil
+}
+
+// markCovered walks the current group's unassigned words against the
+// sorted c.cover set; with bi < 0 it only counts the matches, otherwise
+// it assigns them to burst bi. Returns the match count.
+func (c *Coalescer) markCovered(bi int) int {
+	count, ci := 0, 0
+	for wj := 0; wj < len(c.gwords); wj++ {
+		if c.assign[wj] >= 0 {
+			continue
+		}
+		for ci < len(c.cover) && c.cover[ci] < c.gwords[wj] {
+			ci++
+		}
+		if ci < len(c.cover) && c.cover[ci] == c.gwords[wj] {
+			count++
+			if bi >= 0 {
+				c.assign[wj] = bi
+			}
+		}
+	}
+	return count
+}
+
+// searchInts is sort.SearchInts without the interface indirection.
+func searchInts(s []int, v int) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// growInts64 is growInts for the key buffer.
+func growInts64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+// sortOrder heapsorts c.order by (key, element index): deterministic for
+// any input permutation, in place, no allocation (sort.Slice reflects).
+func (c *Coalescer) sortOrder() {
+	n := len(c.order)
+	for i := n/2 - 1; i >= 0; i-- {
+		c.siftDown(i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		c.order[0], c.order[end] = c.order[end], c.order[0]
+		c.siftDown(0, end)
+	}
+}
+
+func (c *Coalescer) ordLess(a, b int) bool {
+	if c.keys[a] != c.keys[b] {
+		return c.keys[a] < c.keys[b]
+	}
+	return a < b
+}
+
+func (c *Coalescer) siftDown(i, n int) {
+	for {
+		child := 2*i + 1
+		if child >= n {
+			return
+		}
+		if r := child + 1; r < n && c.ordLess(c.order[child], c.order[r]) {
+			child = r
+		}
+		if !c.ordLess(c.order[i], c.order[child]) {
+			return
+		}
+		c.order[i], c.order[child] = c.order[child], c.order[i]
+		i = child
+	}
+}

@@ -1,0 +1,274 @@
+package memctrl
+
+import (
+	"testing"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/gsdram"
+	"gsdram/internal/sim"
+)
+
+// coalGeom is one DRAM organisation the coalescer invariants are checked
+// over. The three cover both GS configurations and a multi-channel map.
+type coalGeom struct {
+	name string
+	spec addrmap.Spec
+	gs   gsdram.Params
+}
+
+var coalGeoms = []coalGeom{
+	{"gs844-1ch", addrmap.Spec{Channels: 1, Ranks: 1, Banks: 8, Rows: 8, Cols: 16, LineBytes: 64}, gsdram.GS844},
+	{"gs422-1ch", addrmap.Spec{Channels: 1, Ranks: 2, Banks: 4, Rows: 8, Cols: 16, LineBytes: 32}, gsdram.GS422},
+	{"gs844-2ch", addrmap.Spec{Channels: 2, Ranks: 1, Banks: 8, Rows: 4, Cols: 8, LineBytes: 64}, gsdram.GS844},
+}
+
+// checkPlan asserts the core coalescing contract for one planned vector:
+// every input element lands in exactly one burst, and that burst's line
+// really covers the element's word — by identity for a default-pattern
+// burst, and by membership of the CTL gather set for a patterned one
+// (the brute-force per-element reference).
+func checkPlan(t *testing.T, g coalGeom, addrs []addrmap.Addr, shuffled bool, alt gsdram.Pattern, bursts []Burst) {
+	t.Helper()
+	seen := make([]int, len(addrs)) // how many bursts claim each element
+	var idx []int
+	for bi, b := range bursts {
+		bloc, err := g.spec.Decompose(b.Line)
+		if err != nil {
+			t.Fatalf("burst %d line %#x: %v", bi, uint64(b.Line), err)
+		}
+		if b.Pattern != 0 {
+			if !shuffled || alt == 0 {
+				t.Fatalf("burst %d patterned (%d) but the vector is not (shuffled=%v alt=%d)", bi, b.Pattern, shuffled, alt)
+			}
+			if b.Pattern != alt {
+				t.Fatalf("burst %d pattern %d, want the page alternate %d", bi, b.Pattern, alt)
+			}
+			idx = g.gs.GatherIndicesInto(b.Pattern, bloc.Col, idx[:0])
+		}
+		if len(b.Elems) == 0 {
+			t.Fatalf("burst %d (%#x patt %d) carries no elements", bi, uint64(b.Line), b.Pattern)
+		}
+		prev := -1
+		for _, e := range b.Elems {
+			if e <= prev {
+				t.Fatalf("burst %d elements not ascending: %v", bi, b.Elems)
+			}
+			prev = e
+			seen[e]++
+			a := addrs[e]
+			eloc, err := g.spec.Decompose(g.spec.LineAddr(a))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eloc.Channel != bloc.Channel || eloc.Rank != bloc.Rank || eloc.Bank != bloc.Bank || eloc.Row != bloc.Row {
+				t.Fatalf("element %d (%#x) assigned across banks/rows to burst %#x", e, uint64(a), uint64(b.Line))
+			}
+			logical := eloc.Col*g.gs.Chips + int(uint64(a)%uint64(g.spec.LineBytes))/8
+			if b.Pattern == 0 {
+				if g.spec.LineAddr(a) != b.Line {
+					t.Fatalf("element %d (%#x) in default burst of a different line %#x", e, uint64(a), uint64(b.Line))
+				}
+			} else {
+				found := false
+				for _, l := range idx {
+					if l == logical {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("element %d (logical %d) not covered by patterned burst col %d patt %d (covers %v)",
+						e, logical, bloc.Col, b.Pattern, idx)
+				}
+			}
+		}
+	}
+	for e, n := range seen {
+		if n != 1 {
+			t.Fatalf("element %d (%#x) served by %d bursts, want exactly 1", e, uint64(addrs[e]), n)
+		}
+	}
+}
+
+// randVector derives a word-aligned address vector from raw fuzz bytes.
+func randVector(g coalGeom, data []byte) []addrmap.Addr {
+	words := g.spec.Capacity() / 8
+	var addrs []addrmap.Addr
+	for i := 0; i+2 < len(data); i += 3 {
+		w := (uint64(data[i])<<16 | uint64(data[i+1])<<8 | uint64(data[i+2])) % words
+		addrs = append(addrs, addrmap.Addr(w*8))
+	}
+	return addrs
+}
+
+// FuzzIndexCoalescing fuzzes index vectors over three DRAM geometries
+// and both page contracts, asserting the burst decomposition touches
+// exactly the requested words exactly once, cross-checked against the
+// per-element brute-force reference in checkPlan.
+func FuzzIndexCoalescing(f *testing.F) {
+	f.Add(uint8(0), uint8(1), []byte{0, 0, 0, 0, 0, 8, 0, 1, 0, 3, 2, 1})
+	f.Add(uint8(1), uint8(3), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add(uint8(2), uint8(7), []byte{0xff, 0xee, 0xdd, 0, 0, 1, 0, 0, 1})
+	f.Add(uint8(0), uint8(0), []byte{9, 9, 9})
+	f.Fuzz(func(t *testing.T, geom uint8, mode uint8, data []byte) {
+		g := coalGeoms[int(geom)%len(coalGeoms)]
+		shuffled := mode&1 == 1
+		alt := gsdram.Pattern(mode >> 1)
+		if alt > g.gs.MaxPattern() {
+			alt = g.gs.MaxPattern()
+		}
+		addrs := randVector(g, data)
+		c := NewCoalescer(g.spec, g.gs)
+		bursts, err := c.Plan(addrs, shuffled, alt)
+		if err != nil {
+			t.Fatalf("Plan: %v", err)
+		}
+		effAlt := gsdram.Pattern(0)
+		if shuffled {
+			effAlt = alt
+		}
+		checkPlan(t, g, addrs, shuffled, effAlt, bursts)
+	})
+}
+
+// TestCoalescingOrderInsensitive checks the data-path property behind
+// the order-insensitivity invariant: permuting the index vector may
+// reorder bursts and change timing, but every element must keep the
+// exact same (line, pattern) service — so the data it reads or writes
+// cannot change.
+func TestCoalescingOrderInsensitive(t *testing.T) {
+	for _, g := range coalGeoms {
+		t.Run(g.name, func(t *testing.T) {
+			rng := sim.NewRand(99)
+			words := int(g.spec.Capacity() / 8)
+			addrs := make([]addrmap.Addr, 64)
+			for i := range addrs {
+				addrs[i] = addrmap.Addr(rng.Intn(words) * 8)
+			}
+			alt := g.gs.MaxPattern()
+			type service struct {
+				line addrmap.Addr
+				patt gsdram.Pattern
+			}
+			serviceOf := func(in []addrmap.Addr) map[addrmap.Addr]service {
+				c := NewCoalescer(g.spec, g.gs)
+				bursts, err := c.Plan(in, true, alt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkPlan(t, g, in, true, alt, bursts)
+				m := make(map[addrmap.Addr]service)
+				for _, b := range bursts {
+					for _, e := range b.Elems {
+						sv := service{line: b.Line, patt: b.Pattern}
+						if prev, ok := m[in[e]]; ok && prev != sv {
+							t.Fatalf("duplicate address %#x served by two bursts", uint64(in[e]))
+						}
+						m[in[e]] = sv
+					}
+				}
+				return m
+			}
+			base := serviceOf(addrs)
+			for trial := 0; trial < 8; trial++ {
+				perm := rng.Perm(len(addrs))
+				shuffledV := make([]addrmap.Addr, len(addrs))
+				for i, p := range perm {
+					shuffledV[i] = addrs[p]
+				}
+				got := serviceOf(shuffledV)
+				if len(got) != len(base) {
+					t.Fatalf("trial %d: %d distinct services, want %d", trial, len(got), len(base))
+				}
+				for a, b := range base {
+					if got[a] != b {
+						t.Fatalf("trial %d: address %#x served by %+v, want %+v", trial, uint64(a), got[a], b)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCoalescerPicksPatternedBursts pins the headline behaviour: a
+// stride-Chips field walk over a shuffled page coalesces into patterned
+// bursts (one line per Chips elements), while the same vector on an
+// unshuffled page pays one default line per element — the fallback cost
+// model the speedup claims rest on.
+func TestCoalescerPicksPatternedBursts(t *testing.T) {
+	g := coalGeoms[0] // GS-DRAM(8,3,3)
+	c := NewCoalescer(g.spec, g.gs)
+	var addrs []addrmap.Addr
+	for i := 0; i < 16; i++ {
+		addrs = append(addrs, addrmap.Addr(i*g.spec.LineBytes+3*8)) // field 3 of 16 tuples
+	}
+	bursts, err := c.Plan(addrs, true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlan(t, g, addrs, true, 7, bursts)
+	if len(bursts) != 2 {
+		t.Fatalf("shuffled stride-8 walk took %d bursts, want 2 patterned", len(bursts))
+	}
+	for _, b := range bursts {
+		if b.Pattern != 7 || len(b.Elems) != g.gs.Chips {
+			t.Fatalf("burst %+v, want pattern 7 with %d elements", b, g.gs.Chips)
+		}
+	}
+	bursts, err = c.Plan(addrs, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlan(t, g, addrs, false, 0, bursts)
+	if len(bursts) != len(addrs) {
+		t.Fatalf("fallback walk took %d bursts, want %d (one default line per element)", len(bursts), len(addrs))
+	}
+}
+
+// TestCoalescerPlanZeroAllocs pins the 0-alloc invariant of the
+// steady-state coalesced hot path.
+func TestCoalescerPlanZeroAllocs(t *testing.T) {
+	g := coalGeoms[0]
+	c := NewCoalescer(g.spec, g.gs)
+	rng := sim.NewRand(7)
+	words := int(g.spec.Capacity() / 8)
+	addrs := make([]addrmap.Addr, 128)
+	for i := range addrs {
+		addrs[i] = addrmap.Addr(rng.Intn(words) * 8)
+	}
+	if _, err := c.Plan(addrs, true, 7); err != nil { // warm the buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := c.Plan(addrs, true, 7); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Plan allocates %v times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkCoalescerPlan measures the coalescer on a mixed vector:
+// half coalescible stride-8 walk, half random indices.
+func BenchmarkCoalescerPlan(b *testing.B) {
+	g := coalGeoms[0]
+	c := NewCoalescer(g.spec, g.gs)
+	rng := sim.NewRand(11)
+	words := int(g.spec.Capacity() / 8)
+	addrs := make([]addrmap.Addr, 256)
+	for i := range addrs {
+		if i%2 == 0 {
+			addrs[i] = addrmap.Addr((i / 2 * g.spec.LineBytes) + 5*8)
+		} else {
+			addrs[i] = addrmap.Addr(rng.Intn(words) * 8)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Plan(addrs, true, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -246,6 +246,9 @@ func New(cfg Config, q *sim.EventQueue) (*Controller, error) {
 			id:     i,
 			timing: scaled,
 		}
+		// One persistent bound closure: rescheduling the channel on every
+		// command would otherwise allocate a method value per wake.
+		ch.runFn = ch.run
 		for r := 0; r < cfg.Spec.Ranks; r++ {
 			ch.ranks = append(ch.ranks, dram.NewRank(cfg.Spec.Banks, scaled, sim.Cycle(cfg.ClockRatio)))
 		}
@@ -408,7 +411,8 @@ type channel struct {
 	nextRefresh sim.Cycle
 	refreshing  bool
 
-	wake *sim.Event
+	wake  *sim.Event
+	runFn func(now sim.Cycle)
 
 	// Background-energy integration: CPU cycles during which at least one
 	// bank in the channel had an open row.
@@ -424,7 +428,7 @@ func (ch *channel) kick(at sim.Cycle) {
 	if ch.wake != nil {
 		ch.ctrl.q.Cancel(ch.wake)
 	}
-	ch.wake = ch.ctrl.q.Schedule(at, ch.run)
+	ch.wake = ch.ctrl.q.Schedule(at, ch.runFn)
 }
 
 // accountActive integrates open-bank time up to now.
@@ -467,7 +471,7 @@ func (ch *channel) run(now sim.Cycle) {
 
 	next, ok := ch.nextInterest(now)
 	if ok {
-		ch.wake = ch.ctrl.q.Schedule(next, ch.run)
+		ch.wake = ch.ctrl.q.Schedule(next, ch.runFn)
 	}
 }
 

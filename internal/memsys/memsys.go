@@ -163,6 +163,14 @@ type Stats struct {
 	CrossCoreProbe uint64 // dirty lines pulled from another core's L1
 	PrefIssued     uint64
 	PrefUseful     uint64 // demand hits on prefetched L2 lines
+
+	// Indexed-access (gatherv/scatterv) counters; see AccessV.
+	GathervOps       uint64 // indexed gathers executed
+	ScattervOps      uint64 // indexed scatters executed
+	GathervElems     uint64 // total elements across indexed ops
+	GathervBursts    uint64 // DRAM bursts issued for indexed ops
+	GathervPatterned uint64 // bursts served by an in-DRAM pattern gather
+	GathervFallback  uint64 // default-pattern fallback bursts
 }
 
 // counters is the live counter storage (see internal/metrics).
@@ -181,6 +189,13 @@ type counters struct {
 	CrossCoreProbe metrics.Counter
 	PrefIssued     metrics.Counter
 	PrefUseful     metrics.Counter
+
+	GathervOps       metrics.Counter
+	ScattervOps      metrics.Counter
+	GathervElems     metrics.Counter
+	GathervBursts    metrics.Counter
+	GathervPatterned metrics.Counter
+	GathervFallback  metrics.Counter
 
 	// MSHROccupancy is the distribution of outstanding-miss counts,
 	// observed each time a new MSHR entry is allocated.
@@ -246,6 +261,12 @@ type System struct {
 	// mshrFree recycles mshrEntry structs (and their waiter slices) so the
 	// steady-state miss path does not allocate.
 	mshrFree []*mshrEntry
+
+	// coal plans indexed (gatherv/scatterv) vectors into per-bank/per-row
+	// bursts; vopFree recycles the in-flight indexed-op trackers so the
+	// coalesced hot path does not allocate (see vaccess.go).
+	coal    *memctrl.Coalescer
+	vopFree []*vop
 	// prefetchedLines marks L2 lines whose last fill came from a prefetch,
 	// for usefulness accounting.
 	prefetchedLines map[mshrKey]bool
@@ -310,6 +331,7 @@ func New(cfg Config, q *sim.EventQueue) (*System, error) {
 		return nil, err
 	}
 	s.ctrl = ctrl
+	s.coal = memctrl.NewCoalescer(cfg.Mem.Spec, cfg.GS)
 	s.pf = prefetch.New(cfg.Prefetch)
 	s.auto = autopatt.New(cfg.AutoPatt)
 	s.caches = append(append(s.caches, s.l1...), s.l2)
@@ -375,6 +397,13 @@ func (s *System) Stats() Stats {
 		CrossCoreProbe: s.ctr.CrossCoreProbe.Value(),
 		PrefIssued:     s.ctr.PrefIssued.Value(),
 		PrefUseful:     s.ctr.PrefUseful.Value(),
+
+		GathervOps:       s.ctr.GathervOps.Value(),
+		ScattervOps:      s.ctr.ScattervOps.Value(),
+		GathervElems:     s.ctr.GathervElems.Value(),
+		GathervBursts:    s.ctr.GathervBursts.Value(),
+		GathervPatterned: s.ctr.GathervPatterned.Value(),
+		GathervFallback:  s.ctr.GathervFallback.Value(),
 	}
 }
 
@@ -398,6 +427,12 @@ func (s *System) registerMetrics(reg *metrics.Registry) {
 	reg.RegisterCounter("memsys.cross_core_probes", &s.ctr.CrossCoreProbe)
 	reg.RegisterCounter("memsys.prefetches_issued", &s.ctr.PrefIssued)
 	reg.RegisterCounter("memsys.prefetches_useful", &s.ctr.PrefUseful)
+	reg.RegisterCounter("memsys.gatherv_ops", &s.ctr.GathervOps)
+	reg.RegisterCounter("memsys.scatterv_ops", &s.ctr.ScattervOps)
+	reg.RegisterCounter("memsys.gatherv_elems", &s.ctr.GathervElems)
+	reg.RegisterCounter("memsys.gatherv_bursts", &s.ctr.GathervBursts)
+	reg.RegisterCounter("memsys.gatherv_patterned", &s.ctr.GathervPatterned)
+	reg.RegisterCounter("memsys.gatherv_fallback", &s.ctr.GathervFallback)
 	reg.RegisterHistogram("memsys.mshr_occupancy", &s.ctr.MSHROccupancy)
 	reg.RegisterGaugeFunc("memsys.mshr_outstanding", func() int64 { return int64(len(s.mshrs)) })
 	for i, l1 := range s.l1 {

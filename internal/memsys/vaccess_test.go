@@ -1,0 +1,111 @@
+package memsys
+
+import (
+	"testing"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/sim"
+)
+
+// vaccess schedules an indexed memory operation at time `at` and returns
+// the completion time holder, mirroring harness.access.
+func (h *harness) vaccess(at sim.Cycle, a VAccess) *sim.Cycle {
+	done := new(sim.Cycle)
+	h.q.Schedule(at, func(now sim.Cycle) {
+		onDone := func(t sim.Cycle) { *done = t }
+		if t, hit := h.s.AccessV(now, a, onDone); hit {
+			h.q.Schedule(t, onDone)
+		}
+	})
+	return done
+}
+
+// fieldWalk returns the stride-LineBytes element vector of field `f`
+// across `n` consecutive records — the access shape the in-DRAM pattern
+// gather was built for.
+func fieldWalk(n, f int) []addrmap.Addr {
+	addrs := make([]addrmap.Addr, n)
+	for i := range addrs {
+		addrs[i] = addrmap.Addr(i*64 + f*8)
+	}
+	return addrs
+}
+
+// TestAccessVGatherBlocksScatterPosts pins the memsys-level contract:
+// a gather completes asynchronously like a miss (plus the shuffle
+// latency on shuffled pages), while a scatter is posted and only costs
+// the L1 dispatch slot.
+func TestAccessVGatherBlocksScatterPosts(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	g := h.vaccess(0, VAccess{Core: 0, Addrs: fieldWalk(8, 3), Shuffled: true, AltPattern: 7})
+	s := h.vaccess(100000, VAccess{Core: 0, Addrs: fieldWalk(8, 3), Write: true, Shuffled: true, AltPattern: 7})
+	h.q.Run()
+	// One patterned burst: L1 (3) + L2 (18) + ACT+RD+burst (130) + shuffle (3).
+	if want := sim.Cycle(3 + 18 + 130 + 3); *g != want {
+		t.Errorf("patterned gather completed at %d, want %d", *g, want)
+	}
+	if want := sim.Cycle(100000 + 3); *s != want {
+		t.Errorf("posted scatter completed at %d, want %d", *s, want)
+	}
+	st := h.s.Stats()
+	if st.GathervOps != 1 || st.ScattervOps != 1 || st.GathervElems != 16 {
+		t.Errorf("op counters = %+v", st)
+	}
+	if st.GathervBursts != 2 || st.GathervPatterned != 2 || st.GathervFallback != 0 {
+		t.Errorf("burst counters = %+v", st)
+	}
+}
+
+// TestAccessVSteadyStateZeroAllocs pins the 0-alloc invariant of the
+// coalesced indexed hot path end to end through the memory system: the
+// vop pool, the coalescer arena, the controller's request pool and the
+// event queue must all recycle, for patterned and fallback burst mixes
+// alike.
+func TestAccessVSteadyStateZeroAllocs(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	patterned := VAccess{Core: 0, Addrs: fieldWalk(64, 3), Shuffled: true, AltPattern: 7}
+	rng := sim.NewRand(13)
+	unstructured := VAccess{Core: 0, Addrs: make([]addrmap.Addr, 64)}
+	for i := range unstructured.Addrs {
+		unstructured.Addrs[i] = addrmap.Addr(rng.Intn(1 << 16) * 8)
+	}
+	scatter := patterned
+	scatter.Write = true
+
+	onDone := func(sim.Cycle) {}
+	issue := func(now sim.Cycle) {
+		s := h.s
+		s.AccessV(now, patterned, onDone)
+		s.AccessV(now, unstructured, onDone)
+		s.AccessV(now, scatter, onDone)
+	}
+	run := func() {
+		h.q.Schedule(h.q.Now()+100000, issue)
+		h.q.Run()
+	}
+	for i := 0; i < 3; i++ {
+		run() // settle the pools and the arena capacities
+	}
+	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+		t.Fatalf("steady-state AccessV allocates %v times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkAccessVGather measures one coalesced 64-element patterned
+// gather through the full memory system, event queue included.
+func BenchmarkAccessVGather(b *testing.B) {
+	q := &sim.EventQueue{}
+	s, err := New(DefaultConfig(1), q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := VAccess{Core: 0, Addrs: fieldWalk(64, 3), Shuffled: true, AltPattern: 7}
+	onDone := func(sim.Cycle) {}
+	issue := func(now sim.Cycle) { s.AccessV(now, a, onDone) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Schedule(q.Now()+100000, issue)
+		q.Run()
+	}
+}

@@ -1,0 +1,162 @@
+package refmodel
+
+import (
+	"testing"
+
+	"gsdram/internal/addrmap"
+	"gsdram/internal/gsdram"
+)
+
+// TestIndexedGatherWorkedExamples walks literal index vectors over
+// populated memory in the §3.2/§3.3 worked-example style: each case
+// names the words it asks for, and the golden gatherv must return
+// exactly their values, independent of order, duplicates, or whether
+// the region is stored shuffled.
+func TestIndexedGatherWorkedExamples(t *testing.T) {
+	cases := []struct {
+		name     string
+		spec     addrmap.Spec
+		gs       gsdram.Params
+		shuffled bool
+		alt      gsdram.Pattern
+		words    []int // word indices (byte address / 8)
+	}{
+		// GS-DRAM(4,2,2): stride-4 field walk, the indexed analogue of
+		// Figure 7's pattern-3 gather (words 0,4,8,12 of row 0).
+		{"gs422/stride4/shuffled", spec422, gsdram.GS422, true, 3, []int{0, 4, 8, 12}},
+		{"gs422/stride4/flat", spec422, gsdram.GS422, false, 0, []int{0, 4, 8, 12}},
+		// Unsorted with duplicates: dst[i] must still be the word at
+		// addrs[i], like a serial per-element walk.
+		{"gs422/scrambled", spec422, gsdram.GS422, true, 1, []int{7, 0, 7, 13, 2}},
+		// GS-DRAM(8,3,3): one field of eight tuples (§4.2's DB example,
+		// expressed as explicit indices instead of a pattload).
+		{"gs844/field-of-8-tuples", spec844, gsdram.GS844, true, 7, []int{3, 11, 19, 27, 35, 43, 51, 59}},
+		{"gs844/random", spec844, gsdram.GS844, true, 7, []int{63, 1, 40, 40, 22, 5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := newModel(t, tc.spec, tc.gs, 1)
+			if err := m.SetRegion(0, PageSize, Page{Shuffled: tc.shuffled, Alt: tc.alt}); err != nil {
+				t.Fatal(err)
+			}
+			for b := 0; b < tc.spec.LineBytes*tc.spec.Cols; b += 8 {
+				m.InitWord(addrmap.Addr(b), valueAt(addrmap.Addr(b)))
+			}
+			addrs := make([]addrmap.Addr, len(tc.words))
+			for i, w := range tc.words {
+				addrs[i] = addrmap.Addr(w * 8)
+			}
+			dst := make([]uint64, len(addrs))
+			if err := m.GatherV(addrs, dst); err != nil {
+				t.Fatal(err)
+			}
+			for i, a := range addrs {
+				if dst[i] != valueAt(a) {
+					t.Errorf("dst[%d] (word %d) = %#x, want %#x", i, tc.words[i], dst[i], valueAt(a))
+				}
+			}
+		})
+	}
+}
+
+// TestIndexedScatterRoundTrip checks scatter-then-gather identity and
+// vector-order resolution of duplicate indices.
+func TestIndexedScatterRoundTrip(t *testing.T) {
+	m := newModel(t, spec422, gsdram.GS422, 1)
+	if err := m.SetRegion(0, PageSize, Page{Shuffled: true, Alt: 3}); err != nil {
+		t.Fatal(err)
+	}
+	addrs := []addrmap.Addr{8, 40, 40, 0}
+	vals := []uint64{100, 200, 201, 300}
+	if err := m.ScatterV(addrs, vals); err != nil {
+		t.Fatal(err)
+	}
+	want := map[addrmap.Addr]uint64{8: 100, 40: 201, 0: 300} // last write wins at 40
+	for a, w := range want {
+		dst := make([]uint64, 1)
+		if err := m.GatherV([]addrmap.Addr{a}, dst); err != nil {
+			t.Fatal(err)
+		}
+		if dst[0] != w {
+			t.Errorf("word at %#x = %d, want %d", uint64(a), dst[0], w)
+		}
+	}
+}
+
+// TestIndexedCoherenceWithScalarPath checks the §4.1 extension against
+// the cached scalar path: a gatherv must observe dirty cached data (the
+// flush rule) and a scatterv must invalidate cached copies so later
+// scalar loads observe the scattered data (the invalidate rule).
+func TestIndexedCoherenceWithScalarPath(t *testing.T) {
+	m := newModel(t, spec422, gsdram.GS422, 1)
+	if err := m.SetRegion(0, PageSize, Page{Shuffled: true, Alt: 3}); err != nil {
+		t.Fatal(err)
+	}
+	const a = addrmap.Addr(16)
+	if err := m.StoreWord(0, a, 111); err != nil { // dirty in L1, mem still 0
+		t.Fatal(err)
+	}
+	dst := make([]uint64, 1)
+	if err := m.GatherV([]addrmap.Addr{a}, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 111 {
+		t.Fatalf("gatherv after dirty store = %d, want 111 (flush rule)", dst[0])
+	}
+	if e := m.l1[0].probe(m.lineOf(a), 0); e == nil || e.dirty {
+		t.Fatalf("line after gatherv flush: entry=%v, want resident and clean", e)
+	}
+
+	if err := m.ScatterV([]addrmap.Addr{a}, []uint64{222}); err != nil {
+		t.Fatal(err)
+	}
+	if e := m.l1[0].probe(m.lineOf(a), 0); e != nil {
+		t.Fatal("default line still cached after scatterv (invalidate rule)")
+	}
+	got, err := m.LoadWord(0, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 222 {
+		t.Fatalf("scalar load after scatterv = %d, want 222", got)
+	}
+}
+
+// TestIndexedCoherenceWithPatternedLines checks the alternate-pattern
+// side of the walk: dirty data living in a gathered (non-default
+// pattern) line must be visible to a gatherv, and a scatterv must drop
+// that gathered line so a later pattload re-gathers current memory.
+func TestIndexedCoherenceWithPatternedLines(t *testing.T) {
+	m := newModel(t, spec422, gsdram.GS422, 1)
+	if err := m.SetRegion(0, PageSize, Page{Shuffled: true, Alt: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// The pattern-3 line at column 0 gathers logical words {0,4,8,12}
+	// (Figure 7); dirty it with a pattstore.
+	line := addrmap.Addr(0)
+	if err := m.StoreLine(0, line, 3, []uint64{10, 44, 88, 122}); err != nil {
+		t.Fatal(err)
+	}
+	// Word 4 (byte 32) lives only in that dirty patterned line.
+	dst := make([]uint64, 1)
+	if err := m.GatherV([]addrmap.Addr{32}, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 44 {
+		t.Fatalf("gatherv of pattstored word = %d, want 44 (alt-line flush)", dst[0])
+	}
+
+	if err := m.ScatterV([]addrmap.Addr{32}, []uint64{4444}); err != nil {
+		t.Fatal(err)
+	}
+	if e := m.l1[0].probe(line, 3); e != nil {
+		t.Fatal("patterned line still cached after scatterv to a covered word")
+	}
+	got := make([]uint64, 4)
+	if _, err := m.LoadLine(0, line, 3, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 4444 {
+		t.Fatalf("pattload after scatterv = %v, want word 4 == 4444", got)
+	}
+}

@@ -151,6 +151,48 @@ var registry = []entry{
 		ts := []*stats.Table{t, t2}
 		return ts, nil, ts, nil
 	}},
+	{"hashjoin", func(_ *Spec, opts bench.Options) (any, any, []*stats.Table, error) {
+		r, err := bench.RunHashJoin(opts)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return r, indexedSummary(r), []*stats.Table{r.Table()}, nil
+	}},
+	{"spmv", func(_ *Spec, opts bench.Options) (any, any, []*stats.Table, error) {
+		r, err := bench.RunSpMV(opts)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return r, indexedSummary(r), []*stats.Table{r.Table()}, nil
+	}},
+	{"ptrchase", func(s *Spec, opts bench.Options) (any, any, []*stats.Table, error) {
+		r, err := bench.RunPtrChase(s.Vertices, s.Degree, opts)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return r, indexedSummary(r), []*stats.Table{r.Table()}, nil
+	}},
+}
+
+// indexedSummary condenses an indexed-workload result into per-variant
+// cycles, the headline gatherv speedup over the non-coalesced scalar
+// fallback, and the burst mix showing how much of the win came from
+// in-DRAM pattern gathers.
+func indexedSummary(r *bench.IndexedResult) any {
+	patterned := 0.0
+	if r.Bursts[2] > 0 {
+		patterned = float64(r.Patterned[2]) / float64(r.Bursts[2])
+	}
+	return map[string]any{
+		"cycles": map[string]uint64{
+			"scalar":       r.Cycles[0],
+			"gatherv_flat": r.Cycles[1],
+			"gatherv_gs":   r.Cycles[2],
+		},
+		"speedup_gatherv_vs_fallback": ratio(float64(r.Cycles[0]), float64(r.Cycles[2])),
+		"speedup_gs_vs_flat":          ratio(float64(r.Cycles[1]), float64(r.Cycles[2])),
+		"patterned_burst_fraction":    patterned,
+	}
 }
 
 // Names lists the registry in execution order.

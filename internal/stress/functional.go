@@ -126,6 +126,24 @@ func replayModel(p Program, model *refmodel.Model, bases []addrmap.Addr, res *Re
 			if err := model.StoreLine(op.Core, addr, p.Pattern(op), lineVals(chips, op.Val)); err != nil {
 				return nil, err
 			}
+		case OpGatherV:
+			addrs := idxAddrs(addr, op.Idx)
+			ref := make([]uint64, len(addrs))
+			if err := model.GatherV(addrs, ref); err != nil {
+				return nil, err
+			}
+			for j := range addrs {
+				if ref[j] != rec.Vals[j] {
+					return &Divergence{Kind: "load-value", Op: i, Detail: fmt.Sprintf(
+						"gatherv pos %d (word %#x): sim %#x, model %#x",
+						j, uint64(addrs[j]), rec.Vals[j], ref[j])}, nil
+				}
+			}
+		case OpScatterV:
+			addrs := idxAddrs(addr, op.Idx)
+			if err := model.ScatterV(addrs, scatterVals(len(addrs), op.Val)); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return nil, nil
@@ -205,15 +223,41 @@ func RunFunctional(p Program) (*Result, uint64, error) {
 			if err := mach.WriteLine(addr, patt, lineVals(p.GS.Chips, op.Val)); err != nil {
 				return nil, 0, fmt.Errorf("op %d (%s %#x): %w", gi, op.Kind, uint64(addr), err)
 			}
+		case OpGatherV:
+			addrs := idxAddrs(addr, op.Idx)
+			dst := make([]uint64, len(addrs))
+			if err := mach.GatherV(addrs, dst); err != nil {
+				return nil, 0, fmt.Errorf("op %d (%s %#x): %w", gi, op.Kind, uint64(addr), err)
+			}
+			rec.Vals = dst
+		case OpScatterV:
+			addrs := idxAddrs(addr, op.Idx)
+			if err := mach.ScatterV(addrs, scatterVals(len(addrs), op.Val)); err != nil {
+				return nil, 0, fmt.Errorf("op %d (%s %#x): %w", gi, op.Kind, uint64(addr), err)
+			}
 		}
 		if op.Gap > 0 {
 			f.Exec(op.Core, cpu.Compute(op.Gap))
+		}
+		fl := mach.AS.Flags(addr)
+		if op.Kind == OpGatherV || op.Kind == OpScatterV {
+			kind := cpu.OpGatherV
+			if op.Kind == OpScatterV {
+				kind = cpu.OpScatterV
+			}
+			f.Exec(op.Core, cpu.Op{
+				Kind:       kind,
+				Addrs:      idxAddrs(addr, op.Idx),
+				Shuffled:   fl.Shuffled,
+				AltPattern: fl.AltPattern,
+				PC:         uint64(gi),
+			})
+			continue
 		}
 		kind := cpu.OpLoad
 		if op.Kind == OpStore || op.Kind == OpPattStore {
 			kind = cpu.OpStore
 		}
-		fl := mach.AS.Flags(addr)
 		f.Exec(op.Core, cpu.Op{
 			Kind:       kind,
 			Addr:       addr,

@@ -39,6 +39,12 @@ const (
 	// OpPattStore is a pattstore: scatter one line with the region's
 	// alternate pattern.
 	OpPattStore
+	// OpGatherV is an indexed gather: read the words at an explicit index
+	// vector (Op.Idx) in one operation.
+	OpGatherV
+	// OpScatterV is an indexed scatter: the store counterpart of
+	// OpGatherV.
+	OpScatterV
 )
 
 func (k OpKind) String() string {
@@ -51,6 +57,10 @@ func (k OpKind) String() string {
 		return "pattload"
 	case OpPattStore:
 		return "pattstore"
+	case OpGatherV:
+		return "gatherv"
+	case OpScatterV:
+		return "scatterv"
 	default:
 		return fmt.Sprintf("op(%d)", int(k))
 	}
@@ -73,6 +83,7 @@ type Op struct {
 	Off    int    // byte offset within the region (word- or line-aligned)
 	Val    uint64 // store value seed (stores only)
 	Gap    int    // compute cycles preceding the op (interleaving variety)
+	Idx    []int  // OpGatherV/OpScatterV: word offsets within the region
 }
 
 // Program is a complete generated test case.
@@ -85,10 +96,27 @@ type Program struct {
 	Ops     []Op
 }
 
+// GenConfig selects optional op classes for generation. The zero value
+// reproduces the historical generator exactly (seed-for-seed), which the
+// golden-program test pins.
+type GenConfig struct {
+	// Indexed enables gatherv/scatterv ops: larger regions (so index
+	// vectors can reach several banks and rows) and, per op, a one-in-three
+	// chance of an indexed access with a randomly chosen vector flavour.
+	Indexed bool
+}
+
 // Generate builds the random program for a seed. Equal seeds generate
 // equal programs on every platform (the generator draws exclusively from
 // the repo's own xorshift PRNG).
 func Generate(seed uint64) Program {
+	return GenerateWith(seed, GenConfig{})
+}
+
+// GenerateWith is Generate with explicit op-class configuration. Every
+// extra draw is gated behind the enabling flag, so the zero config stays
+// byte-identical with historical programs for every seed.
+func GenerateWith(seed uint64, cfg GenConfig) Program {
 	r := sim.NewRand(seed)
 	p := Program{Seed: seed}
 
@@ -114,6 +142,13 @@ func Generate(seed uint64) Program {
 		n := 1 + r.Intn(2)
 		for i := 0; i < n; i++ {
 			reg := Region{Pages: 1 + r.Intn(2), Core: core}
+			if cfg.Indexed {
+				// Indexed vectors want room: up to 9 pages reaches several
+				// banks (4 KB per bank step on the 1-channel map) and, past
+				// 8 banks, a second row of bank 0 — the adversarial
+				// same-bank-different-row conflict.
+				reg.Pages = 1 + r.Intn(9)
+			}
 			if r.Intn(4) != 0 { // 3/4 shuffled
 				reg.Alt = gsdram.Pattern(1 + r.Uint64n(uint64(p.GS.MaxPattern())))
 			}
@@ -135,6 +170,18 @@ func Generate(seed uint64) Program {
 		reg := p.Regions[ri]
 		size := reg.Pages * refmodel.PageSize
 		op := Op{Core: core, Region: ri, Gap: r.Intn(4)}
+		if cfg.Indexed && r.Intn(3) == 0 {
+			op.Kind = OpGatherV
+			if r.Intn(2) == 0 {
+				op.Kind = OpScatterV
+			}
+			op.Idx = indexVector(r, &p, size)
+			if op.Kind == OpScatterV {
+				op.Val = r.Uint64()
+			}
+			p.Ops = append(p.Ops, op)
+			continue
+		}
 		if reg.Alt == 0 {
 			op.Kind = OpKind(r.Intn(2)) // load/store only
 		} else {
@@ -152,6 +199,69 @@ func Generate(seed uint64) Program {
 		p.Ops = append(p.Ops, op)
 	}
 	return p
+}
+
+// indexVector draws one index vector (word offsets within a region of
+// `size` bytes) of a random flavour: uniform random, sorted,
+// duplicate-heavy, pattern-strided (coalescible on shuffled pages), or
+// adversarially bank/row-conflicting.
+func indexVector(r *sim.Rand, p *Program, size int) []int {
+	words := size / 8
+	n := 2 + r.Intn(23)
+	if n > words {
+		n = words
+	}
+	idx := make([]int, n)
+	switch r.Intn(5) {
+	case 0: // uniform random
+		for i := range idx {
+			idx[i] = r.Intn(words)
+		}
+	case 1: // sorted ascending — maximal run lengths for the coalescer
+		for i := range idx {
+			idx[i] = r.Intn(words)
+		}
+		sortInts(idx)
+	case 2: // duplicate-heavy: sample from a pool of at most 4 words
+		pool := [4]int{r.Intn(words), r.Intn(words), r.Intn(words), r.Intn(words)}
+		for i := range idx {
+			idx[i] = pool[r.Intn(len(pool))]
+		}
+	case 3: // stride-Chips field walk — the gatherable case (§4.2)
+		stride := p.GS.Chips
+		span := (n - 1) * stride
+		start := 0
+		if words > span {
+			start = r.Intn(words - span)
+		}
+		for i := range idx {
+			idx[i] = (start + i*stride) % words
+		}
+	case 4: // bank/row conflict: alternate two far-apart congruent words
+		strideW := p.Spec.LineBytes * p.Spec.Channels * p.Spec.Cols * p.Spec.Ranks / 8 // one bank step
+		if rowW := strideW * p.Spec.Banks; words > rowW {
+			strideW = rowW // big region: same bank, adjacent rows
+		}
+		a := r.Intn(words)
+		b := (a + strideW) % words
+		for i := range idx {
+			if i%2 == 0 {
+				idx[i] = a
+			} else {
+				idx[i] = b
+			}
+		}
+	}
+	return idx
+}
+
+// sortInts is insertion sort: deterministic, and the vectors are tiny.
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }
 
 // Pattern returns the pattern ID an op accesses with: the region's
@@ -178,8 +288,12 @@ func (p Program) String() string {
 		fmt.Fprintf(&b, "  region %d: core %d, %d page(s), %s\n", i, reg.Core, reg.Pages, kind)
 	}
 	for i, op := range p.Ops {
-		fmt.Fprintf(&b, "  op %3d: core %d %-9s region %d off %#x", i, op.Core, op.Kind, op.Region, op.Off)
-		if op.Kind == OpStore || op.Kind == OpPattStore {
+		if op.Kind == OpGatherV || op.Kind == OpScatterV {
+			fmt.Fprintf(&b, "  op %3d: core %d %-9s region %d idx %v", i, op.Core, op.Kind, op.Region, op.Idx)
+		} else {
+			fmt.Fprintf(&b, "  op %3d: core %d %-9s region %d off %#x", i, op.Core, op.Kind, op.Region, op.Off)
+		}
+		if op.Kind == OpStore || op.Kind == OpPattStore || op.Kind == OpScatterV {
 			fmt.Fprintf(&b, " val %#x", op.Val)
 		}
 		b.WriteByte('\n')

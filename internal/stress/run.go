@@ -24,6 +24,10 @@ const (
 	// line in an odd column of a shuffled page, the first two gathered
 	// words are swapped before recording.
 	InjectShuffleSwap
+	// InjectIndexPerm models an index-translation bug in the coalescer:
+	// every gatherv of two or more elements returns its first two values
+	// permuted.
+	InjectIndexPerm
 )
 
 // Options configures one differential run.
@@ -79,6 +83,26 @@ func popValue(seed uint64, a addrmap.Addr) uint64 {
 // identically on both sides.
 func lineVals(chips int, seed uint64) []uint64 {
 	vals := make([]uint64, chips)
+	for i := range vals {
+		vals[i] = popValue(seed, addrmap.Addr(i))
+	}
+	return vals
+}
+
+// idxAddrs materialises an indexed op's element addresses: region base
+// plus each word offset.
+func idxAddrs(base addrmap.Addr, idx []int) []addrmap.Addr {
+	addrs := make([]addrmap.Addr, len(idx))
+	for i, w := range idx {
+		addrs[i] = base + addrmap.Addr(w*8)
+	}
+	return addrs
+}
+
+// scatterVals derives the words of a scatterv from the op's value seed,
+// identically on both sides (position-keyed, like lineVals).
+func scatterVals(n int, seed uint64) []uint64 {
+	vals := make([]uint64, n)
 	for i := range vals {
 		vals[i] = popValue(seed, addrmap.Addr(i))
 	}
@@ -251,20 +275,50 @@ func (p *Program) stream(opIdx []int, bases []addrmap.Addr, mach *machine.Machin
 			if err := mach.WriteLine(addr, patt, lineVals(p.GS.Chips, op.Val)); err != nil {
 				return fail(err)
 			}
+		case OpGatherV:
+			addrs := idxAddrs(addr, op.Idx)
+			dst := make([]uint64, len(addrs))
+			if err := mach.GatherV(addrs, dst); err != nil {
+				return fail(err)
+			}
+			rec.Vals = dst
+			if opts.Inject == InjectIndexPerm && len(rec.Vals) >= 2 {
+				rec.Vals[0], rec.Vals[1] = rec.Vals[1], rec.Vals[0]
+			}
+		case OpScatterV:
+			addrs := idxAddrs(addr, op.Idx)
+			if err := mach.ScatterV(addrs, scatterVals(len(addrs), op.Val)); err != nil {
+				return fail(err)
+			}
 		}
 
 		fl := mach.AS.Flags(addr)
-		kind := cpu.OpLoad
-		if op.Kind == OpStore || op.Kind == OpPattStore {
-			kind = cpu.OpStore
-		}
-		mop := cpu.Op{
-			Kind:       kind,
-			Addr:       addr,
-			Pattern:    patt,
-			Shuffled:   fl.Shuffled,
-			AltPattern: fl.AltPattern,
-			PC:         uint64(gi),
+		var mop cpu.Op
+		if op.Kind == OpGatherV || op.Kind == OpScatterV {
+			kind := cpu.OpGatherV
+			if op.Kind == OpScatterV {
+				kind = cpu.OpScatterV
+			}
+			mop = cpu.Op{
+				Kind:       kind,
+				Addrs:      idxAddrs(addr, op.Idx),
+				Shuffled:   fl.Shuffled,
+				AltPattern: fl.AltPattern,
+				PC:         uint64(gi),
+			}
+		} else {
+			kind := cpu.OpLoad
+			if op.Kind == OpStore || op.Kind == OpPattStore {
+				kind = cpu.OpStore
+			}
+			mop = cpu.Op{
+				Kind:       kind,
+				Addr:       addr,
+				Pattern:    patt,
+				Shuffled:   fl.Shuffled,
+				AltPattern: fl.AltPattern,
+				PC:         uint64(gi),
+			}
 		}
 		if op.Gap > 0 {
 			pending = &mop

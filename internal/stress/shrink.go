@@ -62,6 +62,26 @@ func Shrink(p Program, check CheckFunc) (Program, *Divergence) {
 		}
 	}
 
+	// Shrink indexed vectors: for each surviving gatherv/scatterv, drop
+	// index elements one at a time while the divergence persists, so the
+	// reproducer shows the minimal vector that still triggers the bug.
+	for oi := 0; oi < len(best.Ops); oi++ {
+		if len(best.Ops[oi].Idx) == 0 {
+			continue
+		}
+		for ei := 0; ei < len(best.Ops[oi].Idx) && len(best.Ops[oi].Idx) > 1; {
+			cand := best
+			cand.Ops = append([]Op(nil), best.Ops...)
+			idx := best.Ops[oi].Idx
+			cand.Ops[oi].Idx = append(append([]int(nil), idx[:ei]...), idx[ei+1:]...)
+			if d := check(cand); d != nil {
+				best, div = cand, d
+				continue // same ei now addresses the next element
+			}
+			ei++
+		}
+	}
+
 	// Drop regions no remaining op references. Removing a region shifts
 	// the bump-allocated bases of those after it, so each drop is
 	// re-verified like any other candidate.

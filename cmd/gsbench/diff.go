@@ -9,26 +9,35 @@ import (
 	"sort"
 	"strconv"
 
+	"gsdram/internal/spec"
 	"gsdram/internal/stats"
+	"gsdram/internal/telemetry"
 )
 
-// diffFile is the subset of the gsbench -json document metrics-diff
-// consumes.
+// diffFile is the subset of the gsbench -json document the differential
+// subcommands (metrics-diff, bench-gate, explain) consume.
 type diffFile struct {
 	Manifest struct {
-		GoVersion string `json:"go_version"`
-		Seed      uint64 `json:"seed"`
-		Workers   int    `json:"workers"`
+		GoVersion string            `json:"go_version"`
+		Seed      uint64            `json:"seed"`
+		Workers   int               `json:"workers"`
+		Params    map[string]string `json:"params"`
 	} `json:"manifest"`
-	Experiments []struct {
-		Experiment string `json:"experiment"`
-		WallNS     int64  `json:"wall_ns"`
-		Telemetry  []struct {
-			Label    string                     `json:"label"`
-			EndCycle uint64                     `json:"end_cycle"`
-			Metrics  map[string]json.RawMessage `json:"metrics"`
-		} `json:"telemetry"`
-	} `json:"experiments"`
+	Experiments []diffExperiment `json:"experiments"`
+}
+
+type diffExperiment struct {
+	Experiment string          `json:"experiment"`
+	WallNS     int64           `json:"wall_ns"`
+	Telemetry  []diffTelemetry `json:"telemetry"`
+}
+
+type diffTelemetry struct {
+	Label    string                     `json:"label"`
+	EndCycle uint64                     `json:"end_cycle"`
+	Metrics  map[string]json.RawMessage `json:"metrics"`
+	Series   *telemetry.Series          `json:"series"`
+	Latency  *spec.LatencySummary       `json:"latency"`
 }
 
 // metricsDiff implements `gsbench metrics-diff [-all] OLD.json NEW.json`:
@@ -86,9 +95,14 @@ func metricsDiff(args []string) error {
 			continue
 		}
 		amet := am[k]
+		// Union of both documents' metric names: a counter present in
+		// only one side is a schema change worth seeing, not a zero.
 		names := make([]string, 0, len(amet))
 		for n := range amet {
-			if _, ok := bmet[n]; ok {
+			names = append(names, n)
+		}
+		for n := range bmet {
+			if _, ok := amet[n]; !ok {
 				names = append(names, n)
 			}
 		}
@@ -97,7 +111,18 @@ func metricsDiff(args []string) error {
 			"metric", "old", "new", "delta", "ratio")
 		rows := 0
 		for _, n := range names {
-			av, bv := amet[n], bmet[n]
+			av, aok := amet[n]
+			bv, bok := bmet[n]
+			switch {
+			case !aok:
+				t.Add(n, "(new)", trimFloat(bv), trimFloat(bv), "-")
+				rows++
+				continue
+			case !bok:
+				t.Add(n, trimFloat(av), "(gone)", trimFloat(-av), "-")
+				rows++
+				continue
+			}
 			if av == bv && !*all {
 				continue
 			}

@@ -14,15 +14,16 @@ import (
 // and the latency and sample-validate subcommands, so all register
 // identical flags and build identical ExperimentSpecs.
 type expFlags struct {
-	tuples   int
-	txns     int
-	gemmStr  string
-	kvPairs  int
-	gVerts   int
-	gDeg     int
-	seed     uint64
-	workers  int
-	noInline bool
+	tuples    int
+	txns      int
+	gemmStr   string
+	kvPairs   int
+	gVerts    int
+	gDeg      int
+	seed      uint64
+	workers   int
+	noInline  bool
+	l2Latency uint64
 
 	sampleOn       bool
 	sampleInterval uint64
@@ -47,6 +48,7 @@ func (ef *expFlags) register(fs *flag.FlagSet) {
 	fs.Uint64Var(&ef.seed, "seed", 42, "workload random seed")
 	fs.IntVar(&ef.workers, "workers", 0, "concurrent simulation runs per experiment (0 = GOMAXPROCS, 1 = serial)")
 	fs.BoolVar(&ef.noInline, "noinline", false, "disable the event-horizon fast path (pure event-driven execution; identical results)")
+	fs.Uint64Var(&ef.l2Latency, "l2-latency", 0, "override the L2 hit latency in cycles (0 = model default; an ablation knob that changes results and hashes like a workload parameter)")
 	fs.BoolVar(&ef.sampleOn, "sample", false, "estimate the sampling-capable experiments (fig9, fig10, pattbits) via interval sampling: functional fast-forward plus detailed windows with confidence intervals")
 	fs.Uint64Var(&ef.sampleInterval, "sample-interval", ds.Interval, "sampling interval in instructions (one detailed window per interval); larger workloads tolerate longer intervals (32768 holds at -tuples 1048576)")
 	fs.Uint64Var(&ef.sampleWarmup, "sample-warmup", ds.Warmup, "detailed warm-up instructions per window (excluded from the samples)")
@@ -92,6 +94,7 @@ func (ef *expFlags) spec(name string, telemetryOn bool, epoch uint64) (*spec.Spe
 		Seed:       ef.seed,
 		Workers:    ef.workers,
 		NoInline:   ef.noInline,
+		L2Latency:  ef.l2Latency,
 		Telemetry:  telemetryOn,
 		Epoch:      epoch,
 	}
@@ -156,6 +159,7 @@ func (ef *expFlags) params(exp string) map[string]string {
 		"vertices": strconv.Itoa(ef.gVerts),
 		"degree":   strconv.Itoa(ef.gDeg),
 		"noinline": strconv.FormatBool(ef.noInline),
+		"l2lat":    strconv.FormatUint(ef.l2Latency, 10),
 		"sample":   strconv.FormatBool(ef.sampleOn),
 	}
 }

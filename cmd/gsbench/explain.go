@@ -1,0 +1,471 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+
+	"gsdram/internal/latency"
+	"gsdram/internal/stats"
+)
+
+// explainCmd implements `gsbench explain [-top N] [-json FILE] OLD NEW`:
+// differential root-cause analysis over two run documents. For every
+// run present in both documents it decomposes the end-to-end cycle
+// delta into per-stage contributions that sum exactly to the delta
+// (core-stall attribution conserves cycles — DESIGN.md §5.6), then
+// corroborates the ranking with per-bank/per-channel latency shifts,
+// pattern-class shifts, the row-hit/row-miss mix, and the epoch window
+// where the two time-series start to diverge.
+func explainCmd(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	top := fs.Int("top", 5, "causes to print per run")
+	jsonOut := fs.String("json", "", "write the machine-readable verdict to this file (\"-\" = stdout)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: gsbench explain [-top N] [-json FILE] OLD.json NEW.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return fmt.Errorf("explain: want exactly 2 files, got %d", fs.NArg())
+	}
+	oldF, err := loadDiffFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newF, err := loadDiffFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	verdict, err := explainDocs(fs.Arg(0), fs.Arg(1), oldF, newF)
+	if err != nil {
+		return err
+	}
+	renderExplain(w, verdict, *top)
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(verdict, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if *jsonOut == "-" {
+			_, err = w.Write(blob)
+			return err
+		}
+		return os.WriteFile(*jsonOut, blob, 0o644)
+	}
+	return nil
+}
+
+// stageDelta is one stage's contribution to a run's core-cycle delta.
+type stageDelta struct {
+	Stage string `json:"stage"`
+	Old   uint64 `json:"old_cycles"`
+	New   uint64 `json:"new_cycles"`
+	Delta int64  `json:"delta_cycles"`
+	// Share is Delta over the run's total core-cycle delta. Shares sum
+	// to 1 over all stages (incl. "other"); a stage moving against the
+	// overall regression has a negative share.
+	Share float64 `json:"share"`
+}
+
+// contribution is one supporting-evidence row: a bank, channel, pattern
+// class, or row-policy counter and how it moved.
+type contribution struct {
+	Key   string  `json:"key"`
+	Old   float64 `json:"old"`
+	New   float64 `json:"new"`
+	Delta float64 `json:"delta"`
+}
+
+// onsetInfo localizes when the regression starts: the first epoch where
+// the new run's cumulative memory-stall cycles exceed the old run's by
+// at least 5% of the final divergence.
+type onsetInfo struct {
+	Epoch      int    `json:"epoch"`
+	Cycle      uint64 `json:"cycle"`
+	Interval   uint64 `json:"interval"`
+	StallDelta int64  `json:"stall_delta"`
+}
+
+// runDiagnosis is one run's complete decomposition.
+type runDiagnosis struct {
+	Experiment string `json:"experiment"`
+	Label      string `json:"label"`
+	Cores      int    `json:"cores"`
+	OldEnd     uint64 `json:"old_end_cycle"`
+	NewEnd     uint64 `json:"new_end_cycle"`
+	// DeltaCycles is the end-to-end regression; DeltaCoreCycles is the
+	// same delta summed over cores — the quantity the stage deltas sum
+	// to exactly (Exact pins it).
+	DeltaCycles     int64 `json:"delta_cycles"`
+	DeltaCoreCycles int64 `json:"delta_core_cycles"`
+	Exact           bool  `json:"exact"`
+	// Stages is ranked by |delta| descending and includes the "other"
+	// pseudo-stage (non-stall cycles: compute and issue slots).
+	Stages   []stageDelta   `json:"stages"`
+	Banks    []contribution `json:"banks,omitempty"`
+	Channels []contribution `json:"channels,omitempty"`
+	Patterns []contribution `json:"patterns,omitempty"`
+	RowMix   []contribution `json:"row_mix,omitempty"`
+	Onset    *onsetInfo     `json:"onset,omitempty"`
+}
+
+// explainVerdict is the machine-readable output of `gsbench explain`.
+type explainVerdict struct {
+	Tool string `json:"tool"`
+	Old  string `json:"old"`
+	New  string `json:"new"`
+	// TopStage is the highest-|delta| stage of the most-regressed run —
+	// the one-line answer to "where did the cycles go".
+	TopStage string `json:"top_stage,omitempty"`
+	// Runs is sorted by |delta_cycles| descending; unchanged runs are
+	// included (with empty rankings) so coverage is visible.
+	Runs []runDiagnosis `json:"runs"`
+}
+
+var bankMetricRe = regexp.MustCompile(`^latency\.ch(\d+)\.rk(\d+)\.bank(\d+)\.total\.sum$`)
+var chanMetricRe = regexp.MustCompile(`^latency\.ch(\d+)\.total\.sum$`)
+
+// explainDocs builds the verdict for two loaded documents.
+func explainDocs(oldPath, newPath string, oldF, newF *diffFile) (*explainVerdict, error) {
+	type runKey struct{ exp, label string }
+	newRuns := map[runKey]*diffTelemetry{}
+	for i := range newF.Experiments {
+		e := &newF.Experiments[i]
+		for j := range e.Telemetry {
+			newRuns[runKey{e.Experiment, e.Telemetry[j].Label}] = &e.Telemetry[j]
+		}
+	}
+
+	v := &explainVerdict{Tool: "gsbench explain", Old: oldPath, New: newPath}
+	matched := 0
+	for i := range oldF.Experiments {
+		e := &oldF.Experiments[i]
+		for j := range e.Telemetry {
+			ot := &e.Telemetry[j]
+			nt, ok := newRuns[runKey{e.Experiment, ot.Label}]
+			if !ok {
+				continue
+			}
+			matched++
+			v.Runs = append(v.Runs, diagnoseRun(e.Experiment, ot, nt))
+		}
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("explain: no runs in common between %s and %s (produce both with -json)", oldPath, newPath)
+	}
+	sort.SliceStable(v.Runs, func(i, j int) bool {
+		di, dj := v.Runs[i].DeltaCycles, v.Runs[j].DeltaCycles
+		if absI64(di) != absI64(dj) {
+			return absI64(di) > absI64(dj)
+		}
+		if v.Runs[i].Experiment != v.Runs[j].Experiment {
+			return v.Runs[i].Experiment < v.Runs[j].Experiment
+		}
+		return v.Runs[i].Label < v.Runs[j].Label
+	})
+	if len(v.Runs) > 0 && len(v.Runs[0].Stages) > 0 && v.Runs[0].DeltaCycles != 0 {
+		v.TopStage = v.Runs[0].Stages[0].Stage
+	}
+	return v, nil
+}
+
+func absI64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// diagnoseRun decomposes one run pair.
+func diagnoseRun(exp string, ot, nt *diffTelemetry) runDiagnosis {
+	d := runDiagnosis{
+		Experiment:  exp,
+		Label:       ot.Label,
+		OldEnd:      ot.EndCycle,
+		NewEnd:      nt.EndCycle,
+		DeltaCycles: int64(nt.EndCycle) - int64(ot.EndCycle),
+	}
+
+	// Exact stage decomposition from the core-stall attribution: every
+	// core cycle is either charged to a stall stage or is an un-stalled
+	// ("other": compute + issue) cycle, so over `cores` cores,
+	//   Σ_stages Δstall + Δother == cores × Δend_cycle
+	// holds as integer arithmetic, not approximation.
+	if ot.Latency != nil && nt.Latency != nil &&
+		len(ot.Latency.CoreStalls) > 0 &&
+		len(ot.Latency.CoreStalls) == len(nt.Latency.CoreStalls) {
+		cores := len(ot.Latency.CoreStalls)
+		d.Cores = cores
+		d.DeltaCoreCycles = int64(cores) * d.DeltaCycles
+		sumStage := func(stalls []map[string]uint64, name string) uint64 {
+			var s uint64
+			for _, m := range stalls {
+				s += m[name]
+			}
+			return s
+		}
+		var oldTotal, newTotal uint64
+		var deltaSum int64
+		for _, name := range latency.StageNames() {
+			o := sumStage(ot.Latency.CoreStalls, name)
+			n := sumStage(nt.Latency.CoreStalls, name)
+			oldTotal += o
+			newTotal += n
+			if o == 0 && n == 0 {
+				continue
+			}
+			d.Stages = append(d.Stages, stageDelta{Stage: name, Old: o, New: n, Delta: int64(n) - int64(o)})
+			deltaSum += int64(n) - int64(o)
+		}
+		oldOther := int64(uint64(cores)*ot.EndCycle) - int64(oldTotal)
+		newOther := int64(uint64(cores)*nt.EndCycle) - int64(newTotal)
+		d.Stages = append(d.Stages, stageDelta{
+			Stage: "other",
+			Old:   uint64(maxI64(oldOther, 0)),
+			New:   uint64(maxI64(newOther, 0)),
+			Delta: newOther - oldOther,
+		})
+		deltaSum += newOther - oldOther
+		d.Exact = deltaSum == d.DeltaCoreCycles
+		for i := range d.Stages {
+			if d.DeltaCoreCycles != 0 {
+				d.Stages[i].Share = float64(d.Stages[i].Delta) / float64(d.DeltaCoreCycles)
+			}
+		}
+		sort.SliceStable(d.Stages, func(i, j int) bool {
+			return absI64(d.Stages[i].Delta) > absI64(d.Stages[j].Delta)
+		})
+	}
+
+	// Supporting evidence: where in the DRAM topology the latency moved.
+	om, nm := flattenMetrics(ot.Metrics), flattenMetrics(nt.Metrics)
+	d.Banks = contributionsMatching(om, nm, func(name string) (string, bool) {
+		m := bankMetricRe.FindStringSubmatch(name)
+		if m == nil {
+			return "", false
+		}
+		return fmt.Sprintf("ch%s.rk%s.bank%s", m[1], m[2], m[3]), true
+	})
+	d.Channels = contributionsMatching(om, nm, func(name string) (string, bool) {
+		m := chanMetricRe.FindStringSubmatch(name)
+		if m == nil {
+			return "", false
+		}
+		return "ch" + m[1], true
+	})
+	d.RowMix = contributionsMatching(om, nm, func(name string) (string, bool) {
+		switch name {
+		case "memctrl.row_hit_reads", "memctrl.row_miss_reads",
+			"memctrl.row_hit_writes", "memctrl.row_miss_writes":
+			return strings.TrimPrefix(name, "memctrl."), true
+		}
+		return "", false
+	})
+
+	// Pattern-class evidence: total request cycles per class (mean ×
+	// count — the classes export a distribution, not a sum).
+	if ot.Latency != nil && nt.Latency != nil {
+		classes := map[string]bool{}
+		for c := range ot.Latency.Classes {
+			classes[c] = true
+		}
+		for c := range nt.Latency.Classes {
+			classes[c] = true
+		}
+		names := make([]string, 0, len(classes))
+		for c := range classes {
+			names = append(names, c)
+		}
+		sort.Strings(names)
+		for _, c := range names {
+			oc, nc := ot.Latency.Classes[c], nt.Latency.Classes[c]
+			ov := oc.Mean * float64(oc.Count)
+			nv := nc.Mean * float64(nc.Count)
+			if ov == 0 && nv == 0 {
+				continue
+			}
+			d.Patterns = append(d.Patterns, contribution{Key: c, Old: ov, New: nv, Delta: nv - ov})
+		}
+		sort.SliceStable(d.Patterns, func(i, j int) bool {
+			return math.Abs(d.Patterns[i].Delta) > math.Abs(d.Patterns[j].Delta)
+		})
+	}
+
+	d.Onset = findOnset(ot, nt)
+	return d
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// contributionsMatching extracts, renames, and ranks the metrics both
+// flattened maps hold under keyFor, dropping all-zero and unchanged
+// rows.
+func contributionsMatching(om, nm map[string]float64, keyFor func(string) (string, bool)) []contribution {
+	keys := map[string]string{} // display key -> metric name
+	for name := range om {
+		if k, ok := keyFor(name); ok {
+			keys[k] = name
+		}
+	}
+	for name := range nm {
+		if k, ok := keyFor(name); ok {
+			keys[k] = name
+		}
+	}
+	out := make([]contribution, 0, len(keys))
+	for k, name := range keys {
+		ov, nv := om[name], nm[name]
+		if ov == 0 && nv == 0 {
+			continue
+		}
+		out = append(out, contribution{Key: k, Old: ov, New: nv, Delta: nv - ov})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if math.Abs(out[i].Delta) != math.Abs(out[j].Delta) {
+			return math.Abs(out[i].Delta) > math.Abs(out[j].Delta)
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// findOnset aligns the two epoch series and returns the first epoch
+// where the new run's cumulative memory-stall cycles pull ahead of the
+// old run's by at least 5% of the final divergence. Nil when either
+// series is missing, the intervals differ, or the stalls never diverge.
+func findOnset(ot, nt *diffTelemetry) *onsetInfo {
+	if ot.Series == nil || nt.Series == nil || ot.Series.Interval != nt.Series.Interval {
+		return nil
+	}
+	stallCols := func(cols []string) []int {
+		var idx []int
+		for i, c := range cols {
+			if strings.HasSuffix(c, ".mem_stall_cycles") {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	}
+	oIdx, nIdx := stallCols(ot.Series.Columns), stallCols(nt.Series.Columns)
+	if len(oIdx) == 0 || len(nIdx) == 0 {
+		return nil
+	}
+	sum := func(vals []uint64, idx []int) int64 {
+		var s int64
+		for _, i := range idx {
+			if i < len(vals) {
+				s += int64(vals[i])
+			}
+		}
+		return s
+	}
+	n := len(ot.Series.Epochs)
+	if len(nt.Series.Epochs) < n {
+		n = len(nt.Series.Epochs)
+	}
+	if n == 0 {
+		return nil
+	}
+	final := sum(nt.Series.Epochs[n-1].Values, nIdx) - sum(ot.Series.Epochs[n-1].Values, oIdx)
+	if final <= 0 {
+		return nil
+	}
+	threshold := final / 20
+	if threshold < 1 {
+		threshold = 1
+	}
+	for i := 0; i < n; i++ {
+		dd := sum(nt.Series.Epochs[i].Values, nIdx) - sum(ot.Series.Epochs[i].Values, oIdx)
+		if dd >= threshold {
+			return &onsetInfo{
+				Epoch:      i,
+				Cycle:      uint64(ot.Series.Epochs[i].At),
+				Interval:   uint64(ot.Series.Interval),
+				StallDelta: dd,
+			}
+		}
+	}
+	return nil
+}
+
+// renderExplain prints the human-readable top-causes report.
+func renderExplain(w io.Writer, v *explainVerdict, top int) {
+	if top <= 0 {
+		top = 5
+	}
+	lead := v.Runs[0]
+	switch {
+	case lead.DeltaCycles == 0:
+		fmt.Fprintf(w, "explain: no cycle delta between %s and %s across %d run(s)\n", v.Old, v.New, len(v.Runs))
+	case v.TopStage != "":
+		fmt.Fprintf(w, "explain: %s · %s moved %+d cycles (%+.2f%%); top cause: %s\n",
+			lead.Experiment, lead.Label, lead.DeltaCycles,
+			100*float64(lead.DeltaCycles)/float64(lead.OldEnd), v.TopStage)
+	default:
+		fmt.Fprintf(w, "explain: %s · %s moved %+d cycles (no stage attribution in documents)\n",
+			lead.Experiment, lead.Label, lead.DeltaCycles)
+	}
+	fmt.Fprintln(w)
+
+	for _, r := range v.Runs {
+		if r.DeltaCycles == 0 && len(v.Runs) > 1 {
+			continue
+		}
+		t := stats.NewTable(
+			fmt.Sprintf("%s · %s: %d → %d cycles (%+d over %d core(s))",
+				r.Experiment, r.Label, r.OldEnd, r.NewEnd, r.DeltaCycles, r.Cores),
+			"cause", "old", "new", "delta", "share")
+		rows := 0
+		for _, s := range r.Stages {
+			if rows >= top {
+				break
+			}
+			if s.Delta == 0 {
+				continue
+			}
+			t.Add("stage "+s.Stage, fmt.Sprintf("%d", s.Old), fmt.Sprintf("%d", s.New),
+				fmt.Sprintf("%+d", s.Delta), fmt.Sprintf("%.1f%%", 100*s.Share))
+			rows++
+		}
+		for _, set := range []struct {
+			name string
+			cs   []contribution
+		}{{"bank", r.Banks}, {"pattern", r.Patterns}, {"rowmix", r.RowMix}} {
+			for i, c := range set.cs {
+				if i >= 2 || c.Delta == 0 {
+					break
+				}
+				t.Add(set.name+" "+c.Key, trimFloat(c.Old), trimFloat(c.New),
+					trimFloat(c.Delta), "-")
+			}
+		}
+		if rows == 0 && len(r.Banks) == 0 && len(r.Patterns) == 0 {
+			continue
+		}
+		fmt.Fprintln(w, t)
+		if r.Onset != nil {
+			fmt.Fprintf(w, "onset: divergence starts around epoch %d (cycle %d, interval %d): +%d stall cycles\n",
+				r.Onset.Epoch, r.Onset.Cycle, r.Onset.Interval, r.Onset.StallDelta)
+		}
+		if !r.Exact && r.Cores > 0 {
+			fmt.Fprintln(w, "note: stage deltas do not sum to the core-cycle delta (documents from different schema versions?)")
+		}
+		fmt.Fprintln(w)
+	}
+}

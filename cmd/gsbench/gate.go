@@ -14,10 +14,11 @@ type gateArgs struct {
 	old, new string
 	tol      float64 // simulated-cycle tolerance, percent
 	wallTol  float64 // wall-clock tolerance, percent; 0 disables
+	explain  bool    // run `gsbench explain` on the pair when the gate fails
 }
 
 // parseGateArgs scans args for -tol/-wall-tol (either "-tol 5" or
-// "-tol=5") and two positional file names.
+// "-tol=5"), the boolean -explain, and two positional file names.
 func parseGateArgs(args []string) (gateArgs, error) {
 	ga := gateArgs{tol: 5, wallTol: 200}
 	var files []string
@@ -28,6 +29,20 @@ func parseGateArgs(args []string) (gateArgs, error) {
 			name, val, hasVal = a[:eq], a[eq+1:], true
 		}
 		switch strings.TrimLeft(name, "-") {
+		case "explain":
+			if !strings.HasPrefix(a, "-") {
+				files = append(files, a)
+				continue
+			}
+			if hasVal {
+				b, err := strconv.ParseBool(val)
+				if err != nil {
+					return ga, fmt.Errorf("bench-gate: bad %s value %q", name, val)
+				}
+				ga.explain = b
+			} else {
+				ga.explain = true
+			}
 		case "tol", "wall-tol":
 			if !strings.HasPrefix(a, "-") {
 				files = append(files, a)
@@ -51,13 +66,13 @@ func parseGateArgs(args []string) (gateArgs, error) {
 			}
 		default:
 			if strings.HasPrefix(a, "-") {
-				return ga, fmt.Errorf("bench-gate: unknown flag %s (usage: gsbench bench-gate [-tol PCT] [-wall-tol PCT] OLD.json NEW.json)", a)
+				return ga, fmt.Errorf("bench-gate: unknown flag %s (usage: gsbench bench-gate [-tol PCT] [-wall-tol PCT] [-explain] OLD.json NEW.json)", a)
 			}
 			files = append(files, a)
 		}
 	}
 	if len(files) != 2 {
-		return ga, fmt.Errorf("bench-gate: want exactly 2 files, got %d (usage: gsbench bench-gate [-tol PCT] [-wall-tol PCT] OLD.json NEW.json)", len(files))
+		return ga, fmt.Errorf("bench-gate: want exactly 2 files, got %d (usage: gsbench bench-gate [-tol PCT] [-wall-tol PCT] [-explain] OLD.json NEW.json)", len(files))
 	}
 	ga.old, ga.new = files[0], files[1]
 	return ga, nil
@@ -134,6 +149,17 @@ func gateFiles(w io.Writer, ga gateArgs, oldF, newF *diffFile) error {
 		return fmt.Errorf("bench-gate: %s has no telemetry runs to gate on (produce it with -json)", ga.old)
 	}
 	if regressions > 0 {
+		if ga.explain {
+			// Best-effort diagnosis of the failure: the files are already
+			// loaded, so run the explain decomposition over them before
+			// returning the gate error.
+			if verdict, err := explainDocs(ga.old, ga.new, oldF, newF); err != nil {
+				fmt.Fprintf(w, "bench-gate: explain unavailable: %v\n", err)
+			} else {
+				fmt.Fprintln(w)
+				renderExplain(w, verdict, 5)
+			}
+		}
 		return fmt.Errorf("bench-gate: %d regression(s) against %s", regressions, ga.old)
 	}
 	fmt.Fprintf(w, "bench-gate: OK — %d runs within %.2f%% of %s\n", checked, ga.tol, ga.old)

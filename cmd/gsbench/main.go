@@ -11,17 +11,20 @@
 //	        [-sample] [-sample-interval N] [-sample-warmup N]
 //	        [-sample-measure N] [-sample-seed S] [-sample-ffwarm N]
 //	        [-json FILE] [-trace-out FILE] [-prom-out FILE] [-epoch N]
+//	        [-flight-out FILE] [-flight-depth N] [-l2-latency N]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //	gsbench latency [-exp fig9] [workload flags]
 //	gsbench sample-validate [-min-speedup X] [-max-error PCT] [-json FILE]
 //	        [workload and sampling flags]
 //	gsbench metrics-diff [-all] OLD.json NEW.json
-//	gsbench bench-gate [-tol PCT] [-wall-tol PCT] OLD.json NEW.json
+//	gsbench bench-gate [-tol PCT] [-wall-tol PCT] [-explain] OLD.json NEW.json
+//	gsbench explain [-top N] [-json FILE] OLD.json NEW.json
 //	gsbench stress [-seed S] [-count N] [-shrink] [-workers N] [-noinline]
 //	        [-xmodes] [-indexed] [-pseed P]
 //	        [-inject none|shuffle-swap|index-perm] [-repro-out FILE]
 //	gsbench serve [-addr HOST:PORT] [-cache-dir DIR] [-farm-workers N]
-//	        [-retries N] [-drain-timeout D] [-log-format text|json] [-pprof]
+//	        [-retries N] [-flight-dir DIR] [-drain-timeout D]
+//	        [-log-format text|json] [-pprof]
 //	gsbench sweep [-server URL | -cache-dir DIR] [-exp LIST] [-tuples LIST]
 //	        [-txns LIST] [-seeds LIST] [-out DIR] [-json FILE] [-trace-out FILE]
 //	        [-no-progress] [-quiet] [workload flags]
@@ -60,7 +63,30 @@
 // (BENCH_seed.json) and exits nonzero when any run's simulated end cycle
 // regresses by more than -tol percent (default 5). Wall-clock time is
 // gated separately by -wall-tol (default 200, generous because CI
-// machines vary; 0 disables the wall gate).
+// machines vary; 0 disables the wall gate). With -explain, a failing
+// gate also prints the explain diagnosis of the pair before exiting.
+//
+// gsbench explain is the differential root-cause analyzer (DESIGN.md
+// §5.11): given two -json documents it decomposes every matched run's
+// end-to-end cycle delta into per-stage contributions that sum exactly
+// to the delta (from the per-core stall attribution), ranks the top
+// causes, and corroborates them with per-bank and per-channel latency
+// shifts, pattern-class shifts, the row-hit/row-miss mix, and the epoch
+// window where the two time-series start to diverge. -json writes the
+// machine-readable verdict ("-" = stdout).
+//
+// With -flight-out FILE, every run's flight recorder — a bounded,
+// deterministic ring of recent microarchitectural events per component
+// (DDR commands, cache fills/writebacks, coherence actions, coalescer
+// burst decisions, MSHR traffic, core memory ops) — is dumped to FILE
+// as NDJSON after the experiments complete. -flight-depth sets the
+// per-component ring depth (default 256 events). Recording is
+// observation-only: results are bit-identical with and without it.
+//
+// -l2-latency N overrides the L2 hit latency in cycles (0 = the model
+// default). It is an ablation knob: unlike telemetry it changes
+// simulated results, so it participates in spec hashing and is recorded
+// in the run manifest.
 //
 // gsbench stress runs seeded random programs through both the cycle
 // simulator and a timing-free golden reference model
@@ -146,23 +172,30 @@ import (
 	"strconv"
 	"strings"
 
+	"gsdram/internal/flight"
 	"gsdram/internal/metrics"
 	"gsdram/internal/spec"
 	"gsdram/internal/telemetry"
 )
 
 func main() {
+	subcommands := map[string]func([]string) error{
+		"metrics-diff":    metricsDiff,
+		"bench-gate":      func(args []string) error { return benchGate(args, os.Stdout) },
+		"explain":         func(args []string) error { return explainCmd(args, os.Stdout) },
+		"latency":         latencyCmd,
+		"stress":          stressCmd,
+		"sample-validate": sampleValidateCmd,
+		"serve":           serveCmd,
+		"sweep":           sweepCmd,
+		"top":             topCmd,
+	}
+	names := make([]string, 0, len(subcommands))
+	for name := range subcommands {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	if len(os.Args) > 1 {
-		subcommands := map[string]func([]string) error{
-			"metrics-diff":    metricsDiff,
-			"bench-gate":      func(args []string) error { return benchGate(args, os.Stdout) },
-			"latency":         latencyCmd,
-			"stress":          stressCmd,
-			"sample-validate": sampleValidateCmd,
-			"serve":           serveCmd,
-			"sweep":           sweepCmd,
-			"top":             topCmd,
-		}
 		if cmd, ok := subcommands[os.Args[1]]; ok {
 			if err := cmd(os.Args[2:]); err != nil {
 				fatal(err)
@@ -170,24 +203,27 @@ func main() {
 			return
 		}
 		if !strings.HasPrefix(os.Args[1], "-") {
-			names := make([]string, 0, len(subcommands))
-			for name := range subcommands {
-				names = append(names, name)
-			}
-			sort.Strings(names)
 			fatal(fmt.Errorf("unknown subcommand %q (valid: %s)", os.Args[1], strings.Join(names, ", ")))
 		}
 	}
 	var ef expFlags
 	ef.register(flag.CommandLine)
+	flag.Usage = func() {
+		w := flag.CommandLine.Output()
+		fmt.Fprintf(w, "Usage: %s [flags]\n", os.Args[0])
+		fmt.Fprintf(w, "       %s SUBCOMMAND [args]   (subcommands: %s)\n", os.Args[0], strings.Join(names, ", "))
+		flag.PrintDefaults()
+	}
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (or \"all\"); see the registry in -h")
-		jsonOut  = flag.String("json", "", "write the JSON document (manifest, per-experiment records, telemetry) to FILE; \"-\" replaces the text tables on stdout")
-		traceOut = flag.String("trace-out", "", "write a Chrome trace_event / Perfetto JSON of all telemetered runs to FILE")
-		promOut  = flag.String("prom-out", "", "write the final metrics of all telemetered runs in Prometheus text format to FILE")
-		epoch    = flag.Uint64("epoch", uint64(telemetry.DefaultEpoch), "telemetry sampling interval in CPU cycles")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		exp         = flag.String("exp", "all", "experiment to run (or \"all\"); see the registry in -h")
+		jsonOut     = flag.String("json", "", "write the JSON document (manifest, per-experiment records, telemetry) to FILE; \"-\" replaces the text tables on stdout")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event / Perfetto JSON of all telemetered runs to FILE")
+		promOut     = flag.String("prom-out", "", "write the final metrics of all telemetered runs in Prometheus text format to FILE")
+		epoch       = flag.Uint64("epoch", uint64(telemetry.DefaultEpoch), "telemetry sampling interval in CPU cycles")
+		flightOut   = flag.String("flight-out", "", "dump every run's flight-recorder rings (recent microarchitectural events) to FILE as NDJSON")
+		flightDepth = flag.Int("flight-depth", flight.DefaultDepth, "per-component flight-recorder ring depth (events kept per ring)")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf     = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -216,7 +252,14 @@ func main() {
 		}()
 	}
 
-	telemetryOn := *jsonOut != "" || *traceOut != "" || *promOut != ""
+	telemetryOn := *jsonOut != "" || *traceOut != "" || *promOut != "" || *flightOut != ""
+	fdepth := 0
+	if *flightOut != "" {
+		fdepth = *flightDepth
+		if fdepth <= 0 {
+			fdepth = flight.DefaultDepth
+		}
+	}
 
 	// Flag-level validation (sampling sub-flags without -sample, the
 	// noinline × sample conflict) before any experiment runs.
@@ -228,6 +271,7 @@ func main() {
 	var records []spec.Record
 	var traceRuns []*telemetry.Run
 	var promRegs []metrics.LabeledRegistry
+	var flightRecs []flight.LabeledRecorder
 	ran := false
 	for _, name := range spec.Names() {
 		if *exp != "all" && *exp != name {
@@ -238,11 +282,18 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		out, err := spec.Run(sp)
+		out, err := spec.RunFlight(sp, fdepth)
 		if err != nil {
 			fatal(err)
 		}
 		traceRuns = append(traceRuns, out.Runs...)
+		for _, fr := range out.Flight {
+			// Prefix the run label with the experiment so rings from
+			// different experiments stay distinguishable in one dump.
+			flightRecs = append(flightRecs, flight.LabeledRecorder{
+				Label: name + "/" + fr.Label, Rec: fr.Rec,
+			})
+		}
 		for _, r := range out.Runs {
 			promRegs = append(promRegs, metrics.LabeledRegistry{
 				Labels: map[string]string{"experiment": name, "run": r.Label},
@@ -279,6 +330,20 @@ func main() {
 			fatal(err)
 		}
 		if err := telemetry.WriteTrace(f, manifest, traceRuns); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *flightOut != "" {
+		f, err := os.Create(*flightOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := flight.WriteNDJSON(f, flightRecs, nil); err != nil {
 			f.Close()
 			fatal(err)
 		}

@@ -32,11 +32,12 @@ func serveCmd(args []string) error {
 	cacheDir := fs.String("cache-dir", "gsbench-cache", "content-addressed result cache directory (sharable between servers)")
 	workers := fs.Int("farm-workers", 0, "concurrent sweep points in this process (0 = GOMAXPROCS); telemetered and untelemetered points alike run concurrently, and each point still parallelizes internally per its spec")
 	retries := fs.Int("retries", 1, "times a point is re-executed after a worker failure before it is marked failed")
+	flightDir := fs.String("flight-dir", "", "directory for flight-recorder dumps of failed points (one <spechash>.flight.ndjson per first-failing point; empty = disabled)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Minute, "how long a shutdown signal waits for in-flight points")
 	logFormat := fs.String("log-format", "text", "structured log format: text or json")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: gsbench serve [-addr HOST:PORT] [-cache-dir DIR] [-farm-workers N] [-retries N] [-log-format text|json] [-pprof]")
+		fmt.Fprintln(os.Stderr, "usage: gsbench serve [-addr HOST:PORT] [-cache-dir DIR] [-farm-workers N] [-retries N] [-flight-dir DIR] [-log-format text|json] [-pprof]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -62,7 +63,12 @@ func serveCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	engine := farm.New(cache, farm.Options{Workers: *workers, Retries: *retries, Logger: logger})
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			return err
+		}
+	}
+	engine := farm.New(cache, farm.Options{Workers: *workers, Retries: *retries, Logger: logger, FlightDir: *flightDir})
 	engine.Start()
 
 	ln, err := net.Listen("tcp", *addr)

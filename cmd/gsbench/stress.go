@@ -6,6 +6,7 @@ import (
 	"os"
 	"sync"
 
+	"gsdram/internal/flight"
 	"gsdram/internal/runner"
 	"gsdram/internal/stress"
 )
@@ -145,8 +146,48 @@ func stressCmd(args []string) error {
 			return fmt.Errorf("writing -repro-out: %w", werr)
 		}
 		fmt.Printf("reproducer written to %s\n", *reproOut)
+		// Flight-record a re-run of the shrunk program next to the
+		// reproducer, with events touching the diverging line marked.
+		flightPath := *reproOut + ".flight.ndjson"
+		if werr := writeStressFlight(p, f.opts, flightPath); werr != nil {
+			fmt.Printf("flight dump failed: %v\n", werr)
+		} else {
+			fmt.Printf("flight dump written to %s\n", flightPath)
+		}
 	}
 	return fmt.Errorf("stress: %d/%d programs diverged", countNonNil(fails), *count)
+}
+
+// writeStressFlight re-runs a (shrunk) diverging program with the flight
+// recorder armed and dumps the rings to path. Events touching the cache
+// line of the diverging access are marked ("mark": true) so the history
+// leading up to the mismatch is easy to pick out of the dump. The
+// re-run is deterministic, so the recorded events are exactly those of
+// the failing run.
+func writeStressFlight(p stress.Program, opts stress.Options, path string) error {
+	rec := flight.New(flight.DefaultDepth)
+	opts.Flight = rec
+	res, err := stress.Run(p, opts)
+	if err != nil {
+		return err
+	}
+	var mark func(flight.Event) bool
+	if res.Div != nil && res.Div.Op >= 0 && res.Div.Op < len(res.Records) {
+		lineMask := ^uint64(p.Spec.LineBytes - 1)
+		line := uint64(res.Records[res.Div.Op].Addr) & lineMask
+		mark = func(e flight.Event) bool {
+			return e.Addr != 0 && e.Addr&lineMask == line
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := flight.WriteNDJSON(f, []flight.LabeledRecorder{{Label: "stress", Rec: rec}}, mark)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 func countNonNil[T any](s []*T) int {

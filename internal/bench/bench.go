@@ -196,9 +196,9 @@ func newRig(rc runConfig) (*machine.Machine, *imdb.DB, *sim.EventQueue, *memsys.
 	}
 	mach := db.Machine()
 	q := &sim.EventQueue{}
-	cfg := memsys.DefaultConfig(rc.cores)
+	cfg := defaultConfig(rc.cores)
 	cfg.EnablePrefetch = rc.prefetch
-	cfg.Metrics, cfg.Mem.Observer = telemetryForRig(rc.capture, rc.label, q)
+	cfg.Metrics, cfg.Mem.Observer, cfg.Flight = telemetryForRig(rc.capture, rc.label, q)
 	if cfg.Metrics != nil {
 		cfg.LatencyTraceCap = maxLatencyTraces
 	}
@@ -249,6 +249,28 @@ var noInline bool
 // subsequent experiment runs. Call it before starting experiments; it is
 // read (never written) by concurrent runs.
 func SetNoInline(v bool) { noInline = v }
+
+// l2Latency, when non-zero, overrides the model's L2 hit latency for
+// every rig built by subsequent runs. It is an ablation knob for
+// regression-forensics testing: perturbing one latency stage on purpose
+// gives `gsbench explain` a known-cause delta to attribute. Like
+// noInline it is process-wide; spec.Run serializes specs that set it.
+var l2Latency sim.Cycle
+
+// SetL2Latency overrides the L2 hit latency in CPU cycles for every rig
+// built by subsequent experiment runs (0 restores the model default).
+// Call it before starting experiments.
+func SetL2Latency(v uint64) { l2Latency = sim.Cycle(v) }
+
+// defaultConfig is memsys.DefaultConfig plus the process-wide ablation
+// overrides. Every rig the bench package builds goes through it.
+func defaultConfig(cores int) memsys.Config {
+	cfg := memsys.DefaultConfig(cores)
+	if l2Latency > 0 {
+		cfg.L2Latency = l2Latency
+	}
+	return cfg
+}
 
 // runStreams executes one stream per core to completion and returns the
 // metrics.

@@ -54,7 +54,7 @@ func RunChannels(opts Options) (*ChannelsResult, error) {
 			return err
 		}
 		q := &sim.EventQueue{}
-		cfg := memsys.DefaultConfig(2)
+		cfg := defaultConfig(2)
 		cfg.EnablePrefetch = true
 		cfg.Mem.Spec = spec
 		mem, err := memsys.New(cfg, q)

@@ -62,7 +62,7 @@ func RunGraph(vertices, avgDeg, updates int, seed uint64) (*GraphResult, error) 
 			return err
 		}
 		q := &sim.EventQueue{}
-		mem, err := memsys.New(memsys.DefaultConfig(1), q)
+		mem, err := memsys.New(defaultConfig(1), q)
 		if err != nil {
 			return err
 		}

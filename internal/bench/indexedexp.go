@@ -91,8 +91,8 @@ func (r *IndexedResult) Table() *stats.Table {
 // rig and folds its metrics into slot i of the result.
 func runIndexedRig(r *IndexedResult, i int, opts Options, s cpu.Stream) error {
 	q := &sim.EventQueue{}
-	cfg := memsys.DefaultConfig(1)
-	cfg.Metrics, cfg.Mem.Observer = telemetryForRig(opts.Capture, r.Name+"/"+indexedVariants[i], q)
+	cfg := defaultConfig(1)
+	cfg.Metrics, cfg.Mem.Observer, cfg.Flight = telemetryForRig(opts.Capture, r.Name+"/"+indexedVariants[i], q)
 	if cfg.Metrics != nil {
 		cfg.LatencyTraceCap = maxLatencyTraces
 	}

@@ -153,7 +153,7 @@ func RunKVStore(pairs int, seed uint64) (*KVResult, error) {
 			return fmt.Errorf("bench: phantom kv hit")
 		}
 		q := &sim.EventQueue{}
-		mem, err := memsys.New(memsys.DefaultConfig(1), q)
+		mem, err := memsys.New(defaultConfig(1), q)
 		if err != nil {
 			return err
 		}
@@ -211,7 +211,7 @@ func RunAutoGather(opts Options) (*AutoGatherResult, error) {
 			return err
 		}
 		q := &sim.EventQueue{}
-		cfg := memsys.DefaultConfig(1)
+		cfg := defaultConfig(1)
 		cfg.AutoPattern = md.auto
 		mem, err := memsys.New(cfg, q)
 		if err != nil {
@@ -297,7 +297,7 @@ func RunSchedulerAblation(opts Options) (*SchedulerAblationResult, error) {
 				return err
 			}
 			q := &sim.EventQueue{}
-			cfg := memsys.DefaultConfig(1)
+			cfg := defaultConfig(1)
 			cfg.Mem.Sched = pol.sched
 			cfg.Mem.Row = pol.row
 			mem, err := memsys.New(cfg, q)
@@ -328,7 +328,7 @@ func RunSchedulerAblation(opts Options) (*SchedulerAblationResult, error) {
 			return err
 		}
 		q := &sim.EventQueue{}
-		cfg := memsys.DefaultConfig(2)
+		cfg := defaultConfig(2)
 		cfg.EnablePrefetch = true
 		cfg.Mem.Sched = pol.sched
 		cfg.Mem.Row = pol.row

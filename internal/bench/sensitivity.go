@@ -61,7 +61,7 @@ func impulseRig(opts Options, mode memsys.GatherMode) (*imdb.DB, *sim.EventQueue
 	// Rebuild the memory system with the requested gather mode (newRig
 	// builds the default one).
 	q := &sim.EventQueue{}
-	cfg := memsys.DefaultConfig(1)
+	cfg := defaultConfig(1)
 	cfg.EnablePrefetch = true
 	cfg.Gather = mode
 	mem, err := memsys.New(cfg, q)
@@ -256,7 +256,7 @@ func RunPixels(n, shades int, seed uint64) (*PixelsResult, error) {
 		// Histogram.
 		{
 			q := &sim.EventQueue{}
-			mem, err := memsys.New(memsys.DefaultConfig(1), q)
+			mem, err := memsys.New(defaultConfig(1), q)
 			if err != nil {
 				return err
 			}
@@ -271,7 +271,7 @@ func RunPixels(n, shades int, seed uint64) (*PixelsResult, error) {
 		// Shading.
 		{
 			q := &sim.EventQueue{}
-			mem, err := memsys.New(memsys.DefaultConfig(1), q)
+			mem, err := memsys.New(defaultConfig(1), q)
 			if err != nil {
 				return err
 			}

@@ -7,6 +7,7 @@ import (
 
 	"gsdram/internal/cpu"
 	"gsdram/internal/energy"
+	"gsdram/internal/flight"
 	"gsdram/internal/memctrl"
 	"gsdram/internal/memsys"
 	"gsdram/internal/metrics"
@@ -35,9 +36,13 @@ const (
 // increments it always performed.
 type Capture struct {
 	epoch sim.Cycle
+	// flightDepth > 0 additionally arms a flight recorder on every rig
+	// (last-K events per component; see internal/flight).
+	flightDepth int
 
-	mu   sync.Mutex
-	runs []*telemetry.Run
+	mu      sync.Mutex
+	runs    []*telemetry.Run
+	flights []flight.LabeledRecorder
 }
 
 // NewCapture returns an empty capture context. epochCycles is the
@@ -45,6 +50,25 @@ type Capture struct {
 // telemetry.DefaultEpoch).
 func NewCapture(epochCycles uint64) *Capture {
 	return &Capture{epoch: sim.Cycle(epochCycles)}
+}
+
+// SetFlightDepth arms flight recording on every rig this capture
+// subsequently builds, keeping the last depth events per component
+// (flight.DefaultDepth if depth < 0 is not allowed; 0 disarms). Call
+// before the batch runs.
+func (c *Capture) SetFlightDepth(depth int) { c.flightDepth = depth }
+
+// FlightRecorders returns the flight recorders of every rig the capture
+// armed so far, label-sorted, including rigs that have not finished —
+// so a dump after a panic still shows the events leading up to it.
+// Recorders belong to their rig's event loop; only read them once the
+// batch has stopped running.
+func (c *Capture) FlightRecorders() []flight.LabeledRecorder {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]flight.LabeledRecorder(nil), c.flights...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
 }
 
 // Drain returns the runs captured since the last call (or since
@@ -85,18 +109,19 @@ type rigTelemetry struct {
 	rec     *trace.Recorder
 	phases  *telemetry.PhaseRecorder
 	sampler *telemetry.Sampler
+	flight  *flight.Recorder
 	// mem is the rig's memory system, captured in start so finish can
 	// collect its latency recorder.
 	mem *memsys.System
 }
 
 // telemetryForRig creates capture state for a labelled rig and returns
-// the registry and command observer to build the memory system with.
-// Returns nils (build an untelemetered rig) when the batch has no
-// capture context or the run has no label.
-func telemetryForRig(c *Capture, label string, q *sim.EventQueue) (*metrics.Registry, func(memctrl.CommandEvent)) {
+// the registry, command observer, and flight recorder to build the
+// memory system with. Returns nils (build an untelemetered rig) when
+// the batch has no capture context or the run has no label.
+func telemetryForRig(c *Capture, label string, q *sim.EventQueue) (*metrics.Registry, func(memctrl.CommandEvent), *flight.Recorder) {
 	if c == nil || label == "" {
-		return nil, nil
+		return nil, nil, nil
 	}
 	rt := &rigTelemetry{
 		owner:  c,
@@ -105,13 +130,19 @@ func telemetryForRig(c *Capture, label string, q *sim.EventQueue) (*metrics.Regi
 		rec:    trace.NewRecorder(maxTraceCommands),
 		phases: telemetry.NewPhaseRecorder(maxTracePhases),
 	}
+	if c.flightDepth > 0 {
+		rt.flight = flight.New(c.flightDepth)
+		c.mu.Lock()
+		c.flights = append(c.flights, flight.LabeledRecorder{Label: label, Rec: rt.flight})
+		c.mu.Unlock()
+	}
 	pending.Lock()
 	if pending.m == nil {
 		pending.m = map[*sim.EventQueue]*rigTelemetry{}
 	}
 	pending.m[q] = rt
 	pending.Unlock()
-	return rt.reg, rt.rec.Observe
+	return rt.reg, rt.rec.Observe, rt.flight
 }
 
 // takeTelemetry claims (and removes) the pending capture state for q.
@@ -138,6 +169,7 @@ func (rt *rigTelemetry) start(q *sim.EventQueue, mem *memsys.System, cores []*cp
 	for i, c := range cores {
 		c.RegisterMetrics(rt.reg, fmt.Sprintf("core.%d", i))
 		c.SetPhaseHook(rt.phases.HookFor(i))
+		c.SetFlightRecorder(rt.flight)
 	}
 	energy.RegisterLive(rt.reg, func() energy.Activity {
 		var instrs uint64
@@ -174,6 +206,7 @@ func (rt *rigTelemetry) finish(q *sim.EventQueue, cores []*cpu.Core) {
 		Commands:     rt.rec.Events(),
 		CommandsSeen: rt.rec.Seen(),
 		Latency:      rt.mem.LatencyRecorder(),
+		Flight:       rt.flight,
 		End:          q.Now(),
 	}
 	for i, c := range cores {

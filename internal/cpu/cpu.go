@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"gsdram/internal/addrmap"
+	"gsdram/internal/flight"
 	"gsdram/internal/gsdram"
 	"gsdram/internal/memsys"
 	"gsdram/internal/metrics"
@@ -185,6 +186,10 @@ type Core struct {
 	pendMiss  bool
 	phaseHook func(from, to sim.Cycle)
 
+	// flight, when non-nil, records every memory op the core issues into
+	// the rig's flight recorder (nil-safe methods, one branch per op).
+	flight *flight.Recorder
+
 	// Store buffer: when enabled, stores retire into the buffer and drain
 	// asynchronously; the core only stalls when the buffer is full.
 	sbCap     int
@@ -257,6 +262,12 @@ func (c *Core) RegisterMetrics(r *metrics.Registry, prefix string) {
 // stall cycles but never reported as phases. Must be set before Start.
 func (c *Core) SetPhaseHook(fn func(from, to sim.Cycle)) { c.phaseHook = fn }
 
+// SetFlightRecorder arms the core's flight recorder: every issued memory
+// op (load, store, gatherv, scatterv) is recorded with its issue cycle
+// and address. A nil recorder (the default) disables recording. Must be
+// set before Start; recording never changes timing.
+func (c *Core) SetFlightRecorder(fr *flight.Recorder) { c.flight = fr }
+
 // Stop makes the core halt at the next instruction boundary — used by the
 // HTAP harness to end the transaction thread when analytics completes.
 func (c *Core) Stop() { c.stopped = true }
@@ -324,6 +335,13 @@ func (c *Core) step(now sim.Cycle) {
 				c.ctr.Stores++
 			} else {
 				c.ctr.Loads++
+			}
+			if c.flight != nil {
+				k := flight.KindLoad
+				if isStore {
+					k = flight.KindStore
+				}
+				c.flight.CoreOp(t, k, c.id, uint64(op.Addr), op.Pattern, 0)
 			}
 			issue := t + 1
 			acc := memsys.Access{
@@ -402,6 +420,17 @@ func (c *Core) step(now sim.Cycle) {
 				c.ctr.Stores++
 			} else {
 				c.ctr.Loads++
+			}
+			if c.flight != nil {
+				k := flight.KindGatherV
+				if isStore {
+					k = flight.KindScatterV
+				}
+				var first uint64
+				if len(op.Addrs) > 0 {
+					first = uint64(op.Addrs[0])
+				}
+				c.flight.CoreOp(t, k, c.id, first, op.AltPattern, len(op.Addrs))
 			}
 			issue := t + 1
 			va := memsys.VAccess{

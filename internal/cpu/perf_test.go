@@ -3,6 +3,7 @@ package cpu
 import (
 	"testing"
 
+	"gsdram/internal/flight"
 	"gsdram/internal/latency"
 	"gsdram/internal/memsys"
 	"gsdram/internal/metrics"
@@ -133,5 +134,44 @@ func TestCoreStepL1HitZeroAllocsWithMetrics(t *testing.T) {
 	}
 	if rec.StallCycles(0, latency.StageL1Hit) == 0 {
 		t.Error("L1-hit stalls were not attributed")
+	}
+}
+
+// TestCoreStepL1HitZeroAllocsWithFlight pins the flight-recorder design
+// point: with a full metrics registry AND an armed flight recorder —
+// which records every core memory op into its ring — the L1-hit fast
+// path still performs zero heap allocations. The rings are fixed-size
+// arrays written in place; arming them must never cost the hot path an
+// allocation.
+func TestCoreStepL1HitZeroAllocsWithFlight(t *testing.T) {
+	q := &sim.EventQueue{}
+	reg := metrics.New()
+	fr := flight.New(flight.DefaultDepth)
+	cfg := memsys.DefaultConfig(1)
+	cfg.Metrics = reg
+	cfg.Flight = fr
+	mem, err := memsys.New(cfg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &hitStream{op: Load(0x40, 0x1)}
+	c := New(0, q, mem, s, nil)
+	c.RegisterMetrics(reg, "core.0")
+	c.SetFlightRecorder(fr)
+	s.remaining = 64
+	c.Start(0)
+	q.Run()
+	allocs := testing.AllocsPerRun(10, func() {
+		s.remaining = 1000
+		c.Start(q.Now())
+		q.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("L1-hit fast path with flight recorder armed allocates %v times per 1000-op batch, want 0", allocs)
+	}
+	// And the recorder must actually have seen the ops: every load is
+	// recorded at issue, hits included.
+	if fr.Seen(flight.CompCore) == 0 {
+		t.Error("armed flight recorder saw no core ops")
 	}
 }

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -52,6 +54,11 @@ type Options struct {
 	// Logger receives structured engine events (job accepted, point
 	// done/failed, retries). Nil discards them.
 	Logger *slog.Logger
+	// FlightDir, when non-empty, enables regression forensics for
+	// troubled points: the first failed attempt of a point triggers a
+	// flight-recorded re-run (spec.DumpFlight) whose NDJSON dump is
+	// written to <FlightDir>/<hash12>.flight.ndjson. Empty disables.
+	FlightDir string
 }
 
 // task is one queued sweep point.
@@ -62,12 +69,13 @@ type task struct {
 
 // Engine owns the queue, the worker pool, and the job table.
 type Engine struct {
-	cache   *resultcache.Cache
-	runner  Runner
-	workers int
-	retries int
-	logger  *slog.Logger
-	began   time.Time
+	cache     *resultcache.Cache
+	runner    Runner
+	workers   int
+	retries   int
+	logger    *slog.Logger
+	flightDir string
+	began     time.Time
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -97,15 +105,16 @@ type Engine struct {
 // New returns an engine over cache; call Start before submitting.
 func New(cache *resultcache.Cache, opts Options) *Engine {
 	e := &Engine{
-		cache:    cache,
-		runner:   opts.Runner,
-		workers:  opts.Workers,
-		retries:  opts.Retries,
-		logger:   opts.Logger,
-		began:    time.Now(),
-		jobs:     map[string]*Job{},
-		inflight: map[string]chan struct{}{},
-		runDur:   map[string]*metrics.Histogram{},
+		cache:     cache,
+		runner:    opts.Runner,
+		workers:   opts.Workers,
+		retries:   opts.Retries,
+		logger:    opts.Logger,
+		flightDir: opts.FlightDir,
+		began:     time.Now(),
+		jobs:      map[string]*Job{},
+		inflight:  map[string]chan struct{}{},
+		runDur:    map[string]*metrics.Histogram{},
 	}
 	if e.runner == nil {
 		e.runner = spec.RunDocument
@@ -434,6 +443,31 @@ func (e *Engine) finishPoint(j *Job, i, attempts int, cached bool, wallNS int64,
 		"dur", time.Duration(wallNS))
 }
 
+// dumpFlight re-runs a troubled point with the flight recorder armed
+// and writes the NDJSON dump next to the cache. Best-effort: a dump
+// failure is logged, never escalated — the point's retry/fail flow is
+// decided by the original error alone.
+func (e *Engine) dumpFlight(j *Job, i int, p *Point) {
+	if e.flightDir == "" {
+		return
+	}
+	path := filepath.Join(e.flightDir, shortHash(p.Hash)+".flight.ndjson")
+	f, err := os.Create(path)
+	if err != nil {
+		e.logger.Warn("flight dump failed", "job", j.ID, "point", i, "err", err)
+		return
+	}
+	defer f.Close()
+	// The re-run is expected to fail again — that is what makes the dump
+	// useful. The NDJSON written before the failure is kept either way.
+	if err := spec.DumpFlight(&p.Spec, 0, f); err != nil {
+		e.logger.Info("flight dump captured failing re-run", "job", j.ID,
+			"point", i, "path", path, "err", err)
+	} else {
+		e.logger.Info("flight dump written", "job", j.ID, "point", i, "path", path)
+	}
+}
+
 // shortHash abbreviates a spec hash for log lines.
 func shortHash(h string) string {
 	if len(h) > 12 {
@@ -493,6 +527,11 @@ func (e *Engine) runPoint(t task) {
 			return
 		}
 		lastErr = err
+		if attempts == 1 {
+			// First failure of this point: capture a flight dump before
+			// any retry, while the failure is fresh.
+			e.dumpFlight(j, i, p)
+		}
 		if attempts > e.retries {
 			e.mu.Lock()
 			e.failedPts.Inc()

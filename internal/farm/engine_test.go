@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -334,5 +336,64 @@ func TestEngineRealRunner(t *testing.T) {
 	}
 	if !bytes.Equal(cold, warm) {
 		t.Fatalf("warm document differs from cold document")
+	}
+}
+
+// TestFlightDumpOnFailure: with FlightDir set, a point's FIRST failed
+// attempt produces a flight dump — a deterministic re-run of the spec
+// with the event rings armed — named by the point's short hash, so the
+// forensic record exists even if every retry also fails.
+func TestFlightDumpOnFailure(t *testing.T) {
+	var calls atomic.Int64
+	broken := func(s *spec.Spec) ([]byte, error) {
+		calls.Add(1)
+		return nil, fmt.Errorf("injected failure")
+	}
+	dir := t.TempDir()
+	e := newEngine(t, Options{Workers: 1, Retries: 1, Runner: broken, FlightDir: dir})
+
+	p := point(1)
+	j, err := e.Submit([]spec.Spec{p})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	wait(t, j)
+	if tot := j.Totals(); tot.Failed != 1 {
+		t.Fatalf("totals = %+v; want 1 failed", tot)
+	}
+	path := filepath.Join(dir, shortHash(j.Points()[0].Hash)+".flight.ndjson")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("flight dump missing: %v", err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(blob), []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatalf("flight dump has %d lines, want meta + events", len(lines))
+	}
+	if !bytes.Contains(lines[0], []byte("gsdram-flight/1")) {
+		t.Fatalf("bad meta line: %s", lines[0])
+	}
+	// One dump per point, from the first attempt only.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("flight dir holds %d files, want 1", len(entries))
+	}
+}
+
+// TestNoFlightDumpWhenDisabled: the default (no FlightDir) writes
+// nothing anywhere on failure.
+func TestNoFlightDumpWhenDisabled(t *testing.T) {
+	broken := func(s *spec.Spec) ([]byte, error) { return nil, fmt.Errorf("boom") }
+	e := newEngine(t, Options{Workers: 1, Runner: broken})
+	j, err := e.Submit([]spec.Spec{point(2)})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	wait(t, j)
+	if tot := j.Totals(); tot.Failed != 1 {
+		t.Fatalf("totals = %+v; want 1 failed", tot)
 	}
 }

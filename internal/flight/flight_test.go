@@ -1,0 +1,214 @@
+package flight
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"gsdram/internal/dram"
+	"gsdram/internal/gsdram"
+	"gsdram/internal/sim"
+)
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Command(1, 0, 0, 0, 0, dram.CmdACT, 0)
+	r.CacheLine(1, KindFill, 0, 1, 0x40, 0)
+	r.Coherence(1, KindOverlapFlush, 0, 0x40, 0)
+	r.Burst(1, 0, true, 0x40, 3, 4)
+	r.MSHR(1, KindMSHRAlloc, 0, 0x40, 0, 1)
+	r.CoreOp(1, KindLoad, 0, 0x40, 0, 0)
+	if r.Depth() != 0 || r.Seen(CompDDR) != 0 || r.Snapshot(CompDDR) != nil {
+		t.Fatal("nil recorder must observe and retain nothing")
+	}
+}
+
+func TestRingKeepsLastK(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.Command(sim.Cycle(i), 0, 0, i, 100+i, dram.CmdRD, 0)
+	}
+	if got := r.Seen(CompDDR); got != 10 {
+		t.Fatalf("seen = %d, want 10", got)
+	}
+	snap := r.Snapshot(CompDDR)
+	if len(snap) != 4 {
+		t.Fatalf("kept %d events, want 4", len(snap))
+	}
+	for i, e := range snap {
+		if want := sim.Cycle(6 + i); e.At != want {
+			t.Fatalf("snapshot[%d].At = %d, want %d (oldest-first last-K)", i, e.At, want)
+		}
+	}
+}
+
+func TestSnapshotBeforeWrap(t *testing.T) {
+	r := New(8)
+	r.CacheLine(5, KindFill, 1, 2, 0x80, 0)
+	r.CacheLine(7, KindWriteback, 1, 1, 0xc0, 3)
+	snap := r.Snapshot(CompCache)
+	if len(snap) != 2 || snap[0].At != 5 || snap[1].At != 7 {
+		t.Fatalf("snapshot = %+v, want the 2 recorded events in order", snap)
+	}
+	if snap[1].Kind != KindWriteback || snap[1].Pattern != 3 || snap[1].Aux != 1 {
+		t.Fatalf("snapshot[1] = %+v: fields not preserved", snap[1])
+	}
+}
+
+func TestComponentsAreIndependent(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 100; i++ {
+		r.Command(sim.Cycle(i), 0, 0, 0, 0, dram.CmdRD, 0)
+	}
+	r.Coherence(3, KindCrossProbe, 1, 0x40, 0)
+	if got := len(r.Snapshot(CompCoherence)); got != 1 {
+		t.Fatalf("coherence kept %d events, want 1 — DDR traffic must not evict it", got)
+	}
+	if got := r.Seen(CompCoherence); got != 1 {
+		t.Fatalf("coherence seen = %d, want 1", got)
+	}
+}
+
+func TestRecordingIsAllocationFree(t *testing.T) {
+	r := New(64)
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Command(1, 0, 0, 2, 42, dram.CmdRD, 3)
+		r.CacheLine(1, KindFill, 0, 1, 0x40, 0)
+		r.MSHR(1, KindMSHRAlloc, 0, 0x40, 0, 1)
+		r.CoreOp(1, KindLoad, 0, 0x40, 0, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("recording allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	r := New(4)
+	r.Command(10, 1, 0, 3, 200, dram.CmdACT, 0)
+	r.Command(12, 1, 0, 3, 200, dram.CmdRD, 3)
+	r.CacheLine(15, KindFill, 0, 2, 0x1c0, 3)
+	r.CoreOp(9, KindGatherV, 0, 0x1c0, 3, 8)
+
+	var buf bytes.Buffer
+	mark := func(e Event) bool { return e.Addr == 0x1c0 }
+	if err := WriteNDJSON(&buf, []LabeledRecorder{{Label: "fig9/gs", Rec: r}}, mark); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("empty dump")
+	}
+	var meta struct {
+		Flight     string   `json:"flight"`
+		Depth      int      `json:"depth"`
+		Labels     []string `json:"labels"`
+		Components map[string]struct {
+			Seen uint64 `json:"seen"`
+			Kept int    `json:"kept"`
+		} `json:"components"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
+		t.Fatalf("meta line: %v", err)
+	}
+	if meta.Flight != "gsdram-flight/1" || meta.Depth != 4 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if len(meta.Labels) != 1 || meta.Labels[0] != "fig9/gs" {
+		t.Fatalf("labels = %v", meta.Labels)
+	}
+	if got := meta.Components["ddr"]; got.Seen != 2 || got.Kept != 2 {
+		t.Fatalf("ddr component count = %+v", got)
+	}
+	if got := meta.Components["coherence"]; got.Seen != 0 || got.Kept != 0 {
+		t.Fatal("quiet components must still appear in the meta line")
+	}
+
+	var events []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("event line %q: %v", sc.Text(), err)
+		}
+		events = append(events, m)
+	}
+	if len(events) != 4 {
+		t.Fatalf("dumped %d events, want 4", len(events))
+	}
+	// Components dump in enum order: ddr, cache, ..., core.
+	if events[0]["component"] != "ddr" || events[0]["cmd"] != "ACT" || events[0]["pattern"] != "p0" {
+		t.Fatalf("first event = %v", events[0])
+	}
+	if events[1]["cmd"] != "RD" || events[1]["pattern"] != "p3" || events[1]["bank"] != float64(3) {
+		t.Fatalf("second event = %v", events[1])
+	}
+	if events[2]["component"] != "cache" || events[2]["addr"] != "0x1c0" || events[2]["mark"] != true {
+		t.Fatalf("cache event = %v", events[2])
+	}
+	if events[3]["component"] != "core" || events[3]["kind"] != "gatherv" || events[3]["aux"] != float64(8) {
+		t.Fatalf("core event = %v", events[3])
+	}
+	// DDR events carry bank/row but no core; core ops carry core but no bank.
+	if _, ok := events[0]["core"]; ok {
+		t.Fatal("DDR command must omit core")
+	}
+	if _, ok := events[3]["bank"]; ok {
+		t.Fatal("core op must omit bank")
+	}
+}
+
+func TestWriteNDJSONMultiLabel(t *testing.T) {
+	a, b := New(2), New(2)
+	a.CoreOp(1, KindLoad, 0, 0x40, 0, 0)
+	b.CoreOp(2, KindStore, 0, 0x80, 0, 0)
+	var buf bytes.Buffer
+	err := WriteNDJSON(&buf, []LabeledRecorder{{Label: "z", Rec: b}, {Label: "a", Rec: a}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	sc.Scan() // meta
+	var meta struct {
+		Labels     []string                   `json:"labels"`
+		Components map[string]json.RawMessage `json:"components"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Labels) != 2 || meta.Labels[0] != "a" || meta.Labels[1] != "z" {
+		t.Fatalf("labels = %v, want sorted [a z]", meta.Labels)
+	}
+	if _, ok := meta.Components["a/core"]; !ok {
+		t.Fatalf("multi-label meta must prefix component keys: %v", meta.Components)
+	}
+	var labels []string
+	for sc.Scan() {
+		var e struct {
+			Label string `json:"label"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		labels = append(labels, e.Label)
+	}
+	if len(labels) != 2 || labels[0] != "a" || labels[1] != "z" {
+		t.Fatalf("event labels = %v, want label-sorted", labels)
+	}
+}
+
+func TestKindAndComponentNames(t *testing.T) {
+	if gsdram.Pattern(3).String() != "p3" {
+		t.Fatal("gsdram.Pattern String")
+	}
+	for c := Component(0); c < NumComponents; c++ {
+		if c.String() == "" {
+			t.Fatalf("component %d has no name", c)
+		}
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}

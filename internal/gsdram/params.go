@@ -33,6 +33,10 @@ type Pattern uint32
 // DefaultPattern is the pattern ID of an ordinary cache-line access.
 const DefaultPattern Pattern = 0
 
+// String renders the pattern ID for traces and dumps: "p0" for the
+// default pattern, "p3" for the stride-4 gather pattern, and so on.
+func (p Pattern) String() string { return fmt.Sprintf("p%d", uint32(p)) }
+
 // Params describes a GS-DRAM(c,s,p) configuration.
 type Params struct {
 	// Chips is c: the number of DRAM chips in the rank. Must be a power of

@@ -92,6 +92,18 @@ func (s Stage) String() string {
 	return stageNames[s]
 }
 
+// StageNames returns every stall-attribution stage name in stage order.
+// Consumers of run documents (e.g. `gsbench explain`) iterate this list
+// so stages absent from a document — stages a run never charged — are
+// treated as zero rather than silently skipped.
+func StageNames() []string {
+	out := make([]string, NumStages)
+	for i := range out {
+		out[i] = Stage(i).String()
+	}
+	return out
+}
+
 // ReqLat carries the cycle timestamps of one in-flight fetch. The memory
 // system owns one per MSHR entry (pooled, so stamping never allocates)
 // and hands the controller a pointer through memctrl.Request.Lat; the

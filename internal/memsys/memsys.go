@@ -21,6 +21,7 @@ import (
 	"gsdram/internal/addrmap"
 	"gsdram/internal/autopatt"
 	"gsdram/internal/cache"
+	"gsdram/internal/flight"
 	"gsdram/internal/gsdram"
 	"gsdram/internal/latency"
 	"gsdram/internal/memctrl"
@@ -75,6 +76,12 @@ type Config struct {
 	// histograms and stall counters are always complete; only the
 	// per-request traces are bounded.
 	LatencyTraceCap int
+
+	// Flight, when non-nil, records cache line transitions, §4.1
+	// coherence actions, MSHR traffic, and coalescer burst decisions
+	// into the rig's flight recorder; it is also threaded through to the
+	// controller for DDR commands. Nil disables recording.
+	Flight *flight.Recorder
 }
 
 // GatherMode selects the gather implementation being modelled.
@@ -326,6 +333,7 @@ func New(cfg Config, q *sim.EventQueue) (*System, error) {
 	s.l2 = l2
 	memCfg := cfg.Mem
 	memCfg.Metrics = cfg.Metrics
+	memCfg.Flight = cfg.Flight
 	ctrl, err := memctrl.New(memCfg, q)
 	if err != nil {
 		return nil, err
@@ -569,6 +577,7 @@ func (s *System) Access(now sim.Cycle, a Access, onDone func(now sim.Cycle)) (do
 	if e, ok := s.mshrs[key]; ok {
 		w.coalesced = true
 		e.waiters = append(e.waiters, w)
+		s.cfg.Flight.MSHR(now, flight.KindMSHRCoalesce, a.Core, uint64(line), a.Pattern, len(s.mshrs))
 		return 0, false
 	}
 	e := s.newMSHR()
@@ -577,6 +586,7 @@ func (s *System) Access(now sim.Cycle, a Access, onDone func(now sim.Cycle)) (do
 	e.waiters = append(e.waiters, w)
 	s.mshrs[key] = e
 	s.ctr.MSHROccupancy.Observe(uint64(len(s.mshrs)))
+	s.cfg.Flight.MSHR(now, flight.KindMSHRAlloc, a.Core, uint64(line), a.Pattern, len(s.mshrs))
 	// The fetch leaves for the controller after the L1 and L2 tag checks.
 	s.q.Schedule(t2, e.fetchFn)
 	return 0, false
@@ -606,6 +616,7 @@ func (s *System) train(now sim.Cycle, a Access, line addrmap.Addr) {
 		e.lat = latency.ReqLat{MSHRAlloc: now}
 		s.mshrs[key] = e
 		s.ctr.MSHROccupancy.Observe(uint64(len(s.mshrs)))
+		s.cfg.Flight.MSHR(now, flight.KindMSHRAlloc, a.Core, uint64(cl), cand.Pattern, len(s.mshrs))
 		if !s.enqueueFetch(now, cl, cand.Pattern, true, e) {
 			delete(s.mshrs, key)
 			s.recycleMSHR(e)
@@ -675,6 +686,7 @@ func (s *System) finishFetch(now sim.Cycle, key mshrKey) {
 		return
 	}
 	delete(s.mshrs, key)
+	s.cfg.Flight.MSHR(now, flight.KindMSHRFree, e.acc.Core, uint64(key.addr), key.patt, len(e.waiters))
 	s.fillL2(key.addr, key.patt, false)
 	if e.prefetched && len(e.waiters) == 0 {
 		s.prefetchedLines[key] = true
@@ -695,6 +707,7 @@ func (s *System) finishFetch(now sim.Cycle, key mshrKey) {
 
 // fillL1 inserts a line into a core's L1, handling the eviction.
 func (s *System) fillL1(core int, line addrmap.Addr, p gsdram.Pattern, dirty bool) {
+	s.cfg.Flight.CacheLine(s.q.Now(), flight.KindFill, core, 1, uint64(line), p)
 	if ev, has := s.l1[core].Fill(line, p, dirty); has && ev.Dirty {
 		// Dirty L1 victim falls into the L2.
 		s.fillL2(ev.Addr, ev.Pattern, true)
@@ -703,6 +716,7 @@ func (s *System) fillL1(core int, line addrmap.Addr, p gsdram.Pattern, dirty boo
 
 // fillL2 inserts a line into the L2, writing back its dirty victim.
 func (s *System) fillL2(line addrmap.Addr, p gsdram.Pattern, dirty bool) {
+	s.cfg.Flight.CacheLine(s.q.Now(), flight.KindFill, -1, 2, uint64(line), p)
 	ev, has := s.l2.Fill(line, p, dirty)
 	if has {
 		delete(s.prefetchedLines, mshrKey{ev.Addr, ev.Pattern})
@@ -715,6 +729,7 @@ func (s *System) fillL2(line addrmap.Addr, p gsdram.Pattern, dirty bool) {
 // writeback posts a write to the controller.
 func (s *System) writeback(line addrmap.Addr, p gsdram.Pattern) {
 	s.ctr.Writebacks++
+	s.cfg.Flight.CacheLine(s.q.Now(), flight.KindWriteback, -1, 2, uint64(line), p)
 	req := s.ctrl.NewRequest()
 	req.Addr = line
 	req.Pattern = p
@@ -733,6 +748,7 @@ func (s *System) probeOtherL1s(now sim.Cycle, core int, line addrmap.Addr, p gsd
 			l1.Invalidate(line, p)
 			s.fillL2(line, p, true)
 			s.ctr.CrossCoreProbe++
+			s.cfg.Flight.Coherence(now, flight.KindCrossProbe, i, uint64(line), p)
 		}
 	}
 }
@@ -788,6 +804,7 @@ func (s *System) flushOverlaps(now sim.Cycle, line addrmap.Addr, a Access) {
 		for _, c := range s.allCaches() {
 			if present, dirty := c.Probe(oa, other); present && dirty {
 				s.ctr.OverlapFlushes++
+				s.cfg.Flight.Coherence(now, flight.KindOverlapFlush, a.Core, uint64(oa), other)
 				s.writeback(oa, other)
 				c.CleanLine(oa, other)
 			}
@@ -807,6 +824,7 @@ func (s *System) invalidateOverlaps(line addrmap.Addr, a Access) {
 				}
 				c.Invalidate(oa, other)
 				s.ctr.OverlapInvals++
+				s.cfg.Flight.Coherence(s.q.Now(), flight.KindOverlapInval, a.Core, uint64(oa), other)
 			}
 		}
 	}

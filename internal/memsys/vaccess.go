@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gsdram/internal/addrmap"
+	"gsdram/internal/flight"
 	"gsdram/internal/gsdram"
 	"gsdram/internal/latency"
 	"gsdram/internal/memctrl"
@@ -136,6 +137,8 @@ func (s *System) AccessV(now sim.Cycle, a VAccess, onDone func(now sim.Cycle)) (
 		} else {
 			s.ctr.GathervFallback++
 		}
+		s.cfg.Flight.Burst(now, a.Core, b.Pattern != gsdram.DefaultPattern,
+			uint64(b.Line), b.Pattern, len(b.Elems))
 	}
 
 	if a.Write {
@@ -189,11 +192,13 @@ func (s *System) vcohLine(la addrmap.Addr, p gsdram.Pattern, write bool) {
 		}
 		if dirty {
 			s.ctr.OverlapFlushes++
+			s.cfg.Flight.Coherence(s.q.Now(), flight.KindOverlapFlush, -1, uint64(la), p)
 			s.writeback(la, p)
 		}
 		if write {
 			c.Invalidate(la, p)
 			s.ctr.OverlapInvals++
+			s.cfg.Flight.Coherence(s.q.Now(), flight.KindOverlapInval, -1, uint64(la), p)
 		} else if dirty {
 			c.CleanLine(la, p)
 		}

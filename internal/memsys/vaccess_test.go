@@ -67,7 +67,7 @@ func TestAccessVSteadyStateZeroAllocs(t *testing.T) {
 	rng := sim.NewRand(13)
 	unstructured := VAccess{Core: 0, Addrs: make([]addrmap.Addr, 64)}
 	for i := range unstructured.Addrs {
-		unstructured.Addrs[i] = addrmap.Addr(rng.Intn(1 << 16) * 8)
+		unstructured.Addrs[i] = addrmap.Addr(rng.Intn(1<<16) * 8)
 	}
 	scatter := patterned
 	scatter.Write = true

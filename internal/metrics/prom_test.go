@@ -21,6 +21,26 @@ func TestBucketBounds(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEmpty pins the empty-histogram contract: every
+// quantile of a histogram with no samples is 0, never a bucket bound or
+// a panic. Downstream consumers (latency summaries, metrics-diff, and
+// gsbench explain) rely on this to render untouched spans as zeros
+// rather than special-casing N==0 themselves.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	// Observing then checking again proves the zero came from N==0, not
+	// from an accidentally-zero bucket bound.
+	h.Observe(5)
+	if h.Quantile(0.5) == 0 {
+		t.Error("non-empty histogram p50 = 0; empty-case guard is mis-keyed")
+	}
+}
+
 func TestHistogramQuantile(t *testing.T) {
 	var h Histogram
 	if h.Quantile(0.5) != 0 {

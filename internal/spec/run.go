@@ -2,26 +2,47 @@ package spec
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
 
 	"gsdram/internal/bench"
+	"gsdram/internal/flight"
 	"gsdram/internal/stats"
 	"gsdram/internal/telemetry"
 )
 
-// runMu guards the simulator's sole remaining process-wide switch: the
-// noinline escape hatch (bench.SetNoInline). Specs that leave it at its
-// default — including telemetered specs, whose capture context is
-// per-rig (bench.Capture) rather than session-global — run concurrently
-// under the read lock; only a NoInline spec takes the write lock, flips
-// the global, runs, and restores the default before unlocking. The
-// invariant is that the global is at its default whenever the write
-// lock is free. Telemetered sweep points therefore run concurrently
-// within one process, bit-identical to serial execution; each point
-// additionally parallelizes internally via Spec.Workers.
+// runMu guards the simulator's process-wide switches: the noinline
+// escape hatch (bench.SetNoInline) and the L2-latency ablation override
+// (bench.SetL2Latency). Specs that leave both at their defaults —
+// including telemetered specs, whose capture context is per-rig
+// (bench.Capture) rather than session-global — run concurrently under
+// the read lock; a spec setting either takes the write lock, flips the
+// global, runs, and restores the default before unlocking. The
+// invariant is that the globals are at their defaults whenever the
+// write lock is free. Telemetered sweep points therefore run
+// concurrently within one process, bit-identical to serial execution;
+// each point additionally parallelizes internally via Spec.Workers.
 var runMu sync.RWMutex
+
+// lockFor takes the lock appropriate for the spec's process-wide
+// switches and applies them, returning the undo.
+func lockFor(s *Spec) (unlock func()) {
+	if s.NoInline || s.L2Latency != 0 {
+		runMu.Lock()
+		bench.SetNoInline(s.NoInline)
+		bench.SetL2Latency(s.L2Latency)
+		return func() {
+			bench.SetNoInline(false)
+			bench.SetL2Latency(0)
+			runMu.Unlock()
+		}
+	}
+	runMu.RLock()
+	return runMu.RUnlock
+}
 
 // Outcome is one executed spec: the structured experiment result plus
 // everything a run document needs.
@@ -37,31 +58,39 @@ type Outcome struct {
 	// report). Both are nil for untelemetered specs.
 	Telemetry []TelemetryEntry
 	Runs      []*telemetry.Run
+	// Flight holds the labelled flight recorders when the run was armed
+	// with RunFlight (nil otherwise); dump with flight.WriteNDJSON.
+	Flight []flight.LabeledRecorder
 }
 
 // Run validates and executes one spec, constructing the rig exactly as
 // the CLI would for the equivalent flags. It is safe for concurrent use
 // (see runMu).
-func Run(s *Spec) (*Outcome, error) {
+func Run(s *Spec) (*Outcome, error) { return RunFlight(s, 0) }
+
+// RunFlight is Run with a flight recorder armed on every rig at the
+// given per-component ring depth (0 runs without flight). Flight rides
+// the telemetry capture context, so a depth > 0 forces telemetry on;
+// recording is pinned bit-identical, so the results are unchanged.
+func RunFlight(s *Spec, flightDepth int) (*Outcome, error) {
 	s = s.Normalized()
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	if flightDepth > 0 && !s.Telemetry {
+		s.Telemetry = true
+		s.Epoch = uint64(telemetry.DefaultEpoch)
+	}
 	run, _ := lookup(s.Experiment) // Validate checked membership
 	opts := s.BenchOptions()
 
-	if s.NoInline {
-		runMu.Lock()
-		defer runMu.Unlock()
-		bench.SetNoInline(true)
-		defer bench.SetNoInline(false)
-	} else {
-		runMu.RLock()
-		defer runMu.RUnlock()
-	}
+	defer lockFor(s)()
 	var capture *bench.Capture
 	if s.Telemetry {
 		capture = bench.NewCapture(s.Epoch)
+		if flightDepth > 0 {
+			capture.SetFlightDepth(flightDepth)
+		}
 		opts.Capture = capture
 	}
 
@@ -84,8 +113,51 @@ func Run(s *Spec) (*Outcome, error) {
 		for _, r := range out.Runs {
 			out.Telemetry = append(out.Telemetry, NewTelemetryEntry(r))
 		}
+		if flightDepth > 0 {
+			out.Flight = capture.FlightRecorders()
+		}
 	}
 	return out, nil
+}
+
+// DumpFlight re-executes a spec with a flight recorder armed and writes
+// the NDJSON dump to w. A panic during the re-run is recovered and
+// returned as the error — the dump still covers every event recorded up
+// to the failure, which is the whole point: the farm calls this for
+// failed and retried points. depth <= 0 selects flight.DefaultDepth.
+func DumpFlight(s *Spec, depth int, w io.Writer) (err error) {
+	if depth <= 0 {
+		depth = flight.DefaultDepth
+	}
+	norm := s.Normalized()
+	norm.Telemetry = true
+	if norm.Epoch == 0 {
+		norm.Epoch = uint64(telemetry.DefaultEpoch)
+	}
+	if verr := norm.Validate(); verr != nil {
+		return verr
+	}
+	run, _ := lookup(norm.Experiment)
+	opts := norm.BenchOptions()
+	capture := bench.NewCapture(norm.Epoch)
+	capture.SetFlightDepth(depth)
+	opts.Capture = capture
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("spec: dump-flight re-run panicked: %v", r)
+			}
+		}()
+		defer lockFor(norm)()
+		if _, _, _, rerr := run(norm, opts); rerr != nil {
+			err = rerr
+		}
+	}()
+	if werr := flight.WriteNDJSON(w, capture.FlightRecorders(), nil); werr != nil {
+		return werr
+	}
+	return err
 }
 
 // Record is one experiment's entry in a run document (identical to the

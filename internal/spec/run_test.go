@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"sync"
 	"testing"
+
+	"gsdram/internal/flight"
 )
 
 // quickSpec is a fast fig9 rig for run tests.
@@ -248,5 +250,132 @@ func TestRunRejectsInvalidSpec(t *testing.T) {
 	s.Tuples = 0
 	if _, err := Run(s); err == nil {
 		t.Fatalf("Run accepted zero tuples")
+	}
+}
+
+// TestRunFlightCapturesRecorders: RunFlight arms the flight recorder on
+// every rig (forcing telemetry on) and the outcome carries the labeled
+// rings; the dump is well-formed NDJSON.
+func TestRunFlightCapturesRecorders(t *testing.T) {
+	out, err := RunFlight(quickSpec(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Flight) == 0 {
+		t.Fatal("RunFlight returned no flight recorders")
+	}
+	if len(out.Flight) != len(out.Runs) {
+		t.Fatalf("%d recorders for %d runs", len(out.Flight), len(out.Runs))
+	}
+	for _, lr := range out.Flight {
+		if lr.Rec == nil || lr.Rec.Depth() != 32 {
+			t.Fatalf("%s: bad recorder %+v", lr.Label, lr.Rec)
+		}
+	}
+	var buf bytes.Buffer
+	if err := flight.WriteNDJSON(&buf, out.Flight, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("gsdram-flight/1")) {
+		t.Fatal("dump missing format meta")
+	}
+}
+
+// TestRunFlightDoesNotChangeResults: the document of a flight-armed run
+// is byte-identical (wall time aside) to a telemetered run without the
+// recorder — recording must never perturb simulation.
+func TestRunFlightDoesNotChangeResults(t *testing.T) {
+	tele := quickSpec()
+	tele.Telemetry = true
+	base, err := Run(tele)
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed, err := RunFlight(quickSpec(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseD := Document{Experiments: []Record{base.Record()}}
+	baseDoc, err := baseD.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	armedD := Document{Experiments: []Record{armed.Record()}}
+	armedDoc, err := armedD.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(zeroWallNS(t, baseDoc), zeroWallNS(t, armedDoc)) {
+		t.Fatal("flight-armed document differs from unarmed telemetered document")
+	}
+}
+
+// TestDumpFlight: the one-shot re-run + dump used by the farm on failed
+// points writes a meta line plus events.
+func TestDumpFlight(t *testing.T) {
+	var buf bytes.Buffer
+	if err := DumpFlight(quickSpec(), 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatalf("dump has %d lines, want meta + events", len(lines))
+	}
+	if !bytes.Contains(lines[0], []byte("gsdram-flight/1")) {
+		t.Fatalf("bad meta line: %s", lines[0])
+	}
+}
+
+// TestL2LatencyChangesResultsAndHash: the ablation knob must actually
+// slow the memory system down and must participate in the spec hash
+// (it changes results, so cached documents keyed without it would be
+// wrong).
+func TestL2LatencyChangesResultsAndHash(t *testing.T) {
+	base := quickSpec()
+	slow := quickSpec()
+	slow.L2Latency = 60
+	if base.Hash() == slow.Hash() {
+		t.Fatal("L2Latency does not affect the spec hash")
+	}
+
+	bt := quickSpec()
+	bt.Telemetry = true
+	st := quickSpec()
+	st.Telemetry = true
+	st.L2Latency = 60
+	outBase, err := Run(bt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outSlow, err := Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outBase.Runs) == 0 || len(outBase.Runs) != len(outSlow.Runs) {
+		t.Fatalf("run counts: %d vs %d", len(outBase.Runs), len(outSlow.Runs))
+	}
+	// fig9 runs for a fixed simulated horizon, so the knob shows up in
+	// the work completed and the metrics, not the end cycle: the run
+	// documents must differ.
+	doc := func(o *Outcome) []byte {
+		d := Document{Experiments: []Record{o.Record()}}
+		blob, err := d.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return zeroWallNS(t, blob)
+	}
+	if bytes.Equal(doc(outBase), doc(outSlow)) {
+		t.Fatal("tripling the L2 latency changed nothing in the run document")
+	}
+
+	// And the default path is unaffected: a fresh default run still
+	// matches the first one (the knob resets after the run).
+	again, err := Run(bt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(doc(outBase), doc(again)) {
+		t.Fatal("default-latency results changed after an L2Latency run")
 	}
 }

@@ -84,6 +84,14 @@ type Spec struct {
 	Workers  int     `json:"workers"`
 	NoInline bool    `json:"noinline"`
 	Sample   *Sample `json:"sample,omitempty"`
+	// L2Latency, when non-zero, overrides the model's L2 hit latency in
+	// CPU cycles (model default: 18). It is an ablation knob for
+	// regression forensics — perturbing one stage gives `gsbench
+	// explain` a known-cause delta — and, unlike Workers/NoInline, it
+	// changes results, so it participates in the hash like any workload
+	// knob. omitempty keeps the canonical encoding (and therefore every
+	// existing cache key) unchanged for specs that leave it at 0.
+	L2Latency uint64 `json:"l2_latency,omitempty"`
 	// Telemetry enables capture; the run document then carries per-run
 	// metrics, the epoch series and the latency summary, exactly like
 	// gsbench -json. Epoch is the sampling interval in cycles (0 with
@@ -194,6 +202,7 @@ func (s *Spec) Params() map[string]string {
 		"degree":      strconv.Itoa(s.Degree),
 		"noinline":    strconv.FormatBool(s.NoInline),
 		"sample":      strconv.FormatBool(s.Sample != nil),
+		"l2lat":       strconv.FormatUint(s.L2Latency, 10),
 		"fingerprint": s.Fingerprint,
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"gsdram/internal/addrmap"
 	"gsdram/internal/cache"
 	"gsdram/internal/cpu"
+	"gsdram/internal/flight"
 	"gsdram/internal/gsdram"
 	"gsdram/internal/machine"
 	"gsdram/internal/memsys"
@@ -36,6 +37,10 @@ type Options struct {
 	// event-driven execution goes through the oracle too.
 	NoInline bool
 	Inject   Inject
+	// Flight, when non-nil, records the run's microarchitectural events
+	// (DDR commands, fills, coherence, bursts, MSHRs, core ops) so a
+	// divergence can be dumped with the history leading up to it.
+	Flight *flight.Recorder
 }
 
 // Record is the observed architectural effect of one op on the simulator
@@ -134,7 +139,9 @@ func Run(p Program, opts Options) (*Result, error) {
 
 	// --- simulator run --------------------------------------------------
 	q := &sim.EventQueue{}
-	mem, err := memsys.New(memsysConfig(p), q)
+	mcfg := memsysConfig(p)
+	mcfg.Flight = opts.Flight
+	mem, err := memsys.New(mcfg, q)
 	if err != nil {
 		return nil, err
 	}
@@ -151,6 +158,7 @@ func Run(p Program, opts Options) (*Result, error) {
 	for c := 0; c < p.Cores; c++ {
 		cores[c] = cpu.New(c, q, mem, p.stream(perCore[c], bases, mach, res, &execErr, &errOp, opts), nil)
 		cores[c].SetNoInline(opts.NoInline)
+		cores[c].SetFlightRecorder(opts.Flight)
 		cores[c].Start(0)
 	}
 	q.Run()

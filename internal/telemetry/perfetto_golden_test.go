@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenSpanTracks is a fixed input exercising every branch of the span
+// writer: multiple tracks, multiple spans per track, and a zero-duration
+// span (widened to 1µs).
+func goldenSpanTracks() []SpanTrack {
+	return []SpanTrack{
+		{Name: "point0", Spans: []TrackSpan{
+			{Name: "queued", StartUS: 0, DurUS: 12},
+			{Name: "running", StartUS: 12, DurUS: 640},
+		}},
+		{Name: "point1", Spans: []TrackSpan{
+			{Name: "cache_probe", StartUS: 5, DurUS: 0},
+			{Name: "running", StartUS: 6, DurUS: 88},
+		}},
+	}
+}
+
+// TestWriteSpanTraceGolden pins the exact serialized bytes of the
+// Perfetto span trace against testdata/span_trace.golden.json, then
+// independently decodes the golden to prove it is still a well-formed
+// Chrome trace_event document. The byte comparison is the regression
+// tripwire (field order, envelope, µs widening are all load-bearing for
+// external viewers); the decode keeps the golden itself honest.
+// Regenerate with: go test ./internal/telemetry -run SpanTraceGolden -update
+func TestWriteSpanTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpanTrace(&buf, "sweep job-1", goldenSpanTracks()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "span_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("span trace bytes drifted from golden\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+
+	// Decode the golden as a viewer would and check the envelope and the
+	// slice population — not just that it round-trips as generic JSON.
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		OtherData       struct {
+			TimeUnit string `json:"time_unit"`
+		} `json:"otherData"`
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   uint64         `json:"ts"`
+			Dur  uint64         `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(want, &doc); err != nil {
+		t.Fatalf("golden does not decode as trace_event JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || doc.OtherData.TimeUnit != "us" {
+		t.Fatalf("envelope: displayTimeUnit=%q time_unit=%q", doc.DisplayTimeUnit, doc.OtherData.TimeUnit)
+	}
+	var procName string
+	threadNames := map[int]string{}
+	var slices, widened int
+	for _, ev := range doc.TraceEvents {
+		if ev.Pid != 1 {
+			t.Fatalf("event %q on pid %d, want the single pid 1", ev.Name, ev.Pid)
+		}
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			procName, _ = ev.Args["name"].(string)
+		case ev.Ph == "M" && ev.Name == "thread_name":
+			threadNames[ev.Tid], _ = ev.Args["name"].(string)
+		case ev.Ph == "X":
+			slices++
+			if ev.Dur == 0 {
+				t.Fatalf("slice %q has zero duration; writer must widen to 1µs", ev.Name)
+			}
+			if ev.Name == "cache_probe" && ev.Dur == 1 {
+				widened++
+			}
+		}
+	}
+	if procName != "sweep job-1" {
+		t.Fatalf("process_name = %q", procName)
+	}
+	if threadNames[1] != "point0" || threadNames[2] != "point1" {
+		t.Fatalf("thread names = %v, want tid1=point0 tid2=point1", threadNames)
+	}
+	if slices != 4 || widened != 1 {
+		t.Fatalf("got %d slices (%d widened), want 4 slices with the zero-duration span widened", slices, widened)
+	}
+}

@@ -11,6 +11,7 @@
 package telemetry
 
 import (
+	"gsdram/internal/flight"
 	"gsdram/internal/latency"
 	"gsdram/internal/memctrl"
 	"gsdram/internal/metrics"
@@ -91,6 +92,10 @@ type Run struct {
 	// histograms, core-stall stage counters, bounded request traces). Nil
 	// when the run was captured without one.
 	Latency *latency.Recorder
+
+	// Flight is the run's flight recorder (last-K microarchitectural
+	// events per component). Nil unless the capture armed one.
+	Flight *flight.Recorder
 
 	// End is the cycle the run finished at.
 	End sim.Cycle
